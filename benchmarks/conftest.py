@@ -1,0 +1,67 @@
+"""Shared experiment runs for the benchmark suite.
+
+The expensive sweeps are computed once per session and shared by the
+figure-specific benchmark files (Figures 6–8 share one sweep, 9–12 another,
+13–14 a third).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.figures import (
+    fig6_to_8_string_search,
+    fig9_to_12_insert_size_height,
+    fig13_14_kdtree_rtree,
+)
+
+
+@pytest.fixture(scope="session")
+def string_search_rows():
+    """Figures 6, 7, 8: trie vs B+-tree search sweep."""
+    return fig6_to_8_string_search()
+
+
+@pytest.fixture(scope="session")
+def insert_size_rows():
+    """Figures 9-12: build-side sweep."""
+    return fig9_to_12_insert_size_height()
+
+
+@pytest.fixture(scope="session")
+def kdtree_rtree_rows():
+    """Figures 13-14: kd-tree vs R-tree sweep."""
+    return fig13_14_kdtree_rtree()
+
+
+#: All figure tables of one benchmark session are also appended here, so
+#: they survive pytest's output capture when the suite runs without ``-s``.
+RESULTS_FILE = __file__.rsplit("/", 1)[0] + "/results.txt"
+
+_results_initialized = False
+
+
+def bench_print(text: str) -> None:
+    """Print a figure table and mirror it into ``benchmarks/results.txt``.
+
+    Run the suite with ``-s`` to see the tables live; either way the
+    results file holds the full set afterwards.
+    """
+    global _results_initialized
+    print(text)
+    mode = "a" if _results_initialized else "w"
+    with open(RESULTS_FILE, mode, encoding="utf-8") as f:
+        f.write(text + "\n")
+    _results_initialized = True
+
+
+def print_rows(title, rows, columns):
+    """Render an ExperimentRow list as the paper-style series table."""
+    from repro.bench.report import format_table
+
+    table = format_table(
+        title,
+        ["size"] + list(columns),
+        [[r.size] + [r.values[c] for c in columns] for r in rows],
+    )
+    bench_print("\n" + table)

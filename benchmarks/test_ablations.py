@@ -1,0 +1,160 @@
+"""Ablations for the design choices called out in DESIGN.md §3.
+
+D1 bucket size — D2 path shrink — D3 node shrink — D4 clustering —
+D5 buffer-pool size — D6 PMR splitting threshold.
+"""
+
+import pytest
+
+from conftest import print_rows
+
+from repro.bench.figures import (
+    ablation_bucket_size,
+    ablation_buffer_pool,
+    ablation_clustering,
+    ablation_equality_methods,
+    ablation_node_shrink,
+    ablation_path_shrink,
+    ablation_pmr_threshold,
+    ablation_rtree_split,
+)
+
+
+class TestD1BucketSize:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return ablation_bucket_size()
+
+    def test_bucket_size_tradeoff(self, rows, benchmark):
+        print_rows(
+            "Ablation D1 — trie BucketSize (x = B)",
+            rows,
+            ("exact_cost", "pages", "nodes", "node_height", "page_height"),
+        )
+        by_bucket = {r.size: r.values for r in rows}
+        # Bigger buckets shrink the tree...
+        assert by_bucket[128]["nodes"] < by_bucket[1]["nodes"]
+        assert by_bucket[128]["pages"] <= by_bucket[1]["pages"]
+        # ...and never deepen it.
+        assert by_bucket[128]["node_height"] <= by_bucket[1]["node_height"]
+        benchmark.pedantic(ablation_bucket_size,
+                           kwargs={"bucket_sizes": (8,), "size": 1000},
+                           rounds=1, iterations=1)
+
+
+class TestD2PathShrink:
+    def test_patricia_compression_pays(self, benchmark):
+        rows = ablation_path_shrink()
+        print_rows(
+            "Ablation D2 — PathShrink (0 = TreeShrink, 1 = NeverShrink)",
+            rows,
+            ("exact_cost", "nodes", "node_height", "pages"),
+        )
+        tree_shrink, never_shrink = rows[0].values, rows[1].values
+        assert tree_shrink["node_height"] <= never_shrink["node_height"]
+        assert tree_shrink["nodes"] <= never_shrink["nodes"]
+        benchmark.pedantic(ablation_path_shrink, kwargs={"size": 1000},
+                           rounds=1, iterations=1)
+
+
+class TestD3NodeShrink:
+    def test_empty_partitions_inflate_the_tree(self, benchmark):
+        rows = ablation_node_shrink()
+        print_rows(
+            "Ablation D3 — NodeShrink (1 = drop empty partitions, 0 = keep)",
+            rows,
+            ("nodes", "leaves", "pages"),
+        )
+        with_shrink = next(r for r in rows if r.size == 1).values
+        without = next(r for r in rows if r.size == 0).values
+        assert without["nodes"] > with_shrink["nodes"]
+        assert without["pages"] >= with_shrink["pages"]
+        benchmark.pedantic(ablation_node_shrink, kwargs={"size": 800},
+                           rounds=1, iterations=1)
+
+
+class TestD4Clustering:
+    def test_repack_cuts_page_height_and_cost(self, benchmark):
+        rows = ablation_clustering()
+        print_rows(
+            "Ablation D4 — clustering (0 = incremental only, 1 = repacked)",
+            rows,
+            ("exact_cost", "page_height", "pages", "fill"),
+        )
+        incremental = next(r for r in rows if r.size == 0).values
+        repacked = next(r for r in rows if r.size == 1).values
+        assert repacked["page_height"] <= incremental["page_height"]
+        assert repacked["exact_cost"] <= incremental["exact_cost"] * 1.05
+        benchmark.pedantic(ablation_clustering, kwargs={"size": 1000},
+                           rounds=1, iterations=1)
+
+
+class TestD5BufferPool:
+    def test_bigger_pools_absorb_reads(self, benchmark):
+        rows = ablation_buffer_pool()
+        print_rows(
+            "Ablation D5 — buffer pool frames (x = pool pages)",
+            rows,
+            ("reads_per_op", "hit_ratio"),
+        )
+        reads = [r.values["reads_per_op"] for r in rows]
+        assert reads == sorted(reads, reverse=True) or reads[-1] < reads[0]
+        assert rows[-1].values["hit_ratio"] > rows[0].values["hit_ratio"]
+        benchmark.pedantic(ablation_buffer_pool,
+                           kwargs={"pool_sizes": (16,), "size": 1000},
+                           rounds=1, iterations=1)
+
+
+class TestD7EqualityMethods:
+    def test_hash_wins_equality_but_only_equality(self, benchmark):
+        rows = ablation_equality_methods()
+        by_name = {r.values["label"]: r.values for r in rows}
+        print_rows(
+            "Ablation D7 — equality lookup across access methods "
+            f"({', '.join(r.values['label'] for r in rows)})",
+            rows,
+            ("cost", "reads"),
+        )
+        # Hash is the flat-cost equality specialist...
+        assert by_name["hash"]["cost"] < by_name["trie"]["cost"]
+        assert by_name["hash"]["cost"] < by_name["btree"]["cost"]
+        # ...and every index crushes the sequential scan.
+        for name in ("trie", "btree", "hash"):
+            assert by_name[name]["cost"] < by_name["seqscan"]["cost"]
+        benchmark.pedantic(ablation_equality_methods,
+                           kwargs={"size": 1000, "batch": 10},
+                           rounds=1, iterations=1)
+
+
+class TestD8RTreeSplit:
+    def test_linear_split_no_better_than_quadratic(self, benchmark):
+        rows = ablation_rtree_split()
+        print_rows(
+            "Ablation D8 — R-tree split policy (0 = linear, 1 = quadratic)",
+            rows,
+            ("point_cost", "pages", "height"),
+        )
+        linear = rows[0].values
+        quadratic = rows[1].values
+        # Quadratic's tighter groups never lose to linear on point search.
+        assert quadratic["point_cost"] <= linear["point_cost"] * 1.05
+        benchmark.pedantic(ablation_rtree_split,
+                           kwargs={"size": 1000, "batch": 10},
+                           rounds=1, iterations=1)
+
+
+class TestD6PMRThreshold:
+    def test_threshold_tradeoff(self, benchmark):
+        rows = ablation_pmr_threshold()
+        print_rows(
+            "Ablation D6 — PMR splitting threshold (x = threshold)",
+            rows,
+            ("window_cost", "pages", "items_stored", "node_height"),
+        )
+        by_threshold = {r.size: r.values for r in rows}
+        # Lower thresholds split deeper: taller trees, more replication.
+        assert by_threshold[2]["node_height"] >= by_threshold[16]["node_height"]
+        assert by_threshold[2]["items_stored"] >= by_threshold[16]["items_stored"]
+        benchmark.pedantic(ablation_pmr_threshold,
+                           kwargs={"thresholds": (8,), "size": 800},
+                           rounds=1, iterations=1)

@@ -1,0 +1,38 @@
+"""Figure 8 — standard deviation of the trie's exact-match search cost.
+
+Paper: the trie is unbalanced, so per-query search time varies with the
+key's depth; the figure reports the standard deviation per relation size
+(a few ms, mildly growing). We report the standard deviation of the
+modeled per-query cost; the claim under test is that variability exists
+(unbalanced paths) but stays small relative to the mean.
+"""
+
+from conftest import print_rows
+
+from repro.bench.figures import build_trie
+from repro.workloads import random_words
+
+COLUMNS = ("trie_exact_stddev", "trie_exact_cost")
+
+
+def test_fig08_stddev(string_search_rows, benchmark):
+    rows = string_search_rows
+    print_rows("Figure 8 — trie exact-match cost standard deviation",
+               rows, COLUMNS)
+
+    for row in rows:
+        stddev = row.values["trie_exact_stddev"]
+        mean = row.values["trie_exact_cost"]
+        # Unbalanced tree => nonzero spread...
+        assert stddev > 0.0
+        # ...but bounded: paths differ by a page or two, not by the tree.
+        assert stddev < mean
+
+    words = random_words(2000, seed=994)
+    trie, bench = build_trie(words)
+
+    def one_cold_query():
+        bench.cold()
+        return trie.search_equal(words[42])
+
+    benchmark(one_cold_query)

@@ -1,0 +1,36 @@
+"""Figure 9 — insert cost: B+-tree vs patricia trie.
+
+Paper series: ``(B-tree/trie) × 100`` for the insertion of 500K–32M keys,
+staying below 100 (the B+-tree inserts cheaper — the trie makes many more,
+smaller nodes and splits more often) and declining with size.
+"""
+
+from conftest import print_rows
+
+from repro.bench.figures import TRIE_BUCKET, STRING_PAGE_CAPACITY, Workbench
+from repro.indexes.trie import TrieIndex
+from repro.workloads import random_words
+
+COLUMNS = ("insert_ratio", "trie_insert_io", "btree_insert_io")
+
+
+def test_fig09_insert_cost(insert_size_rows, benchmark):
+    rows = insert_size_rows
+    print_rows("Figure 9 — (B-tree/trie) x 100, insert I/O per key",
+               rows, COLUMNS)
+
+    # The B+-tree wins the build at every size.
+    for row in rows:
+        assert row.values["insert_ratio"] < 100.0, row.size
+    # And never loses its advantage as data grows.
+    assert rows[-1].values["insert_ratio"] <= rows[0].values["insert_ratio"] * 1.2
+
+    bench = Workbench(pool_pages=4)
+    trie = TrieIndex(bench.buffer, bucket_size=TRIE_BUCKET,
+                     page_capacity=STRING_PAGE_CAPACITY)
+    words = iter(random_words(200000, seed=995))
+
+    def one_insert():
+        trie.insert(next(words), 0)
+
+    benchmark(one_insert)

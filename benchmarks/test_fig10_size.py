@@ -1,0 +1,34 @@
+"""Figure 10 — relative index size: B+-tree vs patricia trie.
+
+Paper series: ``(B-tree/trie) × 100`` pages after building, below 100 —
+the trie spends more space (many small nodes, clustering trades utilization
+for page height) — and declining with size.
+"""
+
+from conftest import print_rows
+
+from repro.bench.figures import build_trie
+from repro.workloads import random_words
+
+COLUMNS = ("size_ratio", "trie_pages", "btree_pages")
+
+
+def test_fig10_index_size(insert_size_rows, benchmark):
+    rows = insert_size_rows
+    print_rows("Figure 10 — (B-tree/trie) x 100, pages after build",
+               rows, COLUMNS)
+
+    # At the larger sizes the B+-tree is the smaller index (paper shape);
+    # tiny builds may tie.
+    assert rows[-1].values["size_ratio"] < 100.0
+    assert rows[-1].values["size_ratio"] <= rows[0].values["size_ratio"]
+    for row in rows:
+        assert row.values["size_ratio"] < 115.0, row.size
+
+    words = random_words(2000, seed=996)
+
+    def build_and_count():
+        trie, _bench = build_trie(words)
+        return trie.num_pages
+
+    benchmark(build_and_count)

@@ -1,0 +1,34 @@
+"""Figure 11 — maximum tree height in *nodes*.
+
+Paper: the trie, being unbalanced and narrow-noded, is markedly taller in
+nodes than the B+-tree (6–8 vs 3–4) — the motivation for the clustering
+technique whose payoff Figure 12 shows.
+"""
+
+from conftest import print_rows
+
+from repro.bench.figures import build_trie
+from repro.workloads import random_words
+
+COLUMNS = ("trie_node_height", "btree_node_height")
+
+
+def test_fig11_node_heights(insert_size_rows, benchmark):
+    rows = insert_size_rows
+    print_rows("Figure 11 — max tree height in nodes", rows, COLUMNS)
+
+    for row in rows:
+        # The trie is never shallower than the balanced B+-tree...
+        assert row.values["trie_node_height"] >= row.values["btree_node_height"]
+    # ...and is strictly taller over the sweep as a whole.
+    assert sum(r.values["trie_node_height"] for r in rows) > sum(
+        r.values["btree_node_height"] for r in rows
+    )
+
+    words = random_words(2000, seed=997)
+
+    def node_height():
+        trie, _bench = build_trie(words, repack=False)
+        return trie.statistics().max_node_height
+
+    benchmark(node_height)

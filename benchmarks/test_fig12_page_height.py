@@ -1,0 +1,41 @@
+"""Figure 12 — maximum tree height in *pages*.
+
+Paper: despite the trie's much greater node height (Figure 11), SP-GiST's
+clustering packs nodes so that the trie's page height is almost the same as
+the B+-tree's — the headline result for the clustering technique.
+"""
+
+from conftest import print_rows
+
+from repro.bench.figures import build_trie
+from repro.workloads import random_words
+
+COLUMNS = (
+    "trie_page_height",
+    "btree_page_height",
+    "trie_node_height",
+)
+
+
+def test_fig12_page_heights(insert_size_rows, benchmark):
+    rows = insert_size_rows
+    print_rows("Figure 12 — max tree height in pages", rows, COLUMNS)
+
+    for row in rows:
+        trie_pages = row.values["trie_page_height"]
+        btree_pages = row.values["btree_page_height"]
+        # "the maximum page-height is almost the same as the B+-tree
+        # page-height": within one page at every size.
+        assert abs(trie_pages - btree_pages) <= 1.0, row.size
+        # Clustering is what achieves it: page height never exceeds node
+        # height (and is strictly below it once nodes co-reside on pages).
+        assert trie_pages <= row.values["trie_node_height"]
+
+    words = random_words(2000, seed=998)
+    trie, _bench = build_trie(words, repack=False)
+
+    def repack_and_measure():
+        trie.repack()
+        return trie.statistics().max_page_height
+
+    benchmark.pedantic(repack_and_measure, rounds=3, iterations=1)

@@ -1,0 +1,50 @@
+"""Figure 13 — kd-tree vs R-tree on 2-D points: insert and search.
+
+Paper series: ``(R-tree/kd-tree) × 100``. Point match: kd-tree wins by
+>300 % (the R-tree's overlapping MBRs force multi-path descents); range
+search: kd-tree wins by ~125 %; insert: the R-tree wins (the kd-tree's
+BucketSize of 1 splits on almost every insert).
+
+The overlap mechanism is scale-dependent; see figures.SPATIAL_DECIMALS for
+how the scaled-down sweep restores the paper's overlap regime.
+"""
+
+from conftest import print_rows
+
+from repro.bench.figures import SPATIAL_PAGE_CAPACITY, Workbench
+from repro.indexes.kdtree import KDTreeIndex
+from repro.workloads import random_points
+
+COLUMNS = (
+    "point_ratio",
+    "range_ratio",
+    "insert_ratio",
+    "kd_point_cost",
+    "rt_point_cost",
+)
+
+
+def test_fig13_shapes(kdtree_rtree_rows, benchmark):
+    rows = kdtree_rtree_rows
+    print_rows("Figure 13 — (R-tree/kd-tree) x 100, points", rows, COLUMNS)
+
+    # Insert: the R-tree wins at every size.
+    for row in rows:
+        assert row.values["insert_ratio"] < 100.0, row.size
+
+    last = rows[-1]
+    # Point match at the largest size: kd-tree wins decisively and the
+    # advantage grew over the sweep (heading to the paper's >300 %).
+    assert last.values["point_ratio"] > 150.0
+    assert last.values["point_ratio"] > rows[0].values["point_ratio"]
+    # Range search: kd-tree ahead at the largest size (paper ~125 %).
+    assert last.values["range_ratio"] > 110.0
+
+    bench = Workbench(pool_pages=64)
+    kd = KDTreeIndex(bench.buffer, page_capacity=SPATIAL_PAGE_CAPACITY)
+    points = random_points(3000, seed=881, decimals=0)
+    for i, p in enumerate(points):
+        kd.insert(p, i)
+    kd.repack()
+    probe = points[1234]
+    benchmark(lambda: kd.search_point(probe))

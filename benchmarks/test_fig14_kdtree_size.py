@@ -1,0 +1,35 @@
+"""Figure 14 — relative index size: R-tree vs kd-tree.
+
+Paper series: ``(R-tree/kd-tree) × 100`` below 100 — the kd-tree's
+BucketSize of 1 makes one node (plus empty partitions, NodeShrink=False)
+per point, and clustering pays page utilization for page height.
+"""
+
+from conftest import print_rows
+
+from repro.bench.figures import SPATIAL_PAGE_CAPACITY, Workbench
+from repro.baselines import RTree
+from repro.workloads import random_points
+
+COLUMNS = ("size_ratio", "kd_pages", "rt_pages")
+
+
+def test_fig14_index_size(kdtree_rtree_rows, benchmark):
+    rows = kdtree_rtree_rows
+    print_rows("Figure 14 — (R-tree/kd-tree) x 100, pages", rows, COLUMNS)
+
+    for row in rows:
+        assert row.values["size_ratio"] < 100.0, row.size
+        assert row.values["kd_pages"] > row.values["rt_pages"]
+
+    points = random_points(2000, seed=882, decimals=0)
+
+    def build_rtree():
+        bench = Workbench(pool_pages=64)
+        tree = RTree(bench.buffer, split="linear",
+                     page_capacity=SPATIAL_PAGE_CAPACITY)
+        for i, p in enumerate(points):
+            tree.insert(p, i)
+        return tree.num_pages
+
+    benchmark.pedantic(build_rtree, rounds=3, iterations=1)

@@ -1,0 +1,60 @@
+"""Figure 15 — PMR quadtree vs R-tree on line segments.
+
+Paper series: ``(R-tree/PMR quadtree) × 100`` for insert, exact-match and
+window search — all favouring the R-tree (segment replication makes the
+PMR quadtree bigger and costlier to build), with the relative insertion
+cost roughly constant in size.
+
+Where we land differently: our PMR quadtree ties or slightly beats the
+R-tree on *exact* match (its partitions prune a single segment's quadrants
+very hard). The paper itself notes the contested ground here — "under
+certain query types ... the quadtree may have a better search performance
+than the R-tree" [28] — so the bench asserts the insert and window shapes
+strictly and only bounds exact match to a parity band (see EXPERIMENTS.md,
+deviation D-fig15).
+"""
+
+import pytest
+
+from conftest import print_rows
+
+from repro.bench.figures import (
+    SPATIAL_PAGE_CAPACITY,
+    Workbench,
+    fig15_pmr_rtree,
+)
+from repro.indexes.pmr import PMRQuadtreeIndex
+from repro.workloads import random_segments
+from repro.workloads.points import WORLD
+
+COLUMNS = ("insert_ratio", "exact_ratio", "range_ratio", "pmr_pages", "rt_pages")
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return fig15_pmr_rtree()
+
+
+def test_fig15_shapes(rows, benchmark):
+    print_rows("Figure 15 — (R-tree/PMR quadtree) x 100, segments",
+               rows, COLUMNS)
+
+    for row in rows:
+        # Insert: the R-tree wins clearly at every size (paper shape), and
+        # the PMR quadtree is the bigger index (segment replication).
+        assert row.values["insert_ratio"] < 70.0, row.size
+        assert row.values["pmr_pages"] > row.values["rt_pages"]
+        # Exact match: parity band (documented deviation).
+        assert 60.0 <= row.values["exact_ratio"] <= 180.0, row.size
+    # Window search: the R-tree is ahead at the largest size.
+    assert rows[-1].values["range_ratio"] < 100.0
+
+    bench = Workbench(pool_pages=64)
+    pmr = PMRQuadtreeIndex(bench.buffer, WORLD, threshold=8,
+                           page_capacity=SPATIAL_PAGE_CAPACITY)
+    segments = random_segments(2000, seed=883, decimals=1)
+    for i, s in enumerate(segments):
+        pmr.insert(s, i)
+    pmr.repack()
+    probe = segments[555]
+    benchmark(lambda: pmr.search_exact(probe))

@@ -1,0 +1,50 @@
+"""Figure 16 — substring-match search: suffix tree vs sequential scan.
+
+Paper series: ``log10(sequential/suffix-tree)`` per relation size, above 3
+(three orders of magnitude) at 250K–4M keys. The mechanism is plain: the
+scan reads the whole heap for every query while the suffix tree reads a
+prefix path over suffixes, so the ratio grows linearly with relation size.
+Our sweep shows that linear growth; extrapolated to the paper's 2M keys it
+passes 10³ (see EXPERIMENTS.md).
+"""
+
+import pytest
+
+from conftest import bench_print, print_rows
+
+from repro.bench.figures import Workbench, fig16_suffix_vs_seqscan
+from repro.bench.report import log10
+from repro.indexes.suffix import SuffixTreeIndex
+from repro.workloads import random_words
+
+COLUMNS = ("ratio", "read_ratio", "suffix_cost", "seqscan_cost")
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return fig16_suffix_vs_seqscan(sizes=(2000, 4000, 8000))
+
+
+def test_fig16_shapes(rows, benchmark):
+    print_rows("Figure 16 — sequential/suffix-tree, substring match",
+               rows, COLUMNS)
+    bench_print(
+        "log10 series: "
+        + str([round(log10(r.values["ratio"]), 2) for r in rows])
+    )
+
+    ratios = [r.values["ratio"] for r in rows]
+    # The suffix tree wins everywhere...
+    for ratio in ratios:
+        assert ratio > 2.0
+    # ...the advantage grows with size (linear in n, as the mechanism says)...
+    assert ratios[-1] > ratios[0] * 1.8
+    # ...and the largest size is near an order of magnitude already.
+    assert ratios[-1] > 6.0
+
+    bench = Workbench(pool_pages=64)
+    suffix = SuffixTreeIndex(bench.buffer)
+    for i, w in enumerate(random_words(1500, seed=884, min_length=3)):
+        suffix.insert_word(w, i)
+    suffix.repack()
+    benchmark(lambda: suffix.search_substring("ab"))

@@ -1,0 +1,56 @@
+"""Figure 17 — incremental NN search across instantiations.
+
+Paper: 2M tuples per relation, k swept from 8 to 1024. The kd-tree and
+point quadtree answer NN queries fast (Euclidean MINDIST prunes hard); the
+trie is much slower — Hamming distance advances in unit steps and most
+subtrees can't be pruned, so convergence to the next NN is slow.
+
+The k/n regime matters: at the paper's scale k ≤ 1024 is ≤0.05 % of the
+relation. Our bench keeps k ≤ 256 on a 16K-tuple relation (≤1.6 %) for the
+strict assertions and reports the full sweep.
+"""
+
+import pytest
+
+from conftest import print_rows
+
+from repro.bench.figures import Workbench, fig17_nn_search
+from repro.core.nn import nearest
+from repro.indexes.kdtree import KDTreeIndex
+from repro.geometry import Point
+from repro.workloads import random_points
+
+COLUMNS = ("kdtree_cost", "pquadtree_cost", "trie_cost")
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return fig17_nn_search(size=16000)
+
+
+def test_fig17_shapes(rows, benchmark):
+    print_rows("Figure 17 — NN search cost vs number of NNs (k)",
+               rows, COLUMNS)
+
+    in_regime = [r for r in rows if r.size <= 256]
+    for row in in_regime:
+        # The trie is far slower than both spatial trees (paper shape).
+        assert row.values["trie_cost"] > 2.0 * row.values["kdtree_cost"], row.size
+        assert row.values["trie_cost"] > 2.0 * row.values["pquadtree_cost"], row.size
+
+    # Spatial NN cost grows with k.
+    kd_costs = [r.values["kdtree_cost"] for r in rows]
+    assert kd_costs[-1] > kd_costs[0]
+
+    # kd-tree and point quadtree stay within the same band (paper: the two
+    # partition-based trees behave alike).
+    for row in in_regime:
+        a, b = row.values["kdtree_cost"], row.values["pquadtree_cost"]
+        assert 0.3 <= a / b <= 3.0
+
+    bench = Workbench(pool_pages=64)
+    kd = KDTreeIndex(bench.buffer)
+    for i, p in enumerate(random_points(4000, seed=885)):
+        kd.insert(p, i)
+    kd.repack()
+    benchmark(lambda: nearest(kd, Point(50.0, 50.0), 8))

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Tour of the PostgreSQL-style extensibility layer (paper Section 4).
+
+Walks the exact machinery the paper describes: the ``pg_am`` catalog row
+that introduces SP_GiST (Table 2), operator definitions with restriction
+procedures (Table 4), operator classes binding external methods (Table 5),
+and finally a *new index type registered at runtime without touching engine
+code* — the paper's portability claim, demonstrated live with a bit-trie
+over binary strings.
+
+Run:  python examples/engine_tour.py
+"""
+
+from typing import Any, Sequence
+
+from repro.core import PathShrink, SPGiSTConfig
+from repro.engine import Database, Operator, OperatorClass
+from repro.engine.catalog import spgist_am_entry
+from repro.indexes.trie import TrieMethods
+
+
+def show_catalog(db: Database) -> None:
+    print("== pg_am row for SP_GiST (paper Table 2) ==")
+    entry = spgist_am_entry()
+    for column in (
+        "amname amstrategies amsupport amorderstrategy amconcurrent "
+        "amgettuple aminsert ambuild ambulkdelete amcostestimate".split()
+    ):
+        print(f"  {column:18} = {getattr(entry, column)}")
+
+    print("\n== registered operator classes (paper Table 5) ==")
+    for name, opclass in db.catalog.opclasses.items():
+        ops = ", ".join(
+            f"{strategy}:{op}" for strategy, op in sorted(opclass.operators.items())
+        )
+        print(f"  {opclass.name:18} {opclass.access_method:8} "
+              f"for {opclass.for_type:8} [{ops}]")
+
+
+class BitTrieMethods(TrieMethods):
+    """A developer's new index type: a trie over '0'/'1' strings.
+
+    Everything below this docstring is inherited — the point is how little
+    a new instantiation needs (paper Table 7).
+    """
+
+    def get_parameters(self) -> SPGiSTConfig:
+        return SPGiSTConfig(
+            node_predicate="bit or blank",
+            key_type="varchar",
+            num_space_partitions=3,  # '0', '1', blank
+            path_shrink=PathShrink.TREE_SHRINK,
+            node_shrink=True,
+            bucket_size=8,
+        )
+
+
+def main() -> None:
+    db = Database()
+    show_catalog(db)
+
+    print("\n== registering a brand-new index type at runtime ==")
+    db.catalog.register_opclass(
+        OperatorClass(
+            name="SP_GiST_bittrie",
+            access_method="SP_GiST",
+            for_type="varchar",
+            operators={1: "=", 2: "#=", 3: "?="},
+            methods_factory=BitTrieMethods,
+        )
+    )
+    print("  registered opclass SP_GiST_bittrie (no engine code touched)")
+
+    db.execute("CREATE TABLE codes (bits VARCHAR(32), id INT);")
+    table = db.table("codes")
+    import random
+
+    rng = random.Random(3)
+    for i in range(2000):
+        table.insert(("".join(rng.choices("01", k=rng.randint(4, 16))), i))
+    db.execute(
+        "CREATE INDEX bit_idx ON codes USING SP_GiST (bits SP_GiST_bittrie);"
+    )
+    db.execute("ANALYZE codes;")
+
+    for sql in (
+        "SELECT * FROM codes WHERE bits = '0101';",
+        "SELECT * FROM codes WHERE bits #= '1111';",
+        "SELECT * FROM codes WHERE bits ?= '10?1';",
+    ):
+        print(f"\n>>> {sql}")
+        print("    plan:", db.execute("EXPLAIN " + sql))
+        rows = db.execute(sql)
+        print(f"    {len(rows)} rows", rows[:5])
+
+    print("\n== cost-based planning in action ==")
+    print("  with index:   ",
+          db.execute("EXPLAIN SELECT * FROM codes WHERE bits = '0101';"))
+    db.execute("DROP INDEX bit_idx ON codes;")
+    print("  without index:",
+          db.execute("EXPLAIN SELECT * FROM codes WHERE bits = '0101';"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Quickstart: every index type in five minutes.
+
+Builds each SP-GiST instantiation over a small dataset, runs its signature
+queries, and shows the I/O accounting that the experiments are built on.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    Box,
+    BufferPool,
+    DiskManager,
+    KDTreeIndex,
+    LineSegment,
+    PMRQuadtreeIndex,
+    Point,
+    PointQuadtreeIndex,
+    SuffixTreeIndex,
+    TrieIndex,
+    nearest,
+)
+
+
+def main() -> None:
+    buffer = BufferPool(DiskManager(), capacity=128)
+
+    # --- Patricia trie: strings -------------------------------------------------
+    trie = TrieIndex(buffer)
+    for i, word in enumerate(
+        ["space", "spade", "spark", "star", "start", "stop", "top", "spa"]
+    ):
+        trie.insert(word, i)
+
+    print("trie exact  'star'  ->", trie.search_equal("star"))
+    print("trie prefix 'spa'   ->", sorted(trie.search_prefix("spa")))
+    print("trie regex  's?a?e' ->", sorted(trie.search_regex("s?a?e")))
+    print("trie 3-NN of 'stat' ->", nearest(trie, "stat", 3))
+
+    # --- Suffix tree: substring search -----------------------------------------
+    suffix = SuffixTreeIndex(buffer)
+    for i, word in enumerate(["bandana", "cabana", "banner", "abandon"]):
+        suffix.insert_word(word, i)
+    print("\nsubstring 'ban'     ->", sorted(suffix.search_substring("ban")))
+    print("substring 'ana'     ->", sorted(suffix.search_substring("ana")))
+
+    # --- kd-tree and point quadtree: 2-D points ---------------------------------
+    points = [Point(x, y) for x in range(0, 100, 7) for y in range(0, 100, 11)]
+    kd = KDTreeIndex(buffer)
+    pq = PointQuadtreeIndex(buffer)
+    for i, p in enumerate(points):
+        kd.insert(p, i)
+        pq.insert(p, i)
+
+    window = Box(20, 20, 40, 45)
+    print("\nkd-tree range", window, "->", len(kd.search_range(window)), "points")
+    assert sorted(kd.search_range(window)) == sorted(pq.search_range(window))
+    print("point quadtree agrees on the same window")
+    print("kd-tree 3-NN of (50,50) ->",
+          [(round(d, 2), str(p)) for d, p, _ in nearest(kd, Point(50, 50), 3)])
+
+    # --- PMR quadtree: line segments --------------------------------------------
+    world = Box(0, 0, 100, 100)
+    pmr = PMRQuadtreeIndex(buffer, world)
+    roads = [
+        LineSegment(Point(10, 10), Point(90, 15)),
+        LineSegment(Point(50, 0), Point(50, 100)),
+        LineSegment(Point(0, 80), Point(30, 60)),
+    ]
+    for i, road in enumerate(roads):
+        pmr.insert(road, i)
+    hits = pmr.search_window(Box(45, 40, 60, 60))
+    print("\nPMR window (45,40,60,60) crosses segment ids:",
+          sorted(v for _, v in hits))
+
+    # --- the disk story ----------------------------------------------------------
+    stats = trie.statistics()
+    print(
+        f"\ntrie structure: {stats.total_nodes} nodes on {stats.pages} pages, "
+        f"node-height {stats.max_node_height}, page-height {stats.max_page_height}"
+    )
+    print(
+        f"buffer pool: {buffer.stats.hits} hits / {buffer.stats.misses} misses "
+        f"(hit ratio {buffer.stats.hit_ratio:.2%})"
+    )
+
+
+if __name__ == "__main__":
+    main()

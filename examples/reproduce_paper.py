@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Reproduce every figure and table of the paper's Section 6 in one run.
+
+Runs the full experiment sweeps (the same code the benchmark suite uses,
+at the EXPERIMENTS.md sizes) and prints each figure's series in the paper's
+format. Expect a few minutes of runtime.
+
+Run:  python examples/reproduce_paper.py           # full sweep
+      python examples/reproduce_paper.py --quick   # half-size sweep
+"""
+
+import sys
+import time
+
+from repro.bench.figures import (
+    ablation_bucket_size,
+    ablation_buffer_pool,
+    ablation_clustering,
+    ablation_equality_methods,
+    ablation_node_shrink,
+    ablation_path_shrink,
+    ablation_pmr_threshold,
+    ablation_rtree_split,
+    fig6_to_8_string_search,
+    fig9_to_12_insert_size_height,
+    fig13_14_kdtree_rtree,
+    fig15_pmr_rtree,
+    fig16_suffix_vs_seqscan,
+    fig17_nn_search,
+)
+from repro.bench.loc import core_lines, table7_rows
+from repro.bench.report import ascii_chart, format_table, log10
+
+
+def show(title, rows, columns):
+    print("\n" + format_table(
+        title,
+        ["x"] + list(columns),
+        [[r.size] + [round(r.values[c], 3) for c in columns] for r in rows],
+    ))
+
+
+def main() -> None:
+    quick = "--quick" in sys.argv
+    started = time.time()
+
+    string_sizes = (2000, 4000, 8000) if quick else (4000, 8000, 16000, 32000)
+    spatial_sizes = (2000, 4000, 8000) if quick else (2000, 4000, 8000, 16000)
+    nn_size = 8000 if quick else 20000
+
+    print(format_table(
+        f"Table 7 — external-method code lines (core: {core_lines()})",
+        ["index", "lines", "% of total"],
+        [[r.name, r.external_lines, round(r.percentage, 1)] for r in table7_rows()],
+    ))
+
+    rows = fig6_to_8_string_search(sizes=string_sizes)
+    show("Figure 6 — (B-tree/trie) x 100", rows,
+         ("exact_ratio", "prefix_ratio"))
+    show("Figure 7 — B-tree/trie, leading-? regex", rows,
+         ("regex_ratio", "regex_read_ratio", "regex_mid_ratio"))
+    print("Figure 7 log10 series:",
+          [round(log10(r.values["regex_ratio"]), 2) for r in rows])
+    show("Figure 8 — trie exact-search cost stddev", rows,
+         ("trie_exact_stddev", "trie_exact_cost"))
+
+    rows = fig9_to_12_insert_size_height(sizes=string_sizes)
+    show("Figure 9 — (B-tree/trie) x 100, insert", rows, ("insert_ratio",))
+    show("Figure 10 — (B-tree/trie) x 100, index size", rows,
+         ("size_ratio", "trie_pages", "btree_pages"))
+    show("Figure 11 — max height in nodes", rows,
+         ("trie_node_height", "btree_node_height"))
+    show("Figure 12 — max height in pages", rows,
+         ("trie_page_height", "btree_page_height"))
+
+    rows = fig13_14_kdtree_rtree(sizes=spatial_sizes)
+    show("Figure 13 — (R-tree/kd-tree) x 100", rows,
+         ("point_ratio", "range_ratio", "insert_ratio"))
+    show("Figure 14 — (R-tree/kd-tree) x 100, index size", rows,
+         ("size_ratio",))
+
+    rows = fig15_pmr_rtree(sizes=spatial_sizes)
+    show("Figure 15 — (R-tree/PMR quadtree) x 100", rows,
+         ("insert_ratio", "exact_ratio", "range_ratio"))
+
+    rows = fig16_suffix_vs_seqscan(sizes=string_sizes[:3])
+    show("Figure 16 — sequential/suffix-tree", rows, ("ratio", "read_ratio"))
+    print("Figure 16 log10 series:",
+          [round(log10(r.values["ratio"]), 2) for r in rows])
+
+    rows = fig17_nn_search(size=nn_size)
+    show("Figure 17 — NN search cost vs k", rows,
+         ("kdtree_cost", "pquadtree_cost", "trie_cost"))
+    print("\n" + ascii_chart(
+        "Figure 17 (chart, log scale) — NN cost vs k",
+        [r.size for r in rows],
+        {
+            "kd-tree": [r.values["kdtree_cost"] for r in rows],
+            "p-quad ": [r.values["pquadtree_cost"] for r in rows],
+            "trie   ": [r.values["trie_cost"] for r in rows],
+        },
+        log_scale=True,
+    ))
+
+    print("\n=== ablations (DESIGN.md §3) ===")
+    show("D1 bucket size", ablation_bucket_size(),
+         ("exact_cost", "pages", "nodes", "page_height"))
+    show("D2 path shrink (0=Tree,1=Never)", ablation_path_shrink(),
+         ("exact_cost", "nodes", "node_height"))
+    show("D3 node shrink (1=on,0=off)", ablation_node_shrink(),
+         ("nodes", "pages"))
+    show("D4 clustering (0=incremental,1=repacked)", ablation_clustering(),
+         ("exact_cost", "page_height", "fill"))
+    show("D5 buffer pool", ablation_buffer_pool(),
+         ("reads_per_op", "hit_ratio"))
+    show("D6 PMR threshold", ablation_pmr_threshold(),
+         ("window_cost", "pages", "items_stored"))
+    eq_rows = ablation_equality_methods()
+    print("\nD7 equality methods (trie, btree, hash, seqscan):")
+    for r in eq_rows:
+        print(f"  {r.values['label']:8} cost={r.values['cost']:.2f} "
+              f"reads={r.values['reads']:.2f}")
+    show("D8 R-tree split (0=linear,1=quadratic)", ablation_rtree_split(),
+         ("point_cost", "pages"))
+
+    print(f"\ndone in {time.time() - started:.0f}s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""A small GIS scenario: city points and road segments, spatially indexed.
+
+Points go into an SP-GiST kd-tree (with an R-tree alongside for
+comparison); road segments go into a PMR quadtree. The scenario runs window
+queries, point lookups, and incremental nearest-neighbour search — and
+prints the page-I/O cost of each access method side by side, which is the
+whole point of the paper's Figures 13–15.
+
+Run:  python examples/spatial_gis.py
+"""
+
+from repro import (
+    Box,
+    BufferPool,
+    DiskManager,
+    KDTreeIndex,
+    PMRQuadtreeIndex,
+    Point,
+    RTree,
+    nearest,
+)
+from repro.bench import Workbench, measure
+from repro.workloads import random_points, random_segments
+from repro.workloads.points import WORLD
+
+
+def main() -> None:
+    # Separate "index files": each structure gets its own disk + pool.
+    kd_bench, rt_bench, pmr_bench = Workbench(16), Workbench(16), Workbench(16)
+
+    cities = random_points(5000, seed=7)
+    kd = KDTreeIndex(kd_bench.buffer)
+    rt = RTree(rt_bench.buffer)
+    for i, city in enumerate(cities):
+        kd.insert(city, i)
+        rt.insert(city, i)
+    kd.repack()  # spgistbuild finishes with the clustering pass
+
+    roads = random_segments(3000, seed=8)
+    pmr = PMRQuadtreeIndex(pmr_bench.buffer, WORLD)
+    for i, road in enumerate(roads):
+        pmr.insert(road, i)
+    pmr.repack()
+
+    # -- window query, kd-tree vs R-tree ----------------------------------------
+    downtown = Box(40, 40, 60, 60)
+    kd_bench.cold()
+    kd_hits, kd_cost = measure(
+        kd_bench.buffer, lambda: kd.search_range(downtown)
+    )
+    rt_bench.cold()
+    rt_hits, rt_cost = measure(
+        rt_bench.buffer, lambda: rt.range_search(downtown)
+    )
+    assert sorted(kd_hits) == sorted(rt_hits)
+    print(f"window {downtown}: {len(kd_hits)} cities")
+    print(f"  kd-tree: {kd_cost.io_reads} page reads (cost {kd_cost.cost:.1f})")
+    print(f"  R-tree : {rt_cost.io_reads} page reads (cost {rt_cost.cost:.1f})")
+
+    # -- point lookup -------------------------------------------------------------
+    probe = cities[1234]
+    kd_bench.cold()
+    found, cost = measure(kd_bench.buffer, lambda: kd.search_point(probe))
+    print(f"\npoint lookup {probe}: ids {[v for _, v in found]} "
+          f"({cost.io_reads} page reads)")
+
+    # -- incremental NN: 'five nearest cities to the crash site' -------------------
+    crash_site = Point(37.5, 81.2)
+    print(f"\n5 nearest cities to {crash_site}:")
+    for distance, city, city_id in nearest(kd, crash_site, 5):
+        print(f"  #{city_id} at {city}  (distance {distance:.2f})")
+
+    # -- roads crossing a corridor ---------------------------------------------------
+    corridor = Box(48, 0, 52, 100)
+    pmr_bench.cold()
+    crossing, cost = measure(
+        pmr_bench.buffer, lambda: pmr.search_window(corridor)
+    )
+    print(f"\nroads crossing the N-S corridor: {len(crossing)} "
+          f"({cost.io_reads} page reads)")
+
+    # -- nearest road to a point -----------------------------------------------------
+    [(distance, road, road_id)] = pmr.nearest_to(crash_site, 1)
+    print(f"nearest road to the crash site: #{road_id} {road} "
+          f"(distance {distance:.2f})")
+
+
+if __name__ == "__main__":
+    main()

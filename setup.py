@@ -1,0 +1,15 @@
+"""Legacy setup shim so editable installs work with older setuptools."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "SP-GiST: space-partitioning trees with a PostgreSQL-style "
+        "extensible access-method layer (ICDE 2006 reproduction)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

@@ -1,0 +1,85 @@
+"""repro — SP-GiST space-partitioning trees with a PostgreSQL-style engine.
+
+A full reproduction of *"Space-Partitioning Trees in PostgreSQL: Realization
+and Performance"* (Eltabakh, Eltarras, Aref; ICDE 2006): the SP-GiST
+extensible-index framework, five index instantiations (patricia trie, suffix
+tree, kd-tree, point quadtree, PMR quadtree), the B+-tree / R-tree /
+sequential-scan baselines, and a miniature PostgreSQL-like extensibility
+layer (catalog, operators, operator classes, cost-based planner) — all on a
+simulated page/buffer-pool disk substrate with full I/O accounting.
+
+Quick start::
+
+    from repro import BufferPool, DiskManager, TrieIndex
+
+    buffer = BufferPool(DiskManager(), capacity=64)
+    trie = TrieIndex(buffer)
+    trie.insert("space", 1)
+    trie.insert("spade", 2)
+    trie.insert("star", 3)
+    trie.search_prefix("spa")     # -> [("space", 1), ("spade", 2)]
+    trie.search_regex("s?a?e")    # -> [("space", 1), ("spade", 2)]
+"""
+
+from repro.storage import (
+    BufferPool,
+    DiskManager,
+    FileDiskManager,
+    HeapFile,
+    TupleId,
+)
+from repro.geometry import Box, LineSegment, Point
+from repro.core import PathShrink, Query, SPGiSTConfig, SPGiSTIndex
+from repro.core.nn import nearest
+from repro.core.scan import IndexScanCursor
+from repro.indexes import (
+    KDTreeIndex,
+    KDTreeMethods,
+    PMRQuadtreeIndex,
+    PMRQuadtreeMethods,
+    PointQuadtreeIndex,
+    PointQuadtreeMethods,
+    PRQuadtreeIndex,
+    PRQuadtreeMethods,
+    SuffixTreeIndex,
+    SuffixTreeMethods,
+    TrieIndex,
+    TrieMethods,
+)
+from repro.baselines import BPlusTree, RTree, sequential_scan, substring_scan
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BufferPool",
+    "DiskManager",
+    "FileDiskManager",
+    "HeapFile",
+    "TupleId",
+    "IndexScanCursor",
+    "PRQuadtreeIndex",
+    "PRQuadtreeMethods",
+    "Box",
+    "LineSegment",
+    "Point",
+    "PathShrink",
+    "Query",
+    "SPGiSTConfig",
+    "SPGiSTIndex",
+    "nearest",
+    "KDTreeIndex",
+    "KDTreeMethods",
+    "PMRQuadtreeIndex",
+    "PMRQuadtreeMethods",
+    "PointQuadtreeIndex",
+    "PointQuadtreeMethods",
+    "SuffixTreeIndex",
+    "SuffixTreeMethods",
+    "TrieIndex",
+    "TrieMethods",
+    "BPlusTree",
+    "RTree",
+    "sequential_scan",
+    "substring_scan",
+    "__version__",
+]

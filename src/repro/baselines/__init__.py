@@ -1,0 +1,20 @@
+"""Baseline access methods the paper compares SP-GiST against.
+
+PostgreSQL's built-in B+-tree (strings, Figures 6–12), its R-tree (points
+and segments, Figures 13–15), and the sequential heap scan (substring
+search, Figure 16). All three run on the same page/buffer substrate as the
+SP-GiST indexes so I/O comparisons are apples-to-apples.
+"""
+
+from repro.baselines.bptree import BPlusTree
+from repro.baselines.hash import HashIndex
+from repro.baselines.rtree import RTree
+from repro.baselines.seqscan import sequential_scan, substring_scan
+
+__all__ = [
+    "BPlusTree",
+    "HashIndex",
+    "RTree",
+    "sequential_scan",
+    "substring_scan",
+]

@@ -1,0 +1,34 @@
+"""Sequential-scan baseline (heap access method).
+
+Figure 16 compares the suffix tree against sequential scanning because no
+other access method supports substring match. These helpers run predicate
+scans over a :class:`HeapFile`, paying one buffer access per heap page.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator
+
+from repro.storage.heap import HeapFile, TupleId
+
+
+def sequential_scan(
+    heap: HeapFile, predicate: Callable[[Any], bool]
+) -> Iterator[tuple[TupleId, Any]]:
+    """Yield every ``(tid, record)`` whose record satisfies ``predicate``."""
+    for tid, record in heap.scan():
+        if predicate(record):
+            yield tid, record
+
+
+def substring_scan(
+    heap: HeapFile,
+    needle: str,
+    extract: Callable[[Any], str] = lambda record: record,
+) -> list[tuple[TupleId, Any]]:
+    """Substring-match over the heap: records whose string contains ``needle``.
+
+    ``extract`` pulls the searched string out of a record (identity for
+    plain string heaps, a column getter for row tuples).
+    """
+    return list(sequential_scan(heap, lambda record: needle in extract(record)))

@@ -1,0 +1,22 @@
+"""Benchmark harness: I/O-accounted measurement and paper-style reporting.
+
+Everything the ``benchmarks/`` suite uses lives here so the experiments are
+importable (and unit-testable) outside pytest: a :class:`Workbench` bundling
+a fresh disk + buffer pool, :func:`measure` for counting buffer misses and
+wall time around an operation, and text-table rendering that prints the same
+series the paper's figures plot.
+"""
+
+from repro.bench.harness import Measurement, Workbench, measure, measure_many
+from repro.bench.report import ascii_chart, format_table, log10, ratio_percent
+
+__all__ = [
+    "Measurement",
+    "Workbench",
+    "measure",
+    "measure_many",
+    "ascii_chart",
+    "format_table",
+    "log10",
+    "ratio_percent",
+]

@@ -1,0 +1,139 @@
+"""Measurement plumbing for the experiments.
+
+The primary cost metric is *buffer misses* (logical page reads hitting the
+simulated disk), which is what the paper's relative-performance figures
+measure on real hardware; wall-clock time is recorded as a secondary,
+machine-dependent signal. See DESIGN.md substitution #2.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable
+
+from repro.storage.buffer import BufferPool, DEFAULT_POOL_SIZE
+from repro.storage.disk import DiskManager
+
+
+#: PostgreSQL cost weights: a random page read costs 4 sequential ones.
+SEQ_PAGE_COST = 1.0
+RANDOM_PAGE_COST = 4.0
+
+#: One key comparison / consistent() call relative to a sequential page
+#: read (CPU is cheap next to I/O but not free; see EXPERIMENTS.md).
+CPU_OP_COST = 0.01
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """Cost of one measured operation (or batch).
+
+    ``cost`` is the modeled disk-access time in sequential-page-read units:
+    ``random_reads × 4 + seq_reads × 1 + cpu_ops × 0.01`` — the same cost
+    model PostgreSQL's planner uses, applied to the *measured* counts. It is
+    the primary series of every experiment; raw counts and wall time ride
+    along.
+    """
+
+    io_reads: int  # buffer misses = pages fetched from disk
+    io_writes: int  # dirty page write-backs
+    wall_seconds: float
+    operations: int = 1
+    seq_reads: int = 0
+    random_reads: int = 0
+    cpu_ops: int = 0
+
+    @property
+    def cost(self) -> float:
+        return (
+            self.random_reads * RANDOM_PAGE_COST
+            + self.seq_reads * SEQ_PAGE_COST
+            + self.cpu_ops * CPU_OP_COST
+        )
+
+    @property
+    def cost_per_op(self) -> float:
+        return self.cost / self.operations if self.operations else 0.0
+
+    @property
+    def reads_per_op(self) -> float:
+        return self.io_reads / self.operations if self.operations else 0.0
+
+    @property
+    def seconds_per_op(self) -> float:
+        return self.wall_seconds / self.operations if self.operations else 0.0
+
+    def __add__(self, other: "Measurement") -> "Measurement":
+        return Measurement(
+            io_reads=self.io_reads + other.io_reads,
+            io_writes=self.io_writes + other.io_writes,
+            wall_seconds=self.wall_seconds + other.wall_seconds,
+            operations=self.operations + other.operations,
+            seq_reads=self.seq_reads + other.seq_reads,
+            random_reads=self.random_reads + other.random_reads,
+            cpu_ops=self.cpu_ops + other.cpu_ops,
+        )
+
+
+class Workbench:
+    """A fresh disk + buffer pool pair for one experiment run.
+
+    ``pool_pages`` is deliberately small relative to experiment working sets
+    so searches actually miss — the disk-resident regime of the paper.
+    """
+
+    def __init__(self, pool_pages: int = DEFAULT_POOL_SIZE) -> None:
+        self.disk = DiskManager()
+        self.buffer = BufferPool(self.disk, capacity=pool_pages)
+
+    def cold(self) -> None:
+        """Flush and empty the buffer pool (cold-cache measurement point)."""
+        self.buffer.clear()
+
+    def io_snapshot(self) -> tuple[int, int]:
+        """Current (misses, dirty write-backs) counters of the pool."""
+        return self.buffer.stats.misses, self.buffer.stats.dirty_writebacks
+
+
+def measure(
+    buffer: BufferPool, operation: Callable[[], Any]
+) -> tuple[Any, Measurement]:
+    """Run ``operation``; report buffer misses, CPU ops, and wall time."""
+    from repro.costmodel import CPU_OPS
+
+    before = buffer.stats.snapshot()
+    ops_before = CPU_OPS.count
+    started = time.perf_counter()
+    result = operation()
+    elapsed = time.perf_counter() - started
+    delta = buffer.stats.delta(before)
+    return result, Measurement(
+        io_reads=delta.misses,
+        io_writes=delta.dirty_writebacks,
+        wall_seconds=elapsed,
+        operations=1,
+        seq_reads=delta.seq_misses,
+        random_reads=delta.random_misses,
+        cpu_ops=CPU_OPS.count - ops_before,
+    )
+
+
+def measure_many(
+    buffer: BufferPool,
+    operations: Iterable[Callable[[], Any]],
+    cold_each: bool = False,
+) -> Measurement:
+    """Sum :func:`measure` over a batch of operations.
+
+    ``cold_each=True`` clears the pool before every operation, measuring the
+    fully-cold per-query cost; the default measures the steady-state cost of
+    a query stream against a small warm pool.
+    """
+    total = Measurement(0, 0, 0.0, operations=0)
+    for operation in operations:
+        if cold_each:
+            buffer.clear()
+        _, one = measure(buffer, operation)
+        total = total + one
+    return total

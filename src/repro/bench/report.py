@@ -1,0 +1,81 @@
+"""Text-table rendering for the experiment reports.
+
+Each benchmark prints the same series the paper's figure plots — e.g.
+``(B-tree/trie) x 100`` per relation size — so EXPERIMENTS.md can be filled
+by running the suite and reading the captured output.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Sequence
+
+
+def ratio_percent(numerator: float, denominator: float) -> float:
+    """The paper's relative-performance metric: ``(a/b) × 100``."""
+    if denominator == 0:
+        return math.inf if numerator > 0 else 100.0
+    return 100.0 * numerator / denominator
+
+
+def log10(value: float) -> float:
+    """log10 with a floor for zero values (used by Figures 7 and 16)."""
+    return math.log10(value) if value > 0 else 0.0
+
+
+def ascii_chart(
+    title: str,
+    x_values: Sequence[Any],
+    series: dict[str, Sequence[float]],
+    width: int = 48,
+    log_scale: bool = False,
+) -> str:
+    """Render one-or-more series as horizontal ASCII bars per x value.
+
+    The textual stand-in for the paper's figures: every x gets one bar per
+    series, scaled to the global maximum (or its log10 when ``log_scale``).
+    """
+    marks = "█▓▒░▪o*x"
+    values = [v for vs in series.values() for v in vs]
+    if log_scale:
+        transform = lambda v: math.log10(v) if v > 0 else 0.0  # noqa: E731
+    else:
+        transform = lambda v: v  # noqa: E731
+    peak = max((transform(v) for v in values), default=1.0) or 1.0
+    label_width = max(len(str(x)) for x in x_values) if x_values else 1
+    name_width = max((len(name) for name in series), default=1)
+
+    lines = [title]
+    for i, x in enumerate(x_values):
+        for s, (name, vs) in enumerate(series.items()):
+            scaled = max(0, int(round(width * transform(vs[i]) / peak)))
+            bar = marks[s % len(marks)] * scaled
+            lines.append(
+                f"{str(x).rjust(label_width)} {name.ljust(name_width)} "
+                f"|{bar} {vs[i]:.2f}"
+            )
+        if i != len(x_values) - 1:
+            lines.append("")
+    return "\n".join(lines)
+
+
+def format_table(
+    title: str, headers: Sequence[str], rows: Sequence[Sequence[Any]]
+) -> str:
+    """Render an aligned, boxless text table with a title line."""
+    def render(cell: Any) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.2f}"
+        return str(cell)
+
+    text_rows = [[render(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [title]
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)

@@ -1,0 +1,50 @@
+"""SP-GiST core: the generalized index engine for space-partitioning trees.
+
+This package is the paper's primary contribution. The *internal methods*
+(insert, search, delete, bulk build, incremental NN search) live in
+:class:`SPGiSTIndex` and are shared by every instantiation; the differences
+between tries, kd-trees, and quadtrees are captured entirely by the
+*interface parameters* (:class:`SPGiSTConfig`) and the *external methods*
+(:class:`ExternalMethods` subclasses in :mod:`repro.indexes`).
+"""
+
+from repro.core.config import PathShrink, SPGiSTConfig
+from repro.core.node import (
+    BLANK,
+    InnerNode,
+    LeafNode,
+    NodeRef,
+    Entry,
+)
+from repro.core.external import (
+    ChooseResult,
+    AddEntry,
+    Descend,
+    DescendMultiple,
+    SplitPrefix,
+    ExternalMethods,
+    PickSplitResult,
+    Query,
+)
+from repro.core.tree import SPGiSTIndex
+from repro.core.stats import TreeStatistics
+
+__all__ = [
+    "PathShrink",
+    "SPGiSTConfig",
+    "BLANK",
+    "InnerNode",
+    "LeafNode",
+    "NodeRef",
+    "Entry",
+    "ChooseResult",
+    "AddEntry",
+    "Descend",
+    "DescendMultiple",
+    "SplitPrefix",
+    "ExternalMethods",
+    "PickSplitResult",
+    "Query",
+    "SPGiSTIndex",
+    "TreeStatistics",
+]

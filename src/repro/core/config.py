@@ -1,0 +1,78 @@
+"""SP-GiST interface parameters (Section 3.1 of the paper).
+
+The parameters tailor the generalized index into one member of the
+space-partitioning-tree class. Table 1 of the paper gives the values used by
+the dictionary trie and the kd-tree; each external-method class in
+:mod:`repro.indexes` exposes its values through ``get_parameters()`` — the
+analogue of the ``getparameters`` support function in the paper's operator
+classes (Table 5).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class PathShrink(enum.Enum):
+    """How single-child paths are collapsed (paper Figure 1).
+
+    - ``NEVER_SHRINK``: one character/partition per level (Figure 1a).
+    - ``LEAF_SHRINK``: single-child chains collapse at the leaves (Figure 1b).
+    - ``TREE_SHRINK``: single-child chains collapse anywhere — patricia-style
+      prefix compression (Figure 1c).
+    """
+
+    NEVER_SHRINK = "NeverShrink"
+    LEAF_SHRINK = "LeafShrink"
+    TREE_SHRINK = "TreeShrink"
+
+
+@dataclass(frozen=True)
+class SPGiSTConfig:
+    """The full interface-parameter block of one SP-GiST instantiation.
+
+    Attributes mirror the paper's parameter list verbatim:
+
+    - ``node_predicate``: human-readable description of inner-node entry
+      predicates (e.g. ``"letter or blank"`` for the trie).
+    - ``key_type``: the leaf data type name (``"varchar"``, ``"point"``, ...).
+    - ``num_space_partitions``: partitions per decomposition (27 for the
+      a–z+blank trie, 2 for the kd-tree, 4 for quadtrees).
+    - ``resolution``: maximum decomposition depth; 0 means unlimited. When a
+      split cannot go deeper (duplicate keys, resolution reached) the leaf is
+      allowed to overflow its bucket rather than recurse forever.
+    - ``path_shrink``: see :class:`PathShrink`.
+    - ``node_shrink``: when True, empty partitions are not materialized
+      (paper Figure 2b); when False every decomposition creates all
+      ``num_space_partitions`` entries up front.
+    - ``bucket_size``: maximum data items per leaf (data) node.
+    """
+
+    node_predicate: str
+    key_type: str
+    num_space_partitions: int
+    resolution: int = 0
+    path_shrink: PathShrink = PathShrink.NEVER_SHRINK
+    node_shrink: bool = True
+    bucket_size: int = 1
+
+    def __post_init__(self) -> None:
+        if self.num_space_partitions < 2:
+            raise ValueError("num_space_partitions must be >= 2")
+        if self.bucket_size < 1:
+            raise ValueError("bucket_size must be >= 1")
+        if self.resolution < 0:
+            raise ValueError("resolution must be >= 0 (0 = unlimited)")
+
+    def describe(self) -> dict[str, object]:
+        """Render the parameter block as a plain dict (for reports/tests)."""
+        return {
+            "NodePredicate": self.node_predicate,
+            "KeyType": self.key_type,
+            "NoOfSpacePartitions": self.num_space_partitions,
+            "Resolution": self.resolution or "unlimited",
+            "PathShrink": self.path_shrink.value,
+            "NodeShrink": self.node_shrink,
+            "BucketSize": self.bucket_size,
+        }

@@ -1,0 +1,279 @@
+"""The SP-GiST external-method interface (developer-supplied methods).
+
+The paper's framework asks an index developer for two methods — PickSplit()
+and Consistent() — plus NN_Consistent() for nearest-neighbour support and a
+parameter block (Section 3.1, Table 1). This module defines that contract.
+
+One refinement relative to the paper's prose: tree *navigation during
+insertion* needs slightly richer answers than a boolean Consistent() — it
+must be able to say "descend here", "create this missing partition", or
+"the new key conflicts with my node predicate, split it" (the patricia-trie
+prefix split of Figure 1c). We expose that as :meth:`ExternalMethods.choose`
+returning one of three result types, which is exactly how the production
+SP-GiST in PostgreSQL ≥ 9.2 (spgMatchNode / spgAddNode / spgSplitTuple)
+later formalized the same need. Search-side navigation remains the paper's
+boolean ``consistent``.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.core.config import SPGiSTConfig
+
+
+@dataclass(frozen=True)
+class Query:
+    """A search predicate handed to Consistent(): an operator and operand.
+
+    Operator strings follow the paper's Table 3/4 semantics, e.g. ``"="``
+    (equality), ``"#="`` (prefix), ``"?="`` (regular expression with the
+    ``?`` wildcard), ``"@"`` (point equality), ``"^"`` (inside box),
+    ``"@="`` (substring). NN search does not use Query — it has its own
+    entry point.
+    """
+
+    op: str
+    operand: Any
+
+
+# --------------------------------------------------------------------------
+# choose() results (insert-side navigation)
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Descend:
+    """Follow the existing entry at ``entry_index``.
+
+    ``level_delta`` is how many decomposition levels the step consumes — 1
+    for a plain partition step, ``len(prefix) + 1``-style values for
+    path-shrunk tries (the paper's PickSplit "Update level" rule applies on
+    descent too).
+    """
+
+    entry_index: int
+    level_delta: int = 1
+
+
+@dataclass(frozen=True)
+class DescendMultiple:
+    """Follow several entries at once (spanning objects, e.g. PMR segments)."""
+
+    entry_indexes: tuple[int, ...]
+    level_delta: int = 1
+
+
+@dataclass(frozen=True)
+class AddEntry:
+    """No existing partition accepts the key: create entry ``predicate``.
+
+    The core adds the entry (pointing at a fresh empty leaf) and descends
+    into it. Only legal when NodeShrink pruned the partition earlier or the
+    partition set is open-ended (trie letters).
+    """
+
+    predicate: Any
+    level_delta: int = 1
+
+
+@dataclass(frozen=True)
+class SplitPrefix:
+    """The key conflicts with this inner node's own predicate.
+
+    Used by TreeShrink tries: the node's prefix ``"abc"`` cannot host
+    ``"abX..."``. The core rebuilds locally: a new inner node with predicate
+    ``new_prefix`` (the common part) gets two entries — one with predicate
+    ``old_entry_predicate`` pointing at the demoted old node (whose predicate
+    the external method rewrites to ``old_node_predicate``), and the key is
+    then re-chosen against the new node.
+    """
+
+    new_prefix: Any
+    old_entry_predicate: Any
+    old_node_predicate: Any
+
+
+ChooseResult = Descend | DescendMultiple | AddEntry | SplitPrefix
+
+
+# --------------------------------------------------------------------------
+# PickSplit() result
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class PickSplitResult:
+    """Outcome of one space decomposition (paper Table 1, PickSplit rows).
+
+    - ``node_predicate``: predicate installed on the new inner node (common
+      prefix, discriminator point, region box, or None).
+    - ``partitions``: ``(entry_predicate, items)`` pairs; empty partitions
+      are kept only when the instantiation's NodeShrink is False.
+    - ``level_delta``: decomposition levels consumed by this split (1 +
+      len(common prefix) for TreeShrink tries, else 1).
+    - ``recurse_overfull``: when True the core re-splits any partition still
+      exceeding BucketSize (the paper's "If any of the partitions is still
+      over full Return True"); the PMR quadtree sets False — its rule splits
+      a block exactly once per violating insertion.
+    - ``progress``: set False when the decomposition cannot separate the
+      items no matter how deep it goes (e.g. all keys identical — the trie's
+      all-blank partition). The core then lets the leaf spill past
+      BucketSize instead of recursing forever.
+    """
+
+    node_predicate: Any
+    partitions: list[tuple[Any, list[tuple[Any, Any]]]]
+    level_delta: int = 1
+    recurse_overfull: bool = True
+    progress: bool = True
+
+
+# --------------------------------------------------------------------------
+# The external-method contract
+# --------------------------------------------------------------------------
+
+
+class ExternalMethods(abc.ABC):
+    """Developer-supplied methods defining one SP-GiST instantiation.
+
+    Subclasses provide the decomposition rule (:meth:`picksplit`), the
+    navigation rules (:meth:`choose` for inserts, :meth:`consistent` /
+    :meth:`leaf_consistent` for searches), optional NN distance bounds, and
+    the interface-parameter block (:meth:`get_parameters`).
+    """
+
+    #: Operator names (paper Tables 3–4) this instantiation supports.
+    supported_operators: tuple[str, ...] = ()
+
+    #: The operator string whose semantics are exact key equality; the core
+    #: uses it to navigate during deletes.
+    equality_operator: str = "="
+
+    #: True when one logical item may be replicated into several partitions
+    #: (choose may return DescendMultiple), as the PMR quadtree does with
+    #: line segments. Controls duplicate elimination in search and delete.
+    spanning: bool = False
+
+    # -- parameters -------------------------------------------------------------
+
+    @abc.abstractmethod
+    def get_parameters(self) -> SPGiSTConfig:
+        """Return the interface-parameter block (paper's getparameters)."""
+
+    # -- insertion --------------------------------------------------------------
+
+    @abc.abstractmethod
+    def choose(
+        self,
+        node_predicate: Any,
+        entries: Sequence[Any],
+        key: Any,
+        level: int,
+    ) -> ChooseResult:
+        """Pick the partition(s) of an inner node that must hold ``key``.
+
+        ``entries`` is the sequence of entry predicates currently present.
+        Return :class:`Descend` / :class:`DescendMultiple` to follow existing
+        entries, :class:`AddEntry` to materialize a missing partition, or
+        :class:`SplitPrefix` when the node predicate itself conflicts.
+        """
+
+    @abc.abstractmethod
+    def picksplit(
+        self,
+        items: Sequence[tuple[Any, Any]],
+        level: int,
+        parent_predicate: Any = None,
+    ) -> PickSplitResult:
+        """Decompose an overfull data node's items into partitions.
+
+        ``parent_predicate`` is the predicate of the entry the leaf hangs
+        under (or :meth:`initial_root_predicate` for a root leaf). Data-driven
+        trees ignore it; space-driven trees (quadtrees) read the region to
+        subdivide from it.
+        """
+
+    def initial_root_predicate(self) -> Any:
+        """Region predicate assumed for a root-level leaf before any split.
+
+        Space-driven instantiations return the world box; data-driven ones
+        keep the default ``None``.
+        """
+        return None
+
+    # -- search -----------------------------------------------------------------
+
+    @abc.abstractmethod
+    def consistent(
+        self,
+        node_predicate: Any,
+        entry_predicate: Any,
+        query: Query,
+        level: int,
+    ) -> bool:
+        """May any key under this entry satisfy ``query``? (paper Consistent)."""
+
+    @abc.abstractmethod
+    def leaf_consistent(self, key: Any, query: Query, level: int) -> bool:
+        """Does the stored ``key`` satisfy ``query``?"""
+
+    # -- nearest-neighbour (paper Section 5) ------------------------------------
+
+    def nn_inner_distance(
+        self,
+        query: Any,
+        node_predicate: Any,
+        entry_predicate: Any,
+        level: int,
+        parent_state: Any,
+    ) -> tuple[float, Any]:
+        """NN_Consistent for inner entries.
+
+        Return ``(lower_bound, child_state)``: an admissible lower bound on
+        the distance from ``query`` to any key under the entry, plus the
+        state forwarded to the entry's children (the paper notes the trie
+        must remember the parent's accumulated distance/prefix — that is
+        ``child_state``). Default: NN not supported.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement NN search"
+        )
+
+    def nn_leaf_distance(self, query: Any, key: Any) -> float:
+        """NN_Consistent for data items: exact query-to-key distance."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement NN search"
+        )
+
+    @property
+    def supports_nn(self) -> bool:
+        """True when both NN_Consistent halves are overridden."""
+        cls = type(self)
+        return (
+            cls.nn_inner_distance is not ExternalMethods.nn_inner_distance
+            and cls.nn_leaf_distance is not ExternalMethods.nn_leaf_distance
+        )
+
+    # -- optional hooks -----------------------------------------------------------
+
+    def level_delta(self, node_predicate: Any) -> int:
+        """Decomposition levels consumed by descending *through* a node.
+
+        Plain partition trees consume 1; TreeShrink tries consume
+        ``len(prefix) + 1`` because the node's collapsed prefix also eats
+        query positions. Search and NN traversal use this; insert descent
+        gets its delta from :class:`Descend` results instead.
+        """
+        return 1
+
+    def nn_initial_state(self, query: Any) -> Any:
+        """Per-traversal state seeded at the root for NN search.
+
+        The kd-tree and quadtrees use the (unbounded) region box; the trie
+        uses the empty accumulated prefix. Forwarded through
+        :meth:`nn_inner_distance` as ``parent_state``.
+        """
+        return None

@@ -1,0 +1,97 @@
+"""Incremental nearest-neighbour search over SP-GiST trees (paper Section 5).
+
+An adaptation of the Hjaltason–Samet ranking algorithm [23]: a priority queue
+holds index nodes and data objects keyed by a lower bound on (respectively
+the exact value of) their distance to the query object. The queue starts with
+the root at distance 0; popping a node replaces it with its children at their
+own bounds; popping an object reports it as the next NN. Each ``next()`` on
+the returned generator is one *get-next* call, so the scan composes into a
+query pipeline exactly as the paper describes.
+
+The paper's generalization beyond quadtrees/kd-trees — remembering the
+parent's information so a child's bound can be computed (needed by the trie,
+whose bound depends on the entire accumulated prefix) — appears here as the
+``state`` value threaded from ``nn_initial_state`` through every
+``nn_inner_distance`` call.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import TYPE_CHECKING, Any, Iterator
+
+from repro.costmodel import CPU_OPS
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.tree import SPGiSTIndex
+
+
+def nn_search(
+    index: "SPGiSTIndex", query: Any
+) -> Iterator[tuple[float, Any, Any]]:
+    """Yield ``(distance, key, value)`` in non-decreasing distance order."""
+    methods = index.methods
+    if not methods.supports_nn:
+        raise NotImplementedError(
+            f"{index.name} does not define NN_Consistent (nn_*_distance)"
+        )
+    if index.root is None:
+        return
+
+    tiebreak = itertools.count()
+    # Queue entries: (distance, tiebreak, is_object, payload, level, state)
+    # where payload is a NodeRef for nodes and a (key, value) pair for
+    # objects. The tiebreak keeps heap comparisons away from payloads.
+    queue: list[tuple[float, int, bool, Any, int, Any]] = [
+        (0.0, next(tiebreak), False, index.root, 0,
+         methods.nn_initial_state(query))
+    ]
+    seen: set[tuple[Any, Any]] | None = set() if methods.spanning else None
+
+    while queue:
+        distance, _, is_object, payload, level, state = heapq.heappop(queue)
+        if is_object:
+            key, value = payload
+            if seen is not None:
+                token = (key, value)
+                if token in seen:
+                    continue
+                seen.add(token)
+            yield distance, key, value
+            continue
+
+        node = index.store.read(payload)
+        if node.is_leaf:
+            for key, value in node.items:
+                CPU_OPS.add(1)
+                d = methods.nn_leaf_distance(query, key)
+                # Clamp to the parent's bound to keep the order monotone in
+                # the presence of slightly loose bounds.
+                heapq.heappush(
+                    queue,
+                    (max(d, distance), next(tiebreak), True, (key, value),
+                     level, None),
+                )
+            continue
+
+        delta = methods.level_delta(node.predicate)
+        for entry in node.entries:
+            if entry.child is None:
+                continue
+            CPU_OPS.add(1)
+            bound, child_state = methods.nn_inner_distance(
+                query, node.predicate, entry.predicate, level, state
+            )
+            heapq.heappush(
+                queue,
+                (max(bound, distance), next(tiebreak), False, entry.child,
+                 level + delta, child_state),
+            )
+
+
+def nearest(
+    index: "SPGiSTIndex", query: Any, k: int
+) -> list[tuple[float, Any, Any]]:
+    """Convenience wrapper: the ``k`` nearest items as a list."""
+    return list(itertools.islice(nn_search(index, query), k))

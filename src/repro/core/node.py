@@ -1,0 +1,134 @@
+"""SP-GiST tree nodes and their on-page addressing.
+
+Space-partitioning tree nodes are much smaller than disk pages (the paper's
+"clustering" challenge, Section 3), so many nodes share a page. A node is
+addressed by a :class:`NodeRef` — ``(page_id, slot)`` — which is exactly the
+child-pointer representation a disk-based implementation uses.
+
+Two node kinds exist:
+
+- :class:`InnerNode`: an optional node-level predicate (e.g. the patricia
+  trie's common prefix, the kd-tree's discriminator point) plus a list of
+  :class:`Entry` values, each pairing an entry predicate (a letter, a
+  quadrant box, "left"/"right"/blank, ...) with a child pointer.
+- :class:`LeafNode` (the paper's *data node*): up to ``BucketSize`` items,
+  each a ``(key, value)`` pair where the value is typically a heap TupleId.
+
+Predicates are opaque to the core; only the external methods interpret them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, NamedTuple
+
+from repro.storage.page import ITEM_OVERHEAD, approx_size
+
+#: Per-node storage overhead: tuple header + line pointer + alignment, as
+#: an index tuple costs in PostgreSQL. Identical accounting to the heap and
+#: B+-tree entries keeps size comparisons across access methods fair.
+NODE_HEADER_BYTES = 24
+
+
+class _Blank:
+    """Sentinel predicate for the 'blank' partition (paper Table 1).
+
+    The trie uses blank for "string ends here"; the kd-tree and point
+    quadtree use it for the child holding the discriminator point itself.
+    A dedicated singleton keeps blank distinct from any real predicate value
+    (including the empty string) and pickles to the same identity.
+    """
+
+    _instance: "_Blank | None" = None
+
+    def __new__(cls) -> "_Blank":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "BLANK"
+
+    def __reduce__(self) -> tuple:
+        return (_Blank, ())
+
+    def approx_bytes(self) -> int:
+        return 1
+
+
+#: The blank-partition predicate singleton.
+BLANK = _Blank()
+
+
+class NodeRef(NamedTuple):
+    """Physical node address: (page id, slot within the node page)."""
+
+    page_id: int
+    slot: int
+
+
+@dataclass
+class Entry:
+    """One partition entry of an inner node: predicate + child pointer.
+
+    ``child`` may be None transiently while the core is wiring a fresh
+    partition; a persisted tree never contains dangling entries unless
+    ``NodeShrink`` is False, in which case empty partitions point to an
+    empty leaf.
+    """
+
+    predicate: Any
+    child: NodeRef | None
+
+    def approx_bytes(self) -> int:
+        """Serialized footprint for page-space accounting."""
+        # predicate + child pointer + line-pointer/alignment share
+        return approx_size(self.predicate) + 8 + ITEM_OVERHEAD // 2
+
+
+@dataclass
+class InnerNode:
+    """An index (non-leaf) node: node predicate + partition entries."""
+
+    predicate: Any = None
+    entries: list[Entry] = field(default_factory=list)
+
+    @property
+    def is_leaf(self) -> bool:
+        return False
+
+    def find_entry(self, predicate: Any) -> int | None:
+        """Index of the entry whose predicate equals ``predicate``, or None."""
+        for i, entry in enumerate(self.entries):
+            if entry.predicate == predicate:
+                return i
+        return None
+
+    def approx_bytes(self) -> int:
+        """Serialized footprint for page-space accounting."""
+        return (
+            NODE_HEADER_BYTES
+            + approx_size(self.predicate)
+            + sum(e.approx_bytes() + 2 for e in self.entries)
+        )
+
+
+@dataclass
+class LeafNode:
+    """A data node holding up to BucketSize ``(key, value)`` items."""
+
+    items: list[tuple[Any, Any]] = field(default_factory=list)
+
+    @property
+    def is_leaf(self) -> bool:
+        return True
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def approx_bytes(self) -> int:
+        """Serialized footprint for page-space accounting."""
+        return NODE_HEADER_BYTES + sum(
+            approx_size(k) + approx_size(v) + ITEM_OVERHEAD
+            for k, v in self.items
+        )

@@ -1,0 +1,87 @@
+"""Structural statistics of SP-GiST trees.
+
+Feeds the cost estimator (``spgistcostestimate``) and the height/size
+experiments (paper Figures 10–12, 14): node counts, item counts, maximum
+*node height* (tree levels) and maximum *page height* (distinct pages on a
+root-to-leaf path — the quantity the clustering technique minimizes), pages
+used, and the page fill factor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.core.node import InnerNode
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.tree import SPGiSTIndex
+
+
+@dataclass(frozen=True)
+class TreeStatistics:
+    """Snapshot of one index's structure."""
+
+    inner_nodes: int
+    leaf_nodes: int
+    items: int
+    max_node_height: int
+    max_page_height: int
+    pages: int
+    used_bytes: int
+    fill_factor: float
+
+    @property
+    def total_nodes(self) -> int:
+        return self.inner_nodes + self.leaf_nodes
+
+
+def collect_statistics(index: "SPGiSTIndex") -> TreeStatistics:
+    """Traverse ``index`` once and gather :class:`TreeStatistics`.
+
+    Node height counts nodes on the longest root-to-leaf path (a lone root
+    leaf has height 1). Page height counts the distinct pages entered along
+    that path — each page transition is one potential disk read, so this is
+    the worst-case I/O of a point lookup with a cold cache.
+    """
+    inner_nodes = 0
+    leaf_nodes = 0
+    items = 0
+    max_node_height = 0
+    max_page_height = 0
+
+    if index.root is not None:
+        # Stack entries: (ref, node_depth, page_depth, parent_page_id).
+        stack = [(index.root, 1, 1, None)]
+        while stack:
+            ref, node_depth, page_depth, parent_page = stack.pop()
+            node = index.store.read(ref)
+            if node.is_leaf:
+                leaf_nodes += 1
+                items += len(node.items)
+                max_node_height = max(max_node_height, node_depth)
+                max_page_height = max(max_page_height, page_depth)
+                continue
+            inner_nodes += 1
+            max_node_height = max(max_node_height, node_depth)
+            max_page_height = max(max_page_height, page_depth)
+            for entry in node.entries:
+                if entry.child is None:
+                    continue
+                child_page_depth = page_depth + (
+                    1 if entry.child.page_id != ref.page_id else 0
+                )
+                stack.append(
+                    (entry.child, node_depth + 1, child_page_depth, ref.page_id)
+                )
+
+    return TreeStatistics(
+        inner_nodes=inner_nodes,
+        leaf_nodes=leaf_nodes,
+        items=items,
+        max_node_height=max_node_height,
+        max_page_height=max_page_height,
+        pages=index.store.num_pages,
+        used_bytes=index.store.used_bytes(),
+        fill_factor=index.store.fill_factor(),
+    )

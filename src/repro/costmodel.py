@@ -1,0 +1,36 @@
+"""Global CPU-operation counter for the experiment cost model.
+
+Wall-clock time of a pure-Python reimplementation says more about Python
+than about the algorithms (DESIGN.md substitution #2), so the experiments
+charge CPU in *algorithmic operation counts* instead: one unit per key
+comparison (B+-tree, R-tree entry test) or per Consistent()/distance call
+(SP-GiST). Structures increment :data:`CPU_OPS` at those points; the bench
+harness snapshots it around measured operations and weighs it into the
+modeled cost (see :mod:`repro.bench.harness`).
+
+A process-global counter keeps the hot paths to a single integer add and
+needs no plumbing through every structure; benchmarks are single-threaded.
+"""
+
+from __future__ import annotations
+
+
+class OperationCounter:
+    """A resettable monotone counter of abstract CPU operations."""
+
+    __slots__ = ("count",)
+
+    def __init__(self) -> None:
+        self.count = 0
+
+    def add(self, n: int = 1) -> None:
+        """Charge ``n`` abstract CPU operations."""
+        self.count += n
+
+    def reset(self) -> None:
+        """Zero the counter."""
+        self.count = 0
+
+
+#: The process-wide CPU-operation counter used by the cost model.
+CPU_OPS = OperationCounter()

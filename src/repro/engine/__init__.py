@@ -1,0 +1,46 @@
+"""Miniature PostgreSQL-style extensibility layer (paper Section 4).
+
+The paper realizes SP-GiST *inside* PostgreSQL using three extension hooks:
+a ``pg_am`` catalog row naming the access method's interface routines
+(Table 2), operator definitions with selectivity-restriction procedures
+(Table 4), and operator classes binding operators and support functions to
+an access method for a data type (Table 5). This package reproduces that
+layering:
+
+- :mod:`repro.engine.catalog` — the system catalog (``pg_am``,
+  ``pg_operator``, ``pg_opclass`` analogues) with runtime registration, so
+  adding a new index type touches no engine code ("no recompilation").
+- :mod:`repro.engine.operators` — operator procedures (``trieword_equal``
+  and friends) usable by any scan for filtering/recheck.
+- :mod:`repro.engine.selectivity` / :mod:`repro.engine.cost` — ``eqsel`` /
+  ``contsel`` / ``likesel`` restriction estimators and the
+  ``spgistcostestimate`` analogue.
+- :mod:`repro.engine.table` — heap-backed tables with secondary indexes.
+- :mod:`repro.engine.planner` / :mod:`repro.engine.executor` — cost-based
+  access-path selection and execution.
+- :mod:`repro.engine.sql` — a mini SQL front end covering the paper's
+  Table 6 statements (CREATE TABLE / CREATE INDEX ... USING SP_GiST /
+  INSERT / SELECT ... WHERE col <op> literal / EXPLAIN).
+"""
+
+from repro.engine.catalog import AccessMethodEntry, SystemCatalog, default_catalog
+from repro.engine.operators import Operator
+from repro.engine.opclass import OperatorClass
+from repro.engine.table import Column, Table
+from repro.engine.planner import Predicate, plan_query
+from repro.engine.executor import execute_plan
+from repro.engine.sql import Database
+
+__all__ = [
+    "AccessMethodEntry",
+    "SystemCatalog",
+    "default_catalog",
+    "Operator",
+    "OperatorClass",
+    "Column",
+    "Table",
+    "Predicate",
+    "plan_query",
+    "execute_plan",
+    "Database",
+]

@@ -1,0 +1,98 @@
+"""Plan execution: turn an access path into a row stream.
+
+Index scans resolve TIDs through the heap and re-check the predicate with
+the operator procedure (harmless for our exact indexes, and it keeps the
+executor correct if a lossy index is ever registered). NN plans yield rows
+in non-decreasing distance order; the caller applies LIMIT by slicing the
+iterator — the paper's "number of NNs controlled by the application using
+cursors".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator
+
+from repro.engine.planner import (
+    IndexScanPlan,
+    NNIndexScanPlan,
+    NNSortScanPlan,
+    Plan,
+    SeqScanPlan,
+)
+from repro.errors import PlannerError
+from repro.geometry.distance import (
+    euclidean,
+    hamming,
+    point_to_segment_distance,
+)
+def execute_plan(plan: Plan) -> Iterator[tuple]:
+    """Yield the rows the plan produces, in plan order."""
+    if isinstance(plan, (NNIndexScanPlan, NNSortScanPlan)):
+        return _execute_nn(plan)
+    if isinstance(plan, IndexScanPlan):
+        return _execute_index_scan(plan)
+    if isinstance(plan, SeqScanPlan):
+        return _execute_seq_scan(plan)
+    raise PlannerError(f"unknown plan node {type(plan).__name__}")
+
+
+def _predicate_checker(plan: Plan) -> Callable[[tuple], bool]:
+    predicate = plan.predicate
+    if predicate is None:
+        return lambda row: True
+    table = plan.table
+    position = table.column_index(predicate.column)
+    column = table.columns[position]
+    operator = table.catalog.operators_named(predicate.op, column.type_name)[0]
+    operand = predicate.operand
+    return lambda row: operator.apply(row[position], operand)
+
+
+def _execute_seq_scan(plan: SeqScanPlan) -> Iterator[tuple]:
+    check = _predicate_checker(plan)
+    for _tid, row in plan.table.scan():
+        if check(row):
+            yield row
+
+
+def _execute_index_scan(plan: IndexScanPlan) -> Iterator[tuple]:
+    check = _predicate_checker(plan)
+    predicate = plan.predicate
+    assert predicate is not None
+    for tid in plan.index.scan(predicate.op, predicate.operand):
+        row = plan.table.fetch(tid)
+        if row is not None and check(row):
+            yield row
+
+
+def _nn_distance_function(type_name: str) -> Callable[[Any, Any], float]:
+    if type_name == "varchar":
+        return lambda value, query: float(hamming(value, query))
+    if type_name == "point":
+        return euclidean
+    if type_name == "lseg":
+        return lambda value, query: point_to_segment_distance(query, value)
+    raise PlannerError(f"no NN distance function for type {type_name!r}")
+
+
+def _execute_nn(plan: Plan) -> Iterator[tuple]:
+    predicate = plan.predicate
+    assert predicate is not None
+    if isinstance(plan, NNIndexScanPlan):
+        for tid in plan.index.nn_scan(predicate.operand):
+            row = plan.table.fetch(tid)
+            if row is not None:
+                yield row
+        return
+    # Fallback: materialize and sort by distance (no NN-capable index).
+    table = plan.table
+    position = table.column_index(predicate.column)
+    column = table.columns[position]
+    distance = _nn_distance_function(column.type_name)
+    rows = [
+        (distance(row[position], predicate.operand), tid, row)
+        for tid, row in table.scan()
+    ]
+    rows.sort(key=lambda item: (item[0], item[1]))
+    for _d, _tid, row in rows:
+        yield row

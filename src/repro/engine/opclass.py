@@ -1,0 +1,73 @@
+"""Operator classes (paper Table 5).
+
+An operator class binds, for one access method and one data type, the
+strategy-numbered operators the index can serve and the support functions
+the access method calls internally. For SP-GiST opclasses the support
+functions are the external methods — consistent (1), picksplit (2),
+nn_consistent (3), getparameters (4) — which we carry as a factory producing
+a configured :class:`~repro.core.external.ExternalMethods` object, the exact
+analogue of the paper's loadable extension module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.core.external import ExternalMethods
+
+#: Strategy number the paper assigns to the NN operator ``@@`` (Table 5).
+NN_STRATEGY = 20
+
+
+@dataclass(frozen=True)
+class OperatorClass:
+    """A ``pg_opclass`` row.
+
+    - ``name``: e.g. ``"SP_GiST_trie"``.
+    - ``access_method``: e.g. ``"SP_GiST"``, ``"btree"``, ``"rtree"``.
+    - ``for_type``: the indexed column type (``"varchar"``, ``"point"``, ...).
+    - ``operators``: strategy number → operator name, as in
+      ``AS OPERATOR 1 =, OPERATOR 2 #=, ...``.
+    - ``methods_factory``: SP-GiST only — builds the external-method object
+      (support functions 1–4). ``kwargs`` are forwarded so DDL can
+      parameterize instantiations (bucket size, world box, ...).
+    - ``key_extractor``: optional fan-out of one column value into several
+      index keys (the suffix tree indexes every suffix).
+    """
+
+    name: str
+    access_method: str
+    for_type: str
+    operators: dict[int, str] = field(default_factory=dict)
+    methods_factory: Callable[..., ExternalMethods] | None = None
+    key_extractor: Callable[[Any], Any] | None = None
+
+    def supports_operator(self, op_name: str) -> bool:
+        """True when this class lists ``op_name`` at any strategy number."""
+        return op_name in self.operators.values()
+
+    def strategy_of(self, op_name: str) -> int | None:
+        """Strategy number of ``op_name`` in this class, or None."""
+        for strategy, name in self.operators.items():
+            if name == op_name:
+                return strategy
+        return None
+
+    def make_methods(self, **kwargs: Any) -> ExternalMethods:
+        """Instantiate the SP-GiST external-method object (support funcs)."""
+        if self.methods_factory is None:
+            raise TypeError(
+                f"operator class {self.name} has no SP-GiST support functions"
+            )
+        return self.methods_factory(**kwargs)
+
+    def support_functions(self, **kwargs: Any) -> dict[int, Callable]:
+        """The numbered support functions (paper Table 5's FUNCTION list)."""
+        methods = self.make_methods(**kwargs)
+        return {
+            1: methods.consistent,
+            2: methods.picksplit,
+            3: getattr(methods, "nn_inner_distance", None),
+            4: methods.get_parameters,
+        }

@@ -1,0 +1,154 @@
+"""Operator definitions and procedures (paper Table 4).
+
+Each operator couples a name (``=``, ``#=``, ``?=``, ``@``, ``^``, ``@=``,
+``&&``) with the procedure implementing it on raw values — the functions the
+paper names ``trieword_equal``, ``trieword_prefix``, ``kdpoint_equal``,
+``kdpoint_inside``, etc. Scans use the procedure for sequential filtering
+and index-result rechecks; the ``restrict`` field names the selectivity
+estimator the planner applies (paper: ``eqsel``/``contsel``/``likesel``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.errors import OperatorError
+from repro.geometry.box import Box
+from repro.geometry.point import Point
+from repro.geometry.segment import LineSegment
+from repro.indexes.trie import regex_matches
+
+
+@dataclass(frozen=True)
+class Operator:
+    """A ``pg_operator`` row: typed operator plus its procedure."""
+
+    name: str
+    left_type: str
+    right_type: str
+    procedure: Callable[[Any, Any], bool]
+    commutator: str | None = None
+    restrict: str = "eqsel"
+
+    def apply(self, left: Any, right: Any) -> bool:
+        """Evaluate ``left <op> right``."""
+        try:
+            return bool(self.procedure(left, right))
+        except (TypeError, AttributeError) as exc:
+            raise OperatorError(
+                f"operator {self.name!r} cannot be applied to "
+                f"({type(left).__name__}, {type(right).__name__})"
+            ) from exc
+
+
+# -- operator procedures (paper Table 4's `procedure =` targets) -----------------
+
+
+def trieword_equal(word: str, query: str) -> bool:
+    """``=`` on varchar."""
+    return word == query
+
+
+def trieword_prefix(word: str, prefix: str) -> bool:
+    """``#=``: does ``word`` start with ``prefix``?"""
+    return word.startswith(prefix)
+
+
+def trieword_regex(word: str, pattern: str) -> bool:
+    """``?=``: equal length with ``?`` matching any single character."""
+    return regex_matches(pattern, word)
+
+
+def trieword_glob(word: str, pattern: str) -> bool:
+    """``*=`` (extension): glob with ``?`` and ``*``."""
+    from repro.indexes.trie import glob_matches
+
+    return glob_matches(pattern, word)
+
+
+def suffix_substring(word: str, needle: str) -> bool:
+    """``@=``: does ``word`` contain ``needle``?"""
+    return needle in word
+
+
+def kdpoint_equal(point: Point, query: Point) -> bool:
+    """``@`` on point."""
+    return point == query
+
+
+def kdpoint_inside(point: Point, box: Box) -> bool:
+    """``^``: is ``point`` inside ``box``?"""
+    return box.contains_point(point)
+
+
+def segment_equal(segment: LineSegment, query: LineSegment) -> bool:
+    """``=`` on lseg."""
+    return segment == query
+
+
+def segment_overlaps(segment: LineSegment, window: Box) -> bool:
+    """``&&``: does ``segment`` cross ``window``?"""
+    return segment.intersects_box(window)
+
+
+def generic_equal(left: Any, right: Any) -> bool:
+    """``=`` on scalar types (int, float, varchar)."""
+    return left == right
+
+
+def generic_less(left: Any, right: Any) -> bool:
+    """``<`` on ordered scalar types."""
+    return left < right
+
+
+def generic_less_equal(left: Any, right: Any) -> bool:
+    """``<=`` on ordered scalar types."""
+    return left <= right
+
+
+def generic_greater(left: Any, right: Any) -> bool:
+    """``>`` on ordered scalar types."""
+    return left > right
+
+
+def generic_greater_equal(left: Any, right: Any) -> bool:
+    """``>=`` on ordered scalar types."""
+    return left >= right
+
+
+def builtin_operators() -> list[Operator]:
+    """The operator set the paper's experiments need (Tables 3–4)."""
+    return [
+        Operator("=", "varchar", "varchar", trieword_equal, commutator="=",
+                 restrict="eqsel"),
+        Operator("#=", "varchar", "varchar", trieword_prefix,
+                 restrict="likesel"),
+        Operator("?=", "varchar", "varchar", trieword_regex,
+                 restrict="likesel"),
+        Operator("*=", "varchar", "varchar", trieword_glob,
+                 restrict="likesel"),
+        Operator("@=", "varchar", "varchar", suffix_substring,
+                 restrict="likesel"),
+        Operator("@", "point", "point", kdpoint_equal, commutator="@",
+                 restrict="eqsel"),
+        Operator("^", "point", "box", kdpoint_inside, restrict="contsel"),
+        Operator("=", "lseg", "lseg", segment_equal, commutator="=",
+                 restrict="eqsel"),
+        Operator("&&", "lseg", "box", segment_overlaps, restrict="contsel"),
+        Operator("=", "int", "int", generic_equal, commutator="=",
+                 restrict="eqsel"),
+        Operator("<", "int", "int", generic_less, restrict="scalarltsel"),
+        Operator("<=", "int", "int", generic_less_equal, restrict="scalarltsel"),
+        Operator(">", "int", "int", generic_greater, restrict="scalargtsel"),
+        Operator(">=", "int", "int", generic_greater_equal,
+                 restrict="scalargtsel"),
+        Operator("<", "varchar", "varchar", generic_less,
+                 restrict="scalarltsel"),
+        Operator("<=", "varchar", "varchar", generic_less_equal,
+                 restrict="scalarltsel"),
+        Operator(">", "varchar", "varchar", generic_greater,
+                 restrict="scalargtsel"),
+        Operator(">=", "varchar", "varchar", generic_greater_equal,
+                 restrict="scalargtsel"),
+    ]

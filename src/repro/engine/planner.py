@@ -1,0 +1,187 @@
+"""Cost-based access-path selection (paper Section 4.2).
+
+Given one predicate ``col <op> literal``, the planner enumerates the
+sequential scan plus every index whose operator class contains the operator,
+costs each path with the estimators in :mod:`repro.engine.cost`, and keeps
+the cheapest — the decision PostgreSQL's optimizer makes from the
+``amcostestimate`` entry the paper registers for SP-GiST.
+
+The NN operator ``@@`` (strategy 20) yields an ordered scan: an NN-capable
+index streams TIDs by distance; without one the planner falls back to a
+sort-all sequential scan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.engine.cost import (
+    CostEstimate,
+    btree_cost_estimate,
+    rtree_cost_estimate,
+    seqscan_cost,
+    spgist_cost_estimate,
+)
+from repro.engine.table import Table, TableIndex
+from repro.errors import PlannerError
+
+#: Operator names treated as nearest-neighbour (ordered) scans.
+NN_OPERATOR = "@@"
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """One WHERE clause: ``column <op> operand``."""
+
+    column: str
+    op: str
+    operand: Any
+
+
+@dataclass
+class Plan:
+    """Base class for access paths; ``kind`` names the node type."""
+
+    table: Table
+    predicate: Predicate | None
+    cost: CostEstimate
+
+    kind = "Plan"
+
+    def describe(self) -> str:
+        """One-line EXPLAIN rendering of this access path."""
+        where = ""
+        if self.predicate is not None:
+            where = (
+                f" where {self.predicate.column} {self.predicate.op} "
+                f"{self.predicate.operand!r}"
+            )
+        return (
+            f"{self.kind} on {self.table.name}{where} "
+            f"(cost={self.cost.startup_cost:.2f}..{self.cost.total_cost:.2f} "
+            f"sel={self.cost.selectivity:.4f})"
+        )
+
+
+@dataclass
+class SeqScanPlan(Plan):
+    kind = "Seq Scan"
+
+
+@dataclass
+class IndexScanPlan(Plan):
+    index: TableIndex = None  # type: ignore[assignment]
+
+    kind = "Index Scan"
+
+    def describe(self) -> str:
+        return super().describe() + f" using {self.index.name}"
+
+
+@dataclass
+class NNIndexScanPlan(Plan):
+    index: TableIndex = None  # type: ignore[assignment]
+
+    kind = "NN Index Scan"
+
+    def describe(self) -> str:
+        return super().describe() + f" using {self.index.name}"
+
+
+@dataclass
+class NNSortScanPlan(Plan):
+    kind = "NN Sort Scan"
+
+
+def plan_query(table: Table, predicate: Predicate | None) -> Plan:
+    """Choose the cheapest access path for ``SELECT ... WHERE predicate``."""
+    if predicate is None:
+        return SeqScanPlan(
+            table, None, seqscan_cost(table.heap_pages, len(table))
+        )
+    if predicate.op == NN_OPERATOR:
+        return _plan_nn(table, predicate)
+
+    column = table.column(predicate.column)
+    operator = _find_operator(table, column.type_name, predicate.op)
+    stats = table.stats(predicate.column)
+    candidates: list[Plan] = [
+        SeqScanPlan(table, predicate, seqscan_cost(table.heap_pages, len(table)))
+    ]
+    for index in table.indexes.values():
+        if index.column.name != predicate.column:
+            continue
+        if not index.supports(predicate.op):
+            continue
+        cost = _index_cost(index, stats, table, operator.restrict, predicate)
+        candidates.append(IndexScanPlan(table, predicate, cost, index=index))
+    return min(candidates, key=lambda plan: plan.cost.total_cost)
+
+
+def _plan_nn(table: Table, predicate: Predicate) -> Plan:
+    for index in table.indexes.values():
+        if index.column.name == predicate.column and index.supports_nn():
+            stats = table.stats()
+            cost = spgist_cost_estimate(
+                index.num_pages,
+                index.page_height,
+                stats,
+                table.heap_pages,
+                restrict="contsel",
+                operand=predicate.operand,
+            )
+            return NNIndexScanPlan(table, predicate, cost, index=index)
+    return NNSortScanPlan(
+        table, predicate, seqscan_cost(table.heap_pages, len(table))
+    )
+
+
+def _find_operator(table: Table, left_type: str, op_name: str):
+    matches = table.catalog.operators_named(op_name, left_type)
+    if not matches:
+        raise PlannerError(
+            f"no operator {op_name!r} for left type {left_type!r}"
+        )
+    return matches[0]
+
+
+def _index_cost(
+    index: TableIndex,
+    stats,
+    table: Table,
+    restrict: str,
+    predicate: Predicate,
+) -> CostEstimate:
+    if index.access_method == "btree":
+        leading_wildcard = (
+            predicate.op == "?="
+            and isinstance(predicate.operand, str)
+            and predicate.operand.startswith("?")
+        )
+        return btree_cost_estimate(
+            index.num_pages,
+            index.page_height,
+            stats,
+            table.heap_pages,
+            restrict,
+            predicate.operand,
+            leading_wildcard=leading_wildcard,
+        )
+    if index.access_method == "rtree":
+        return rtree_cost_estimate(
+            index.num_pages,
+            index.page_height,
+            stats,
+            table.heap_pages,
+            restrict,
+            predicate.operand,
+        )
+    return spgist_cost_estimate(
+        index.num_pages,
+        index.page_height,
+        stats,
+        table.heap_pages,
+        restrict,
+        predicate.operand,
+    )

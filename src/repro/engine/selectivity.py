@@ -1,0 +1,87 @@
+"""Restriction selectivity estimators (paper Section 4.2, cost item 1).
+
+PostgreSQL attaches a restriction procedure to each operator (``restrict =
+eqsel`` in Table 4); the planner calls it to guess what fraction of the
+table a predicate keeps. We reproduce the same procedure names with
+PostgreSQL's default constants, refined slightly by table statistics when
+available (distinct-count for equality, pattern shape for ``likesel``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+#: PostgreSQL's default selectivity constants (src/include/utils/selfuncs.h).
+DEFAULT_EQ_SEL = 0.005
+DEFAULT_RANGE_INEQ_SEL = 0.005
+DEFAULT_MATCH_SEL = 0.005
+DEFAULT_CONT_SEL = 0.001
+DEFAULT_INEQ_SEL = 1.0 / 3.0
+
+#: Per-character selectivity decay used by likesel for literal characters
+#: (PostgreSQL's FIXED_CHAR_SEL is 0.20; we bias slightly lower because the
+#: experimental alphabet is uniform over 26 letters).
+CHAR_SEL = 0.15
+
+
+@dataclass(frozen=True)
+class TableStats:
+    """The slice of ``pg_statistic`` our estimators look at."""
+
+    row_count: int
+    distinct_count: int | None = None
+
+
+def eqsel(stats: TableStats | None, operand: Any = None) -> float:
+    """Equality selectivity: 1/ndistinct when known, else the default."""
+    if stats and stats.distinct_count:
+        return max(1.0 / stats.distinct_count, 1.0 / max(stats.row_count, 1))
+    return DEFAULT_EQ_SEL
+
+
+def contsel(stats: TableStats | None, operand: Any = None) -> float:
+    """Containment (range/window) selectivity — PostgreSQL's flat default."""
+    return DEFAULT_CONT_SEL
+
+
+def likesel(stats: TableStats | None, operand: Any = None) -> float:
+    """Pattern-match selectivity, shaped by the pattern's literal prefix.
+
+    Mirrors PostgreSQL's ``patternsel``: each literal character multiplies
+    selectivity by :data:`CHAR_SEL`; wildcards contribute nothing. A pattern
+    with no literal characters keeps everything.
+    """
+    if not isinstance(operand, str) or not operand:
+        return DEFAULT_MATCH_SEL
+    literal = sum(1 for ch in operand if ch != "?")
+    if literal == 0:
+        return 1.0
+    return max(CHAR_SEL ** min(literal, 10), 1e-6)
+
+
+def scalarltsel(stats: TableStats | None, operand: Any = None) -> float:
+    """``<``/``<=`` selectivity without histograms: the flat default third."""
+    return DEFAULT_INEQ_SEL
+
+
+def scalargtsel(stats: TableStats | None, operand: Any = None) -> float:
+    """``>``/``>=`` selectivity without histograms: the flat default third."""
+    return DEFAULT_INEQ_SEL
+
+
+_RESTRICTION_PROCS = {
+    "eqsel": eqsel,
+    "contsel": contsel,
+    "likesel": likesel,
+    "scalarltsel": scalarltsel,
+    "scalargtsel": scalargtsel,
+}
+
+
+def estimate_selectivity(
+    restrict: str, stats: TableStats | None, operand: Any = None
+) -> float:
+    """Dispatch to the named restriction procedure (default: eqsel)."""
+    proc = _RESTRICTION_PROCS.get(restrict, eqsel)
+    return float(min(max(proc(stats, operand), 0.0), 1.0))

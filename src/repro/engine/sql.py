@@ -1,0 +1,360 @@
+"""Mini-SQL front end covering the paper's Table 6 statement shapes.
+
+Supported statements (case-insensitive keywords, one statement per call)::
+
+    CREATE TABLE word_data (name VARCHAR(50), id INT);
+    CREATE INDEX sp_trie_index ON word_data USING SP_GiST (name SP_GiST_trie);
+    INSERT INTO word_data VALUES ('random', 1);
+    SELECT * FROM word_data WHERE name = 'random';
+    SELECT name, id FROM word_data WHERE name = 'random';
+    SELECT COUNT(*) FROM word_data WHERE name #= 'ran';
+    SELECT * FROM word_data WHERE name ?= 'r?nd?m' LIMIT 10;
+    SELECT * FROM point_data WHERE p ^ '(0,0,5,5)';
+    SELECT * FROM point_data WHERE p @@ '(1,2)' LIMIT 8;   -- NN via cursor/LIMIT
+    EXPLAIN SELECT * FROM word_data WHERE name = 'random';
+    DELETE FROM word_data WHERE name = 'random';
+    DROP INDEX sp_trie_index ON word_data;
+    DROP TABLE word_data;
+
+Literals are bound using the column's catalog type: varchar literals are
+quoted strings, points parse as ``(x,y)``, boxes as ``(x1,y1,x2,y2)``,
+segments as ``[(x1,y1),(x2,y2)]``. The operand type of an operator (e.g.
+``^`` takes a box although the column is a point) comes from the operator's
+catalog row, exactly as PostgreSQL binds ``leftarg``/``rightarg``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import re
+import time
+from typing import Any, Iterable
+
+from repro.engine.catalog import SystemCatalog, default_catalog
+from repro.engine.executor import execute_plan
+from repro.engine.planner import NN_OPERATOR, Plan, Predicate, plan_query
+from repro.engine.table import Column, Table
+from repro.errors import SQLError
+from repro.geometry.box import Box
+from repro.geometry.point import Point
+from repro.geometry.segment import LineSegment
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import DiskManager
+
+_TYPE_ALIASES = {
+    "varchar": "varchar",
+    "text": "varchar",
+    "char": "varchar",
+    "int": "int",
+    "integer": "int",
+    "bigint": "int",
+    "float": "float",
+    "real": "float",
+    "double": "float",
+    "point": "point",
+    "lseg": "lseg",
+    "box": "box",
+}
+
+_CREATE_TABLE = re.compile(
+    r"^\s*create\s+table\s+(\w+)\s*\((.*)\)\s*;?\s*$", re.I | re.S
+)
+_CREATE_INDEX = re.compile(
+    r"^\s*create\s+index\s+(\w+)\s+on\s+(\w+)\s+using\s+(\w+)\s*"
+    r"\(\s*(\w+)(?:\s+(\w+))?\s*\)\s*;?\s*$",
+    re.I,
+)
+_INSERT = re.compile(
+    r"^\s*insert\s+into\s+(\w+)\s+values\s*\((.*)\)\s*;?\s*$", re.I | re.S
+)
+_SELECT = re.compile(
+    r"^\s*select\s+(\*|count\(\*\)|[\w]+(?:\s*,\s*[\w]+)*)\s+from\s+(\w+)"
+    r"(?:\s+where\s+(\w+)\s*(\S+)\s*('(?:[^']*)'|\S+))?"
+    r"(?:\s+limit\s+(\d+))?\s*;?\s*$",
+    re.I,
+)
+_DELETE = re.compile(
+    r"^\s*delete\s+from\s+(\w+)\s+where\s+(\w+)\s*(\S+)\s*"
+    r"('(?:[^']*)'|\S+)\s*;?\s*$",
+    re.I,
+)
+_DROP_INDEX = re.compile(
+    r"^\s*drop\s+index\s+(\w+)\s+on\s+(\w+)\s*;?\s*$", re.I
+)
+_DROP_TABLE = re.compile(r"^\s*drop\s+table\s+(\w+)\s*;?\s*$", re.I)
+_ANALYZE = re.compile(r"^\s*analyze\s+(\w+)\s*;?\s*$", re.I)
+_EXPLAIN_ANALYZE = re.compile(r"^\s*explain\s+analyze\s+(.*)$", re.I | re.S)
+_EXPLAIN = re.compile(r"^\s*explain\s+(.*)$", re.I | re.S)
+
+
+class Database:
+    """A catalog, a buffer pool, and a set of tables — one "cluster".
+
+    ``execute()`` parses and runs one statement, returning rows for SELECT,
+    a plan description for EXPLAIN, and a status string for DDL/DML.
+    """
+
+    def __init__(
+        self,
+        buffer: BufferPool | None = None,
+        catalog: SystemCatalog | None = None,
+        buffer_capacity: int = 256,
+    ) -> None:
+        self.buffer = buffer or BufferPool(DiskManager(), capacity=buffer_capacity)
+        self.catalog = catalog or default_catalog()
+        self.tables: dict[str, Table] = {}
+
+    # -- public API -----------------------------------------------------------------
+
+    def execute(self, sql: str) -> Any:
+        """Run one SQL statement; see the module docstring for the dialect."""
+        match = _EXPLAIN_ANALYZE.match(sql)
+        if match:
+            return self._explain(match.group(1), execute=True)
+        match = _EXPLAIN.match(sql)
+        if match:
+            return self._explain(match.group(1))
+        match = _CREATE_TABLE.match(sql)
+        if match:
+            return self._create_table(match.group(1), match.group(2))
+        match = _CREATE_INDEX.match(sql)
+        if match:
+            return self._create_index(*match.groups())
+        match = _INSERT.match(sql)
+        if match:
+            return self._insert(match.group(1), match.group(2))
+        match = _SELECT.match(sql)
+        if match:
+            return list(self._select(*match.groups()))
+        match = _DELETE.match(sql)
+        if match:
+            return self._delete(*match.groups())
+        match = _DROP_INDEX.match(sql)
+        if match:
+            return self._drop_index(match.group(1), match.group(2))
+        match = _DROP_TABLE.match(sql)
+        if match:
+            return self._drop_table(match.group(1))
+        match = _ANALYZE.match(sql)
+        if match:
+            self.table(match.group(1)).analyze()
+            return f"ANALYZE {match.group(1)}"
+        raise SQLError(f"cannot parse statement: {sql!r}")
+
+    def table(self, name: str) -> Table:
+        """Look up a table by (case-insensitive) name."""
+        try:
+            return self.tables[name.lower()]
+        except KeyError:
+            raise SQLError(f"unknown table {name!r}") from None
+
+    # -- DDL -------------------------------------------------------------------------
+
+    def _create_table(self, name: str, column_spec: str) -> str:
+        if name.lower() in self.tables:
+            raise SQLError(f"table {name!r} already exists")
+        columns = []
+        for part in self._split_top_level(column_spec):
+            tokens = part.strip().split()
+            if len(tokens) < 2:
+                raise SQLError(f"bad column definition: {part!r}")
+            col_name = tokens[0]
+            raw_type = re.sub(r"\(.*\)", "", tokens[1]).lower()
+            type_name = _TYPE_ALIASES.get(raw_type)
+            if type_name is None:
+                raise SQLError(f"unknown column type {tokens[1]!r}")
+            columns.append(Column(col_name, type_name))
+        self.tables[name.lower()] = Table(name, columns, self.buffer, self.catalog)
+        return f"CREATE TABLE {name}"
+
+    def _create_index(
+        self,
+        index_name: str,
+        table_name: str,
+        using: str,
+        column_name: str,
+        opclass_name: str | None,
+    ) -> str:
+        table = self.table(table_name)
+        table.create_index(
+            index_name, column_name, using=using, opclass_name=opclass_name
+        )
+        return f"CREATE INDEX {index_name}"
+
+    def _drop_index(self, index_name: str, table_name: str) -> str:
+        self.table(table_name).drop_index(index_name)
+        return f"DROP INDEX {index_name}"
+
+    def _drop_table(self, name: str) -> str:
+        if name.lower() not in self.tables:
+            raise SQLError(f"unknown table {name!r}")
+        del self.tables[name.lower()]
+        return f"DROP TABLE {name}"
+
+    # -- DML -------------------------------------------------------------------------
+
+    def _insert(self, table_name: str, values_spec: str) -> str:
+        table = self.table(table_name)
+        literals = self._split_top_level(values_spec)
+        if len(literals) != len(table.columns):
+            raise SQLError(
+                f"INSERT arity {len(literals)} != table arity "
+                f"{len(table.columns)}"
+            )
+        row = tuple(
+            self._bind_literal(literal.strip(), column.type_name)
+            for literal, column in zip(literals, table.columns)
+        )
+        table.insert(row)
+        return "INSERT 0 1"
+
+    def _delete(
+        self, table_name: str, column: str, op: str, literal: str
+    ) -> str:
+        table = self.table(table_name)
+        predicate = self._bind_predicate(table, column, op, literal)
+        plan = plan_query(table, predicate)
+        victims = []
+        position = table.column_index(column)
+        operator = table.catalog.operators_named(
+            op, table.columns[position].type_name
+        )[0]
+        for tid, row in table.scan():
+            if operator.apply(row[position], predicate.operand):
+                victims.append(tid)
+        for tid in victims:
+            table.delete_tid(tid)
+        _ = plan  # planning kept for EXPLAIN parity; deletion scans the heap
+        return f"DELETE {len(victims)}"
+
+    # -- queries -----------------------------------------------------------------------
+
+    def _select(
+        self,
+        select_list: str,
+        table_name: str,
+        column: str | None,
+        op: str | None,
+        literal: str | None,
+        limit: str | None,
+    ) -> Iterable[tuple]:
+        plan = self._plan_select(table_name, column, op, literal)
+        rows = execute_plan(plan)
+        if limit is not None:
+            rows = itertools.islice(rows, int(limit))
+        select_list = select_list.strip()
+        if select_list == "*":
+            return rows
+        if select_list.lower() == "count(*)":
+            return [(sum(1 for _ in rows),)]
+        table = self.table(table_name)
+        positions = [
+            table.column_index(name.strip())
+            for name in select_list.split(",")
+        ]
+        return (tuple(row[i] for i in positions) for row in rows)
+
+    def _explain(self, inner_sql: str, execute: bool = False) -> str:
+        match = _SELECT.match(inner_sql)
+        if not match:
+            raise SQLError(f"EXPLAIN supports only SELECT, got: {inner_sql!r}")
+        _select_list, table_name, column, op, literal, limit = match.groups()
+        plan = self._plan_select(table_name, column, op, literal)
+        text = plan.describe()
+        if not execute:
+            return text
+        # EXPLAIN ANALYZE: run the plan and report actual work done.
+        before = self.buffer.stats.snapshot()
+        started = time.perf_counter()
+        rows = execute_plan(plan)
+        if limit is not None:
+            produced = sum(1 for _ in itertools.islice(rows, int(limit)))
+        else:
+            produced = sum(1 for _ in rows)
+        elapsed_ms = (time.perf_counter() - started) * 1000.0
+        delta = self.buffer.stats.delta(before)
+        return (
+            f"{text}\n  actual rows={produced} time={elapsed_ms:.3f}ms "
+            f"buffers: hit={delta.hits} read={delta.misses}"
+        )
+
+    def _plan_select(
+        self,
+        table_name: str,
+        column: str | None,
+        op: str | None,
+        literal: str | None,
+    ) -> Plan:
+        table = self.table(table_name)
+        predicate = None
+        if column is not None:
+            assert op is not None and literal is not None
+            predicate = self._bind_predicate(table, column, op, literal)
+        return plan_query(table, predicate)
+
+    # -- literal binding -------------------------------------------------------------------
+
+    def _bind_predicate(
+        self, table: Table, column: str, op: str, literal: str
+    ) -> Predicate:
+        col = table.column(column)
+        if op == NN_OPERATOR:
+            # The NN query object is a value of the column's "query space":
+            # a point for spatial columns, a string for varchar.
+            operand_type = "point" if col.type_name in ("point", "lseg") else col.type_name
+        else:
+            operators = table.catalog.operators_named(op, col.type_name)
+            if not operators:
+                raise SQLError(
+                    f"operator {op!r} is not defined for type {col.type_name!r}"
+                )
+            operand_type = operators[0].right_type
+        return Predicate(column, op, self._bind_literal(literal, operand_type))
+
+    @staticmethod
+    def _bind_literal(literal: str, type_name: str) -> Any:
+        text = literal.strip()
+        quoted = len(text) >= 2 and text[0] == "'" and text[-1] == "'"
+        if quoted:
+            text = text[1:-1]
+        if type_name == "varchar":
+            if not quoted:
+                raise SQLError(f"varchar literals must be quoted: {literal!r}")
+            return text
+        if type_name == "int":
+            return int(text)
+        if type_name == "float":
+            return float(text)
+        if type_name == "point":
+            return Point.parse(text)
+        if type_name == "box":
+            return Box.parse(text)
+        if type_name == "lseg":
+            return LineSegment.parse(text)
+        raise SQLError(f"cannot bind literal for type {type_name!r}")
+
+    @staticmethod
+    def _split_top_level(spec: str) -> list[str]:
+        """Split on commas not nested in parentheses/brackets/quotes."""
+        parts: list[str] = []
+        depth = 0
+        in_quote = False
+        current: list[str] = []
+        for ch in spec:
+            if ch == "'" and not in_quote:
+                in_quote = True
+            elif ch == "'" and in_quote:
+                in_quote = False
+            elif not in_quote:
+                if ch in "([":
+                    depth += 1
+                elif ch in ")]":
+                    depth -= 1
+                elif ch == "," and depth == 0:
+                    parts.append("".join(current))
+                    current = []
+                    continue
+            current.append(ch)
+        if current:
+            parts.append("".join(current))
+        return [part for part in (p.strip() for p in parts) if part]

@@ -1,0 +1,346 @@
+"""Heap-backed tables with catalog-driven secondary indexes.
+
+A :class:`Table` stores rows (tuples) in a :class:`HeapFile` and maintains
+any number of indexes created through operator classes, exactly like the
+paper's Table 6 DDL::
+
+    CREATE TABLE word_data (name VARCHAR(50), id INT);
+    CREATE INDEX sp_trie_index ON word_data
+        USING SP_GiST (name SP_GiST_trie);
+
+Index rows carry heap TupleIds as values; scans return TIDs which the
+executor resolves back to rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from repro.baselines.bptree import BPlusTree
+from repro.baselines.hash import HashIndex
+from repro.baselines.rtree import RTree
+from repro.core.external import Query
+from repro.core.tree import SPGiSTIndex
+from repro.engine.catalog import SystemCatalog
+from repro.engine.opclass import NN_STRATEGY, OperatorClass
+from repro.engine.selectivity import TableStats
+from repro.errors import CatalogError, PlannerError
+from repro.storage.buffer import BufferPool
+from repro.storage.heap import HeapFile, TupleId
+
+
+@dataclass(frozen=True)
+class Column:
+    """One table column: a name and a catalog type name."""
+
+    name: str
+    type_name: str  # "varchar", "int", "float", "point", "lseg"
+
+
+class TableIndex:
+    """One secondary index over one column of a table."""
+
+    def __init__(
+        self,
+        name: str,
+        table: "Table",
+        column: Column,
+        column_index: int,
+        opclass: OperatorClass,
+        **opclass_kwargs: Any,
+    ) -> None:
+        self.name = name
+        self.table = table
+        self.column = column
+        self.column_index = column_index
+        self.opclass = opclass
+        self.access_method = opclass.access_method.lower()
+        self.key_extractor = opclass.key_extractor
+        self.structure = self._make_structure(table.buffer, **opclass_kwargs)
+
+    def _make_structure(self, buffer: BufferPool, **kwargs: Any) -> Any:
+        if self.access_method == "sp_gist":
+            return SPGiSTIndex(buffer, self.opclass.make_methods(**kwargs),
+                               name=self.name)
+        if self.access_method == "btree":
+            return BPlusTree(buffer, name=self.name)
+        if self.access_method == "rtree":
+            return RTree(buffer, name=self.name)
+        if self.access_method == "hash":
+            return HashIndex(buffer, name=self.name)
+        raise CatalogError(
+            f"access method {self.opclass.access_method!r} cannot back an index"
+        )
+
+    # -- maintenance ------------------------------------------------------------
+
+    def _keys_of(self, value: Any) -> list[Any]:
+        if self.key_extractor is None:
+            return [value]
+        return list(self.key_extractor(value))
+
+    def insert_row(self, tid: TupleId, row: tuple) -> None:
+        """Index the column value(s) of one new heap row."""
+        value = row[self.column_index]
+        for key in self._keys_of(value):
+            self.structure.insert(key, tid)
+
+    def delete_row(self, tid: TupleId, row: tuple) -> None:
+        """Remove one heap row's entries from the index."""
+        value = row[self.column_index]
+        for key in set(self._keys_of(value)):
+            self.structure.delete(key, tid)
+
+    # -- scans -----------------------------------------------------------------------
+
+    def supports(self, op_name: str) -> bool:
+        """Can this index serve ``op_name`` (is it in the opclass)?"""
+        return self.opclass.supports_operator(op_name)
+
+    def supports_nn(self) -> bool:
+        """Can this index stream results by distance (operator @@)?"""
+        return (
+            NN_STRATEGY in self.opclass.operators
+            and isinstance(self.structure, SPGiSTIndex)
+            and self.structure.methods.supports_nn
+        )
+
+    def scan(self, op_name: str, operand: Any) -> Iterator[TupleId]:
+        """TIDs of rows whose indexed value satisfies ``col <op> operand``."""
+        if isinstance(self.structure, SPGiSTIndex):
+            seen: set[TupleId] = set()
+            for _key, tid in self.structure.search(Query(op_name, operand)):
+                if tid not in seen:  # suffix extraction can repeat TIDs
+                    seen.add(tid)
+                    yield tid
+            return
+        if isinstance(self.structure, BPlusTree):
+            yield from self._btree_scan(op_name, operand)
+            return
+        if isinstance(self.structure, RTree):
+            yield from self._rtree_scan(op_name, operand)
+            return
+        if isinstance(self.structure, HashIndex):
+            if op_name != "=":
+                raise PlannerError(f"hash index cannot serve {op_name!r}")
+            yield from self.structure.search(operand)
+            return
+        raise PlannerError(f"index {self.name} cannot serve {op_name!r}")
+
+    def _btree_scan(self, op_name: str, operand: Any) -> Iterator[TupleId]:
+        tree: BPlusTree = self.structure
+        if op_name == "=":
+            yield from tree.search(operand)
+        elif op_name == "#=":
+            for _key, tid in tree.prefix_scan(operand):
+                yield tid
+        elif op_name == "?=":
+            for _key, tid in tree.regex_scan(operand):
+                yield tid
+        elif op_name == "*=":
+            for _key, tid in tree.glob_scan(operand):
+                yield tid
+        elif op_name in ("<", "<="):
+            for key, tid in tree.scan_all():
+                if key > operand or (key == operand and op_name == "<"):
+                    break
+                yield tid
+        elif op_name in (">", ">="):
+            for key, tid in tree.range_scan(operand, _TOP):
+                if key == operand and op_name == ">":
+                    continue
+                yield tid
+        else:
+            raise PlannerError(f"btree index cannot serve {op_name!r}")
+
+    def _rtree_scan(self, op_name: str, operand: Any) -> Iterator[TupleId]:
+        tree: RTree = self.structure
+        if op_name in ("@", "="):
+            for _key, tid in tree.search_exact(operand):
+                yield tid
+        elif op_name in ("^", "&&"):
+            for _key, tid in tree.range_search(operand):
+                yield tid
+        else:
+            raise PlannerError(f"rtree index cannot serve {op_name!r}")
+
+    def nn_scan(self, operand: Any) -> Iterator[TupleId]:
+        """TIDs in non-decreasing distance from ``operand`` (operator @@)."""
+        if not self.supports_nn():
+            raise PlannerError(f"index {self.name} does not support NN search")
+        seen: set[TupleId] = set()
+        for _distance, _key, tid in self.structure.nn_search(operand):
+            if tid not in seen:
+                seen.add(tid)
+                yield tid
+
+    # -- costing inputs -------------------------------------------------------------
+
+    @property
+    def num_pages(self) -> int:
+        return self.structure.num_pages
+
+    @property
+    def page_height(self) -> int:
+        if isinstance(self.structure, SPGiSTIndex):
+            return self.structure.statistics().max_page_height
+        return self.structure.height
+
+
+class _Top:
+    """A value greater than every string/number (open upper bound)."""
+
+    def __gt__(self, other: Any) -> bool:  # pragma: no cover - trivial
+        return True
+
+    def __lt__(self, other: Any) -> bool:  # pragma: no cover - trivial
+        return False
+
+
+_TOP = _Top()
+
+
+class Table:
+    """A named heap relation with typed columns and secondary indexes."""
+
+    def __init__(
+        self,
+        name: str,
+        columns: list[Column],
+        buffer: BufferPool,
+        catalog: SystemCatalog,
+    ) -> None:
+        self.name = name
+        self.columns = columns
+        self.buffer = buffer
+        self.catalog = catalog
+        self.heap = HeapFile(buffer)
+        self.indexes: dict[str, TableIndex] = {}
+        self._column_positions = {col.name: i for i, col in enumerate(columns)}
+        self._distinct_counts: dict[str, int] = {}
+
+    # -- schema ------------------------------------------------------------------
+
+    def column_index(self, column_name: str) -> int:
+        """Position of ``column_name`` in this table's rows."""
+        try:
+            return self._column_positions[column_name]
+        except KeyError:
+            raise CatalogError(
+                f"table {self.name} has no column {column_name!r}"
+            ) from None
+
+    def column(self, column_name: str) -> Column:
+        """The Column object for ``column_name``."""
+        return self.columns[self.column_index(column_name)]
+
+    def create_index(
+        self,
+        index_name: str,
+        column_name: str,
+        using: str = "SP_GiST",
+        opclass_name: str | None = None,
+        **opclass_kwargs: Any,
+    ) -> TableIndex:
+        """CREATE INDEX: build over existing rows (the ``ambuild`` routine)."""
+        if index_name in self.indexes:
+            raise CatalogError(f"index {index_name!r} already exists")
+        column_index = self.column_index(column_name)
+        column = self.columns[column_index]
+        if opclass_name is not None:
+            opclass = self.catalog.opclass(opclass_name)
+        else:
+            opclass = self.catalog.default_opclass(using, column.type_name)
+        if opclass.access_method.lower() != using.lower():
+            raise CatalogError(
+                f"operator class {opclass.name} belongs to access method "
+                f"{opclass.access_method}, not {using}"
+            )
+        if opclass.for_type != column.type_name:
+            raise CatalogError(
+                f"operator class {opclass.name} is for type "
+                f"{opclass.for_type}, but column {column_name} is "
+                f"{column.type_name}"
+            )
+        index = TableIndex(
+            index_name, self, column, column_index, opclass, **opclass_kwargs
+        )
+        for tid, row in self.heap.scan():
+            index.insert_row(tid, row)
+        if isinstance(index.structure, SPGiSTIndex):
+            index.structure.repack()  # spgistbuild finishes with clustering
+        self.indexes[index_name] = index
+        return index
+
+    def drop_index(self, index_name: str) -> None:
+        """DROP INDEX: detach and forget the named index."""
+        if index_name not in self.indexes:
+            raise CatalogError(f"index {index_name!r} does not exist")
+        del self.indexes[index_name]
+
+    # -- DML ----------------------------------------------------------------------------
+
+    def insert(self, row: tuple) -> TupleId:
+        """Insert one row into the heap and every index."""
+        if len(row) != len(self.columns):
+            raise ValueError(
+                f"row arity {len(row)} != table arity {len(self.columns)}"
+            )
+        tid = self.heap.insert(row)
+        for index in self.indexes.values():
+            index.insert_row(tid, row)
+        return tid
+
+    def delete_tid(self, tid: TupleId) -> tuple:
+        """Delete one row by TID from the heap and every index."""
+        row = self.heap.fetch(tid)
+        if row is None:
+            raise PlannerError(f"tuple {tid} is already deleted")
+        for index in self.indexes.values():
+            index.delete_row(tid, row)
+        return self.heap.delete(tid)
+
+    def fetch(self, tid: TupleId) -> tuple | None:
+        """The row at ``tid`` (None when tombstoned)."""
+        return self.heap.fetch(tid)
+
+    def scan(self) -> Iterator[tuple[TupleId, tuple]]:
+        """Sequential scan over all live rows."""
+        return self.heap.scan()
+
+    # -- statistics ------------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.heap)
+
+    @property
+    def heap_pages(self) -> int:
+        return self.heap.num_pages
+
+    def analyze(self) -> dict[str, int]:
+        """Gather per-column distinct counts (PostgreSQL's ANALYZE).
+
+        One heap scan; results are cached and consulted by the planner's
+        selectivity estimation until the next analyze.
+        """
+        positions = range(len(self.columns))
+        values: list[set] = [set() for _ in positions]
+        for _tid, row in self.heap.scan():
+            for i in positions:
+                values[i].add(row[i])
+        self._distinct_counts = {
+            column.name: len(values[i]) for i, column in enumerate(self.columns)
+        }
+        return dict(self._distinct_counts)
+
+    def stats(self, column_name: str | None = None) -> TableStats:
+        """Row count plus the analyzed distinct count of ``column_name``.
+
+        Never scans — returns ``distinct_count=None`` (falling back to the
+        planner's default selectivities) until :meth:`analyze` has run.
+        """
+        distinct = None
+        if column_name is not None:
+            distinct = self._distinct_counts.get(column_name)
+        return TableStats(row_count=len(self.heap), distinct_count=distinct)

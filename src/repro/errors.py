@@ -1,0 +1,73 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so callers
+can catch a single base class. Subclasses mirror the subsystems: storage,
+index/core, catalog/engine, and planner.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class StorageError(ReproError):
+    """Base class for storage-layer failures."""
+
+
+class PageNotFoundError(StorageError):
+    """A page id was requested that the disk manager never allocated."""
+
+    def __init__(self, page_id: int) -> None:
+        super().__init__(f"page {page_id} does not exist")
+        self.page_id = page_id
+
+
+class PageOverflowError(StorageError):
+    """An item was added to a page beyond its byte capacity."""
+
+
+class BufferPoolError(StorageError):
+    """The buffer pool could not satisfy a fetch (e.g. all frames pinned)."""
+
+
+class IndexError_(ReproError):
+    """Base class for index-level failures (named to avoid shadowing builtin)."""
+
+
+class IndexCorruptionError(IndexError_):
+    """An structural invariant of an index was violated."""
+
+
+class KeyNotFoundError(IndexError_):
+    """A delete/lookup referenced a key that is not in the index."""
+
+    def __init__(self, key: object) -> None:
+        super().__init__(f"key not found: {key!r}")
+        self.key = key
+
+
+class ResolutionExceededError(IndexError_):
+    """Space decomposition exceeded the configured ``resolution`` limit.
+
+    Raised when a space-driven split can no longer separate items (e.g. many
+    duplicate points) and the SP-GiST ``Resolution`` parameter forbids going
+    deeper.
+    """
+
+
+class CatalogError(ReproError):
+    """Catalog-level failure: duplicate/missing access method, opclass, etc."""
+
+
+class OperatorError(ReproError):
+    """An operator was applied to operands it does not support."""
+
+
+class PlannerError(ReproError):
+    """The planner could not produce an access path for a query."""
+
+
+class SQLError(ReproError):
+    """The mini-SQL front end could not parse or bind a statement."""

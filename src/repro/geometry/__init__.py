@@ -1,0 +1,29 @@
+"""Geometric primitives used by the spatial indexes.
+
+The paper's kd-tree and point-quadtree experiments index two-dimensional
+points; the PMR-quadtree and R-tree experiments index line segments; the
+R-tree and range operators use rectangles. This package provides those three
+types plus the distance kernels used by nearest-neighbour search.
+"""
+
+from repro.geometry.point import Point
+from repro.geometry.box import Box
+from repro.geometry.segment import LineSegment
+from repro.geometry.distance import (
+    euclidean,
+    euclidean_squared,
+    hamming,
+    point_to_box_distance,
+    point_to_segment_distance,
+)
+
+__all__ = [
+    "Point",
+    "Box",
+    "LineSegment",
+    "euclidean",
+    "euclidean_squared",
+    "hamming",
+    "point_to_box_distance",
+    "point_to_segment_distance",
+]

@@ -1,0 +1,155 @@
+"""Axis-aligned rectangle type (PostgreSQL ``BOX`` analogue)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.geometry.point import Point
+
+
+@dataclass(frozen=True, slots=True)
+class Box:
+    """An immutable, axis-aligned rectangle given by its min/max corners.
+
+    Invariant: ``xmin <= xmax`` and ``ymin <= ymax`` (enforced at
+    construction). Degenerate boxes (zero width or height) are allowed — a
+    point is representable as a degenerate box, which the R-tree relies on.
+    """
+
+    xmin: float
+    ymin: float
+    xmax: float
+    ymax: float
+
+    def __post_init__(self) -> None:
+        if self.xmin > self.xmax or self.ymin > self.ymax:
+            raise ValueError(
+                f"invalid box: ({self.xmin},{self.ymin}) .. ({self.xmax},{self.ymax})"
+            )
+
+    # -- constructors -------------------------------------------------------
+
+    @staticmethod
+    def from_points(a: Point, b: Point) -> "Box":
+        """Bounding box of two points (corners in any order)."""
+        return Box(min(a.x, b.x), min(a.y, b.y), max(a.x, b.x), max(a.y, b.y))
+
+    @staticmethod
+    def from_point(p: Point) -> "Box":
+        """Degenerate box covering exactly one point."""
+        return Box(p.x, p.y, p.x, p.y)
+
+    @staticmethod
+    def bounding(boxes: Iterable["Box"]) -> "Box":
+        """Smallest box covering every box in ``boxes`` (must be non-empty)."""
+        it = iter(boxes)
+        try:
+            first = next(it)
+        except StopIteration:
+            raise ValueError("Box.bounding() requires at least one box") from None
+        xmin, ymin, xmax, ymax = first.xmin, first.ymin, first.xmax, first.ymax
+        for b in it:
+            xmin = min(xmin, b.xmin)
+            ymin = min(ymin, b.ymin)
+            xmax = max(xmax, b.xmax)
+            ymax = max(ymax, b.ymax)
+        return Box(xmin, ymin, xmax, ymax)
+
+    @staticmethod
+    def parse(text: str) -> "Box":
+        """Parse PostgreSQL-style box literals like ``'(0,0,5,5)'``."""
+        stripped = text.strip().lstrip("(").rstrip(")")
+        parts = [float(p) for p in stripped.split(",")]
+        if len(parts) != 4:
+            raise ValueError(f"cannot parse box literal: {text!r}")
+        return Box(
+            min(parts[0], parts[2]),
+            min(parts[1], parts[3]),
+            max(parts[0], parts[2]),
+            max(parts[1], parts[3]),
+        )
+
+    # -- predicates ----------------------------------------------------------
+
+    def contains_point(self, p: Point) -> bool:
+        """True when ``p`` lies inside or on the border of the box."""
+        return self.xmin <= p.x <= self.xmax and self.ymin <= p.y <= self.ymax
+
+    def contains_box(self, other: "Box") -> bool:
+        """True when ``other`` lies entirely within this box."""
+        return (
+            self.xmin <= other.xmin
+            and self.ymin <= other.ymin
+            and other.xmax <= self.xmax
+            and other.ymax <= self.ymax
+        )
+
+    def intersects(self, other: "Box") -> bool:
+        """True when the two boxes share at least one point (borders count)."""
+        return not (
+            other.xmin > self.xmax
+            or other.xmax < self.xmin
+            or other.ymin > self.ymax
+            or other.ymax < self.ymin
+        )
+
+    # -- measures ------------------------------------------------------------
+
+    @property
+    def width(self) -> float:
+        return self.xmax - self.xmin
+
+    @property
+    def height(self) -> float:
+        return self.ymax - self.ymin
+
+    def area(self) -> float:
+        """Rectangle area (0 for degenerate boxes)."""
+        return self.width * self.height
+
+    def margin(self) -> float:
+        """Half-perimeter, used by some split heuristics."""
+        return self.width + self.height
+
+    def center(self) -> Point:
+        """Geometric center of the box."""
+        return Point((self.xmin + self.xmax) / 2.0, (self.ymin + self.ymax) / 2.0)
+
+    def union(self, other: "Box") -> "Box":
+        """Smallest box covering both boxes."""
+        return Box(
+            min(self.xmin, other.xmin),
+            min(self.ymin, other.ymin),
+            max(self.xmax, other.xmax),
+            max(self.ymax, other.ymax),
+        )
+
+    def enlargement(self, other: "Box") -> float:
+        """Area growth needed for this box to also cover ``other``.
+
+        This is the quantity Guttman's ChooseLeaf minimizes.
+        """
+        return self.union(other).area() - self.area()
+
+    def quadrants(self) -> tuple["Box", "Box", "Box", "Box"]:
+        """Split into four equal quadrants (NW, NE, SW, SE order).
+
+        Used by the space-driven quadtrees. Quadrant order matches the
+        partition numbering the quadtree external methods assume.
+        """
+        cx = (self.xmin + self.xmax) / 2.0
+        cy = (self.ymin + self.ymax) / 2.0
+        return (
+            Box(self.xmin, cy, cx, self.ymax),  # NW
+            Box(cx, cy, self.xmax, self.ymax),  # NE
+            Box(self.xmin, self.ymin, cx, cy),  # SW
+            Box(cx, self.ymin, self.xmax, cy),  # SE
+        )
+
+    def approx_bytes(self) -> int:
+        """Serialized footprint used for page-space accounting."""
+        return 32  # four float64 coordinates
+
+    def __str__(self) -> str:
+        return f"({self.xmin:g},{self.ymin:g},{self.xmax:g},{self.ymax:g})"

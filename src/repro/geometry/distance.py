@@ -1,0 +1,79 @@
+"""Distance kernels used by incremental nearest-neighbour search.
+
+The paper uses Euclidean distance for the kd-tree and point quadtree and
+Hamming distance for the trie (Section 6, Figure 17). ``point_to_box_distance``
+is the "minimum distance from query to partition" bound that drives the
+priority queue of the Hjaltason–Samet algorithm.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.geometry.box import Box
+from repro.geometry.point import Point
+from repro.geometry.segment import LineSegment
+
+
+def euclidean_squared(a: Point, b: Point) -> float:
+    """Squared Euclidean distance (avoids the sqrt when only ordering matters)."""
+    dx = a.x - b.x
+    dy = a.y - b.y
+    return dx * dx + dy * dy
+
+
+def euclidean(a: Point, b: Point) -> float:
+    """Euclidean distance between two points."""
+    return math.sqrt(euclidean_squared(a, b))
+
+
+def hamming(a: str, b: str) -> int:
+    """Hamming distance extended to unequal lengths.
+
+    Positions beyond the shorter string each count as one mismatch, so the
+    distance between a string and its strict prefix equals the length
+    difference. This matches the trie NN semantics in the paper: comparison
+    proceeds character by character.
+    """
+    common = sum(1 for ca, cb in zip(a, b) if ca != cb)
+    return common + abs(len(a) - len(b))
+
+
+def point_to_box_distance(p: Point, box: Box) -> float:
+    """Minimum Euclidean distance from ``p`` to any point of ``box``.
+
+    Zero when the point is inside the box. This is MINDIST in the NN
+    literature.
+    """
+    dx = max(box.xmin - p.x, 0.0, p.x - box.xmax)
+    dy = max(box.ymin - p.y, 0.0, p.y - box.ymax)
+    return math.hypot(dx, dy)
+
+
+def point_to_segment_distance(p: Point, seg: LineSegment) -> float:
+    """Minimum Euclidean distance from ``p`` to the segment ``seg``."""
+    ax, ay = seg.a.x, seg.a.y
+    bx, by = seg.b.x, seg.b.y
+    dx, dy = bx - ax, by - ay
+    seg_len_sq = dx * dx + dy * dy
+    if seg_len_sq == 0.0:
+        return euclidean(p, seg.a)
+    t = ((p.x - ax) * dx + (p.y - ay) * dy) / seg_len_sq
+    t = min(1.0, max(0.0, t))
+    closest = Point(ax + t * dx, ay + t * dy)
+    return euclidean(p, closest)
+
+
+def prefix_hamming_lower_bound(prefix: str, query: str) -> int:
+    """Lower bound on the Hamming distance from ``query`` to any string
+    extending ``prefix``.
+
+    Two unavoidable contributions for every descendant of a trie node whose
+    accumulated path is ``prefix``: mismatches *within* the prefix, and — when
+    the prefix is already longer than the query — one mismatch per extra
+    position (under the extended-Hamming convention of :func:`hamming`).
+    Characters after the prefix may still match, so they contribute nothing.
+    This is the trie analogue of MINDIST and keeps the NN search admissible.
+    """
+    mismatches = sum(1 for ca, cb in zip(prefix, query) if ca != cb)
+    return mismatches + max(0, len(prefix) - len(query))

@@ -1,0 +1,50 @@
+"""Two-dimensional point type (PostgreSQL ``POINT`` analogue)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class Point:
+    """An immutable 2-D point.
+
+    Points are hashable and totally ordered lexicographically on ``(x, y)``,
+    which lets baselines (B+-tree) index them with a composite key and lets
+    tests sort result sets deterministically.
+    """
+
+    x: float
+    y: float
+
+    def coord(self, axis: int) -> float:
+        """Return the coordinate along ``axis`` (0 = x, 1 = y)."""
+        if axis == 0:
+            return self.x
+        if axis == 1:
+            return self.y
+        raise ValueError(f"axis must be 0 or 1, got {axis}")
+
+    def as_tuple(self) -> tuple[float, float]:
+        """Return ``(x, y)``."""
+        return (self.x, self.y)
+
+    def translated(self, dx: float, dy: float) -> "Point":
+        """Return a new point shifted by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+    def approx_bytes(self) -> int:
+        """Serialized footprint used for page-space accounting."""
+        return 16  # two float64 coordinates
+
+    @staticmethod
+    def parse(text: str) -> "Point":
+        """Parse PostgreSQL-style point literals like ``'(0,1)'``."""
+        stripped = text.strip().lstrip("(").rstrip(")")
+        parts = stripped.split(",")
+        if len(parts) != 2:
+            raise ValueError(f"cannot parse point literal: {text!r}")
+        return Point(float(parts[0]), float(parts[1]))
+
+    def __str__(self) -> str:
+        return f"({self.x:g},{self.y:g})"

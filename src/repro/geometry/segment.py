@@ -1,0 +1,83 @@
+"""Line-segment type (PostgreSQL ``LSEG`` analogue) for the PMR quadtree."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geometry.box import Box
+from repro.geometry.point import Point
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class LineSegment:
+    """An immutable 2-D line segment between endpoints ``a`` and ``b``."""
+
+    a: Point
+    b: Point
+
+    def bounding_box(self) -> Box:
+        """Minimum bounding rectangle of the segment (R-tree entry key)."""
+        return Box.from_points(self.a, self.b)
+
+    def length(self) -> float:
+        """Euclidean length of the segment."""
+        from repro.geometry.distance import euclidean
+
+        return euclidean(self.a, self.b)
+
+    def midpoint(self) -> Point:
+        """Midpoint of the segment."""
+        return Point((self.a.x + self.b.x) / 2.0, (self.a.y + self.b.y) / 2.0)
+
+    def intersects_box(self, box: Box) -> bool:
+        """True when the segment passes through ``box`` (borders count).
+
+        This is the PMR quadtree's partition-membership test: a segment is
+        stored in every leaf block it crosses. Implemented as a standard
+        Liang–Barsky clip test, with a fast accept when either endpoint is
+        inside and a fast reject on disjoint bounding boxes.
+        """
+        if box.contains_point(self.a) or box.contains_point(self.b):
+            return True
+        if not box.intersects(self.bounding_box()):
+            return False
+        return self._clips(box)
+
+    def _clips(self, box: Box) -> bool:
+        dx = self.b.x - self.a.x
+        dy = self.b.y - self.a.y
+        t0, t1 = 0.0, 1.0
+        for p, q in (
+            (-dx, self.a.x - box.xmin),
+            (dx, box.xmax - self.a.x),
+            (-dy, self.a.y - box.ymin),
+            (dy, box.ymax - self.a.y),
+        ):
+            if p == 0.0:
+                if q < 0.0:
+                    return False
+                continue
+            r = q / p
+            if p < 0.0:
+                if r > t1:
+                    return False
+                t0 = max(t0, r)
+            else:
+                if r < t0:
+                    return False
+                t1 = min(t1, r)
+        return t0 <= t1
+
+    def approx_bytes(self) -> int:
+        """Serialized footprint used for page-space accounting."""
+        return 32  # two points
+
+    @staticmethod
+    def parse(text: str) -> "LineSegment":
+        """Parse literals like ``'[(0,0),(3,4)]'``."""
+        stripped = text.strip().lstrip("[").rstrip("]")
+        left, _, right = stripped.partition("),")
+        return LineSegment(Point.parse(left + ")"), Point.parse(right))
+
+    def __str__(self) -> str:
+        return f"[{self.a},{self.b}]"

@@ -1,0 +1,29 @@
+"""SP-GiST instantiations (the paper's external-method implementations).
+
+Each module provides one ``ExternalMethods`` subclass — the less-than-10%
+of index code a developer writes (paper Table 7) — plus small convenience
+wrappers. All of them run on the shared internal methods in
+:mod:`repro.core`.
+"""
+
+from repro.indexes.trie import TrieMethods, TrieIndex
+from repro.indexes.suffix import SuffixTreeMethods, SuffixTreeIndex
+from repro.indexes.kdtree import KDTreeMethods, KDTreeIndex
+from repro.indexes.pquadtree import PointQuadtreeMethods, PointQuadtreeIndex
+from repro.indexes.prquadtree import PRQuadtreeMethods, PRQuadtreeIndex
+from repro.indexes.pmr import PMRQuadtreeMethods, PMRQuadtreeIndex
+
+__all__ = [
+    "TrieMethods",
+    "TrieIndex",
+    "SuffixTreeMethods",
+    "SuffixTreeIndex",
+    "KDTreeMethods",
+    "KDTreeIndex",
+    "PointQuadtreeMethods",
+    "PointQuadtreeIndex",
+    "PRQuadtreeMethods",
+    "PRQuadtreeIndex",
+    "PMRQuadtreeMethods",
+    "PMRQuadtreeIndex",
+]

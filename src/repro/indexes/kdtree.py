@@ -1,0 +1,202 @@
+"""Disk-based kd-tree as an SP-GiST instantiation (paper Table 1).
+
+Parameter block (paper): ``PathShrink = NeverShrink``, ``NodeShrink = False``,
+``BucketSize = 1``, ``NoOfSpacePartitions = 2``, ``NodePredicate = "left",
+"right", or blank``, ``KeyType = point``.
+
+Layout follows the paper's PickSplit row exactly: when a one-point leaf
+overflows, the *old* point becomes the discriminator — it moves into a child
+under the BLANK entry — and the new point goes under "left" or "right"
+according to the coordinate compared at this level (x on even levels, y on
+odd levels). Ties (coordinate equal to the discriminator's) go right, so
+equality search must always consider the right child too.
+
+Operators (paper Table 4): ``@`` point equality, ``^`` inside-box (range),
+``@@`` nearest neighbour under Euclidean distance.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Sequence
+
+from repro.core.config import PathShrink, SPGiSTConfig
+from repro.core.external import (
+    AddEntry,
+    ChooseResult,
+    Descend,
+    ExternalMethods,
+    PickSplitResult,
+    Query,
+)
+from repro.core.node import BLANK
+from repro.core.tree import SPGiSTIndex
+from repro.geometry.box import Box
+from repro.geometry.distance import euclidean, point_to_box_distance
+from repro.geometry.point import Point
+from repro.storage.buffer import BufferPool
+
+LEFT = "left"
+RIGHT = "right"
+
+#: The unbounded region a root subtree covers before any clipping.
+_WORLD = Box(-math.inf, -math.inf, math.inf, math.inf)
+
+
+def _axis(level: int) -> int:
+    """Discriminated axis at ``level``: x at the root, alternating below."""
+    return level % 2
+
+
+class KDTreeMethods(ExternalMethods):
+    """External methods of the kd-tree (paper Table 1, right column)."""
+
+    supported_operators = ("@", "^", "@@")
+    equality_operator = "@"
+
+    def get_parameters(self) -> SPGiSTConfig:
+        return SPGiSTConfig(
+            node_predicate='"left", "right", or blank',
+            key_type="point",
+            num_space_partitions=2,
+            resolution=0,
+            path_shrink=PathShrink.NEVER_SHRINK,
+            node_shrink=False,
+            bucket_size=1,
+        )
+
+    # -- navigation (insert) ---------------------------------------------------
+
+    def choose(
+        self,
+        node_predicate: Any,
+        entries: Sequence[Any],
+        key: Any,
+        level: int,
+    ) -> ChooseResult:
+        discriminator: Point = node_predicate
+        axis = _axis(level)
+        side = LEFT if key.coord(axis) < discriminator.coord(axis) else RIGHT
+        for index, predicate in enumerate(entries):
+            if predicate == side:
+                return Descend(index, level_delta=1)
+        return AddEntry(side, level_delta=1)
+
+    # -- decomposition ------------------------------------------------------------
+
+    def picksplit(
+        self,
+        items: Sequence[tuple[Any, Any]],
+        level: int,
+        parent_predicate: Any = None,
+    ) -> PickSplitResult:
+        """Paper: old point → blank child; new point → left/right child."""
+        old = items[0]
+        axis = _axis(level)
+        discriminator: Point = old[0]
+        left: list[tuple[Any, Any]] = []
+        right: list[tuple[Any, Any]] = []
+        for key, value in items[1:]:
+            if key.coord(axis) < discriminator.coord(axis):
+                left.append((key, value))
+            else:
+                right.append((key, value))
+        return PickSplitResult(
+            node_predicate=discriminator,
+            partitions=[(BLANK, [old]), (LEFT, left), (RIGHT, right)],
+            level_delta=1,
+            recurse_overfull=True,
+        )
+
+    # -- navigation (search) ------------------------------------------------------
+
+    def consistent(
+        self,
+        node_predicate: Any,
+        entry_predicate: Any,
+        query: Query,
+        level: int,
+    ) -> bool:
+        discriminator: Point = node_predicate
+        axis = _axis(level)
+        pivot = discriminator.coord(axis)
+        if query.op == "@":
+            q: Point = query.operand
+            if entry_predicate is BLANK:
+                return q == discriminator
+            if entry_predicate == LEFT:
+                return q.coord(axis) < pivot
+            return q.coord(axis) >= pivot  # ties were inserted right
+        if query.op == "^":
+            box: Box = query.operand
+            if entry_predicate is BLANK:
+                return box.contains_point(discriminator)
+            if entry_predicate == LEFT:
+                return (box.xmin if axis == 0 else box.ymin) < pivot
+            return (box.xmax if axis == 0 else box.ymax) >= pivot
+        raise KeyError(f"kd-tree does not support operator {query.op!r}")
+
+    def leaf_consistent(self, key: Any, query: Query, level: int) -> bool:
+        if query.op == "@":
+            return key == query.operand
+        if query.op == "^":
+            return query.operand.contains_point(key)
+        raise KeyError(f"kd-tree does not support operator {query.op!r}")
+
+    # -- NN search (Euclidean) -------------------------------------------------------
+
+    def nn_initial_state(self, query: Any) -> Box:
+        return _WORLD
+
+    def nn_inner_distance(
+        self,
+        query: Any,
+        node_predicate: Any,
+        entry_predicate: Any,
+        level: int,
+        parent_state: Any,
+    ) -> tuple[float, Any]:
+        region: Box = parent_state
+        discriminator: Point = node_predicate
+        if entry_predicate is BLANK:
+            return euclidean(query, discriminator), region
+        axis = _axis(level)
+        pivot = discriminator.coord(axis)
+        if entry_predicate == LEFT:
+            child = (
+                Box(region.xmin, region.ymin, min(region.xmax, pivot), region.ymax)
+                if axis == 0
+                else Box(region.xmin, region.ymin, region.xmax, min(region.ymax, pivot))
+            )
+        else:
+            child = (
+                Box(max(region.xmin, pivot), region.ymin, region.xmax, region.ymax)
+                if axis == 0
+                else Box(region.xmin, max(region.ymin, pivot), region.xmax, region.ymax)
+            )
+        return point_to_box_distance(query, child), child
+
+    def nn_leaf_distance(self, query: Any, key: Any) -> float:
+        return euclidean(query, key)
+
+
+class KDTreeIndex(SPGiSTIndex):
+    """Convenience wrapper: an SP-GiST index preconfigured as a kd-tree."""
+
+    def __init__(
+        self,
+        buffer: BufferPool,
+        name: str = "sp_kdtree",
+        page_capacity: int | None = None,
+    ) -> None:
+        super().__init__(
+            buffer, KDTreeMethods(), name=name, page_capacity=page_capacity
+        )
+
+    def search_point(self, point: Point) -> list[tuple[Point, Any]]:
+        """Exact point-match search (operator @)."""
+        return self.search_list(Query("@", point))
+
+    def search_range(self, box: Box) -> list[tuple[Point, Any]]:
+        """Range search: all points inside ``box`` (operator ^)."""
+        return self.search_list(Query("^", box))

@@ -1,0 +1,203 @@
+"""Disk-based PMR quadtree as an SP-GiST instantiation (paper Section 6).
+
+The PMR quadtree [30] indexes *line segments* with a space-driven
+decomposition: every inner node's region splits into four equal quadrants,
+and a segment is stored in **every** leaf block it crosses (a spanning
+object — ``choose`` returns ``DescendMultiple``). The PMR splitting rule is
+probabilistic-insertion-driven: when an insertion pushes a block past the
+*splitting threshold*, the block splits exactly once — children are not
+re-split even if still over the threshold (``recurse_overfull = False``);
+a later insertion into an over-threshold child triggers that child's split.
+The decomposition depth is bounded by ``Resolution``.
+
+Operators: ``=`` exact segment match, ``&&`` window intersection (the
+paper's range/window search on segments), ``@@`` nearest neighbour by
+point-to-segment distance.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.core.config import PathShrink, SPGiSTConfig
+from repro.core.external import (
+    ChooseResult,
+    DescendMultiple,
+    ExternalMethods,
+    PickSplitResult,
+    Query,
+)
+from repro.core.tree import SPGiSTIndex
+from repro.geometry.box import Box
+from repro.geometry.distance import point_to_box_distance, point_to_segment_distance
+from repro.geometry.point import Point
+from repro.geometry.segment import LineSegment
+from repro.storage.buffer import BufferPool
+
+#: Default PMR splitting threshold (segments per block before a split).
+DEFAULT_THRESHOLD = 8
+
+#: Default maximum decomposition depth.
+DEFAULT_RESOLUTION = 16
+
+
+class PMRQuadtreeMethods(ExternalMethods):
+    """External methods of the PMR quadtree over ``world``."""
+
+    supported_operators = ("=", "&&", "@@")
+    equality_operator = "="
+    spanning = True
+
+    def __init__(
+        self,
+        world: Box,
+        threshold: int = DEFAULT_THRESHOLD,
+        resolution: int = DEFAULT_RESOLUTION,
+    ) -> None:
+        self.world = world
+        self._config = SPGiSTConfig(
+            node_predicate="quadrant region box",
+            key_type="line segment",
+            num_space_partitions=4,
+            resolution=resolution,
+            path_shrink=PathShrink.NEVER_SHRINK,
+            node_shrink=False,
+            bucket_size=threshold,
+        )
+
+    def get_parameters(self) -> SPGiSTConfig:
+        return self._config
+
+    def initial_root_predicate(self) -> Box:
+        return self.world
+
+    # -- navigation (insert) ---------------------------------------------------
+
+    def choose(
+        self,
+        node_predicate: Any,
+        entries: Sequence[Any],
+        key: Any,
+        level: int,
+    ) -> ChooseResult:
+        segment: LineSegment = key
+        targets = tuple(
+            index
+            for index, quadrant in enumerate(entries)
+            if segment.intersects_box(quadrant)
+        )
+        if not targets:
+            # Clamp out-of-world segments to the nearest quadrant so the
+            # insert cannot dead-end; documented as world-box clipping.
+            targets = (self._nearest_quadrant(entries, segment),)
+        return DescendMultiple(targets, level_delta=1)
+
+    @staticmethod
+    def _nearest_quadrant(entries: Sequence[Any], segment: LineSegment) -> int:
+        mid = segment.midpoint()
+        distances = [point_to_box_distance(mid, box) for box in entries]
+        return distances.index(min(distances))
+
+    # -- decomposition ------------------------------------------------------------
+
+    def picksplit(
+        self,
+        items: Sequence[tuple[Any, Any]],
+        level: int,
+        parent_predicate: Any = None,
+    ) -> PickSplitResult:
+        region: Box = parent_predicate if parent_predicate is not None else self.world
+        partitions: list[tuple[Any, list[tuple[Any, Any]]]] = []
+        for quadrant in region.quadrants():
+            members = [
+                (segment, value)
+                for segment, value in items
+                if segment.intersects_box(quadrant)
+            ]
+            partitions.append((quadrant, members))
+        return PickSplitResult(
+            node_predicate=region,
+            partitions=partitions,
+            level_delta=1,
+            recurse_overfull=False,  # the PMR rule: one split per violation
+        )
+
+    # -- navigation (search) ------------------------------------------------------
+
+    def consistent(
+        self,
+        node_predicate: Any,
+        entry_predicate: Any,
+        query: Query,
+        level: int,
+    ) -> bool:
+        quadrant: Box = entry_predicate
+        if query.op == "=":
+            segment: LineSegment = query.operand
+            return segment.intersects_box(quadrant)
+        if query.op == "&&":
+            window: Box = query.operand
+            return quadrant.intersects(window)
+        raise KeyError(f"PMR quadtree does not support operator {query.op!r}")
+
+    def leaf_consistent(self, key: Any, query: Query, level: int) -> bool:
+        if query.op == "=":
+            return key == query.operand
+        if query.op == "&&":
+            segment: LineSegment = key
+            window: Box = query.operand
+            return segment.intersects_box(window)
+        raise KeyError(f"PMR quadtree does not support operator {query.op!r}")
+
+    # -- NN search (point query → nearest segments) -------------------------------------
+
+    def nn_initial_state(self, query: Any) -> None:
+        return None  # entry predicates are self-describing regions
+
+    def nn_inner_distance(
+        self,
+        query: Any,
+        node_predicate: Any,
+        entry_predicate: Any,
+        level: int,
+        parent_state: Any,
+    ) -> tuple[float, Any]:
+        quadrant: Box = entry_predicate
+        return point_to_box_distance(query, quadrant), None
+
+    def nn_leaf_distance(self, query: Any, key: Any) -> float:
+        return point_to_segment_distance(query, key)
+
+
+class PMRQuadtreeIndex(SPGiSTIndex):
+    """Convenience wrapper: an SP-GiST index preconfigured as a PMR quadtree."""
+
+    def __init__(
+        self,
+        buffer: BufferPool,
+        world: Box,
+        threshold: int = DEFAULT_THRESHOLD,
+        resolution: int = DEFAULT_RESOLUTION,
+        name: str = "sp_pmr",
+        page_capacity: int | None = None,
+    ) -> None:
+        super().__init__(
+            buffer,
+            PMRQuadtreeMethods(world, threshold=threshold, resolution=resolution),
+            name=name,
+            page_capacity=page_capacity,
+        )
+
+    def search_exact(self, segment: LineSegment) -> list[tuple[LineSegment, Any]]:
+        """Exact segment-match search (operator =)."""
+        return self.search_list(Query("=", segment))
+
+    def search_window(self, window: Box) -> list[tuple[LineSegment, Any]]:
+        """Window search: segments crossing ``window`` (operator &&)."""
+        return self.search_list(Query("&&", window))
+
+    def nearest_to(self, point: Point, k: int) -> list[tuple[float, LineSegment, Any]]:
+        """The ``k`` segments nearest to ``point`` (operator @@)."""
+        from repro.core.nn import nearest
+
+        return nearest(self, point, k)

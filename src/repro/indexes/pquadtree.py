@@ -1,0 +1,220 @@
+"""Disk-based point quadtree as an SP-GiST instantiation (paper Figure 3a).
+
+The point quadtree is *data-driven*: each inner node is centered on one of
+the indexed points (the first point that landed in the region), and its four
+partitions are the quadrants around that center. The center itself lives in
+a child under the BLANK entry, mirroring the kd-tree's discriminator
+handling.
+
+Quadrant convention (closed on the >= side, ties go east/north):
+``NE: x >= cx, y >= cy`` — ``NW: x < cx, y >= cy`` —
+``SW: x < cx, y < cy`` — ``SE: x >= cx, y < cy``.
+
+Operators: ``@`` point equality, ``^`` inside-box (range), ``@@`` nearest
+neighbour under Euclidean distance.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Sequence
+
+from repro.core.config import PathShrink, SPGiSTConfig
+from repro.core.external import (
+    AddEntry,
+    ChooseResult,
+    Descend,
+    ExternalMethods,
+    PickSplitResult,
+    Query,
+)
+from repro.core.node import BLANK
+from repro.core.tree import SPGiSTIndex
+from repro.geometry.box import Box
+from repro.geometry.distance import euclidean, point_to_box_distance
+from repro.geometry.point import Point
+from repro.storage.buffer import BufferPool
+
+NE, NW, SW, SE = "NE", "NW", "SW", "SE"
+_QUADRANTS = (NE, NW, SW, SE)
+
+_WORLD = Box(-math.inf, -math.inf, math.inf, math.inf)
+
+
+def quadrant_of(point: Point, center: Point) -> str:
+    """Quadrant of ``point`` relative to ``center`` (ties east/north)."""
+    east = point.x >= center.x
+    north = point.y >= center.y
+    if east:
+        return NE if north else SE
+    return NW if north else SW
+
+
+def quadrant_region(region: Box, center: Point, quadrant: str) -> Box:
+    """Clip ``region`` to one quadrant around ``center``."""
+    if quadrant == NE:
+        return Box(
+            max(region.xmin, center.x), max(region.ymin, center.y),
+            region.xmax, region.ymax,
+        )
+    if quadrant == NW:
+        return Box(
+            region.xmin, max(region.ymin, center.y),
+            min(region.xmax, center.x), region.ymax,
+        )
+    if quadrant == SW:
+        return Box(
+            region.xmin, region.ymin,
+            min(region.xmax, center.x), min(region.ymax, center.y),
+        )
+    return Box(
+        max(region.xmin, center.x), region.ymin,
+        region.xmax, min(region.ymax, center.y),
+    )
+
+
+def _box_touches_quadrant(box: Box, center: Point, quadrant: str) -> bool:
+    """Can ``box`` intersect the (unbounded) quadrant around ``center``?"""
+    if quadrant == NE:
+        return box.xmax >= center.x and box.ymax >= center.y
+    if quadrant == NW:
+        return box.xmin < center.x and box.ymax >= center.y
+    if quadrant == SW:
+        return box.xmin < center.x and box.ymin < center.y
+    return box.xmax >= center.x and box.ymin < center.y
+
+
+class PointQuadtreeMethods(ExternalMethods):
+    """External methods of the data-driven point quadtree."""
+
+    supported_operators = ("@", "^", "@@")
+    equality_operator = "@"
+
+    def __init__(self, bucket_size: int = 1) -> None:
+        self._config = SPGiSTConfig(
+            node_predicate="quadrant (NE/NW/SW/SE) or blank",
+            key_type="point",
+            num_space_partitions=4,
+            resolution=0,
+            path_shrink=PathShrink.NEVER_SHRINK,
+            node_shrink=True,
+            bucket_size=bucket_size,
+        )
+
+    def get_parameters(self) -> SPGiSTConfig:
+        return self._config
+
+    # -- navigation (insert) ---------------------------------------------------
+
+    def choose(
+        self,
+        node_predicate: Any,
+        entries: Sequence[Any],
+        key: Any,
+        level: int,
+    ) -> ChooseResult:
+        center: Point = node_predicate
+        quadrant = quadrant_of(key, center)
+        for index, predicate in enumerate(entries):
+            if predicate == quadrant:
+                return Descend(index, level_delta=1)
+        return AddEntry(quadrant, level_delta=1)
+
+    # -- decomposition ------------------------------------------------------------
+
+    def picksplit(
+        self,
+        items: Sequence[tuple[Any, Any]],
+        level: int,
+        parent_predicate: Any = None,
+    ) -> PickSplitResult:
+        """The oldest point becomes the node center; the rest scatter."""
+        center_item = items[0]
+        center: Point = center_item[0]
+        partitions: dict[Any, list[tuple[Any, Any]]] = {BLANK: [center_item]}
+        for key, value in items[1:]:
+            partitions.setdefault(quadrant_of(key, center), []).append((key, value))
+        return PickSplitResult(
+            node_predicate=center,
+            partitions=list(partitions.items()),
+            level_delta=1,
+            recurse_overfull=True,
+        )
+
+    # -- navigation (search) ------------------------------------------------------
+
+    def consistent(
+        self,
+        node_predicate: Any,
+        entry_predicate: Any,
+        query: Query,
+        level: int,
+    ) -> bool:
+        center: Point = node_predicate
+        if query.op == "@":
+            q: Point = query.operand
+            if entry_predicate is BLANK:
+                return q == center
+            return quadrant_of(q, center) == entry_predicate
+        if query.op == "^":
+            box: Box = query.operand
+            if entry_predicate is BLANK:
+                return box.contains_point(center)
+            return _box_touches_quadrant(box, center, entry_predicate)
+        raise KeyError(f"point quadtree does not support operator {query.op!r}")
+
+    def leaf_consistent(self, key: Any, query: Query, level: int) -> bool:
+        if query.op == "@":
+            return key == query.operand
+        if query.op == "^":
+            return query.operand.contains_point(key)
+        raise KeyError(f"point quadtree does not support operator {query.op!r}")
+
+    # -- NN search (Euclidean) -------------------------------------------------------
+
+    def nn_initial_state(self, query: Any) -> Box:
+        return _WORLD
+
+    def nn_inner_distance(
+        self,
+        query: Any,
+        node_predicate: Any,
+        entry_predicate: Any,
+        level: int,
+        parent_state: Any,
+    ) -> tuple[float, Any]:
+        region: Box = parent_state
+        center: Point = node_predicate
+        if entry_predicate is BLANK:
+            return euclidean(query, center), region
+        child = quadrant_region(region, center, entry_predicate)
+        return point_to_box_distance(query, child), child
+
+    def nn_leaf_distance(self, query: Any, key: Any) -> float:
+        return euclidean(query, key)
+
+
+class PointQuadtreeIndex(SPGiSTIndex):
+    """Convenience wrapper: an SP-GiST index preconfigured as a point quadtree."""
+
+    def __init__(
+        self,
+        buffer: BufferPool,
+        bucket_size: int = 1,
+        name: str = "sp_pquadtree",
+        page_capacity: int | None = None,
+    ) -> None:
+        super().__init__(
+            buffer,
+            PointQuadtreeMethods(bucket_size=bucket_size),
+            name=name,
+            page_capacity=page_capacity,
+        )
+
+    def search_point(self, point: Point) -> list[tuple[Point, Any]]:
+        """Exact point-match search (operator @)."""
+        return self.search_list(Query("@", point))
+
+    def search_range(self, box: Box) -> list[tuple[Point, Any]]:
+        """Range search: all points inside ``box`` (operator ^)."""
+        return self.search_list(Query("^", box))

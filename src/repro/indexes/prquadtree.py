@@ -1,0 +1,199 @@
+"""Disk-based PR (point-region) quadtree as an SP-GiST instantiation.
+
+The *space-driven* sibling of the data-driven point quadtree in
+:mod:`repro.indexes.pquadtree` (paper Section 3's space-driven vs
+data-driven distinction, Figure 2 vs Figure 3): every decomposition splits
+the *region* into four equal quadrants regardless of the data, points live
+only in leaf buckets, and the recursion depth is bounded by ``Resolution``.
+This is also the shape of PostgreSQL's own ``quad_point_ops`` opclass that
+SP-GiST later shipped with, which makes the variant worth having alongside
+the paper's data-driven one.
+
+Operators: ``@`` point equality, ``^`` inside-box (range), ``@@`` nearest
+neighbour under Euclidean distance.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.core.config import PathShrink, SPGiSTConfig
+from repro.core.external import (
+    ChooseResult,
+    Descend,
+    ExternalMethods,
+    PickSplitResult,
+    Query,
+)
+from repro.core.tree import SPGiSTIndex
+from repro.geometry.box import Box
+from repro.geometry.distance import euclidean, point_to_box_distance
+from repro.geometry.point import Point
+from repro.storage.buffer import BufferPool
+
+#: Default leaf bucket capacity.
+DEFAULT_BUCKET_SIZE = 8
+
+#: Default maximum decomposition depth.
+DEFAULT_RESOLUTION = 20
+
+
+def _quadrant_index(point: Point, region: Box) -> int:
+    """Index (0..3, NW/NE/SW/SE order of :meth:`Box.quadrants`) of the
+    quadrant of ``region`` containing ``point`` (ties go east/north)."""
+    cx = (region.xmin + region.xmax) / 2.0
+    cy = (region.ymin + region.ymax) / 2.0
+    north = point.y >= cy
+    east = point.x >= cx
+    if north:
+        return 1 if east else 0
+    return 3 if east else 2
+
+
+class PRQuadtreeMethods(ExternalMethods):
+    """External methods of the space-driven PR quadtree over ``world``."""
+
+    supported_operators = ("@", "^", "@@")
+    equality_operator = "@"
+
+    def __init__(
+        self,
+        world: Box,
+        bucket_size: int = DEFAULT_BUCKET_SIZE,
+        resolution: int = DEFAULT_RESOLUTION,
+    ) -> None:
+        self.world = world
+        self._config = SPGiSTConfig(
+            node_predicate="quadrant region box",
+            key_type="point",
+            num_space_partitions=4,
+            resolution=resolution,
+            path_shrink=PathShrink.NEVER_SHRINK,
+            node_shrink=False,
+            bucket_size=bucket_size,
+        )
+
+    def get_parameters(self) -> SPGiSTConfig:
+        return self._config
+
+    def initial_root_predicate(self) -> Box:
+        return self.world
+
+    # -- navigation (insert) ---------------------------------------------------
+
+    def choose(
+        self,
+        node_predicate: Any,
+        entries: Sequence[Any],
+        key: Any,
+        level: int,
+    ) -> ChooseResult:
+        region: Box = node_predicate
+        clamped = Point(
+            min(max(key.x, region.xmin), region.xmax),
+            min(max(key.y, region.ymin), region.ymax),
+        )
+        return Descend(_quadrant_index(clamped, region), level_delta=1)
+
+    # -- decomposition ------------------------------------------------------------
+
+    def picksplit(
+        self,
+        items: Sequence[tuple[Any, Any]],
+        level: int,
+        parent_predicate: Any = None,
+    ) -> PickSplitResult:
+        region: Box = parent_predicate if parent_predicate is not None else self.world
+        quadrants = region.quadrants()
+        partitions: list[tuple[Any, list[tuple[Any, Any]]]] = [
+            (quadrant, []) for quadrant in quadrants
+        ]
+        for point, value in items:
+            clamped = Point(
+                min(max(point.x, region.xmin), region.xmax),
+                min(max(point.y, region.ymin), region.ymax),
+            )
+            partitions[_quadrant_index(clamped, region)][1].append((point, value))
+        occupied = sum(1 for _q, members in partitions if members)
+        return PickSplitResult(
+            node_predicate=region,
+            partitions=partitions,
+            level_delta=1,
+            recurse_overfull=True,
+            progress=occupied > 1,
+        )
+
+    # -- navigation (search) ------------------------------------------------------
+
+    def consistent(
+        self,
+        node_predicate: Any,
+        entry_predicate: Any,
+        query: Query,
+        level: int,
+    ) -> bool:
+        quadrant: Box = entry_predicate
+        if query.op == "@":
+            # Out-of-world points are clamped on insert; mirror that here so
+            # equality search reaches the same quadrant chain.
+            q: Point = query.operand
+            clamped = Point(
+                min(max(q.x, self.world.xmin), self.world.xmax),
+                min(max(q.y, self.world.ymin), self.world.ymax),
+            )
+            return quadrant.contains_point(clamped)
+        if query.op == "^":
+            return quadrant.intersects(query.operand)
+        raise KeyError(f"PR quadtree does not support operator {query.op!r}")
+
+    def leaf_consistent(self, key: Any, query: Query, level: int) -> bool:
+        if query.op == "@":
+            return key == query.operand
+        if query.op == "^":
+            return query.operand.contains_point(key)
+        raise KeyError(f"PR quadtree does not support operator {query.op!r}")
+
+    # -- NN search (Euclidean) -------------------------------------------------------
+
+    def nn_inner_distance(
+        self,
+        query: Any,
+        node_predicate: Any,
+        entry_predicate: Any,
+        level: int,
+        parent_state: Any,
+    ) -> tuple[float, Any]:
+        quadrant: Box = entry_predicate
+        return point_to_box_distance(query, quadrant), None
+
+    def nn_leaf_distance(self, query: Any, key: Any) -> float:
+        return euclidean(query, key)
+
+
+class PRQuadtreeIndex(SPGiSTIndex):
+    """Convenience wrapper: an SP-GiST index preconfigured as a PR quadtree."""
+
+    def __init__(
+        self,
+        buffer: BufferPool,
+        world: Box,
+        bucket_size: int = DEFAULT_BUCKET_SIZE,
+        resolution: int = DEFAULT_RESOLUTION,
+        name: str = "sp_prquadtree",
+        page_capacity: int | None = None,
+    ) -> None:
+        super().__init__(
+            buffer,
+            PRQuadtreeMethods(world, bucket_size=bucket_size,
+                              resolution=resolution),
+            name=name,
+            page_capacity=page_capacity,
+        )
+
+    def search_point(self, point: Point) -> list[tuple[Point, Any]]:
+        """Exact point-match search (operator @)."""
+        return self.search_list(Query("@", point))
+
+    def search_range(self, box: Box) -> list[tuple[Point, Any]]:
+        """Range search: all points inside ``box`` (operator ^)."""
+        return self.search_list(Query("^", box))

@@ -1,0 +1,110 @@
+"""Disk-based suffix tree as an SP-GiST instantiation (paper Section 6).
+
+A suffix tree here is the paper's construction: a patricia trie over *all
+suffixes* of the indexed strings. The substring-match operator ``@=`` then
+reduces to a prefix search over suffixes — any word containing the query
+substring has a suffix starting with it. This is what gives the 3-orders-of-
+magnitude win over sequential scanning in Figure 16, since no other access
+method supports substring search at all.
+
+The leaf key is the suffix; the leaf value carries ``(original_word, tid)``
+so results can be reported (and deduplicated — one word contributes up to
+``len(word)`` suffixes) without a heap fetch.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.core.config import SPGiSTConfig
+from repro.core.external import Query
+from repro.core.tree import SPGiSTIndex
+from repro.indexes.trie import DEFAULT_BUCKET_SIZE, TrieMethods
+from repro.storage.buffer import BufferPool
+
+
+class SuffixTreeMethods(TrieMethods):
+    """Trie external methods rebadged with the substring operator ``@=``.
+
+    ``@=`` navigates exactly like the trie's prefix operator ``#=`` — the
+    engine applies it to suffix keys, which turns prefix semantics into
+    substring semantics at the word level.
+    """
+
+    supported_operators = ("=", "#=", "?=", "*=", "@=", "@@")
+
+    def get_parameters(self) -> SPGiSTConfig:
+        base = super().get_parameters()
+        return SPGiSTConfig(
+            node_predicate=base.node_predicate,
+            key_type="varchar (suffixes)",
+            num_space_partitions=base.num_space_partitions,
+            resolution=base.resolution,
+            path_shrink=base.path_shrink,
+            node_shrink=base.node_shrink,
+            bucket_size=base.bucket_size,
+        )
+
+    def consistent(self, node_predicate, entry_predicate, query, level):
+        if query.op == "@=":
+            query = Query("#=", query.operand)
+        return super().consistent(node_predicate, entry_predicate, query, level)
+
+    def leaf_consistent(self, key, query, level):
+        if query.op == "@=":
+            query = Query("#=", query.operand)
+        return super().leaf_consistent(key, query, level)
+
+    @staticmethod
+    def extract_keys(word: str) -> Iterable[str]:
+        """All suffixes of ``word`` (the keys one row contributes)."""
+        return (word[i:] for i in range(len(word)))
+
+
+class SuffixTreeIndex(SPGiSTIndex):
+    """Substring-search index: a patricia trie over every suffix.
+
+    ``insert_word`` fans one word out into its suffixes;
+    ``search_substring`` runs ``@=`` and deduplicates word-level hits.
+    """
+
+    def __init__(
+        self,
+        buffer: BufferPool,
+        bucket_size: int = DEFAULT_BUCKET_SIZE,
+        name: str = "sp_suffix",
+        page_capacity: int | None = None,
+    ) -> None:
+        super().__init__(
+            buffer,
+            SuffixTreeMethods(bucket_size=bucket_size),
+            name=name,
+            page_capacity=page_capacity,
+        )
+        self._word_count = 0
+
+    def insert_word(self, word: str, value: Any = None) -> None:
+        """Index ``word``: one trie item per suffix."""
+        for suffix in SuffixTreeMethods.extract_keys(word):
+            self.insert(suffix, (word, value))
+        self._word_count += 1
+
+    def delete_word(self, word: str, value: Any = None) -> None:
+        """Remove every suffix item of ``word`` (with ``value`` when given)."""
+        for suffix in set(SuffixTreeMethods.extract_keys(word)):
+            if value is None:
+                self.delete(suffix)
+            else:
+                self.delete(suffix, (word, value))
+        self._word_count -= 1
+
+    @property
+    def word_count(self) -> int:
+        return self._word_count
+
+    def search_substring(self, needle: str) -> list[tuple[str, Any]]:
+        """Distinct ``(word, value)`` pairs whose word contains ``needle``."""
+        hits: dict[tuple[str, Any], None] = {}
+        for _suffix, payload in self.search(Query("@=", needle)):
+            hits.setdefault(payload, None)
+        return list(hits.keys())

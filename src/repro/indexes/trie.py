@@ -1,0 +1,380 @@
+"""Disk-based patricia trie as an SP-GiST instantiation (paper Table 1).
+
+Parameter block (paper): ``PathShrink = TreeShrink``, ``NodeShrink = True``,
+``BucketSize = B``, ``NoOfSpacePartitions = 27`` (letters a–z plus blank),
+``NodePredicate = letter or blank``, ``KeyType = varchar``.
+
+Inner-node layout: the node predicate is the *collapsed common prefix*
+(patricia path compression — empty for NeverShrink/LeafShrink variants); each
+entry predicate is one letter, or BLANK for keys that end exactly at this
+node. ``level`` counts the characters of the key consumed so far.
+
+Operators (paper Tables 3–4): ``=`` equality, ``#=`` prefix match, ``?=``
+regular-expression match with the single-character wildcard ``?``, and ``@@``
+nearest-neighbour under Hamming distance.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.core.config import PathShrink, SPGiSTConfig
+from repro.core.external import (
+    AddEntry,
+    ChooseResult,
+    Descend,
+    ExternalMethods,
+    PickSplitResult,
+    Query,
+    SplitPrefix,
+)
+from repro.core.node import BLANK
+from repro.core.tree import SPGiSTIndex
+from repro.geometry.distance import hamming, prefix_hamming_lower_bound
+from repro.storage.buffer import BufferPool
+
+#: Default leaf bucket size ("B" in the paper's parameter table).
+DEFAULT_BUCKET_SIZE = 32
+
+#: Wildcard character of the ``?=`` regular-expression operator.
+WILDCARD = "?"
+
+
+def _common_prefix(strings: Sequence[str]) -> str:
+    """Longest common prefix of ``strings`` (empty for an empty sequence)."""
+    if not strings:
+        return ""
+    shortest = min(strings, key=len)
+    for i, ch in enumerate(shortest):
+        for s in strings:
+            if s[i] != ch:
+                return shortest[:i]
+    return shortest
+
+
+def regex_matches(pattern: str, text: str) -> bool:
+    """The paper's ``?=`` semantics: equal length, ``?`` matches any char."""
+    if len(pattern) != len(text):
+        return False
+    return all(p == WILDCARD or p == c for p, c in zip(pattern, text))
+
+
+#: Multi-character wildcard of the ``*=`` glob operator (extension: the
+#: paper supports only ``?`` and leaves richer patterns to future work).
+STAR = "*"
+
+
+def glob_matches(pattern: str, text: str) -> bool:
+    """Glob semantics: ``?`` matches one char, ``*`` any sequence.
+
+    Classic two-pointer matcher with backtracking to the last star.
+    """
+    p = t = 0
+    star = -1
+    star_t = 0
+    while t < len(text):
+        if p < len(pattern) and (pattern[p] == WILDCARD or pattern[p] == text[t]):
+            p += 1
+            t += 1
+        elif p < len(pattern) and pattern[p] == STAR:
+            star = p
+            star_t = t
+            p += 1
+        elif star >= 0:
+            p = star + 1
+            star_t += 1
+            t = star_t
+        else:
+            return False
+    while p < len(pattern) and pattern[p] == STAR:
+        p += 1
+    return p == len(pattern)
+
+
+def _glob_min_length(pattern: str) -> int:
+    """Minimum text length a glob pattern can match (non-star characters)."""
+    return sum(1 for ch in pattern if ch != STAR)
+
+
+class TrieMethods(ExternalMethods):
+    """External methods of the (patricia) trie.
+
+    ``path_shrink`` selects the variant of paper Figure 1: TREE_SHRINK is
+    the patricia trie (prefix collapse anywhere); NEVER_SHRINK and
+    LEAF_SHRINK never install a non-empty node prefix (with bucketed leaves
+    holding whole keys, leaf-level collapse is implicit, so the two differ
+    only in name here). Used by ablation D2.
+    """
+
+    supported_operators = ("=", "#=", "?=", "*=", "@@")
+    equality_operator = "="
+
+    def __init__(
+        self,
+        bucket_size: int = DEFAULT_BUCKET_SIZE,
+        path_shrink: PathShrink = PathShrink.TREE_SHRINK,
+        node_shrink: bool = True,
+        resolution: int = 0,
+    ) -> None:
+        self._config = SPGiSTConfig(
+            node_predicate="letter or blank",
+            key_type="varchar",
+            num_space_partitions=27,
+            resolution=resolution,
+            path_shrink=path_shrink,
+            node_shrink=node_shrink,
+            bucket_size=bucket_size,
+        )
+
+    def get_parameters(self) -> SPGiSTConfig:
+        return self._config
+
+    # -- navigation (insert) ---------------------------------------------------
+
+    def choose(
+        self,
+        node_predicate: Any,
+        entries: Sequence[Any],
+        key: Any,
+        level: int,
+    ) -> ChooseResult:
+        prefix: str = node_predicate or ""
+        rest = key[level:]
+        if not rest.startswith(prefix):
+            # Patricia conflict: the key diverges inside the collapsed
+            # prefix. Split the prefix at the divergence point (Fig. 1c).
+            common_len = 0
+            limit = min(len(rest), len(prefix))
+            while common_len < limit and rest[common_len] == prefix[common_len]:
+                common_len += 1
+            if common_len == len(prefix):  # pragma: no cover - startswith said no
+                raise AssertionError("divergence point not found")
+            return SplitPrefix(
+                new_prefix=prefix[:common_len],
+                old_entry_predicate=prefix[common_len],
+                old_node_predicate=prefix[common_len + 1 :],
+            )
+        position = level + len(prefix)
+        predicate: Any = BLANK if len(key) <= position else key[position]
+        delta = len(prefix) + 1
+        for index, entry_predicate in enumerate(entries):
+            if entry_predicate == predicate:
+                return Descend(index, level_delta=delta)
+        return AddEntry(predicate, level_delta=delta)
+
+    # -- decomposition ------------------------------------------------------------
+
+    def picksplit(
+        self,
+        items: Sequence[tuple[Any, Any]],
+        level: int,
+        parent_predicate: Any = None,
+    ) -> PickSplitResult:
+        rests = [key[level:] for key, _ in items]
+        if self._config.path_shrink is PathShrink.TREE_SHRINK:
+            prefix = _common_prefix(rests)
+        else:
+            prefix = ""
+        position = len(prefix)
+        partitions: dict[Any, list[tuple[Any, Any]]] = {}
+        if not self._config.node_shrink:
+            # Figure 2a: space-driven partition set materialized up front —
+            # all 26 letters plus blank, empties included.
+            partitions[BLANK] = []
+            for letter in "abcdefghijklmnopqrstuvwxyz":
+                partitions[letter] = []
+        for (key, value), rest in zip(items, rests):
+            predicate: Any = BLANK if len(rest) <= position else rest[position]
+            partitions.setdefault(predicate, []).append((key, value))
+        # All items ending at the same position means the keys are identical
+        # from here on — no decomposition can separate them (spill signal).
+        occupied = [pred for pred, members in partitions.items() if members]
+        separable = not (len(occupied) == 1 and occupied[0] is BLANK)
+        return PickSplitResult(
+            node_predicate=prefix,
+            partitions=list(partitions.items()),
+            level_delta=len(prefix) + 1,
+            recurse_overfull=True,
+            progress=separable,
+        )
+
+    # -- navigation (search) ------------------------------------------------------
+
+    def consistent(
+        self,
+        node_predicate: Any,
+        entry_predicate: Any,
+        query: Query,
+        level: int,
+    ) -> bool:
+        prefix: str = node_predicate or ""
+        if query.op == "=":
+            return self._consistent_exact(prefix, entry_predicate, query.operand, level)
+        if query.op == "#=":
+            return self._consistent_prefix(prefix, entry_predicate, query.operand, level)
+        if query.op == "?=":
+            return self._consistent_regex(prefix, entry_predicate, query.operand, level)
+        if query.op == "*=":
+            return self._consistent_glob(prefix, entry_predicate, query.operand, level)
+        raise KeyError(f"trie does not support operator {query.op!r}")
+
+    @staticmethod
+    def _consistent_exact(
+        prefix: str, entry_predicate: Any, q: str, level: int
+    ) -> bool:
+        """Paper Table 1: q[level] == E.letter, or blank past the key end."""
+        if q[level : level + len(prefix)] != prefix:
+            return False
+        position = level + len(prefix)
+        if entry_predicate is BLANK:
+            return len(q) == position
+        return position < len(q) and q[position] == entry_predicate
+
+    @staticmethod
+    def _consistent_prefix(
+        prefix: str, entry_predicate: Any, p: str, level: int
+    ) -> bool:
+        """Descend while the path can still lead to keys starting with p."""
+        for i, ch in enumerate(prefix):
+            position = level + i
+            if position < len(p) and p[position] != ch:
+                return False
+        position = level + len(prefix)
+        if position >= len(p):
+            return True  # path already covers the whole query prefix
+        if entry_predicate is BLANK:
+            return False  # keys ending here are shorter than p
+        return entry_predicate == p[position]
+
+    @staticmethod
+    def _consistent_regex(
+        prefix: str, entry_predicate: Any, pattern: str, level: int
+    ) -> bool:
+        """Filter on every non-wildcard character (paper Section 6).
+
+        This is exactly why the trie tolerates leading wildcards where the
+        B+-tree cannot: a ``?`` merely keeps all entries alive at that level.
+        """
+        for i, ch in enumerate(prefix):
+            position = level + i
+            if position >= len(pattern):
+                return False  # key would be longer than the pattern
+            if pattern[position] != WILDCARD and pattern[position] != ch:
+                return False
+        position = level + len(prefix)
+        if entry_predicate is BLANK:
+            return len(pattern) == position
+        if position >= len(pattern):
+            return False
+        return pattern[position] == WILDCARD or pattern[position] == entry_predicate
+
+    @staticmethod
+    def _consistent_glob(
+        prefix: str, entry_predicate: Any, pattern: str, level: int
+    ) -> bool:
+        """Admissible filter for glob patterns (extension operator ``*=``).
+
+        Only the literal part before the first ``*`` can prune; beyond it
+        every branch may still match (the star absorbs anything), and leaf
+        filtering does the exact check. Never prunes a true match.
+        """
+        star_at = pattern.find(STAR)
+        if star_at < 0:
+            return TrieMethods._consistent_regex(
+                prefix, entry_predicate, pattern, level
+            )
+        literal = pattern[:star_at]
+        for i, ch in enumerate(prefix):
+            position = level + i
+            if position < len(literal) and literal[position] not in (WILDCARD, ch):
+                return False
+        position = level + len(prefix)
+        if entry_predicate is BLANK:
+            # Keys end here with length == position; a match needs at least
+            # the pattern's non-star characters.
+            return position >= _glob_min_length(pattern)
+        if position < len(literal):
+            return literal[position] in (WILDCARD, entry_predicate)
+        return True
+
+    def leaf_consistent(self, key: Any, query: Query, level: int) -> bool:
+        if query.op == "=":
+            return key == query.operand
+        if query.op == "#=":
+            return key.startswith(query.operand)
+        if query.op == "?=":
+            return regex_matches(query.operand, key)
+        if query.op == "*=":
+            return glob_matches(query.operand, key)
+        raise KeyError(f"trie does not support operator {query.op!r}")
+
+    # -- level bookkeeping -----------------------------------------------------------
+
+    def level_delta(self, node_predicate: Any) -> int:
+        return len(node_predicate or "") + 1
+
+    # -- NN search (paper Section 5; Hamming distance) ---------------------------------
+
+    def nn_initial_state(self, query: Any) -> Any:
+        return ""  # accumulated path prefix from the root
+
+    def nn_inner_distance(
+        self,
+        query: Any,
+        node_predicate: Any,
+        entry_predicate: Any,
+        level: int,
+        parent_state: Any,
+    ) -> tuple[float, Any]:
+        accumulated: str = (parent_state or "") + (node_predicate or "")
+        if entry_predicate is BLANK:
+            # The only key below a blank entry is the accumulated path itself.
+            return float(hamming(accumulated, query)), accumulated
+        child_prefix = accumulated + entry_predicate
+        bound = prefix_hamming_lower_bound(child_prefix, query)
+        return float(bound), child_prefix
+
+    def nn_leaf_distance(self, query: Any, key: Any) -> float:
+        return float(hamming(key, query))
+
+
+class TrieIndex(SPGiSTIndex):
+    """Convenience wrapper: an SP-GiST index preconfigured as a patricia trie."""
+
+    def __init__(
+        self,
+        buffer: BufferPool,
+        bucket_size: int = DEFAULT_BUCKET_SIZE,
+        path_shrink: PathShrink = PathShrink.TREE_SHRINK,
+        node_shrink: bool = True,
+        name: str = "sp_trie",
+        page_capacity: int | None = None,
+    ) -> None:
+        super().__init__(
+            buffer,
+            TrieMethods(
+                bucket_size=bucket_size,
+                path_shrink=path_shrink,
+                node_shrink=node_shrink,
+            ),
+            name=name,
+            page_capacity=page_capacity,
+        )
+
+    # Typed conveniences over the generic Query API.
+
+    def search_equal(self, word: str) -> list[tuple[str, Any]]:
+        """Exact-match search (operator =)."""
+        return self.search_list(Query("=", word))
+
+    def search_prefix(self, prefix: str) -> list[tuple[str, Any]]:
+        """Prefix-match search (operator #=)."""
+        return self.search_list(Query("#=", prefix))
+
+    def search_regex(self, pattern: str) -> list[tuple[str, Any]]:
+        """'?'-wildcard regular-expression search (operator ?=)."""
+        return self.search_list(Query("?=", pattern))
+
+    def search_glob(self, pattern: str) -> list[tuple[str, Any]]:
+        """Extension: glob match with ``?`` and ``*`` (operator ``*=``)."""
+        return self.search_list(Query("*=", pattern))

@@ -1,0 +1,200 @@
+"""LRU buffer pool between the access methods and the simulated disk.
+
+All index and heap code fetches pages through a pool; a miss costs one
+physical read on the :class:`DiskManager`. Benchmarks size the pool well
+below the working set so the miss counts track the paper's disk-resident
+setting, and an ablation (D5 in DESIGN.md) sweeps the pool size.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from repro.errors import BufferPoolError
+from repro.storage.disk import DiskManager
+from repro.storage.page import Page
+
+#: Default number of 8 KB frames (64 frames = 512 KB cache).
+DEFAULT_POOL_SIZE = 64
+
+
+@dataclass
+class BufferStats:
+    """Cumulative cache statistics for one buffer pool.
+
+    Misses are classified by access pattern: a miss on the page directly
+    following the previous missed page is *sequential* (cheap on spinning
+    disks, ``seq_page_cost``), anything else is *random*
+    (``random_page_cost``). The split is what makes B+-tree leaf-chain
+    scans cheaper than equal-count scattered reads, as in PostgreSQL's
+    cost model.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    seq_misses: int = 0
+    random_misses: int = 0
+    evictions: int = 0
+    dirty_writebacks: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    def snapshot(self) -> "BufferStats":
+        """A copy of the current counters."""
+        return BufferStats(
+            self.hits,
+            self.misses,
+            self.seq_misses,
+            self.random_misses,
+            self.evictions,
+            self.dirty_writebacks,
+        )
+
+    def delta(self, earlier: "BufferStats") -> "BufferStats":
+        """Counters accumulated since ``earlier`` (an older snapshot)."""
+        return BufferStats(
+            hits=self.hits - earlier.hits,
+            misses=self.misses - earlier.misses,
+            seq_misses=self.seq_misses - earlier.seq_misses,
+            random_misses=self.random_misses - earlier.random_misses,
+            evictions=self.evictions - earlier.evictions,
+            dirty_writebacks=self.dirty_writebacks - earlier.dirty_writebacks,
+        )
+
+
+class BufferPool:
+    """A fixed-capacity LRU cache of deserialized pages.
+
+    Mutation protocol: fetch the page, mutate its payload, then call
+    :meth:`mark_dirty` before the next fetch that could evict it. The
+    convenience :meth:`update` wraps that pattern. Pinned pages are never
+    evicted; pins are only used internally by multi-page operations.
+    """
+
+    def __init__(self, disk: DiskManager, capacity: int = DEFAULT_POOL_SIZE) -> None:
+        if capacity < 1:
+            raise ValueError("buffer pool capacity must be >= 1")
+        self.disk = disk
+        self.capacity = capacity
+        self.stats = BufferStats()
+        self._frames: OrderedDict[int, Page] = OrderedDict()
+        self._last_missed_page: int | None = None
+
+    # -- page lifecycle ------------------------------------------------------
+
+    def new_page(self, payload: Any) -> int:
+        """Allocate a disk page, cache it dirty, and return its id."""
+        page_id = self.disk.allocate_page()
+        self._admit(Page(page_id=page_id, payload=payload, dirty=True))
+        return page_id
+
+    def free_page(self, page_id: int) -> None:
+        """Drop a page from the pool and the disk (no write-back)."""
+        self._frames.pop(page_id, None)
+        self.disk.deallocate_page(page_id)
+
+    # -- access --------------------------------------------------------------
+
+    def fetch(self, page_id: int) -> Any:
+        """Return the payload of ``page_id``, reading from disk on a miss."""
+        return self._fetch_page(page_id).payload
+
+    def _fetch_page(self, page_id: int) -> Page:
+        page = self._frames.get(page_id)
+        if page is not None:
+            self.stats.hits += 1
+            self._frames.move_to_end(page_id)
+            return page
+        self.stats.misses += 1
+        if self._last_missed_page is not None and page_id == self._last_missed_page + 1:
+            self.stats.seq_misses += 1
+        else:
+            self.stats.random_misses += 1
+        self._last_missed_page = page_id
+        payload = self.disk.read_page(page_id)
+        page = Page(page_id=page_id, payload=payload)
+        self._admit(page)
+        return page
+
+    def mark_dirty(self, page_id: int) -> None:
+        """Record that the cached payload of ``page_id`` was mutated."""
+        page = self._frames.get(page_id)
+        if page is None:
+            raise BufferPoolError(
+                f"mark_dirty({page_id}) on a page not resident in the pool; "
+                "mutate pages between fetch and the next eviction point"
+            )
+        page.dirty = True
+
+    def update(self, page_id: int, payload: Any) -> None:
+        """Replace the payload of ``page_id`` and mark it dirty."""
+        page = self._fetch_page(page_id)
+        page.payload = payload
+        page.dirty = True
+
+    def pin(self, page_id: int) -> None:
+        """Protect a resident page from eviction until :meth:`unpin`."""
+        self._fetch_page(page_id).pin_count += 1
+
+    def unpin(self, page_id: int) -> None:
+        """Release one pin taken with :meth:`pin`."""
+        page = self._frames.get(page_id)
+        if page is None or page.pin_count <= 0:
+            raise BufferPoolError(f"unpin({page_id}) without a matching pin")
+        page.pin_count -= 1
+
+    # -- maintenance -----------------------------------------------------------
+
+    def flush_all(self) -> None:
+        """Write back every dirty resident page (checkpoint)."""
+        for page in self._frames.values():
+            if page.dirty:
+                self.disk.write_page(page.page_id, page.payload)
+                page.dirty = False
+                self.stats.dirty_writebacks += 1
+
+    def clear(self) -> None:
+        """Flush then empty the pool — simulates a cold cache."""
+        self.flush_all()
+        self._frames.clear()
+
+    def resident_page_ids(self) -> Iterator[int]:
+        """Page ids currently cached, in LRU order (oldest first)."""
+        return iter(self._frames.keys())
+
+    @property
+    def resident_count(self) -> int:
+        return len(self._frames)
+
+    def reset_stats(self) -> None:
+        """Zero the cache counters (page contents untouched)."""
+        self.stats = BufferStats()
+
+    # -- internals -------------------------------------------------------------
+
+    def _admit(self, page: Page) -> None:
+        while len(self._frames) >= self.capacity:
+            self._evict_one()
+        self._frames[page.page_id] = page
+        self._frames.move_to_end(page.page_id)
+
+    def _evict_one(self) -> None:
+        for page_id, page in self._frames.items():
+            if page.pin_count == 0:
+                victim_id, victim = page_id, page
+                break
+        else:
+            raise BufferPoolError("all buffer frames are pinned; cannot evict")
+        if victim.dirty:
+            self.disk.write_page(victim_id, victim.payload)
+            self.stats.dirty_writebacks += 1
+        del self._frames[victim_id]
+        self.stats.evictions += 1

@@ -1,0 +1,115 @@
+"""Disk manager: the page store underneath the buffer pool.
+
+Pages are serialized with :mod:`pickle` on write and deserialized on read, so
+a "disk read" does real (de)serialization work — the simulated disk is not
+just a dict of live objects. Reads and writes are counted; those counters are
+the ground truth for every I/O figure in the benchmarks.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import PageNotFoundError
+
+
+@dataclass
+class DiskStats:
+    """Cumulative physical I/O counters for one disk manager."""
+
+    reads: int = 0
+    writes: int = 0
+    allocations: int = 0
+    deallocations: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+
+    def snapshot(self) -> "DiskStats":
+        """Return a copy of the current counters."""
+        return DiskStats(
+            reads=self.reads,
+            writes=self.writes,
+            allocations=self.allocations,
+            deallocations=self.deallocations,
+            bytes_read=self.bytes_read,
+            bytes_written=self.bytes_written,
+        )
+
+    def delta(self, earlier: "DiskStats") -> "DiskStats":
+        """Counters accumulated since ``earlier`` (an older snapshot)."""
+        return DiskStats(
+            reads=self.reads - earlier.reads,
+            writes=self.writes - earlier.writes,
+            allocations=self.allocations - earlier.allocations,
+            deallocations=self.deallocations - earlier.deallocations,
+            bytes_read=self.bytes_read - earlier.bytes_read,
+            bytes_written=self.bytes_written - earlier.bytes_written,
+        )
+
+
+@dataclass
+class DiskManager:
+    """An in-memory simulated disk holding pickled pages.
+
+    ``read_page``/``write_page`` model the physical I/O boundary: everything
+    crossing it is serialized. The buffer pool above caches deserialized
+    payloads so repeated access to a hot page costs nothing here.
+    """
+
+    stats: DiskStats = field(default_factory=DiskStats)
+    _pages: dict[int, bytes] = field(default_factory=dict)
+    _next_page_id: int = 0
+    _free_list: list[int] = field(default_factory=list)
+
+    def allocate_page(self) -> int:
+        """Allocate a fresh (or recycled) page id with an empty payload."""
+        if self._free_list:
+            page_id = self._free_list.pop()
+        else:
+            page_id = self._next_page_id
+            self._next_page_id += 1
+        self._pages[page_id] = pickle.dumps(None, protocol=pickle.HIGHEST_PROTOCOL)
+        self.stats.allocations += 1
+        return page_id
+
+    def deallocate_page(self, page_id: int) -> None:
+        """Return ``page_id`` to the free list (used by VACUUM-style cleanup)."""
+        if page_id not in self._pages:
+            raise PageNotFoundError(page_id)
+        del self._pages[page_id]
+        self._free_list.append(page_id)
+        self.stats.deallocations += 1
+
+    def read_page(self, page_id: int) -> Any:
+        """Read and deserialize one page's payload. Counts one physical read."""
+        try:
+            raw = self._pages[page_id]
+        except KeyError:
+            raise PageNotFoundError(page_id) from None
+        self.stats.reads += 1
+        self.stats.bytes_read += len(raw)
+        return pickle.loads(raw)
+
+    def write_page(self, page_id: int, payload: Any) -> None:
+        """Serialize and persist one page's payload. Counts one physical write."""
+        if page_id not in self._pages:
+            raise PageNotFoundError(page_id)
+        raw = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        self._pages[page_id] = raw
+        self.stats.writes += 1
+        self.stats.bytes_written += len(raw)
+
+    @property
+    def num_pages(self) -> int:
+        """Number of currently allocated pages."""
+        return len(self._pages)
+
+    def page_exists(self, page_id: int) -> bool:
+        """True when ``page_id`` is currently allocated."""
+        return page_id in self._pages
+
+    def reset_stats(self) -> None:
+        """Zero the I/O counters (page contents are untouched)."""
+        self.stats = DiskStats()

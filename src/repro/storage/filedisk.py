@@ -1,0 +1,142 @@
+"""File-backed disk manager: pages persisted to a real file.
+
+:class:`DiskManager` keeps pages in memory (fast, perfect for the
+experiments); :class:`FileDiskManager` stores them in an append-only data
+file with a sidecar page table, so an index survives process restarts.
+Same interface, same I/O accounting — structures don't know the difference.
+
+Layout: ``<path>`` holds page images appended in write order;
+``<path>.map`` holds a JSON page table ``{page_id: [offset, length]}`` plus
+the allocator state, rewritten on :meth:`sync`. Overwritten page versions
+leave garbage in the data file until :meth:`compact`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+from typing import Any
+
+from repro.errors import PageNotFoundError, StorageError
+from repro.storage.disk import DiskManager
+
+
+class FileDiskManager(DiskManager):
+    """A :class:`DiskManager` whose pages live in a file on disk.
+
+    Use :meth:`sync` (or the context manager form) to persist the page
+    table; reopening the same path restores all pages.
+    """
+
+    def __init__(self, path: str) -> None:
+        super().__init__()
+        self.path = path
+        self._map_path = path + ".map"
+        self._offsets: dict[int, tuple[int, int]] = {}
+        mode = "r+b" if os.path.exists(path) else "w+b"
+        self._file = open(path, mode)
+        if os.path.exists(self._map_path):
+            self._load_map()
+
+    # -- persistence ------------------------------------------------------------
+
+    def _load_map(self) -> None:
+        with open(self._map_path, encoding="utf-8") as f:
+            raw = json.load(f)
+        self._offsets = {
+            int(page_id): tuple(entry) for page_id, entry in raw["pages"].items()
+        }
+        self._next_page_id = raw["next_page_id"]
+        self._free_list = list(raw["free_list"])
+        # Reconstruct the allocation view the base class keeps.
+        self._pages = {page_id: b"" for page_id in self._offsets}
+
+    def sync(self) -> None:
+        """Flush the data file and persist the page table."""
+        self._file.flush()
+        os.fsync(self._file.fileno())
+        payload = {
+            "pages": {str(pid): list(entry) for pid, entry in self._offsets.items()},
+            "next_page_id": self._next_page_id,
+            "free_list": self._free_list,
+        }
+        tmp_path = self._map_path + ".tmp"
+        with open(tmp_path, "w", encoding="utf-8") as f:
+            json.dump(payload, f)
+        os.replace(tmp_path, self._map_path)
+
+    def close(self) -> None:
+        """Sync the page table and close the data file."""
+        self.sync()
+        self._file.close()
+
+    def __enter__(self) -> "FileDiskManager":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -- page I/O ------------------------------------------------------------------
+
+    def read_page(self, page_id: int) -> Any:
+        if page_id not in self._pages:
+            raise PageNotFoundError(page_id)
+        self.stats.reads += 1
+        entry = self._offsets.get(page_id)
+        if entry is None:
+            return None  # allocated but never written
+        offset, length = entry
+        self._file.seek(offset)
+        raw = self._file.read(length)
+        if len(raw) != length:
+            raise StorageError(
+                f"short read for page {page_id}: {len(raw)}/{length} bytes"
+            )
+        self.stats.bytes_read += length
+        return pickle.loads(raw)
+
+    def write_page(self, page_id: int, payload: Any) -> None:
+        if page_id not in self._pages:
+            raise PageNotFoundError(page_id)
+        raw = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        self._file.seek(0, os.SEEK_END)
+        offset = self._file.tell()
+        self._file.write(raw)
+        self._offsets[page_id] = (offset, len(raw))
+        self.stats.writes += 1
+        self.stats.bytes_written += len(raw)
+
+    def deallocate_page(self, page_id: int) -> None:
+        super().deallocate_page(page_id)
+        self._offsets.pop(page_id, None)
+
+    # -- maintenance -----------------------------------------------------------------
+
+    def compact(self) -> int:
+        """Rewrite the data file dropping dead page versions.
+
+        Returns the number of bytes reclaimed.
+        """
+        old_size = self._file.seek(0, os.SEEK_END)
+        tmp_path = self.path + ".compact"
+        new_offsets: dict[int, tuple[int, int]] = {}
+        with open(tmp_path, "w+b") as out:
+            for page_id, (offset, length) in sorted(self._offsets.items()):
+                self._file.seek(offset)
+                raw = self._file.read(length)
+                new_offsets[page_id] = (out.tell(), length)
+                out.write(raw)
+            out.flush()
+            new_size = out.tell()
+        self._file.close()
+        os.replace(tmp_path, self.path)
+        self._file = open(self.path, "r+b")
+        self._offsets = new_offsets
+        self.sync()
+        return old_size - new_size
+
+    @property
+    def file_bytes(self) -> int:
+        """Current size of the data file (including dead versions)."""
+        return self._file.seek(0, os.SEEK_END)

@@ -1,0 +1,139 @@
+"""Heap file: the PostgreSQL heap access method analogue.
+
+Tables store their tuples in a heap file; indexes store ``TupleId`` pointers
+back into it. A sequential scan walks every page in allocation order — this
+is the baseline the suffix tree is compared against in Figure 16.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.costmodel import CPU_OPS
+from repro.errors import StorageError
+from repro.storage.buffer import BufferPool
+from repro.storage.page import ITEM_OVERHEAD, PAGE_CAPACITY, approx_size
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class TupleId:
+    """Physical tuple address: (page id, slot within page)."""
+
+    page_id: int
+    slot: int
+
+
+@dataclass
+class _HeapPagePayload:
+    """On-page representation: a slot array plus a byte budget."""
+
+    slots: list[Any] = field(default_factory=list)
+    used_bytes: int = 0
+
+    def live_count(self) -> int:
+        return sum(1 for item in self.slots if item is not None)
+
+
+class HeapFile:
+    """An append-oriented tuple store with slot-level deletes.
+
+    Inserts fill the last page until its byte budget is exhausted, then
+    allocate a new page. Deletes tombstone the slot (slot numbers stay stable
+    so TupleIds in indexes remain valid); a later vacuum could reclaim them,
+    which we model with :meth:`vacuum_page_stats` for size reporting only.
+    """
+
+    def __init__(self, buffer: BufferPool) -> None:
+        self.buffer = buffer
+        self._page_ids: list[int] = []
+        self._page_id_set: set[int] = set()
+        self._tuple_count = 0
+
+    # -- mutation ---------------------------------------------------------------
+
+    def insert(self, record: Any) -> TupleId:
+        """Append ``record`` and return its physical address."""
+        need = approx_size(record) + ITEM_OVERHEAD
+        if need > PAGE_CAPACITY:
+            raise StorageError(
+                f"record of ~{need} bytes exceeds page capacity {PAGE_CAPACITY}"
+            )
+        if self._page_ids:
+            last_id = self._page_ids[-1]
+            payload: _HeapPagePayload = self.buffer.fetch(last_id)
+            if payload.used_bytes + need <= PAGE_CAPACITY:
+                payload.slots.append(record)
+                payload.used_bytes += need
+                self.buffer.mark_dirty(last_id)
+                self._tuple_count += 1
+                return TupleId(last_id, len(payload.slots) - 1)
+        payload = _HeapPagePayload(slots=[record], used_bytes=need)
+        page_id = self.buffer.new_page(payload)
+        self._page_ids.append(page_id)
+        self._page_id_set.add(page_id)
+        self._tuple_count += 1
+        return TupleId(page_id, 0)
+
+    def delete(self, tid: TupleId) -> Any:
+        """Tombstone the tuple at ``tid`` and return the removed record."""
+        record = self.fetch(tid)
+        if record is None:
+            raise StorageError(f"tuple {tid} is already deleted")
+        payload: _HeapPagePayload = self.buffer.fetch(tid.page_id)
+        payload.slots[tid.slot] = None
+        payload.used_bytes -= approx_size(record) + ITEM_OVERHEAD
+        self.buffer.mark_dirty(tid.page_id)
+        self._tuple_count -= 1
+        return record
+
+    def update(self, tid: TupleId, record: Any) -> None:
+        """In-place update when the new record fits the page budget."""
+        payload: _HeapPagePayload = self.buffer.fetch(tid.page_id)
+        old = payload.slots[tid.slot]
+        if old is None:
+            raise StorageError(f"tuple {tid} is deleted")
+        delta = approx_size(record) - approx_size(old)
+        if payload.used_bytes + delta > PAGE_CAPACITY:
+            raise StorageError("updated record does not fit its page")
+        payload.slots[tid.slot] = record
+        payload.used_bytes += delta
+        self.buffer.mark_dirty(tid.page_id)
+
+    # -- access -------------------------------------------------------------------
+
+    def fetch(self, tid: TupleId) -> Any:
+        """Return the record at ``tid`` (None when tombstoned)."""
+        if tid.page_id not in self._page_id_set:
+            raise StorageError(f"tuple {tid} does not belong to this heap")
+        payload: _HeapPagePayload = self.buffer.fetch(tid.page_id)
+        if tid.slot >= len(payload.slots):
+            raise StorageError(f"tuple {tid} slot out of range")
+        return payload.slots[tid.slot]
+
+    def scan(self) -> Iterator[tuple[TupleId, Any]]:
+        """Yield every live tuple in physical order (sequential scan)."""
+        for page_id in self._page_ids:
+            payload: _HeapPagePayload = self.buffer.fetch(page_id)
+            CPU_OPS.add(payload.live_count())
+            for slot, record in enumerate(payload.slots):
+                if record is not None:
+                    yield TupleId(page_id, slot), record
+
+    # -- statistics -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._tuple_count
+
+    @property
+    def num_pages(self) -> int:
+        return len(self._page_ids)
+
+    def vacuum_page_stats(self) -> tuple[int, int]:
+        """Return ``(pages, pages_needed_after_compaction)`` for reporting."""
+        live_bytes = 0
+        for page_id in self._page_ids:
+            payload: _HeapPagePayload = self.buffer.fetch(page_id)
+            live_bytes += payload.used_bytes
+        needed = (live_bytes + PAGE_CAPACITY - 1) // PAGE_CAPACITY if live_bytes else 0
+        return len(self._page_ids), needed

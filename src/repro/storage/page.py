@@ -1,0 +1,75 @@
+"""Page abstraction and byte-size accounting.
+
+Pages are the unit of I/O. A page carries an arbitrary picklable *payload*
+(a heap page, a bucket of SP-GiST nodes, a B+-tree node, ...) plus
+bookkeeping. Structures that pack items into pages use :func:`approx_size`
+to budget the 8 KB capacity, mirroring how the C implementation lays tuples
+out in PostgreSQL pages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+#: Default page size in bytes, matching PostgreSQL's BLCKSZ.
+PAGE_SIZE = 8192
+
+#: Bytes reserved per page for the page header / line pointers.
+PAGE_HEADER_BYTES = 64
+
+#: Usable bytes per page after the header.
+PAGE_CAPACITY = PAGE_SIZE - PAGE_HEADER_BYTES
+
+#: Per-item overhead (line pointer + tuple header analogue).
+ITEM_OVERHEAD = 16
+
+
+@dataclass
+class Page:
+    """An in-memory image of one disk page.
+
+    The buffer pool hands these out; callers mutate ``payload`` and must call
+    :meth:`BufferPool.mark_dirty` (or use :meth:`BufferPool.update`) so the
+    change survives eviction.
+    """
+
+    page_id: int
+    payload: Any
+    dirty: bool = False
+    pin_count: int = 0
+    _lru_tick: int = field(default=0, repr=False)
+
+
+def approx_size(obj: Any) -> int:
+    """Estimate the serialized size of ``obj`` in bytes.
+
+    This drives page-capacity budgeting. The estimate intentionally mirrors
+    on-disk tuple layouts rather than Python object overheads: strings cost
+    one byte per character plus a length word, numbers cost eight bytes,
+    containers cost the sum of their elements plus a small per-element
+    overhead. Domain objects may define ``approx_bytes()`` to override.
+    """
+    approx_bytes = getattr(obj, "approx_bytes", None)
+    if approx_bytes is not None:
+        return int(approx_bytes())
+    if obj is None:
+        return 1
+    if isinstance(obj, bool):
+        return 1
+    if isinstance(obj, (int, float)):
+        return 8
+    if isinstance(obj, str):
+        return 4 + len(obj)
+    if isinstance(obj, bytes):
+        return 4 + len(obj)
+    if isinstance(obj, (tuple, list)):
+        return 4 + sum(approx_size(item) + 2 for item in obj)
+    if isinstance(obj, dict):
+        return 4 + sum(
+            approx_size(k) + approx_size(v) + 4 for k, v in obj.items()
+        )
+    if isinstance(obj, (set, frozenset)):
+        return 4 + sum(approx_size(item) + 2 for item in obj)
+    # Fallback for unknown objects: a conservative flat charge.
+    return 64

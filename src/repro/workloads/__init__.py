@@ -1,0 +1,31 @@
+"""Synthetic dataset generators matching the paper's Section 6 workloads.
+
+- :mod:`repro.workloads.words`: random words, lengths uniform on [1, 15],
+  alphabet a–z (the trie/B+-tree experiments).
+- :mod:`repro.workloads.points`: uniform 2-D points on [0, 100]² (the
+  kd-tree/R-tree experiments), plus a clustered variant for ablations.
+- :mod:`repro.workloads.segments`: random line segments inside [0, 100]²
+  (the PMR-quadtree/R-tree experiments).
+
+All generators take an explicit seed so every experiment is reproducible.
+"""
+
+from repro.workloads.words import (
+    random_words,
+    regex_pattern_for,
+    sample_prefixes,
+    zipf_words,
+)
+from repro.workloads.points import clustered_points, random_points, random_query_boxes
+from repro.workloads.segments import random_segments
+
+__all__ = [
+    "random_words",
+    "regex_pattern_for",
+    "sample_prefixes",
+    "zipf_words",
+    "random_points",
+    "clustered_points",
+    "random_query_boxes",
+    "random_segments",
+]

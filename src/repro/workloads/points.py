@@ -1,0 +1,79 @@
+"""Point workloads (paper Section 6, kd-tree vs R-tree experiments).
+
+The paper: "the x-axis and the y-axis range from 0 to 100. We generate
+datasets of sizes that range from 250K to 4M two-dimensional points."
+Coordinates are rounded to three decimals so exact-match queries are
+well-defined across float round-trips.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.geometry.box import Box
+from repro.geometry.point import Point
+
+WORLD = Box(0.0, 0.0, 100.0, 100.0)
+
+
+def random_points(
+    count: int, seed: int = 0, world: Box = WORLD, decimals: int = 3
+) -> list[Point]:
+    """``count`` uniform points inside ``world``."""
+    rng = random.Random(seed)
+    return [
+        Point(
+            round(rng.uniform(world.xmin, world.xmax), decimals),
+            round(rng.uniform(world.ymin, world.ymax), decimals),
+        )
+        for _ in range(count)
+    ]
+
+
+def clustered_points(
+    count: int,
+    clusters: int = 8,
+    spread: float = 3.0,
+    seed: int = 0,
+    world: Box = WORLD,
+    decimals: int = 3,
+) -> list[Point]:
+    """Gaussian clusters (ablation workload for skewed data)."""
+    rng = random.Random(seed)
+    centers = [
+        (
+            rng.uniform(world.xmin + spread, world.xmax - spread),
+            rng.uniform(world.ymin + spread, world.ymax - spread),
+        )
+        for _ in range(clusters)
+    ]
+
+    def clamp(v: float, lo: float, hi: float) -> float:
+        return min(max(v, lo), hi)
+
+    points = []
+    for _ in range(count):
+        cx, cy = rng.choice(centers)
+        points.append(
+            Point(
+                round(clamp(rng.gauss(cx, spread), world.xmin, world.xmax), decimals),
+                round(clamp(rng.gauss(cy, spread), world.ymin, world.ymax), decimals),
+            )
+        )
+    return points
+
+
+def random_query_boxes(
+    count: int,
+    side: float = 5.0,
+    seed: int = 1,
+    world: Box = WORLD,
+) -> list[Box]:
+    """Square query windows of the given side, fully inside ``world``."""
+    rng = random.Random(seed)
+    boxes = []
+    for _ in range(count):
+        x = rng.uniform(world.xmin, world.xmax - side)
+        y = rng.uniform(world.ymin, world.ymax - side)
+        boxes.append(Box(x, y, x + side, y + side))
+    return boxes

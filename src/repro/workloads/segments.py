@@ -1,0 +1,46 @@
+"""Line-segment workloads (paper Section 6, PMR quadtree vs R-tree).
+
+Segments are short (bounded maximum extent) and uniformly placed in the
+world box, matching the "large line segment database" style of the Hoel &
+Samet comparison [24] the paper builds on.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.geometry.box import Box
+from repro.geometry.point import Point
+from repro.geometry.segment import LineSegment
+from repro.workloads.points import WORLD
+
+
+def random_segments(
+    count: int,
+    max_length: float = 5.0,
+    seed: int = 0,
+    world: Box = WORLD,
+    decimals: int = 3,
+) -> list[LineSegment]:
+    """``count`` random segments of length up to ``max_length``."""
+    rng = random.Random(seed)
+
+    def clamp(v: float, lo: float, hi: float) -> float:
+        return min(max(v, lo), hi)
+
+    segments = []
+    for _ in range(count):
+        x = rng.uniform(world.xmin, world.xmax)
+        y = rng.uniform(world.ymin, world.ymax)
+        angle = rng.uniform(0.0, 2.0 * math.pi)
+        length = rng.uniform(max_length * 0.1, max_length)
+        bx = clamp(x + length * math.cos(angle), world.xmin, world.xmax)
+        by = clamp(y + length * math.sin(angle), world.ymin, world.ymax)
+        segments.append(
+            LineSegment(
+                Point(round(x, decimals), round(y, decimals)),
+                Point(round(bx, decimals), round(by, decimals)),
+            )
+        )
+    return segments

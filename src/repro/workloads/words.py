@@ -1,0 +1,93 @@
+"""String workloads (paper Section 6, trie vs B+-tree experiments).
+
+The paper: "we generate datasets with size ranges from 500K words to 32M
+words. The word size (key size) is uniformly distributed over the range
+[1, 15], and the alphabet letters are from 'a' to 'z'."
+"""
+
+from __future__ import annotations
+
+import random
+import string
+
+MIN_WORD_LENGTH = 1
+MAX_WORD_LENGTH = 15
+ALPHABET = string.ascii_lowercase
+
+
+def random_words(
+    count: int,
+    seed: int = 0,
+    min_length: int = MIN_WORD_LENGTH,
+    max_length: int = MAX_WORD_LENGTH,
+    alphabet: str = ALPHABET,
+) -> list[str]:
+    """``count`` random words with the paper's distribution."""
+    rng = random.Random(seed)
+    return [
+        "".join(rng.choices(alphabet, k=rng.randint(min_length, max_length)))
+        for _ in range(count)
+    ]
+
+
+def sample_prefixes(
+    words: list[str], count: int, length: int = 3, seed: int = 1
+) -> list[str]:
+    """Query prefixes drawn from the data (so matches exist)."""
+    rng = random.Random(seed)
+    eligible = [w for w in words if len(w) >= length]
+    if not eligible:
+        raise ValueError(f"no words of length >= {length}")
+    return [rng.choice(eligible)[:length] for _ in range(count)]
+
+
+def regex_pattern_for(
+    word: str, wildcard_positions: list[int], wildcard: str = "?"
+) -> str:
+    """Replace the given positions of ``word`` with the wildcard.
+
+    Positions past the word's end are ignored, so callers can ask for e.g.
+    "wildcards at positions 0 and 3" uniformly across word lengths.
+    """
+    chars = list(word)
+    for position in wildcard_positions:
+        if 0 <= position < len(chars):
+            chars[position] = wildcard
+    return "".join(chars)
+
+
+def zipf_words(
+    count: int,
+    vocabulary: int = 2000,
+    exponent: float = 1.1,
+    seed: int = 0,
+) -> list[str]:
+    """Words drawn from a Zipf-distributed vocabulary (skewed workload).
+
+    The paper's datasets are uniform; real text is heavily skewed. This
+    generator builds a fixed vocabulary with :func:`random_words` and then
+    samples it with Zipfian frequencies — useful for duplicate-heavy
+    ablations (bucket spills, B+-tree duplicate runs).
+    """
+    rng = random.Random(seed)
+    vocab = random_words(vocabulary, seed=seed + 1)
+    weights = [1.0 / (rank + 1) ** exponent for rank in range(vocabulary)]
+    return rng.choices(vocab, weights=weights, k=count)
+
+
+def regex_queries(
+    words: list[str],
+    count: int,
+    wildcard_positions: list[int],
+    seed: int = 2,
+    min_length: int = 3,
+) -> list[str]:
+    """Wildcard patterns derived from data words (so matches exist)."""
+    rng = random.Random(seed)
+    eligible = [w for w in words if len(w) >= min_length]
+    if not eligible:
+        raise ValueError(f"no words of length >= {min_length}")
+    return [
+        regex_pattern_for(rng.choice(eligible), wildcard_positions)
+        for _ in range(count)
+    ]

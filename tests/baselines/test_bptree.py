@@ -1,0 +1,223 @@
+"""Tests for the disk-based B+-tree baseline."""
+
+import random
+
+import pytest
+
+from repro.baselines import BPlusTree
+from repro.errors import KeyNotFoundError
+from repro.indexes.trie import regex_matches
+from repro.workloads import random_words
+
+
+@pytest.fixture
+def loaded(buffer):
+    words = random_words(2000, seed=81)
+    tree = BPlusTree(buffer)
+    for i, w in enumerate(words):
+        tree.insert(w, i)
+    return tree, words
+
+
+class TestInsertSearch:
+    def test_single_key(self, buffer):
+        tree = BPlusTree(buffer)
+        tree.insert("hello", 1)
+        assert tree.search("hello") == [1]
+        assert tree.search("absent") == []
+
+    def test_vs_bruteforce(self, loaded):
+        tree, words = loaded
+        rng = random.Random(0)
+        for probe in rng.sample(words, 40):
+            expected = sorted(i for i, w in enumerate(words) if w == probe)
+            assert sorted(tree.search(probe)) == expected
+
+    def test_duplicates_kept(self, buffer):
+        tree = BPlusTree(buffer)
+        for i in range(10):
+            tree.insert("dup", i)
+        assert sorted(tree.search("dup")) == list(range(10))
+
+    def test_invariants_after_load(self, loaded):
+        tree, _ = loaded
+        tree.check_invariants()
+        assert tree.height >= 2  # 2000 keys do not fit one page
+
+    def test_numeric_keys(self, buffer):
+        tree = BPlusTree(buffer)
+        keys = random.Random(1).sample(range(100000), 3000)
+        for k in keys:
+            tree.insert(k, k)
+        tree.check_invariants()
+        assert tree.search(keys[0]) == [keys[0]]
+
+    def test_len(self, loaded):
+        tree, words = loaded
+        assert len(tree) == len(words)
+
+
+class TestOrderedScans:
+    def test_scan_all_is_sorted(self, loaded):
+        tree, words = loaded
+        keys = [k for k, _ in tree.scan_all()]
+        assert keys == sorted(words)
+
+    def test_range_scan_inclusive(self, loaded):
+        tree, words = loaded
+        lo, hi = "f", "m"
+        expected = sorted(
+            (w, i) for i, w in enumerate(words) if lo <= w <= hi
+        )
+        got = list(tree.range_scan(lo, hi, inclusive=True))
+        assert got == expected
+
+    def test_range_scan_exclusive_upper(self, buffer):
+        tree = BPlusTree(buffer)
+        for w in ["a", "b", "c"]:
+            tree.insert(w, w)
+        assert [k for k, _ in tree.range_scan("a", "c", inclusive=False)] == [
+            "a",
+            "b",
+        ]
+
+    def test_prefix_scan_vs_bruteforce(self, loaded):
+        tree, words = loaded
+        for prefix in ["a", "ab", "zz", "qqq"]:
+            expected = sorted(
+                (w, i) for i, w in enumerate(words) if w.startswith(prefix)
+            )
+            assert sorted(tree.prefix_scan(prefix)) == expected
+
+    def test_prefix_scan_empty_prefix(self, loaded):
+        tree, words = loaded
+        assert sum(1 for _ in tree.prefix_scan("")) == len(words)
+
+
+class TestRegexScan:
+    def test_vs_bruteforce(self, loaded):
+        tree, words = loaded
+        rng = random.Random(2)
+        pool = [w for w in words if len(w) >= 4]
+        for _ in range(10):
+            w = rng.choice(pool)
+            pattern = "".join("?" if rng.random() < 0.35 else c for c in w)
+            expected = sorted(
+                i for i, word in enumerate(words) if regex_matches(pattern, word)
+            )
+            got = sorted(v for _, v in tree.regex_scan(pattern))
+            assert got == expected, pattern
+
+    def test_leading_wildcard_still_correct(self, loaded):
+        tree, words = loaded
+        pattern = "?" + words[0][1:]
+        expected = sorted(
+            i for i, w in enumerate(words) if regex_matches(pattern, w)
+        )
+        assert sorted(v for _, v in tree.regex_scan(pattern)) == expected
+
+    def test_leading_wildcard_reads_whole_leaf_level(self, buffer):
+        # The I/O claim behind Figure 7: a '?' first char → full scan.
+        words = random_words(3000, seed=82)
+        tree = BPlusTree(buffer)
+        tree.bulk_load([(w, i) for i, w in enumerate(words)])
+        buffer.clear()
+        before = buffer.stats.misses
+        list(tree.regex_scan("?" + "a" * 5))
+        full_scan_reads = buffer.stats.misses - before
+        buffer.clear()
+        before = buffer.stats.misses
+        list(tree.regex_scan("qa?de"))
+        narrowed_reads = buffer.stats.misses - before
+        assert narrowed_reads < full_scan_reads / 3
+
+
+class TestBulkLoad:
+    def test_bulk_equals_incremental(self, buffer):
+        words = random_words(1500, seed=83)
+        bulk = BPlusTree(buffer)
+        bulk.bulk_load([(w, i) for i, w in enumerate(words)])
+        bulk.check_invariants()
+        incremental = BPlusTree(buffer)
+        for i, w in enumerate(words):
+            incremental.insert(w, i)
+        assert list(bulk.scan_all()) == list(incremental.scan_all())
+
+    def test_bulk_is_denser(self, buffer):
+        words = random_words(2000, seed=84)
+        bulk = BPlusTree(buffer)
+        bulk.bulk_load([(w, i) for i, w in enumerate(words)])
+        incremental = BPlusTree(buffer)
+        for i, w in enumerate(words):
+            incremental.insert(w, i)
+        assert bulk.num_pages <= incremental.num_pages
+
+    def test_bulk_empty(self, buffer):
+        tree = BPlusTree(buffer)
+        tree.bulk_load([])
+        assert tree.search("x") == []
+        assert len(tree) == 0
+
+    def test_bulk_single(self, buffer):
+        tree = BPlusTree(buffer)
+        tree.bulk_load([("only", 1)])
+        assert tree.search("only") == [1]
+
+
+class TestDelete:
+    def test_delete_single(self, loaded):
+        tree, words = loaded
+        count = tree.delete(words[5])
+        assert count >= 1
+        assert words[5] not in [k for k, _ in tree.range_scan(words[5], words[5])]
+
+    def test_delete_by_value(self, buffer):
+        tree = BPlusTree(buffer)
+        tree.insert("k", 1)
+        tree.insert("k", 2)
+        assert tree.delete("k", 1) == 1
+        assert tree.search("k") == [2]
+
+    def test_delete_missing_raises(self, buffer):
+        tree = BPlusTree(buffer)
+        tree.insert("a", 1)
+        with pytest.raises(KeyNotFoundError):
+            tree.delete("b")
+
+    def test_delete_duplicate_run_spanning_leaves(self, buffer):
+        tree = BPlusTree(buffer)
+        for i in range(500):
+            tree.insert("samekey", i)  # forces duplicate run across leaves
+        for i in range(300):
+            tree.insert("other%03d" % i, i)
+        assert tree.delete("samekey") == 500
+        assert tree.search("samekey") == []
+        tree.check_invariants()
+
+    def test_vacuum_reclaims_pages(self, buffer):
+        words = random_words(2000, seed=85)
+        tree = BPlusTree(buffer)
+        for i, w in enumerate(words):
+            tree.insert(w, i)
+        for w in words[:1500]:
+            try:
+                tree.delete(w)
+            except KeyNotFoundError:
+                pass  # already removed as a duplicate of an earlier word
+        pages_before = tree.num_pages
+        reclaimed = tree.vacuum()
+        assert reclaimed > 0
+        assert tree.num_pages < pages_before
+        tree.check_invariants()
+
+
+class TestEvictionSafety:
+    def test_correct_under_tiny_pool(self, small_buffer):
+        words = random_words(800, seed=86)
+        tree = BPlusTree(small_buffer)
+        for i, w in enumerate(words):
+            tree.insert(w, i)
+        rng = random.Random(3)
+        for probe in rng.sample(words, 20):
+            expected = sorted(i for i, w in enumerate(words) if w == probe)
+            assert sorted(tree.search(probe)) == expected

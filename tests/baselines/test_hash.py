@@ -1,0 +1,165 @@
+"""Tests for the linear-hashing hash index baseline."""
+
+import random
+
+import pytest
+
+from repro.baselines import HashIndex
+from repro.baselines.hash import INITIAL_BUCKETS, stable_hash
+from repro.errors import KeyNotFoundError
+from repro.workloads import random_words
+
+
+@pytest.fixture
+def loaded(buffer):
+    words = random_words(3000, seed=341)
+    index = HashIndex(buffer)
+    for i, w in enumerate(words):
+        index.insert(w, i)
+    return index, words
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        assert stable_hash("abc") == stable_hash("abc")
+        assert stable_hash(42) == stable_hash(42)
+
+    def test_spreads_keys(self):
+        values = {stable_hash("k%04d" % i) % 64 for i in range(1000)}
+        assert len(values) == 64  # every bucket hit
+
+
+class TestInsertSearch:
+    def test_roundtrip(self, buffer):
+        index = HashIndex(buffer)
+        index.insert("hello", 1)
+        assert index.search("hello") == [1]
+        assert index.search("absent") == []
+
+    def test_vs_bruteforce(self, loaded):
+        index, words = loaded
+        rng = random.Random(0)
+        for probe in rng.sample(words, 40):
+            expected = sorted(i for i, w in enumerate(words) if w == probe)
+            assert sorted(index.search(probe)) == expected
+
+    def test_duplicates(self, buffer):
+        index = HashIndex(buffer)
+        for i in range(8):
+            index.insert("dup", i)
+        assert sorted(index.search("dup")) == list(range(8))
+
+    def test_integer_keys(self, buffer):
+        index = HashIndex(buffer)
+        keys = random.Random(1).sample(range(100000), 2000)
+        for k in keys:
+            index.insert(k, k)
+        index.check_invariants()
+        assert index.search(keys[7]) == [keys[7]]
+
+    def test_items_enumerates_everything(self, loaded):
+        index, words = loaded
+        assert sorted(v for _, v in index.items()) == list(range(len(words)))
+
+
+class TestLinearSplitting:
+    def test_buckets_grow_with_data(self, loaded):
+        index, _ = loaded
+        assert index.num_buckets > INITIAL_BUCKETS
+        index.check_invariants()
+
+    def test_load_stays_bounded(self, loaded):
+        index, words = loaded
+        per_bucket = len(index) / index.num_buckets
+        assert per_bucket < index._bucket_budget * 1.5
+
+    def test_search_cost_is_flat(self, buffer):
+        # The whole point of hashing: ~1 page per equality probe.
+        from repro.bench import measure_many
+
+        words = random_words(4000, seed=342)
+        index = HashIndex(buffer)
+        for i, w in enumerate(words):
+            index.insert(w, i)
+        probes = words[::100]
+        cost = measure_many(
+            buffer, [lambda w=w: index.search(w) for w in probes],
+            cold_each=True,
+        )
+        assert cost.reads_per_op <= 2.5
+
+    def test_overflow_chains_then_split_away(self, buffer):
+        index = HashIndex(buffer, page_capacity=512)  # tiny pages chain fast
+        for i in range(500):
+            index.insert("key-%04d" % i, i)
+        index.check_invariants()
+        for i in (0, 250, 499):
+            assert index.search("key-%04d" % i) == [i]
+
+
+class TestDelete:
+    def test_delete_key(self, loaded):
+        index, words = loaded
+        count = index.delete(words[3])
+        assert count >= 1
+        assert index.search(words[3]) == []
+
+    def test_delete_by_value(self, buffer):
+        index = HashIndex(buffer)
+        index.insert("k", 1)
+        index.insert("k", 2)
+        assert index.delete("k", 1) == 1
+        assert index.search("k") == [2]
+
+    def test_delete_missing_raises(self, buffer):
+        index = HashIndex(buffer)
+        index.insert("a", 1)
+        with pytest.raises(KeyNotFoundError):
+            index.delete("b")
+
+    def test_len_tracks(self, buffer):
+        index = HashIndex(buffer)
+        for i in range(10):
+            index.insert("w%d" % i, i)
+        index.delete("w5")
+        assert len(index) == 9
+
+
+class TestEngineIntegration:
+    def test_hash_index_through_sql(self):
+        from repro.engine import Database
+
+        db = Database()
+        db.execute("CREATE TABLE t (name VARCHAR(20), id INT);")
+        table = db.table("t")
+        for i, w in enumerate(random_words(2000, seed=343)):
+            table.insert((w, i))
+        db.execute("CREATE INDEX h ON t USING hash (name hash_varchar);")
+        db.execute("ANALYZE t;")
+        plan = db.execute("EXPLAIN SELECT * FROM t WHERE name = 'qqqqq';")
+        # With 2000 rows the flat-cost hash path should win the plan race.
+        assert "Index Scan" in plan and " h" in plan
+
+    def test_hash_and_btree_agree(self, buffer):
+        from repro.engine.catalog import default_catalog
+        from repro.engine.table import Column, Table
+
+        table = Table("t", [Column("name", "varchar")], buffer,
+                      default_catalog())
+        words = random_words(800, seed=344)
+        for w in words:
+            table.insert((w,))
+        h = table.create_index("h", "name", "hash", "hash_varchar")
+        b = table.create_index("b", "name", "btree", "btree_varchar")
+        for probe in words[::80]:
+            assert sorted(h.scan("=", probe)) == sorted(b.scan("=", probe))
+
+    def test_eviction_safety(self, small_buffer):
+        words = random_words(1000, seed=345)
+        index = HashIndex(small_buffer)
+        for i, w in enumerate(words):
+            index.insert(w, i)
+        rng = random.Random(2)
+        for probe in rng.sample(words, 20):
+            expected = sorted(i for i, w in enumerate(words) if w == probe)
+            assert sorted(index.search(probe)) == expected

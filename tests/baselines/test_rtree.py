@@ -1,0 +1,167 @@
+"""Tests for the Guttman R-tree baseline."""
+
+import random
+
+import pytest
+
+from repro.baselines import RTree
+from repro.baselines.rtree import object_mbr
+from repro.errors import KeyNotFoundError
+from repro.geometry import Box, LineSegment, Point
+from repro.workloads import random_points, random_query_boxes, random_segments
+
+
+@pytest.fixture
+def point_tree(buffer):
+    points = random_points(1200, seed=91)
+    tree = RTree(buffer)
+    for i, p in enumerate(points):
+        tree.insert(p, i)
+    return tree, points
+
+
+@pytest.fixture
+def segment_tree(buffer):
+    segments = random_segments(800, seed=92)
+    tree = RTree(buffer)
+    for i, s in enumerate(segments):
+        tree.insert(s, i)
+    return tree, segments
+
+
+class TestObjectMBR:
+    def test_point_mbr_is_degenerate(self):
+        assert object_mbr(Point(3, 4)) == Box(3, 4, 3, 4)
+
+    def test_segment_mbr(self):
+        s = LineSegment(Point(5, 1), Point(2, 7))
+        assert object_mbr(s) == Box(2, 1, 5, 7)
+
+    def test_box_passthrough(self):
+        b = Box(0, 0, 2, 2)
+        assert object_mbr(b) is b
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeError):
+            object_mbr("not spatial")
+
+
+class TestPointWorkload:
+    def test_exact_match_vs_bruteforce(self, point_tree):
+        tree, points = point_tree
+        rng = random.Random(0)
+        for probe in rng.sample(points, 30):
+            expected = sorted(i for i, p in enumerate(points) if p == probe)
+            assert sorted(v for _, v in tree.search_exact(probe)) == expected
+
+    def test_window_vs_bruteforce(self, point_tree):
+        tree, points = point_tree
+        for box in random_query_boxes(8, side=10.0, seed=93):
+            expected = sorted(
+                i for i, p in enumerate(points) if box.contains_point(p)
+            )
+            assert sorted(v for _, v in tree.range_search(box)) == expected
+
+    def test_invariants_hold(self, point_tree):
+        tree, _ = point_tree
+        tree.check_invariants()
+
+    def test_height_grows_from_one(self, buffer):
+        tree = RTree(buffer)
+        assert tree.height == 1
+        for i, p in enumerate(random_points(1200, seed=94)):
+            tree.insert(p, i)
+        assert tree.height >= 2
+
+
+class TestSegmentWorkload:
+    def test_exact_match(self, segment_tree):
+        tree, segments = segment_tree
+        probe = segments[17]
+        expected = sorted(i for i, s in enumerate(segments) if s == probe)
+        assert sorted(v for _, v in tree.search_exact(probe)) == expected
+
+    def test_window_exact_geometry_filtering(self, segment_tree):
+        # range_search must filter by true segment intersection, not MBR.
+        tree, segments = segment_tree
+        win = Box(40, 40, 50, 50)
+        expected = sorted(
+            i for i, s in enumerate(segments) if s.intersects_box(win)
+        )
+        assert sorted(v for _, v in tree.range_search(win)) == expected
+
+    def test_mbr_only_window_search_is_superset(self, segment_tree):
+        tree, segments = segment_tree
+        win = Box(40, 40, 50, 50)
+        raw = {v for _, v in tree.window_search(win)}
+        filtered = {v for _, v in tree.range_search(win)}
+        assert filtered <= raw
+
+    def test_invariants_hold(self, segment_tree):
+        tree, _ = segment_tree
+        tree.check_invariants()
+
+
+class TestDelete:
+    def test_delete_and_requery(self, point_tree):
+        tree, points = point_tree
+        assert tree.delete(points[0], 0) == 1
+        assert 0 not in [v for _, v in tree.search_exact(points[0])]
+        tree.check_invariants()
+
+    def test_delete_missing_raises(self, buffer):
+        tree = RTree(buffer)
+        tree.insert(Point(1, 1), 0)
+        with pytest.raises(KeyNotFoundError):
+            tree.delete(Point(9, 9))
+
+    def test_mass_delete_with_condense(self, buffer):
+        points = random_points(600, seed=95)
+        tree = RTree(buffer)
+        for i, p in enumerate(points):
+            tree.insert(p, i)
+        rng = random.Random(4)
+        victims = set(rng.sample(range(len(points)), 400))
+        for i in victims:
+            tree.delete(points[i], i)
+        tree.check_invariants()
+        survivors = sorted(set(range(len(points))) - victims)
+        got = sorted(
+            v for _, v in tree.range_search(Box(0, 0, 100, 100))
+        )
+        assert got == survivors
+
+    def test_delete_everything(self, buffer):
+        points = random_points(100, seed=96)
+        tree = RTree(buffer)
+        for i, p in enumerate(points):
+            tree.insert(p, i)
+        for i, p in enumerate(points):
+            tree.delete(p, i)
+        assert len(tree) == 0
+        assert tree.range_search(Box(0, 0, 100, 100)) == []
+        assert tree.height == 1
+
+    def test_root_shrinks_after_deletes(self, buffer):
+        points = random_points(1500, seed=97)
+        tree = RTree(buffer)
+        for i, p in enumerate(points):
+            tree.insert(p, i)
+        tall = tree.height
+        for i, p in enumerate(points[:1400]):
+            tree.delete(p, i)
+        assert tree.height <= tall
+        tree.check_invariants()
+
+
+class TestEvictionSafety:
+    def test_correct_under_tiny_pool(self, small_buffer):
+        points = random_points(500, seed=98)
+        tree = RTree(small_buffer)
+        for i, p in enumerate(points):
+            tree.insert(p, i)
+        box = Box(25, 25, 60, 70)
+        expected = sorted(
+            i for i, p in enumerate(points) if box.contains_point(p)
+        )
+        assert sorted(v for _, v in tree.range_search(box)) == expected

@@ -1,0 +1,52 @@
+"""Tests for the sequential-scan baseline."""
+
+from repro.baselines import sequential_scan, substring_scan
+from repro.storage import HeapFile
+from repro.workloads import random_words
+
+
+class TestSequentialScan:
+    def test_predicate_filtering(self, buffer):
+        heap = HeapFile(buffer)
+        for i in range(100):
+            heap.insert(i)
+        evens = [r for _, r in sequential_scan(heap, lambda r: r % 2 == 0)]
+        assert evens == list(range(0, 100, 2))
+
+    def test_yields_tids(self, buffer):
+        heap = HeapFile(buffer)
+        tid = heap.insert("target")
+        heap.insert("other")
+        [(found_tid, record)] = list(
+            sequential_scan(heap, lambda r: r == "target")
+        )
+        assert found_tid == tid and record == "target"
+
+    def test_empty_heap(self, buffer):
+        heap = HeapFile(buffer)
+        assert list(sequential_scan(heap, lambda r: True)) == []
+
+
+class TestSubstringScan:
+    def test_vs_python_in(self, buffer):
+        heap = HeapFile(buffer)
+        words = random_words(500, seed=111)
+        for w in words:
+            heap.insert(w)
+        got = sorted(r for _, r in substring_scan(heap, "ab"))
+        assert got == sorted(w for w in words if "ab" in w)
+
+    def test_extract_function_for_rows(self, buffer):
+        heap = HeapFile(buffer)
+        heap.insert(("banana", 1))
+        heap.insert(("cherry", 2))
+        hits = substring_scan(heap, "nan", extract=lambda row: row[0])
+        assert [r for _, r in hits] == [("banana", 1)]
+
+    def test_scan_cost_is_all_pages(self, buffer):
+        heap = HeapFile(buffer)
+        for w in random_words(3000, seed=112):
+            heap.insert(w)
+        buffer.clear()
+        substring_scan(heap, "zzzz")
+        assert buffer.stats.misses >= heap.num_pages

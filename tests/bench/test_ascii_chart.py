@@ -1,0 +1,74 @@
+"""Tests for the ASCII chart renderer and the Zipf workload."""
+
+from repro.bench import ascii_chart
+from repro.workloads import random_words, zipf_words
+
+
+class TestAsciiChart:
+    def test_title_and_labels_present(self):
+        text = ascii_chart(
+            "My Figure", [10, 20], {"trie": [1.0, 2.0], "btree": [3.0, 4.0]}
+        )
+        assert text.startswith("My Figure")
+        assert "trie" in text and "btree" in text
+        assert "10" in text and "20" in text
+
+    def test_bar_lengths_monotone_in_values(self):
+        text = ascii_chart("t", [1, 2], {"s": [1.0, 10.0]}, width=40)
+        lines = [l for l in text.splitlines() if "|" in l]
+        small = lines[0].split("|")[1]
+        large = lines[1].split("|")[1]
+        assert small.count("█") < large.count("█")
+
+    def test_log_scale_compresses(self):
+        linear = ascii_chart("t", [1, 2], {"s": [1.0, 1000.0]}, width=40)
+        logscale = ascii_chart(
+            "t", [1, 2], {"s": [1.0, 1000.0]}, width=40, log_scale=True
+        )
+
+        def bar_of(text, idx):
+            return [l for l in text.splitlines() if "|" in l][idx].count("█")
+
+        # On a log scale the small value is visible; linearly it vanishes.
+        assert bar_of(logscale, 0) >= bar_of(linear, 0)
+
+    def test_zero_values_ok(self):
+        text = ascii_chart("t", [1], {"s": [0.0]})
+        assert "0.00" in text
+
+    def test_empty_series(self):
+        assert ascii_chart("t", [], {}) == "t"
+
+
+class TestZipfWords:
+    def test_count_and_vocabulary(self):
+        words = zipf_words(5000, vocabulary=500, seed=1)
+        assert len(words) == 5000
+        assert len(set(words)) <= 500
+
+    def test_skew_head_dominates(self):
+        words = zipf_words(10000, vocabulary=1000, exponent=1.2, seed=2)
+        from collections import Counter
+
+        counts = Counter(words).most_common()
+        top_share = sum(c for _, c in counts[:10]) / len(words)
+        uniform = random_words(10000, seed=2)
+        uniform_top = sum(
+            c for _, c in Counter(uniform).most_common()[:10]
+        ) / len(uniform)
+        assert top_share > 5 * uniform_top
+
+    def test_deterministic(self):
+        assert zipf_words(100, seed=7) == zipf_words(100, seed=7)
+
+    def test_duplicate_heavy_trie_workload(self, buffer):
+        # Spill handling under a realistic skewed stream.
+        from repro.indexes.trie import TrieIndex
+
+        words = zipf_words(2000, vocabulary=100, seed=3)
+        trie = TrieIndex(buffer, bucket_size=4)
+        for i, w in enumerate(words):
+            trie.insert(w, i)
+        probe = max(set(words), key=words.count)
+        expected = sorted(i for i, w in enumerate(words) if w == probe)
+        assert sorted(v for _, v in trie.search_equal(probe)) == expected

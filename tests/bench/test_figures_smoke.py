@@ -1,0 +1,97 @@
+"""Smoke tests for the experiment implementations (tiny sizes).
+
+The benchmark suite runs the figures at experiment scale and asserts the
+paper shapes; these tests only verify the machinery — every figure function
+returns well-formed rows with positive costs at toy sizes, quickly.
+"""
+
+from repro.bench.figures import (
+    ExperimentRow,
+    ablation_bucket_size,
+    ablation_buffer_pool,
+    ablation_clustering,
+    ablation_node_shrink,
+    ablation_path_shrink,
+    ablation_pmr_threshold,
+    fig6_to_8_string_search,
+    fig9_to_12_insert_size_height,
+    fig13_14_kdtree_rtree,
+    fig15_pmr_rtree,
+    fig16_suffix_vs_seqscan,
+    fig17_nn_search,
+)
+
+
+def assert_rows(rows, expected_x, required_columns):
+    assert [r.size for r in rows] == list(expected_x)
+    for row in rows:
+        assert isinstance(row, ExperimentRow)
+        for column in required_columns:
+            assert column in row.values, column
+            assert row.values[column] >= 0.0
+
+
+class TestStringFigures:
+    def test_fig6_to_8(self):
+        rows = fig6_to_8_string_search(sizes=(500, 1000), batch=10)
+        assert_rows(rows, (500, 1000),
+                    ("exact_ratio", "prefix_ratio", "regex_ratio",
+                     "trie_exact_stddev"))
+
+    def test_fig9_to_12(self):
+        rows = fig9_to_12_insert_size_height(sizes=(800, 1600))
+        assert_rows(rows, (800, 1600),
+                    ("insert_ratio", "size_ratio", "trie_node_height",
+                     "trie_page_height"))
+        for row in rows:
+            assert row.values["trie_pages"] > 0
+            assert row.values["btree_pages"] > 0
+
+
+class TestSpatialFigures:
+    def test_fig13_14(self):
+        rows = fig13_14_kdtree_rtree(sizes=(500,), batch=10)
+        assert_rows(rows, (500,),
+                    ("point_ratio", "range_ratio", "insert_ratio",
+                     "size_ratio"))
+
+    def test_fig15(self):
+        rows = fig15_pmr_rtree(sizes=(400,), batch=10)
+        assert_rows(rows, (400,),
+                    ("insert_ratio", "exact_ratio", "range_ratio"))
+
+    def test_fig16(self):
+        rows = fig16_suffix_vs_seqscan(sizes=(400,), batch=5)
+        assert_rows(rows, (400,), ("ratio", "read_ratio"))
+        assert rows[0].values["ratio"] > 0.5
+
+    def test_fig17(self):
+        rows = fig17_nn_search(nn_counts=(4, 8), size=600, queries=2)
+        assert_rows(rows, (4, 8),
+                    ("kdtree_cost", "pquadtree_cost", "trie_cost"))
+
+
+class TestAblations:
+    def test_bucket(self):
+        rows = ablation_bucket_size(bucket_sizes=(2, 16), size=600, batch=10)
+        assert_rows(rows, (2, 16), ("exact_cost", "pages", "nodes"))
+
+    def test_path_shrink(self):
+        rows = ablation_path_shrink(size=600, batch=10)
+        assert_rows(rows, (0, 1), ("exact_cost", "node_height"))
+
+    def test_node_shrink(self):
+        rows = ablation_node_shrink(size=400)
+        assert_rows(rows, (1, 0), ("nodes", "pages"))
+
+    def test_clustering(self):
+        rows = ablation_clustering(size=600, batch=10)
+        assert_rows(rows, (0, 1), ("exact_cost", "page_height", "fill"))
+
+    def test_buffer_pool(self):
+        rows = ablation_buffer_pool(pool_sizes=(4, 32), size=600, batch=10)
+        assert_rows(rows, (4, 32), ("reads_per_op", "hit_ratio"))
+
+    def test_pmr_threshold(self):
+        rows = ablation_pmr_threshold(thresholds=(4, 8), size=400, batch=10)
+        assert_rows(rows, (4, 8), ("window_cost", "pages", "items_stored"))

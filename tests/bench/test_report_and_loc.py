@@ -1,0 +1,65 @@
+"""Tests for the report formatting helpers and the Table 7 LoC counter."""
+
+import math
+
+from repro.bench.loc import INSTANTIATIONS, core_lines, count_code_lines, table7_rows
+from repro.bench.report import format_table, log10, ratio_percent
+
+
+class TestRatioHelpers:
+    def test_ratio_percent(self):
+        assert ratio_percent(3, 2) == 150.0
+        assert ratio_percent(1, 4) == 25.0
+
+    def test_ratio_zero_denominator(self):
+        assert ratio_percent(5, 0) == math.inf
+        assert ratio_percent(0, 0) == 100.0
+
+    def test_log10(self):
+        assert log10(1000) == 3.0
+        assert log10(0) == 0.0
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        text = format_table(
+            "My Title", ["name", "value"], [["a", 1.5], ["long-name", 22]]
+        )
+        lines = text.splitlines()
+        assert lines[0] == "My Title"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert "1.50" in text  # float formatting
+        assert "long-name" in text
+
+    def test_empty_rows(self):
+        text = format_table("T", ["a"], [])
+        assert "T" in text and "a" in text
+
+
+class TestLocCounter:
+    def test_counts_code_not_comments(self, tmp_path):
+        source = tmp_path / "mod.py"
+        source.write_text(
+            '"""Module docstring\nspanning lines.\n"""\n'
+            "# a comment\n"
+            "\n"
+            "x = 1\n"
+            "def f():\n"
+            "    return x\n"
+        )
+        assert count_code_lines(source) == 3
+
+    def test_single_line_docstring(self, tmp_path):
+        source = tmp_path / "mod.py"
+        source.write_text('"""one-liner"""\ny = 2\n')
+        assert count_code_lines(source) == 1
+
+    def test_core_lines_positive(self):
+        assert core_lines() > 500
+
+    def test_table7_covers_all_instantiations(self):
+        rows = table7_rows()
+        assert {r.name for r in rows} == set(INSTANTIATIONS)
+        for row in rows:
+            assert 0 < row.external_lines < row.total_lines
+            assert 0.0 < row.percentage < 100.0

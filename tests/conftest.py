@@ -1,0 +1,41 @@
+"""Shared fixtures: fresh buffer pools and seeded workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import DiskManager
+from repro.workloads import random_points, random_segments, random_words
+
+
+@pytest.fixture
+def disk() -> DiskManager:
+    return DiskManager()
+
+
+@pytest.fixture
+def buffer(disk: DiskManager) -> BufferPool:
+    """A pool large enough that tests never thrash unless they mean to."""
+    return BufferPool(disk, capacity=256)
+
+
+@pytest.fixture
+def small_buffer(disk: DiskManager) -> BufferPool:
+    """A deliberately tiny pool (4 frames) for eviction-path coverage."""
+    return BufferPool(disk, capacity=4)
+
+
+@pytest.fixture(scope="session")
+def words_1k() -> list[str]:
+    return random_words(1000, seed=101)
+
+
+@pytest.fixture(scope="session")
+def points_1k():
+    return random_points(1000, seed=102)
+
+
+@pytest.fixture(scope="session")
+def segments_500():
+    return random_segments(500, seed=103)

@@ -1,0 +1,62 @@
+"""Unit tests for SPGiSTConfig / PathShrink."""
+
+import pytest
+
+from repro.core import PathShrink, SPGiSTConfig
+
+
+def make(**overrides):
+    base = dict(
+        node_predicate="letter or blank",
+        key_type="varchar",
+        num_space_partitions=27,
+        resolution=0,
+        path_shrink=PathShrink.TREE_SHRINK,
+        node_shrink=True,
+        bucket_size=8,
+    )
+    base.update(overrides)
+    return SPGiSTConfig(**base)
+
+
+class TestValidation:
+    def test_valid_config(self):
+        cfg = make()
+        assert cfg.num_space_partitions == 27
+
+    def test_partitions_below_two_rejected(self):
+        with pytest.raises(ValueError):
+            make(num_space_partitions=1)
+
+    def test_bucket_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            make(bucket_size=0)
+
+    def test_negative_resolution_rejected(self):
+        with pytest.raises(ValueError):
+            make(resolution=-1)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            make().bucket_size = 5
+
+
+class TestDescribe:
+    def test_describe_mirrors_paper_names(self):
+        d = make().describe()
+        assert d["NoOfSpacePartitions"] == 27
+        assert d["PathShrink"] == "TreeShrink"
+        assert d["NodeShrink"] is True
+        assert d["BucketSize"] == 8
+        assert d["KeyType"] == "varchar"
+
+    def test_unlimited_resolution_rendering(self):
+        assert make(resolution=0).describe()["Resolution"] == "unlimited"
+        assert make(resolution=12).describe()["Resolution"] == 12
+
+
+class TestPathShrinkEnum:
+    def test_paper_values(self):
+        assert PathShrink.NEVER_SHRINK.value == "NeverShrink"
+        assert PathShrink.LEAF_SHRINK.value == "LeafShrink"
+        assert PathShrink.TREE_SHRINK.value == "TreeShrink"

@@ -1,0 +1,119 @@
+"""Contract tests for the ExternalMethods interface itself."""
+
+import pytest
+
+from repro.core.external import (
+    AddEntry,
+    Descend,
+    DescendMultiple,
+    ExternalMethods,
+    PickSplitResult,
+    Query,
+    SplitPrefix,
+)
+from repro.indexes.kdtree import KDTreeMethods
+from repro.indexes.pmr import PMRQuadtreeMethods
+from repro.indexes.pquadtree import PointQuadtreeMethods
+from repro.indexes.suffix import SuffixTreeMethods
+from repro.indexes.trie import TrieMethods
+from repro.workloads.points import WORLD
+
+ALL_METHODS = [
+    TrieMethods(),
+    SuffixTreeMethods(),
+    KDTreeMethods(),
+    PointQuadtreeMethods(),
+    PMRQuadtreeMethods(WORLD),
+]
+
+
+class TestQueryObject:
+    def test_frozen(self):
+        q = Query("=", "x")
+        with pytest.raises(AttributeError):
+            q.op = "#="
+
+    def test_fields(self):
+        q = Query("^", (1, 2))
+        assert q.op == "^" and q.operand == (1, 2)
+
+
+class TestChooseResults:
+    def test_descend_defaults(self):
+        r = Descend(3)
+        assert r.entry_index == 3 and r.level_delta == 1
+
+    def test_descend_multiple_holds_tuple(self):
+        r = DescendMultiple((0, 2))
+        assert r.entry_indexes == (0, 2)
+
+    def test_add_entry(self):
+        r = AddEntry("z", level_delta=4)
+        assert r.predicate == "z" and r.level_delta == 4
+
+    def test_split_prefix_fields(self):
+        r = SplitPrefix("ab", "c", "def")
+        assert (r.new_prefix, r.old_entry_predicate, r.old_node_predicate) == (
+            "ab",
+            "c",
+            "def",
+        )
+
+    def test_picksplit_result_defaults(self):
+        r = PickSplitResult("pred", [("a", [])])
+        assert r.level_delta == 1
+        assert r.recurse_overfull is True
+        assert r.progress is True
+
+
+class TestEveryInstantiationHonoursTheContract:
+    @pytest.mark.parametrize(
+        "methods", ALL_METHODS, ids=lambda m: type(m).__name__
+    )
+    def test_parameters_are_wellformed(self, methods):
+        cfg = methods.get_parameters()
+        assert cfg.num_space_partitions >= 2
+        assert cfg.bucket_size >= 1
+        assert cfg.key_type
+
+    @pytest.mark.parametrize(
+        "methods", ALL_METHODS, ids=lambda m: type(m).__name__
+    )
+    def test_supported_operators_nonempty(self, methods):
+        assert methods.supported_operators
+        assert methods.equality_operator in methods.supported_operators
+
+    @pytest.mark.parametrize(
+        "methods", ALL_METHODS, ids=lambda m: type(m).__name__
+    )
+    def test_all_paper_instantiations_support_nn(self, methods):
+        assert methods.supports_nn
+        assert "@@" in methods.supported_operators
+
+    def test_abstract_base_cannot_instantiate(self):
+        with pytest.raises(TypeError):
+            ExternalMethods()  # type: ignore[abstract]
+
+    def test_base_nn_stubs_raise(self):
+        class Minimal(TrieMethods):
+            nn_inner_distance = ExternalMethods.nn_inner_distance
+            nn_leaf_distance = ExternalMethods.nn_leaf_distance
+
+        m = Minimal()
+        assert not m.supports_nn
+        with pytest.raises(NotImplementedError):
+            m.nn_inner_distance("q", None, "a", 0, None)
+        with pytest.raises(NotImplementedError):
+            m.nn_leaf_distance("q", "k")
+
+    def test_default_level_delta_is_one(self):
+        assert KDTreeMethods().level_delta(None) == 1
+
+    def test_default_root_predicate_none_for_data_driven(self):
+        assert TrieMethods().initial_root_predicate() is None
+        assert KDTreeMethods().initial_root_predicate() is None
+
+    def test_spanning_flags(self):
+        assert PMRQuadtreeMethods(WORLD).spanning
+        assert not TrieMethods().spanning
+        assert not KDTreeMethods().spanning

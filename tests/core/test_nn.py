@@ -1,0 +1,132 @@
+"""Unit tests for the generic incremental NN search (paper Section 5)."""
+
+import pytest
+
+from repro.core.nn import nearest, nn_search
+from repro.geometry import Point
+from repro.geometry.distance import euclidean, hamming
+from repro.indexes.kdtree import KDTreeIndex
+from repro.indexes.pmr import PMRQuadtreeIndex
+from repro.indexes.trie import TrieIndex
+from repro.workloads import random_points, random_words
+from repro.workloads.points import WORLD
+
+
+class TestGenericBehaviour:
+    def test_empty_index_yields_nothing(self, buffer):
+        assert nearest(KDTreeIndex(buffer), Point(0, 0), 5) == []
+
+    def test_distances_nondecreasing(self, buffer):
+        index = KDTreeIndex(buffer)
+        for i, p in enumerate(random_points(300, seed=21)):
+            index.insert(p, i)
+        distances = [d for d, _, _ in nearest(index, Point(37.0, 62.0), 50)]
+        assert distances == sorted(distances)
+
+    def test_full_scan_enumerates_everything_once(self, buffer):
+        index = KDTreeIndex(buffer)
+        points = random_points(150, seed=22)
+        for i, p in enumerate(points):
+            index.insert(p, i)
+        seen = [v for _, _, v in nn_search(index, Point(10, 10))]
+        assert sorted(seen) == list(range(150))
+
+    def test_get_next_is_lazy(self, buffer):
+        index = KDTreeIndex(buffer)
+        for i, p in enumerate(random_points(200, seed=23)):
+            index.insert(p, i)
+        scan = nn_search(index, Point(50, 50))
+        first = next(scan)
+        second = next(scan)
+        assert first[0] <= second[0]
+
+    def test_instantiation_without_nn_consistent_raises(self, buffer):
+        from repro.core import SPGiSTIndex
+        from repro.core.external import ExternalMethods
+        from tests.core.test_tree import ToyBinaryMethods
+
+        class NoNNMethods(ToyBinaryMethods):
+            # Restore the base-class stubs: NN_Consistent not provided.
+            nn_inner_distance = ExternalMethods.nn_inner_distance
+            nn_leaf_distance = ExternalMethods.nn_leaf_distance
+
+        index = SPGiSTIndex(buffer, NoNNMethods())
+        index.insert(1)
+        assert not index.methods.supports_nn
+        with pytest.raises(NotImplementedError):
+            next(iter(index.nn_search(1)))
+
+
+class TestKDTreeNN:
+    def test_matches_bruteforce(self, buffer):
+        points = random_points(500, seed=24)
+        index = KDTreeIndex(buffer)
+        for i, p in enumerate(points):
+            index.insert(p, i)
+        query = Point(42.0, 58.0)
+        expected = sorted(
+            (round(euclidean(p, query), 9), i) for i, p in enumerate(points)
+        )[:30]
+        got = [
+            (round(d, 9), v) for d, _, v in nearest(index, query, 30)
+        ]
+        assert [d for d, _ in got] == [d for d, _ in expected]
+
+    def test_query_outside_world(self, buffer):
+        points = random_points(200, seed=25)
+        index = KDTreeIndex(buffer)
+        for i, p in enumerate(points):
+            index.insert(p, i)
+        query = Point(-50.0, 250.0)
+        expected = min(euclidean(p, query) for p in points)
+        got = nearest(index, query, 1)[0][0]
+        assert round(got, 9) == round(expected, 9)
+
+
+class TestTrieNN:
+    def test_matches_bruteforce_hamming(self, buffer):
+        words = random_words(400, seed=26)
+        trie = TrieIndex(buffer, bucket_size=2)
+        for i, w in enumerate(words):
+            trie.insert(w, i)
+        query = "qwertyu"
+        expected = sorted(hamming(w, query) for w in words)[:25]
+        got = [int(d) for d, _, _ in nearest(trie, query, 25)]
+        assert got == expected
+
+    def test_exact_word_is_first(self, buffer):
+        trie = TrieIndex(buffer)
+        for w in ["alpha", "beta", "gamma"]:
+            trie.insert(w)
+        assert nearest(trie, "beta", 1)[0][1] == "beta"
+
+
+class TestPMRNN:
+    def test_nearest_segments(self, buffer):
+        from repro.geometry.distance import point_to_segment_distance
+        from repro.workloads import random_segments
+
+        segments = random_segments(300, seed=27)
+        index = PMRQuadtreeIndex(buffer, WORLD)
+        for i, s in enumerate(segments):
+            index.insert(s, i)
+        query = Point(33.0, 66.0)
+        expected = sorted(
+            round(point_to_segment_distance(query, s), 9) for s in segments
+        )[:10]
+        got = [round(d, 9) for d, _, _ in index.nearest_to(query, 10)]
+        assert got == expected
+
+    def test_spanning_duplicates_suppressed(self, buffer):
+        index = PMRQuadtreeIndex(buffer, WORLD, threshold=1)
+        from repro.geometry import LineSegment
+
+        # A long segment crossing many blocks must be reported once.
+        long_seg = LineSegment(Point(1, 1), Point(99, 99))
+        index.insert(long_seg, 0)
+        for i in range(1, 8):
+            index.insert(
+                LineSegment(Point(i * 10, 5), Point(i * 10 + 3, 8)), i
+            )
+        results = [v for _, _, v in index.nearest_to(Point(50, 50), 8)]
+        assert results.count(0) == 1

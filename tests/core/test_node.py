@@ -1,0 +1,67 @@
+"""Unit tests for SP-GiST node structures and the BLANK sentinel."""
+
+import pickle
+
+from repro.core import BLANK, Entry, InnerNode, LeafNode, NodeRef
+
+
+class TestBlankSentinel:
+    def test_singleton(self):
+        from repro.core.node import _Blank
+
+        assert _Blank() is BLANK
+
+    def test_pickle_preserves_identity(self):
+        assert pickle.loads(pickle.dumps(BLANK)) is BLANK
+
+    def test_distinct_from_empty_string_and_none(self):
+        assert BLANK != ""
+        assert BLANK is not None
+
+    def test_repr(self):
+        assert repr(BLANK) == "BLANK"
+
+
+class TestNodeRef:
+    def test_is_hashable_tuple(self):
+        ref = NodeRef(3, 1)
+        assert ref.page_id == 3 and ref.slot == 1
+        assert ref == (3, 1)
+        assert hash(ref) == hash((3, 1))
+
+
+class TestInnerNode:
+    def test_find_entry(self):
+        node = InnerNode(
+            predicate="pre",
+            entries=[Entry("a", NodeRef(0, 0)), Entry(BLANK, NodeRef(0, 1))],
+        )
+        assert node.find_entry("a") == 0
+        assert node.find_entry(BLANK) == 1
+        assert node.find_entry("z") is None
+
+    def test_is_leaf_false(self):
+        assert not InnerNode().is_leaf
+
+    def test_size_grows_with_entries(self):
+        small = InnerNode(entries=[Entry("a", NodeRef(0, 0))])
+        big = InnerNode(entries=[Entry("a", NodeRef(0, 0)) for _ in range(10)])
+        assert big.approx_bytes() > small.approx_bytes()
+
+
+class TestLeafNode:
+    def test_is_leaf_true(self):
+        assert LeafNode().is_leaf
+
+    def test_len(self):
+        assert len(LeafNode(items=[("a", 1), ("b", 2)])) == 2
+
+    def test_size_grows_with_items(self):
+        small = LeafNode(items=[("a", 1)])
+        big = LeafNode(items=[("abcdefgh", i) for i in range(20)])
+        assert big.approx_bytes() > small.approx_bytes()
+
+    def test_pickle_roundtrip(self):
+        leaf = LeafNode(items=[("word", NodeRef(1, 2))])
+        clone = pickle.loads(pickle.dumps(leaf))
+        assert clone.items == leaf.items

@@ -1,0 +1,190 @@
+"""Tests for the pg_am scan cursor (beginscan/gettuple/rescan/mark/restore)."""
+
+import pytest
+
+from repro.core import Query
+from repro.core.scan import IndexScanCursor
+from repro.errors import IndexError_
+from repro.geometry import Point
+from repro.indexes.kdtree import KDTreeIndex
+from repro.indexes.trie import TrieIndex
+from repro.workloads import random_points, random_words
+
+
+@pytest.fixture
+def trie(buffer):
+    index = TrieIndex(buffer, bucket_size=4)
+    for i, w in enumerate(random_words(300, seed=331)):
+        index.insert(w, i)
+    return index
+
+
+class TestGetNext:
+    def test_incremental_fetch_equals_full_search(self, trie):
+        query = Query("#=", "a")
+        expected = sorted(trie.search_list(query))
+        cursor = trie.begin_scan(query)
+        got = []
+        while True:
+            item = cursor.get_next()
+            if item is None:
+                break
+            got.append(item)
+        assert sorted(got) == expected
+
+    def test_exhausted_cursor_keeps_returning_none(self, trie):
+        cursor = trie.begin_scan(Query("=", "zzzzzz-absent"))
+        assert cursor.get_next() is None
+        assert cursor.get_next() is None
+
+    def test_fetch_batches(self, trie):
+        query = Query("#=", "")
+        cursor = trie.begin_scan(query)
+        first = cursor.fetch(10)
+        second = cursor.fetch(10)
+        assert len(first) == 10 and len(second) == 10
+        assert not (set(map(tuple, first)) & set(map(tuple, second)))
+
+    def test_iteration_protocol(self, trie):
+        query = Query("#=", "b")
+        assert sorted(iter(trie.begin_scan(query))) == sorted(
+            trie.search_list(query)
+        )
+
+
+class TestMarkRestore:
+    def test_restore_rewinds(self, trie):
+        cursor = trie.begin_scan(Query("#=", ""))
+        cursor.fetch(5)
+        cursor.mark()
+        after_mark = cursor.fetch(7)
+        cursor.restore()
+        replay = cursor.fetch(7)
+        assert replay == after_mark
+
+    def test_restore_without_mark_raises(self, trie):
+        cursor = trie.begin_scan(Query("#=", "a"))
+        with pytest.raises(IndexError_):
+            cursor.restore()
+
+    def test_mark_at_start(self, trie):
+        cursor = trie.begin_scan(Query("#=", "a"))
+        cursor.mark()
+        first = cursor.fetch(3)
+        cursor.restore()
+        assert cursor.fetch(3) == first
+
+
+class TestRescan:
+    def test_rescan_same_query_restarts(self, trie):
+        query = Query("#=", "c")
+        cursor = trie.begin_scan(query)
+        first_pass = cursor.fetch(1000)
+        cursor.rescan()
+        assert cursor.fetch(1000) == first_pass
+
+    def test_rescan_new_query(self, trie):
+        cursor = trie.begin_scan(Query("#=", "a"))
+        cursor.fetch(2)
+        cursor.rescan(Query("#=", "b"))
+        results = cursor.fetch(1000)
+        assert all(k.startswith("b") for k, _ in results)
+
+    def test_rescan_clears_mark_semantics(self, trie):
+        cursor = trie.begin_scan(Query("#=", "a"))
+        cursor.fetch(2)
+        cursor.mark()
+        cursor.rescan()
+        with pytest.raises(IndexError_):
+            cursor.restore()
+
+
+class TestNNCursor:
+    def test_nn_scan_through_cursor(self, buffer):
+        points = random_points(200, seed=332)
+        kd = KDTreeIndex(buffer)
+        for i, p in enumerate(points):
+            kd.insert(p, i)
+        cursor = kd.begin_scan(Query("@@", Point(50, 50)))
+        # The paper: "the number of required NNs is controlled by the
+        # application using cursors" — three get-nexts = 3-NN.
+        batch = cursor.fetch(3)
+        distances = [d for d, _, _ in batch]
+        assert distances == sorted(distances)
+        cursor.mark()
+        more = cursor.fetch(5)
+        cursor.restore()
+        assert cursor.fetch(5) == more
+
+
+class TestClose:
+    def test_closed_cursor_rejects_everything(self, trie):
+        cursor = trie.begin_scan(Query("=", "x"))
+        cursor.close()
+        with pytest.raises(IndexError_):
+            cursor.get_next()
+        with pytest.raises(IndexError_):
+            cursor.rescan()
+        with pytest.raises(IndexError_):
+            cursor.mark()
+
+    def test_context_manager(self, trie):
+        with trie.begin_scan(Query("#=", "a")) as cursor:
+            cursor.fetch(1)
+        with pytest.raises(IndexError_):
+            cursor.get_next()
+
+
+class TestBulkDelete:
+    def test_bulk_delete_by_predicate(self, buffer):
+        words = random_words(400, seed=333)
+        trie = TrieIndex(buffer, bucket_size=4)
+        for i, w in enumerate(words):
+            trie.insert(w, i)
+        removed = trie.bulk_delete(lambda key, value: key.startswith("a"))
+        expected_removed = sum(1 for w in words if w.startswith("a"))
+        assert removed == expected_removed
+        assert trie.search_prefix("a") == []
+        assert len(trie) == len(words) - expected_removed
+
+    def test_bulk_delete_everything(self, buffer):
+        trie = TrieIndex(buffer, bucket_size=2)
+        for i, w in enumerate(random_words(100, seed=334)):
+            trie.insert(w, i)
+        assert trie.bulk_delete(lambda k, v: True) == 100
+        assert trie.search_prefix("") == []
+
+    def test_bulk_delete_nothing(self, buffer):
+        trie = TrieIndex(buffer)
+        trie.insert("keep", 1)
+        assert trie.bulk_delete(lambda k, v: False) == 0
+        assert trie.search_equal("keep") == [("keep", 1)]
+
+    def test_bulk_delete_empty_index(self, buffer):
+        assert TrieIndex(buffer).bulk_delete(lambda k, v: True) == 0
+
+    def test_bulk_delete_spanning_counts_logical_items(self, buffer):
+        from repro.indexes.pmr import PMRQuadtreeIndex
+        from repro.geometry import LineSegment
+        from repro.workloads.points import WORLD
+
+        index = PMRQuadtreeIndex(buffer, WORLD, threshold=1)
+        spanner = LineSegment(Point(5, 50), Point(95, 50))
+        index.insert(spanner, 0)
+        for i in range(1, 6):
+            index.insert(LineSegment(Point(i * 15, 10), Point(i * 15 + 3, 12)), i)
+        removed = index.bulk_delete(lambda k, v: v == 0)
+        assert removed == 1
+        assert index.search_exact(spanner) == []
+
+    def test_vacuum_after_bulk_delete(self, buffer):
+        words = random_words(500, seed=335)
+        trie = TrieIndex(buffer, bucket_size=4)
+        for i, w in enumerate(words):
+            trie.insert(w, i)
+        trie.bulk_delete(lambda k, v: v % 2 == 0)
+        pages_before = trie.num_pages
+        trie.vacuum()
+        assert trie.num_pages <= pages_before
+        survivors = sorted(v for _, v in trie.search_prefix(""))
+        assert survivors == [i for i in range(len(words)) if i % 2 == 1]

@@ -1,0 +1,69 @@
+"""Unit tests for tree statistics collection."""
+
+from repro.core.stats import TreeStatistics
+from repro.indexes.trie import TrieIndex
+from repro.workloads import random_words
+
+
+class TestTreeStatistics:
+    def test_empty_index(self, buffer):
+        trie = TrieIndex(buffer)
+        stats = trie.statistics()
+        assert stats == TreeStatistics(
+            inner_nodes=0,
+            leaf_nodes=0,
+            items=0,
+            max_node_height=0,
+            max_page_height=0,
+            pages=0,
+            used_bytes=0,
+            fill_factor=0.0,
+        )
+
+    def test_single_leaf(self, buffer):
+        trie = TrieIndex(buffer)
+        trie.insert("a", 1)
+        stats = trie.statistics()
+        assert stats.leaf_nodes == 1
+        assert stats.inner_nodes == 0
+        assert stats.items == 1
+        assert stats.max_node_height == 1
+        assert stats.max_page_height == 1
+        assert stats.pages == 1
+
+    def test_item_count_matches_len(self, buffer):
+        trie = TrieIndex(buffer, bucket_size=2)
+        words = random_words(300, seed=11)
+        for i, w in enumerate(words):
+            trie.insert(w, i)
+        stats = trie.statistics()
+        assert stats.items == len(trie) == 300
+
+    def test_total_nodes(self, buffer):
+        trie = TrieIndex(buffer, bucket_size=2)
+        for i, w in enumerate(random_words(100, seed=12)):
+            trie.insert(w, i)
+        stats = trie.statistics()
+        assert stats.total_nodes == stats.inner_nodes + stats.leaf_nodes
+        assert stats.inner_nodes > 0
+
+    def test_page_height_never_exceeds_node_height(self, buffer):
+        trie = TrieIndex(buffer, bucket_size=2)
+        for i, w in enumerate(random_words(500, seed=13)):
+            trie.insert(w, i)
+        stats = trie.statistics()
+        assert 1 <= stats.max_page_height <= stats.max_node_height
+
+    def test_node_height_bounded_by_longest_word(self, buffer):
+        trie = TrieIndex(buffer, bucket_size=1)
+        words = ["a", "ab", "abc", "abcd", "abcde"]
+        for w in words:
+            trie.insert(w)
+        # Patricia shrink keeps height at most ~word length + 1 leaf level.
+        assert trie.statistics().max_node_height <= len(max(words, key=len)) + 1
+
+    def test_fill_factor_in_unit_interval(self, buffer):
+        trie = TrieIndex(buffer, bucket_size=4)
+        for i, w in enumerate(random_words(200, seed=14)):
+            trie.insert(w, i)
+        assert 0.0 < trie.statistics().fill_factor <= 1.0

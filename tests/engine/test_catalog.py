@@ -1,0 +1,138 @@
+"""Tests for the system catalog (pg_am / pg_operator / pg_opclass analogue)."""
+
+import pytest
+
+from repro.engine.catalog import (
+    AccessMethodEntry,
+    SystemCatalog,
+    default_catalog,
+    spgist_am_entry,
+)
+from repro.engine.opclass import NN_STRATEGY, OperatorClass
+from repro.engine.operators import Operator, trieword_equal
+from repro.errors import CatalogError
+
+
+class TestPgAmEntry:
+    def test_paper_table2_row(self):
+        entry = spgist_am_entry()
+        assert entry.amname == "SP_GiST"
+        assert entry.amstrategies == 20
+        assert entry.amsupport == 20
+        assert entry.amorderstrategy == 0  # no ordering of index entries
+        assert entry.amcanunique is False
+        assert entry.amcanmulticol is False
+        assert entry.amindexnulls is False
+        assert entry.amconcurrent is True
+        assert entry.amgettuple == "spgistgettuple"
+        assert entry.aminsert == "spgistinsert"
+        assert entry.ambuild == "spgistbuild"
+        assert entry.ambulkdelete == "spgistbulkdelete"
+        assert entry.amcostestimate == "spgistcostestimate"
+        assert entry.amvacuumcleanup == "-"
+
+
+class TestRegistration:
+    def test_register_and_lookup_access_method(self):
+        catalog = SystemCatalog()
+        catalog.register_access_method(AccessMethodEntry(amname="myam"))
+        assert catalog.access_method("MYAM").amname == "myam"
+
+    def test_duplicate_access_method_rejected(self):
+        catalog = SystemCatalog()
+        catalog.register_access_method(AccessMethodEntry(amname="x"))
+        with pytest.raises(CatalogError):
+            catalog.register_access_method(AccessMethodEntry(amname="X"))
+
+    def test_unknown_access_method_raises(self):
+        with pytest.raises(CatalogError):
+            SystemCatalog().access_method("nope")
+
+    def test_operator_registration(self):
+        catalog = SystemCatalog()
+        op = Operator("=", "varchar", "varchar", trieword_equal)
+        catalog.register_operator(op)
+        assert catalog.operator("=", "varchar", "varchar") is op
+        with pytest.raises(CatalogError):
+            catalog.register_operator(op)
+
+    def test_opclass_requires_existing_am(self):
+        catalog = SystemCatalog()
+        with pytest.raises(CatalogError):
+            catalog.register_opclass(
+                OperatorClass("oc", "ghost_am", "varchar")
+            )
+
+    def test_opclass_roundtrip(self):
+        catalog = SystemCatalog()
+        catalog.register_access_method(AccessMethodEntry(amname="am"))
+        oc = OperatorClass("MyClass", "am", "varchar", {1: "="})
+        catalog.register_opclass(oc)
+        assert catalog.opclass("myclass") is oc
+
+
+class TestDefaultCatalog:
+    def test_paper_access_methods_present(self):
+        catalog = default_catalog()
+        for name in ("heap", "btree", "rtree", "SP_GiST"):
+            assert catalog.access_method(name) is not None
+
+    def test_paper_opclasses_present(self):
+        catalog = default_catalog()
+        for name in (
+            "SP_GiST_trie",
+            "SP_GiST_kdtree",
+            "SP_GiST_suffix",
+            "SP_GiST_pquadtree",
+            "SP_GiST_pmr",
+        ):
+            oc = catalog.opclass(name)
+            assert oc.access_method == "SP_GiST"
+
+    def test_trie_opclass_matches_table5(self):
+        oc = default_catalog().opclass("SP_GiST_trie")
+        assert oc.operators[1] == "="
+        assert oc.operators[2] == "#="
+        assert oc.operators[3] == "?="
+        assert oc.operators[NN_STRATEGY] == "@@"
+        assert oc.for_type == "varchar"
+
+    def test_kdtree_opclass_matches_table5(self):
+        oc = default_catalog().opclass("SP_GiST_kdtree")
+        assert oc.operators[1] == "@"
+        assert oc.operators[2] == "^"
+        assert oc.for_type == "point"
+
+    def test_suffix_opclass_has_extractor(self):
+        oc = default_catalog().opclass("SP_GiST_suffix")
+        assert oc.operators[1] == "@="
+        assert list(oc.key_extractor("ab")) == ["ab", "b"]
+
+    def test_default_opclass_resolution(self):
+        catalog = default_catalog()
+        assert catalog.default_opclass("SP_GiST", "varchar").name == "SP_GiST_trie"
+        assert catalog.default_opclass("rtree", "point").name == "rtree_point"
+        with pytest.raises(CatalogError):
+            catalog.default_opclass("btree", "lseg")
+
+    def test_opclass_support_functions_numbered_as_table5(self):
+        oc = default_catalog().opclass("SP_GiST_trie")
+        support = oc.support_functions()
+        assert set(support.keys()) == {1, 2, 3, 4}
+        assert callable(support[1]) and callable(support[2])
+
+    def test_make_methods_builds_external_methods(self):
+        oc = default_catalog().opclass("SP_GiST_trie")
+        methods = oc.make_methods(bucket_size=7)
+        assert methods.get_parameters().bucket_size == 7
+
+    def test_non_spgist_opclass_has_no_support_functions(self):
+        oc = default_catalog().opclass("btree_varchar")
+        with pytest.raises(TypeError):
+            oc.make_methods()
+
+    def test_operators_named(self):
+        catalog = default_catalog()
+        eq_varchar = catalog.operators_named("=", "varchar")
+        assert len(eq_varchar) == 1
+        assert eq_varchar[0].restrict == "eqsel"

@@ -1,0 +1,83 @@
+"""Tests for the exception hierarchy and error paths across the engine."""
+
+import pytest
+
+from repro import errors
+from repro.engine import Database
+from repro.errors import (
+    CatalogError,
+    KeyNotFoundError,
+    OperatorError,
+    PageNotFoundError,
+    PlannerError,
+    ReproError,
+    SQLError,
+    StorageError,
+)
+
+
+class TestHierarchy:
+    def test_everything_derives_from_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                assert issubclass(obj, ReproError), name
+
+    def test_storage_family(self):
+        assert issubclass(PageNotFoundError, StorageError)
+
+    def test_page_not_found_carries_id(self):
+        err = PageNotFoundError(42)
+        assert err.page_id == 42
+        assert "42" in str(err)
+
+    def test_key_not_found_carries_key(self):
+        err = KeyNotFoundError("missing")
+        assert err.key == "missing"
+
+    def test_catching_base_catches_all(self):
+        with pytest.raises(ReproError):
+            raise SQLError("x")
+        with pytest.raises(ReproError):
+            raise PlannerError("x")
+        with pytest.raises(ReproError):
+            raise OperatorError("x")
+
+
+class TestSQLErrorPaths:
+    @pytest.fixture
+    def db(self):
+        return Database()
+
+    def test_select_unknown_table(self, db):
+        with pytest.raises(SQLError):
+            db.execute("SELECT * FROM ghost;")
+
+    def test_unknown_operator_for_type(self, db):
+        db.execute("CREATE TABLE t (a INT);")
+        db.execute("INSERT INTO t VALUES (1);")
+        with pytest.raises(SQLError):
+            db.execute("SELECT * FROM t WHERE a #= '1';")
+
+    def test_create_index_unknown_opclass(self, db):
+        db.execute("CREATE TABLE t (a VARCHAR(5));")
+        with pytest.raises(CatalogError):
+            db.execute("CREATE INDEX i ON t USING SP_GiST (a NoSuchClass);")
+
+    def test_create_index_unknown_column(self, db):
+        db.execute("CREATE TABLE t (a VARCHAR(5));")
+        with pytest.raises(CatalogError):
+            db.execute("CREATE INDEX i ON t USING SP_GiST (ghost);")
+
+    def test_bad_point_literal(self, db):
+        db.execute("CREATE TABLE t (p POINT);")
+        with pytest.raises((SQLError, ValueError)):
+            db.execute("INSERT INTO t VALUES ('(1,2,3)');")
+
+    def test_analyze_unknown_table(self, db):
+        with pytest.raises(SQLError):
+            db.execute("ANALYZE ghost;")
+
+    def test_explain_non_select(self, db):
+        with pytest.raises(SQLError):
+            db.execute("EXPLAIN DROP TABLE t;")

@@ -1,0 +1,94 @@
+"""Tests for operator procedures (paper Table 4)."""
+
+import pytest
+
+from repro.engine.operators import (
+    Operator,
+    builtin_operators,
+    kdpoint_equal,
+    kdpoint_inside,
+    segment_equal,
+    segment_overlaps,
+    suffix_substring,
+    trieword_equal,
+    trieword_prefix,
+    trieword_regex,
+)
+from repro.errors import OperatorError
+from repro.geometry import Box, LineSegment, Point
+
+
+class TestStringProcedures:
+    def test_trieword_equal(self):
+        assert trieword_equal("abc", "abc")
+        assert not trieword_equal("abc", "abd")
+
+    def test_trieword_prefix(self):
+        assert trieword_prefix("abcdef", "abc")
+        assert not trieword_prefix("abc", "abcd")
+
+    def test_trieword_regex(self):
+        assert trieword_regex("random", "r?nd?m")
+        assert not trieword_regex("random", "r?nd?")
+
+    def test_suffix_substring(self):
+        assert suffix_substring("bandana", "dan")
+        assert not suffix_substring("bandana", "nad")
+
+
+class TestSpatialProcedures:
+    def test_kdpoint_equal(self):
+        assert kdpoint_equal(Point(1, 2), Point(1, 2))
+        assert not kdpoint_equal(Point(1, 2), Point(2, 1))
+
+    def test_kdpoint_inside(self):
+        assert kdpoint_inside(Point(1, 1), Box(0, 0, 5, 5))
+        assert not kdpoint_inside(Point(9, 1), Box(0, 0, 5, 5))
+
+    def test_segment_equal(self):
+        s = LineSegment(Point(0, 0), Point(1, 1))
+        assert segment_equal(s, LineSegment(Point(0, 0), Point(1, 1)))
+
+    def test_segment_overlaps(self):
+        s = LineSegment(Point(-1, 2), Point(9, 2))
+        assert segment_overlaps(s, Box(0, 0, 5, 5))
+        assert not segment_overlaps(s, Box(0, 5, 5, 9))
+
+
+class TestOperatorObject:
+    def test_apply(self):
+        op = Operator("=", "varchar", "varchar", trieword_equal)
+        assert op.apply("x", "x")
+
+    def test_apply_type_error_wrapped(self):
+        op = Operator("^", "point", "box", kdpoint_inside)
+        with pytest.raises(OperatorError):
+            op.apply("not a point", Box(0, 0, 1, 1))
+
+    def test_commutator_recorded(self):
+        [eq] = [
+            op
+            for op in builtin_operators()
+            if op.name == "=" and op.left_type == "varchar"
+        ]
+        assert eq.commutator == "="
+
+    def test_builtin_set_covers_paper_tables(self):
+        names = {(op.name, op.left_type) for op in builtin_operators()}
+        for expected in [
+            ("=", "varchar"),
+            ("#=", "varchar"),
+            ("?=", "varchar"),
+            ("@=", "varchar"),
+            ("@", "point"),
+            ("^", "point"),
+            ("=", "lseg"),
+            ("&&", "lseg"),
+        ]:
+            assert expected in names
+
+    def test_restrict_clauses_match_paper(self):
+        by_key = {(op.name, op.left_type): op for op in builtin_operators()}
+        assert by_key[("=", "varchar")].restrict == "eqsel"
+        assert by_key[("?=", "varchar")].restrict == "likesel"
+        assert by_key[("^", "point")].restrict == "contsel"

@@ -1,0 +1,145 @@
+"""Tests for access-path planning and plan execution."""
+
+import pytest
+
+from repro.engine.catalog import default_catalog
+from repro.engine.executor import execute_plan
+from repro.engine.planner import (
+    IndexScanPlan,
+    NNIndexScanPlan,
+    NNSortScanPlan,
+    Predicate,
+    SeqScanPlan,
+    plan_query,
+)
+from repro.engine.table import Column, Table
+from repro.errors import PlannerError
+from repro.geometry import Box, Point
+from repro.workloads import random_points, random_words
+
+
+@pytest.fixture
+def big_word_table(buffer):
+    table = Table(
+        "words",
+        [Column("name", "varchar"), Column("id", "int")],
+        buffer,
+        default_catalog(),
+    )
+    for i, w in enumerate(random_words(3000, seed=131)):
+        table.insert((w, i))
+    return table
+
+
+class TestPlanSelection:
+    def test_no_predicate_is_seqscan(self, big_word_table):
+        plan = plan_query(big_word_table, None)
+        assert isinstance(plan, SeqScanPlan)
+
+    def test_no_index_means_seqscan(self, big_word_table):
+        plan = plan_query(big_word_table, Predicate("name", "=", "abc"))
+        assert isinstance(plan, SeqScanPlan)
+
+    def test_equality_uses_index_after_analyze(self, big_word_table):
+        big_word_table.create_index("trie", "name", "SP_GiST", "SP_GiST_trie")
+        big_word_table.analyze()
+        plan = plan_query(big_word_table, Predicate("name", "=", "abc"))
+        assert isinstance(plan, IndexScanPlan)
+
+    def test_index_on_other_column_not_considered(self, big_word_table):
+        big_word_table.create_index("bt_id", "id", "btree", "btree_int")
+        big_word_table.analyze()
+        plan = plan_query(big_word_table, Predicate("name", "=", "abc"))
+        assert isinstance(plan, SeqScanPlan)
+
+    def test_operator_not_in_opclass_not_considered(self, big_word_table):
+        big_word_table.create_index("trie", "name", "SP_GiST", "SP_GiST_trie")
+        big_word_table.analyze()
+        # '@=' (substring) is not in the trie opclass.
+        with pytest.raises(PlannerError):
+            plan_query(big_word_table, Predicate("name", "@@@", "x"))
+
+    def test_cheapest_path_wins(self, big_word_table):
+        big_word_table.create_index("trie", "name", "SP_GiST", "SP_GiST_trie")
+        big_word_table.create_index("bt", "name", "btree", "btree_varchar")
+        big_word_table.analyze()
+        plan = plan_query(big_word_table, Predicate("name", "=", "abc"))
+        assert isinstance(plan, IndexScanPlan)
+        seq_cost = plan_query(big_word_table, None).cost.total_cost
+        assert plan.cost.total_cost < seq_cost
+
+    def test_describe_mentions_index(self, big_word_table):
+        big_word_table.create_index("trie", "name", "SP_GiST", "SP_GiST_trie")
+        big_word_table.analyze()
+        plan = plan_query(big_word_table, Predicate("name", "=", "abc"))
+        text = plan.describe()
+        assert "trie" in text and "cost=" in text
+
+
+class TestNNPlanning:
+    def test_nn_uses_capable_index(self, buffer):
+        table = Table("pts", [Column("p", "point")], buffer, default_catalog())
+        for p in random_points(150, seed=132):
+            table.insert((p,))
+        table.create_index("kd", "p", "SP_GiST", "SP_GiST_kdtree")
+        plan = plan_query(table, Predicate("p", "@@", Point(5, 5)))
+        assert isinstance(plan, NNIndexScanPlan)
+
+    def test_nn_falls_back_to_sort(self, buffer):
+        table = Table("pts", [Column("p", "point")], buffer, default_catalog())
+        for p in random_points(50, seed=133):
+            table.insert((p,))
+        plan = plan_query(table, Predicate("p", "@@", Point(5, 5)))
+        assert isinstance(plan, NNSortScanPlan)
+
+
+class TestExecution:
+    def test_index_and_seq_agree(self, big_word_table):
+        words = [row[0] for _t, row in big_word_table.scan()]
+        probe = words[100]
+        seq_plan = plan_query(big_word_table, Predicate("name", "=", probe))
+        seq_rows = sorted(execute_plan(seq_plan))
+        big_word_table.create_index("trie", "name", "SP_GiST", "SP_GiST_trie")
+        big_word_table.analyze()
+        idx_plan = plan_query(big_word_table, Predicate("name", "=", probe))
+        assert isinstance(idx_plan, IndexScanPlan)
+        assert sorted(execute_plan(idx_plan)) == seq_rows
+
+    def test_nn_index_and_sort_agree(self, buffer):
+        table = Table("pts", [Column("p", "point")], buffer, default_catalog())
+        points = random_points(250, seed=134)
+        for p in points:
+            table.insert((p,))
+        query = Predicate("p", "@@", Point(42, 17))
+        sort_rows = list(execute_plan(plan_query(table, query)))[:10]
+        table.create_index("kd", "p", "SP_GiST", "SP_GiST_kdtree")
+        nn_rows = []
+        plan = plan_query(table, query)
+        assert isinstance(plan, NNIndexScanPlan)
+        for row in execute_plan(plan):
+            nn_rows.append(row)
+            if len(nn_rows) == 10:
+                break
+        from repro.geometry.distance import euclidean
+
+        d_sort = [euclidean(r[0], query.operand) for r in sort_rows]
+        d_nn = [euclidean(r[0], query.operand) for r in nn_rows]
+        assert [round(d, 9) for d in d_nn] == [round(d, 9) for d in d_sort]
+
+    def test_range_query_through_executor(self, buffer):
+        table = Table("pts", [Column("p", "point")], buffer, default_catalog())
+        points = random_points(300, seed=135)
+        for p in points:
+            table.insert((p,))
+        table.create_index("kd", "p", "SP_GiST", "SP_GiST_kdtree")
+        table.analyze()
+        box = Box(20, 20, 60, 60)
+        plan = plan_query(table, Predicate("p", "^", box))
+        rows = list(execute_plan(plan))
+        assert sorted(r[0] for r in rows) == sorted(
+            p for p in points if box.contains_point(p)
+        )
+
+    def test_full_scan_no_predicate(self, big_word_table):
+        rows = list(execute_plan(plan_query(big_word_table, None)))
+        assert len(rows) == len(big_word_table)

@@ -1,0 +1,92 @@
+"""Unit tests for the Box type."""
+
+import math
+
+import pytest
+
+from repro.geometry import Box, Point
+
+
+class TestBoxConstruction:
+    def test_invalid_corners_raise(self):
+        with pytest.raises(ValueError):
+            Box(5, 0, 0, 5)
+        with pytest.raises(ValueError):
+            Box(0, 5, 5, 0)
+
+    def test_degenerate_boxes_allowed(self):
+        b = Box(1, 2, 1, 2)
+        assert b.area() == 0.0
+        assert b.contains_point(Point(1, 2))
+
+    def test_from_points_normalizes_corner_order(self):
+        b = Box.from_points(Point(5, 1), Point(2, 7))
+        assert (b.xmin, b.ymin, b.xmax, b.ymax) == (2, 1, 5, 7)
+
+    def test_from_point(self):
+        assert Box.from_point(Point(3, 4)) == Box(3, 4, 3, 4)
+
+    def test_bounding_of_many(self):
+        b = Box.bounding([Box(0, 0, 1, 1), Box(5, -2, 6, 0), Box(2, 2, 3, 9)])
+        assert b == Box(0, -2, 6, 9)
+
+    def test_bounding_empty_raises(self):
+        with pytest.raises(ValueError):
+            Box.bounding([])
+
+    def test_parse_normalizes(self):
+        assert Box.parse("(5,5,0,0)") == Box(0, 0, 5, 5)
+
+    def test_infinite_box_is_legal(self):
+        b = Box(-math.inf, -math.inf, math.inf, math.inf)
+        assert b.contains_point(Point(1e12, -1e12))
+
+
+class TestBoxPredicates:
+    def test_contains_point_borders_inclusive(self):
+        b = Box(0, 0, 10, 10)
+        assert b.contains_point(Point(0, 0))
+        assert b.contains_point(Point(10, 10))
+        assert not b.contains_point(Point(10.001, 5))
+
+    def test_contains_box(self):
+        outer = Box(0, 0, 10, 10)
+        assert outer.contains_box(Box(1, 1, 9, 9))
+        assert outer.contains_box(outer)
+        assert not outer.contains_box(Box(5, 5, 11, 9))
+
+    def test_intersects_symmetric_and_border_touching(self):
+        a = Box(0, 0, 5, 5)
+        b = Box(5, 5, 9, 9)  # touches at one corner
+        assert a.intersects(b) and b.intersects(a)
+        assert not a.intersects(Box(6, 6, 7, 7))
+
+    def test_disjoint_in_one_axis_only(self):
+        a = Box(0, 0, 5, 5)
+        assert not a.intersects(Box(0, 6, 5, 8))
+        assert not a.intersects(Box(6, 0, 8, 5))
+
+
+class TestBoxMeasures:
+    def test_area_margin_center(self):
+        b = Box(0, 0, 4, 3)
+        assert b.area() == 12
+        assert b.margin() == 7
+        assert b.center() == Point(2, 1.5)
+
+    def test_union_and_enlargement(self):
+        a = Box(0, 0, 2, 2)
+        b = Box(3, 3, 4, 4)
+        u = a.union(b)
+        assert u == Box(0, 0, 4, 4)
+        assert a.enlargement(b) == u.area() - a.area()
+        assert a.enlargement(Box(0, 0, 1, 1)) == 0.0
+
+    def test_quadrants_tile_the_box(self):
+        b = Box(0, 0, 10, 10)
+        nw, ne, sw, se = b.quadrants()
+        assert nw == Box(0, 5, 5, 10)
+        assert ne == Box(5, 5, 10, 10)
+        assert sw == Box(0, 0, 5, 5)
+        assert se == Box(5, 0, 10, 5)
+        assert sum(q.area() for q in (nw, ne, sw, se)) == b.area()

@@ -1,0 +1,108 @@
+"""Unit tests for the distance kernels used by NN search."""
+
+import math
+
+from repro.geometry import (
+    Box,
+    LineSegment,
+    Point,
+    euclidean,
+    euclidean_squared,
+    hamming,
+    point_to_box_distance,
+    point_to_segment_distance,
+)
+from repro.geometry.distance import prefix_hamming_lower_bound
+
+
+class TestEuclidean:
+    def test_pythagorean(self):
+        assert euclidean(Point(0, 0), Point(3, 4)) == 5.0
+
+    def test_squared_consistent(self):
+        a, b = Point(1, 2), Point(4, 6)
+        assert euclidean_squared(a, b) == euclidean(a, b) ** 2
+
+    def test_zero_distance(self):
+        assert euclidean(Point(7, 7), Point(7, 7)) == 0.0
+
+    def test_symmetry(self):
+        a, b = Point(-1, 5), Point(2, -3)
+        assert euclidean(a, b) == euclidean(b, a)
+
+
+class TestHamming:
+    def test_equal_strings(self):
+        assert hamming("abc", "abc") == 0
+
+    def test_simple_mismatch(self):
+        assert hamming("abc", "axc") == 1
+
+    def test_length_difference_counts(self):
+        assert hamming("abc", "abcde") == 2
+        assert hamming("", "xyz") == 3
+
+    def test_prefix_relation(self):
+        # Distance to a strict prefix is the length difference.
+        assert hamming("space", "spa") == 2
+
+    def test_symmetry(self):
+        assert hamming("star", "spade") == hamming("spade", "star")
+
+
+class TestMindist:
+    def test_point_inside_box_is_zero(self):
+        assert point_to_box_distance(Point(2, 2), Box(0, 0, 5, 5)) == 0.0
+
+    def test_point_beside_box(self):
+        assert point_to_box_distance(Point(8, 2), Box(0, 0, 5, 5)) == 3.0
+
+    def test_point_diagonal_from_corner(self):
+        assert point_to_box_distance(Point(8, 9), Box(0, 0, 5, 5)) == 5.0
+
+    def test_infinite_box(self):
+        world = Box(-math.inf, -math.inf, math.inf, math.inf)
+        assert point_to_box_distance(Point(1e6, -1e6), world) == 0.0
+
+    def test_mindist_lower_bounds_all_contained_points(self):
+        box = Box(2, 3, 7, 9)
+        q = Point(0, 0)
+        bound = point_to_box_distance(q, box)
+        for p in (Point(2, 3), Point(7, 9), Point(4.5, 6)):
+            assert bound <= euclidean(q, p)
+
+
+class TestSegmentDistance:
+    def test_projection_onto_interior(self):
+        s = LineSegment(Point(0, 0), Point(10, 0))
+        assert point_to_segment_distance(Point(5, 3), s) == 3.0
+
+    def test_clamps_to_endpoint(self):
+        s = LineSegment(Point(0, 0), Point(10, 0))
+        assert point_to_segment_distance(Point(13, 4), s) == 5.0
+
+    def test_degenerate_segment(self):
+        s = LineSegment(Point(1, 1), Point(1, 1))
+        assert point_to_segment_distance(Point(4, 5), s) == 5.0
+
+    def test_point_on_segment_is_zero(self):
+        s = LineSegment(Point(0, 0), Point(4, 4))
+        assert point_to_segment_distance(Point(2, 2), s) == 0.0
+
+
+class TestPrefixHammingBound:
+    def test_is_admissible_for_extensions(self):
+        prefix, query = "spa", "spade"
+        bound = prefix_hamming_lower_bound(prefix, query)
+        for extension in ("spa", "spam", "space", "sparkle"):
+            assert bound <= hamming(extension, query)
+
+    def test_counts_prefix_mismatches(self):
+        assert prefix_hamming_lower_bound("xyz", "abc") == 3
+
+    def test_counts_excess_length(self):
+        # Every extension of a 5-char prefix is >= 5 chars; query is 3.
+        assert prefix_hamming_lower_bound("abcde", "abc") == 2
+
+    def test_zero_for_matching_prefix(self):
+        assert prefix_hamming_lower_bound("ab", "abxyz") == 0

@@ -1,0 +1,53 @@
+"""Unit tests for the Point type."""
+
+import pytest
+
+from repro.geometry import Point
+
+
+class TestPointBasics:
+    def test_coord_axes(self):
+        p = Point(3.0, -4.5)
+        assert p.coord(0) == 3.0
+        assert p.coord(1) == -4.5
+
+    def test_coord_invalid_axis_raises(self):
+        with pytest.raises(ValueError):
+            Point(0, 0).coord(2)
+
+    def test_as_tuple(self):
+        assert Point(1.5, 2.5).as_tuple() == (1.5, 2.5)
+
+    def test_translated_returns_new_point(self):
+        p = Point(1.0, 2.0)
+        q = p.translated(0.5, -1.0)
+        assert q == Point(1.5, 1.0)
+        assert p == Point(1.0, 2.0)  # original untouched
+
+    def test_equality_and_hash(self):
+        assert Point(1, 2) == Point(1, 2)
+        assert hash(Point(1, 2)) == hash(Point(1, 2))
+        assert Point(1, 2) != Point(2, 1)
+
+    def test_ordering_is_lexicographic(self):
+        assert Point(1, 9) < Point(2, 0)
+        assert Point(1, 2) < Point(1, 3)
+
+    def test_approx_bytes(self):
+        assert Point(0, 0).approx_bytes() == 16
+
+
+class TestPointParsing:
+    def test_parse_plain(self):
+        assert Point.parse("(0,1)") == Point(0.0, 1.0)
+
+    def test_parse_with_spaces_and_floats(self):
+        assert Point.parse(" ( 2.5 , -3.75 ) ") == Point(2.5, -3.75)
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            Point.parse("(1,2,3)")
+
+    def test_str_roundtrip(self):
+        p = Point(12.25, -0.5)
+        assert Point.parse(str(p)) == p

@@ -1,0 +1,64 @@
+"""Unit tests for LineSegment, especially the box-intersection clipper."""
+
+import pytest
+
+from repro.geometry import Box, LineSegment, Point
+
+
+def seg(ax, ay, bx, by) -> LineSegment:
+    return LineSegment(Point(ax, ay), Point(bx, by))
+
+
+class TestSegmentBasics:
+    def test_bounding_box(self):
+        assert seg(5, 1, 2, 7).bounding_box() == Box(2, 1, 5, 7)
+
+    def test_length_and_midpoint(self):
+        s = seg(0, 0, 3, 4)
+        assert s.length() == 5.0
+        assert s.midpoint() == Point(1.5, 2.0)
+
+    def test_parse_roundtrip(self):
+        s = seg(1.5, 2, 3, 4.25)
+        assert LineSegment.parse(str(s)) == s
+
+    def test_parse_literal(self):
+        assert LineSegment.parse("[(0,0),(3,4)]") == seg(0, 0, 3, 4)
+
+
+class TestSegmentBoxIntersection:
+    def test_endpoint_inside(self):
+        assert seg(1, 1, 20, 20).intersects_box(Box(0, 0, 5, 5))
+
+    def test_fully_inside(self):
+        assert seg(1, 1, 2, 2).intersects_box(Box(0, 0, 5, 5))
+
+    def test_crossing_through_without_endpoints_inside(self):
+        # Segment passes straight through the box.
+        assert seg(-5, 2.5, 10, 2.5).intersects_box(Box(0, 0, 5, 5))
+
+    def test_diagonal_crossing(self):
+        assert seg(-1, -1, 6, 6).intersects_box(Box(0, 0, 5, 5))
+
+    def test_miss_beside_box(self):
+        assert not seg(6, 0, 10, 4).intersects_box(Box(0, 0, 5, 5))
+
+    def test_miss_diagonal_near_corner(self):
+        # Passes near the corner but outside.
+        assert not seg(5.5, -1, 7, 1).intersects_box(Box(0, 0, 5, 5))
+
+    def test_touching_border_counts(self):
+        assert seg(5, -1, 5, 6).intersects_box(Box(0, 0, 5, 5))
+
+    def test_degenerate_segment_is_a_point(self):
+        assert seg(2, 2, 2, 2).intersects_box(Box(0, 0, 5, 5))
+        assert not seg(9, 9, 9, 9).intersects_box(Box(0, 0, 5, 5))
+
+    def test_vertical_segment(self):
+        assert seg(2, -10, 2, 10).intersects_box(Box(0, 0, 5, 5))
+        assert not seg(-1, -10, -1, 10).intersects_box(Box(0, 0, 5, 5))
+
+    @pytest.mark.parametrize("dx,dy", [(0.0, 7.0), (7.0, 0.0), (7.0, 7.0)])
+    def test_far_segments_disjoint(self, dx, dy):
+        base = Box(0, 0, 5, 5)
+        assert not seg(dx + 6, dy + 6, dx + 8, dy + 8).intersects_box(base)

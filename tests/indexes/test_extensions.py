@@ -1,0 +1,258 @@
+"""Tests for the extension features: bulk build and glob matching.
+
+Both extend the paper: bulk operations are its cited companion work
+(Ghanem et al.), and richer patterns than the single-character ``?`` are
+its stated future work.
+"""
+
+import random
+
+import pytest
+
+from repro.core import Query
+from repro.errors import IndexCorruptionError
+from repro.geometry import Box, Point
+from repro.indexes.kdtree import KDTreeIndex
+from repro.indexes.pmr import PMRQuadtreeIndex
+from repro.indexes.pquadtree import PointQuadtreeIndex
+from repro.indexes.suffix import SuffixTreeIndex
+from repro.indexes.trie import TrieIndex, glob_matches
+from repro.baselines import BPlusTree
+from repro.workloads import random_points, random_segments, random_words
+from repro.workloads.points import WORLD
+
+
+class TestGlobMatcher:
+    @pytest.mark.parametrize(
+        "pattern,text,expected",
+        [
+            ("abc", "abc", True),
+            ("abc", "abd", False),
+            ("a?c", "abc", True),
+            ("a*", "a", True),
+            ("a*", "abcdef", True),
+            ("*c", "abc", True),
+            ("*c", "abd", False),
+            ("a*c", "abbbc", True),
+            ("a*c", "ac", True),
+            ("a*b*c", "aXbYc", True),
+            ("a*b*c", "acb", False),
+            ("*", "", True),
+            ("*", "anything", True),
+            ("", "", True),
+            ("", "x", False),
+            ("?*", "", False),
+            ("?*", "x", True),
+            ("a**b", "ab", True),
+        ],
+    )
+    def test_cases(self, pattern, text, expected):
+        assert glob_matches(pattern, text) is expected
+
+
+class TestTrieGlobSearch:
+    @pytest.fixture
+    def loaded(self, buffer):
+        words = random_words(600, seed=301)
+        trie = TrieIndex(buffer, bucket_size=4)
+        for i, w in enumerate(words):
+            trie.insert(w, i)
+        return trie, words
+
+    def test_vs_bruteforce(self, loaded):
+        trie, words = loaded
+        rng = random.Random(0)
+        pool = [w for w in words if len(w) >= 4]
+        for _ in range(15):
+            w = rng.choice(pool)
+            cut = rng.randint(1, len(w) - 1)
+            pattern = w[:cut] + "*"
+            if rng.random() < 0.5:
+                pattern = pattern + w[-1]
+            expected = sorted(
+                i for i, word in enumerate(words) if glob_matches(pattern, word)
+            )
+            got = sorted(v for _, v in trie.search_glob(pattern))
+            assert got == expected, pattern
+
+    def test_leading_star(self, loaded):
+        trie, words = loaded
+        suffix = words[0][-2:]
+        pattern = "*" + suffix
+        expected = sorted(
+            i for i, w in enumerate(words) if w.endswith(suffix)
+        )
+        assert sorted(v for _, v in trie.search_glob(pattern)) == expected
+
+    def test_star_only_matches_everything(self, loaded):
+        trie, words = loaded
+        assert len(trie.search_glob("*")) == len(words)
+
+    def test_mixed_wildcards(self, loaded):
+        trie, words = loaded
+        pattern = "?a*"
+        expected = sorted(
+            i for i, w in enumerate(words) if glob_matches(pattern, w)
+        )
+        assert sorted(v for _, v in trie.search_glob(pattern)) == expected
+
+    def test_no_star_behaves_like_regex(self, loaded):
+        trie, words = loaded
+        pattern = "?" + words[0][1:]
+        assert sorted(trie.search_glob(pattern)) == sorted(
+            trie.search_regex(pattern)
+        )
+
+    def test_glob_prunes_versus_full_scan(self, buffer):
+        # The literal prefix before '*' must actually narrow the traversal.
+        words = random_words(3000, seed=302)
+        trie = TrieIndex(buffer, bucket_size=8)
+        for i, w in enumerate(words):
+            trie.insert(w, i)
+        trie.repack()
+        buffer.clear()
+        before = buffer.stats.misses
+        trie.search_glob("qx*")
+        narrowed = buffer.stats.misses - before
+        buffer.clear()
+        before = buffer.stats.misses
+        trie.search_glob("*qx")
+        full = buffer.stats.misses - before
+        assert narrowed < full
+
+
+class TestBTreeGlobScan:
+    def test_vs_bruteforce(self, buffer):
+        words = random_words(1000, seed=303)
+        tree = BPlusTree(buffer)
+        tree.bulk_load([(w, i) for i, w in enumerate(words)])
+        for pattern in ["a*", "ab*z", "*z", "q?r*"]:
+            expected = sorted(
+                i for i, w in enumerate(words) if glob_matches(pattern, w)
+            )
+            got = sorted(v for _, v in tree.glob_scan(pattern))
+            assert got == expected, pattern
+
+
+class TestEngineGlobOperator:
+    def test_sql_glob_query(self):
+        from repro.engine import Database
+
+        db = Database()
+        db.execute("CREATE TABLE t (name VARCHAR(30));")
+        for w in ["banana", "bandana", "cabana", "bane"]:
+            db.execute(f"INSERT INTO t VALUES ('{w}');")
+        db.execute("CREATE INDEX i ON t USING SP_GiST (name SP_GiST_trie);")
+        rows = db.execute("SELECT * FROM t WHERE name *= 'ban*';")
+        assert sorted(r[0] for r in rows) == ["banana", "bandana", "bane"]
+
+
+class TestBulkBuild:
+    def test_trie_bulk_equals_incremental(self, buffer):
+        words = random_words(1500, seed=304)
+        bulk = TrieIndex(buffer, bucket_size=8)
+        bulk.bulk_build([(w, i) for i, w in enumerate(words)])
+        incremental = TrieIndex(buffer, bucket_size=8)
+        for i, w in enumerate(words):
+            incremental.insert(w, i)
+        for probe in words[::100]:
+            assert sorted(bulk.search_equal(probe)) == sorted(
+                incremental.search_equal(probe)
+            )
+        assert len(bulk) == len(words)
+
+    def test_kdtree_bulk(self, buffer):
+        points = random_points(1200, seed=305)
+        index = KDTreeIndex(buffer)
+        index.bulk_build([(p, i) for i, p in enumerate(points)])
+        box = Box(10, 10, 60, 70)
+        expected = sorted(
+            i for i, p in enumerate(points) if box.contains_point(p)
+        )
+        assert sorted(v for _, v in index.search_range(box)) == expected
+
+    def test_pquadtree_bulk(self, buffer):
+        points = random_points(800, seed=306)
+        index = PointQuadtreeIndex(buffer)
+        index.bulk_build([(p, i) for i, p in enumerate(points)])
+        probe = points[17]
+        expected = sorted(i for i, p in enumerate(points) if p == probe)
+        assert sorted(v for _, v in index.search_point(probe)) == expected
+
+    def test_pmr_bulk_spanning(self, buffer):
+        segments = random_segments(600, seed=307)
+        index = PMRQuadtreeIndex(buffer, WORLD)
+        index.bulk_build([(s, i) for i, s in enumerate(segments)])
+        window = Box(25, 25, 60, 55)
+        expected = sorted(
+            i for i, s in enumerate(segments) if s.intersects_box(window)
+        )
+        assert sorted(v for _, v in index.search_window(window)) == expected
+
+    def test_bulk_on_nonempty_index_rejected(self, buffer):
+        trie = TrieIndex(buffer)
+        trie.insert("existing")
+        with pytest.raises(IndexCorruptionError):
+            trie.bulk_build([("new", 1)])
+
+    def test_bulk_empty_is_noop(self, buffer):
+        trie = TrieIndex(buffer)
+        trie.bulk_build([])
+        assert trie.root is None and len(trie) == 0
+
+    def test_bulk_with_duplicates_spills(self, buffer):
+        trie = TrieIndex(buffer, bucket_size=2)
+        trie.bulk_build([("same", i) for i in range(10)])
+        assert sorted(v for _, v in trie.search_equal("same")) == list(range(10))
+
+    def test_bulk_writes_fewer_pages_than_inserts(self):
+        from repro.bench import Workbench, measure
+
+        words = random_words(2500, seed=308)
+        items = [(w, i) for i, w in enumerate(words)]
+
+        bench_bulk = Workbench(pool_pages=8)
+        bulk = TrieIndex(bench_bulk.buffer, bucket_size=8)
+        _, bulk_cost = measure(
+            bench_bulk.buffer, lambda: bulk.bulk_build(items, cluster=False)
+        )
+
+        bench_inc = Workbench(pool_pages=8)
+        incremental = TrieIndex(bench_inc.buffer, bucket_size=8)
+
+        def insert_all():
+            for w, i in items:
+                incremental.insert(w, i)
+
+        _, inc_cost = measure(bench_inc.buffer, insert_all)
+        assert bulk_cost.io_reads + bulk_cost.io_writes < (
+            inc_cost.io_reads + inc_cost.io_writes
+        )
+
+    def test_nn_after_bulk(self, buffer):
+        from repro.core.nn import nearest
+        from repro.geometry.distance import euclidean
+
+        points = random_points(700, seed=309)
+        index = KDTreeIndex(buffer)
+        index.bulk_build([(p, i) for i, p in enumerate(points)])
+        query = Point(33, 44)
+        best = min(euclidean(p, query) for p in points)
+        assert abs(nearest(index, query, 1)[0][0] - best) < 1e-9
+
+    def test_suffix_bulk_words(self, buffer):
+        from repro.indexes.suffix import SuffixTreeMethods
+
+        words = random_words(300, seed=310, min_length=3)
+        index = SuffixTreeIndex(buffer)
+        items = [
+            (suffix, (w, i))
+            for i, w in enumerate(words)
+            for suffix in SuffixTreeMethods.extract_keys(w)
+        ]
+        index.bulk_build(items)
+        needle = words[0][:2]
+        expected = sorted(
+            (w, i) for i, w in enumerate(words) if needle in w
+        )
+        assert sorted(index.search_substring(needle)) == expected

@@ -1,0 +1,147 @@
+"""Tests for the kd-tree instantiation."""
+
+import random
+
+import pytest
+
+from repro.core import BLANK, PathShrink, Query
+from repro.errors import KeyNotFoundError
+from repro.geometry import Box, Point
+from repro.indexes.kdtree import KDTreeIndex, KDTreeMethods
+from repro.workloads import random_points, random_query_boxes
+
+
+@pytest.fixture
+def loaded(buffer):
+    points = random_points(800, seed=51)
+    index = KDTreeIndex(buffer)
+    for i, p in enumerate(points):
+        index.insert(p, i)
+    return index, points
+
+
+class TestParameters:
+    def test_paper_parameter_block(self):
+        cfg = KDTreeMethods().get_parameters()
+        assert cfg.bucket_size == 1
+        assert cfg.num_space_partitions == 2
+        assert cfg.path_shrink is PathShrink.NEVER_SHRINK
+        assert cfg.node_shrink is False
+        assert cfg.key_type == "point"
+
+
+class TestPickSplit:
+    def test_old_point_becomes_blank_discriminator(self):
+        methods = KDTreeMethods()
+        old, new = (Point(5, 5), "old"), (Point(2, 9), "new")
+        result = methods.picksplit([old, new], level=0)
+        assert result.node_predicate == Point(5, 5)
+        partitions = dict(result.partitions)
+        assert partitions[BLANK] == [old]
+        assert partitions["left"] == [new]  # 2 < 5 on x (level 0)
+        assert partitions["right"] == []
+
+    def test_axis_alternates_with_level(self):
+        methods = KDTreeMethods()
+        old, new = (Point(5, 5), "old"), (Point(2, 9), "new")
+        result = methods.picksplit([old, new], level=1)  # y-discriminated
+        partitions = dict(result.partitions)
+        assert partitions["right"] == [new]  # 9 >= 5 on y
+
+    def test_tie_goes_right(self):
+        methods = KDTreeMethods()
+        old, new = (Point(5, 5), "old"), (Point(5, 1), "new")
+        partitions = dict(methods.picksplit([old, new], level=0).partitions)
+        assert partitions["right"] == [new]
+
+
+class TestPointSearch:
+    def test_vs_bruteforce(self, loaded):
+        index, points = loaded
+        rng = random.Random(0)
+        for probe in rng.sample(points, 40):
+            expected = sorted(i for i, p in enumerate(points) if p == probe)
+            assert sorted(v for _, v in index.search_point(probe)) == expected
+
+    def test_absent_point(self, loaded):
+        index, _ = loaded
+        assert index.search_point(Point(-1.0, -1.0)) == []
+
+    def test_duplicate_points(self, buffer):
+        index = KDTreeIndex(buffer)
+        p = Point(10, 10)
+        for i in range(5):
+            index.insert(p, i)
+        assert sorted(v for _, v in index.search_point(p)) == list(range(5))
+
+
+class TestRangeSearch:
+    def test_vs_bruteforce_many_windows(self, loaded):
+        index, points = loaded
+        for box in random_query_boxes(10, side=8.0, seed=52):
+            expected = sorted(
+                i for i, p in enumerate(points) if box.contains_point(p)
+            )
+            assert sorted(v for _, v in index.search_range(box)) == expected
+
+    def test_window_covering_world(self, loaded):
+        index, points = loaded
+        assert len(index.search_range(Box(0, 0, 100, 100))) == len(points)
+
+    def test_empty_window(self, loaded):
+        index, _ = loaded
+        assert index.search_range(Box(-10, -10, -5, -5)) == []
+
+    def test_degenerate_window_is_point_query(self, loaded):
+        index, points = loaded
+        p = points[0]
+        box = Box.from_point(p)
+        expected = sorted(i for i, q in enumerate(points) if q == p)
+        assert sorted(v for _, v in index.search_range(box)) == expected
+
+
+class TestStructure:
+    def test_bucket_one_means_one_item_leaves(self, loaded):
+        index, points = loaded
+        stats = index.statistics()
+        # every point sits in its own leaf (blank or side leaf)
+        assert stats.leaf_nodes >= len(points)
+
+    def test_node_height_logarithmic_for_random_data(self, loaded):
+        index, points = loaded
+        import math
+
+        stats = index.statistics()
+        assert stats.max_node_height <= 6 * math.log2(len(points))
+
+    def test_query_api_equality(self, buffer):
+        index = KDTreeIndex(buffer)
+        index.insert(Point(1, 2), "a")
+        assert index.search_list(Query("@", Point(1, 2))) == [(Point(1, 2), "a")]
+
+
+class TestDelete:
+    def test_delete_point(self, loaded):
+        index, points = loaded
+        assert index.delete(points[3], 3) == 1
+        assert 3 not in [v for _, v in index.search_point(points[3])]
+
+    def test_delete_missing_raises(self, buffer):
+        index = KDTreeIndex(buffer)
+        index.insert(Point(0, 0))
+        with pytest.raises(KeyNotFoundError):
+            index.delete(Point(9, 9))
+
+    def test_search_after_random_deletes(self, loaded):
+        index, points = loaded
+        rng = random.Random(1)
+        victims = set(rng.sample(range(len(points)), 150))
+        for i in victims:
+            index.delete(points[i], i)
+        box = Box(25, 25, 75, 75)
+        expected = sorted(
+            i
+            for i, p in enumerate(points)
+            if i not in victims and box.contains_point(p)
+        )
+        assert sorted(v for _, v in index.search_range(box)) == expected

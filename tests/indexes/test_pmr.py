@@ -1,0 +1,149 @@
+"""Tests for the PMR-quadtree instantiation (spanning line segments)."""
+
+import random
+
+import pytest
+
+from repro.core import Query
+from repro.core.external import DescendMultiple
+from repro.geometry import Box, LineSegment, Point
+from repro.indexes.pmr import PMRQuadtreeIndex, PMRQuadtreeMethods
+from repro.workloads import random_segments
+from repro.workloads.points import WORLD
+
+
+@pytest.fixture
+def loaded(buffer):
+    segments = random_segments(600, seed=71)
+    index = PMRQuadtreeIndex(buffer, WORLD, threshold=6, resolution=12)
+    for i, s in enumerate(segments):
+        index.insert(s, i)
+    return index, segments
+
+
+def seg(ax, ay, bx, by) -> LineSegment:
+    return LineSegment(Point(ax, ay), Point(bx, by))
+
+
+class TestConfiguration:
+    def test_parameters(self):
+        methods = PMRQuadtreeMethods(WORLD, threshold=8, resolution=16)
+        cfg = methods.get_parameters()
+        assert cfg.num_space_partitions == 4
+        assert cfg.bucket_size == 8
+        assert cfg.resolution == 16
+        assert cfg.node_shrink is False
+
+    def test_root_predicate_is_world(self):
+        methods = PMRQuadtreeMethods(WORLD)
+        assert methods.initial_root_predicate() == WORLD
+
+    def test_spanning_flag(self):
+        assert PMRQuadtreeMethods(WORLD).spanning is True
+
+
+class TestChoose:
+    def test_segment_descends_into_all_crossed_quadrants(self):
+        methods = PMRQuadtreeMethods(WORLD)
+        quadrants = list(WORLD.quadrants())
+        crossing = seg(10, 10, 90, 90)  # SW through NE
+        result = methods.choose(WORLD, quadrants, crossing, level=0)
+        assert isinstance(result, DescendMultiple)
+        assert len(result.entry_indexes) >= 2
+
+    def test_small_segment_descends_once(self):
+        methods = PMRQuadtreeMethods(WORLD)
+        quadrants = list(WORLD.quadrants())
+        local = seg(10, 10, 12, 12)  # strictly inside SW
+        result = methods.choose(WORLD, quadrants, local, level=0)
+        assert len(result.entry_indexes) == 1
+
+    def test_out_of_world_segment_clamps_to_nearest(self):
+        methods = PMRQuadtreeMethods(Box(0, 0, 10, 10))
+        quadrants = list(Box(0, 0, 10, 10).quadrants())
+        outside = seg(20, 20, 25, 25)
+        result = methods.choose(Box(0, 0, 10, 10), quadrants, outside, level=0)
+        assert len(result.entry_indexes) == 1
+
+
+class TestPMRSplittingRule:
+    def test_split_not_recursive(self):
+        result = PMRQuadtreeMethods(WORLD).picksplit(
+            [(seg(1, 1, 2, 2), i) for i in range(9)], level=0,
+            parent_predicate=WORLD,
+        )
+        assert result.recurse_overfull is False
+
+    def test_all_quadrants_materialized(self):
+        result = PMRQuadtreeMethods(WORLD).picksplit(
+            [(seg(1, 1, 2, 2), 0)], level=0, parent_predicate=WORLD
+        )
+        assert len(result.partitions) == 4  # NodeShrink=False keeps empties
+
+    def test_spanning_segment_copied_to_multiple_partitions(self):
+        crossing = seg(10, 50, 90, 50)  # crosses the vertical midline
+        result = PMRQuadtreeMethods(WORLD).picksplit(
+            [(crossing, 0)], level=0, parent_predicate=WORLD
+        )
+        holders = [p for p, items in result.partitions if items]
+        assert len(holders) >= 2
+
+    def test_resolution_bounds_depth(self, buffer):
+        index = PMRQuadtreeIndex(buffer, WORLD, threshold=1, resolution=4)
+        # Many segments stabbing the same tiny spot cannot split past depth 4.
+        for i in range(30):
+            index.insert(seg(50.0, 50.0, 50.5, 50.5), i)
+        assert index.statistics().max_node_height <= 5
+
+
+class TestSearch:
+    def test_exact_match_vs_bruteforce(self, loaded):
+        index, segments = loaded
+        rng = random.Random(0)
+        for i in rng.sample(range(len(segments)), 25):
+            probe = segments[i]
+            expected = sorted(j for j, s in enumerate(segments) if s == probe)
+            assert sorted(v for _, v in index.search_exact(probe)) == expected
+
+    def test_window_vs_bruteforce(self, loaded):
+        index, segments = loaded
+        for win in [Box(20, 20, 45, 40), Box(0, 0, 10, 10), Box(60, 60, 99, 99)]:
+            expected = sorted(
+                i for i, s in enumerate(segments) if s.intersects_box(win)
+            )
+            assert sorted(v for _, v in index.search_window(win)) == expected
+
+    def test_no_duplicate_reports_for_spanning_segments(self, buffer):
+        index = PMRQuadtreeIndex(buffer, WORLD, threshold=1)
+        long_one = seg(5, 5, 95, 95)
+        index.insert(long_one, 0)
+        for i in range(1, 10):
+            index.insert(seg(i * 9, 3, i * 9 + 2, 6), i)
+        hits = index.search_window(Box(0, 0, 100, 100))
+        assert [v for _, v in hits].count(0) == 1
+
+    def test_query_api(self, loaded):
+        index, segments = loaded
+        got = index.search_list(Query("=", segments[0]))
+        assert (segments[0], 0) in got
+
+
+class TestDelete:
+    def test_delete_removes_all_copies(self, buffer):
+        index = PMRQuadtreeIndex(buffer, WORLD, threshold=1)
+        spanner = seg(5, 50, 95, 50)
+        index.insert(spanner, 0)
+        for i in range(1, 8):
+            index.insert(seg(i * 10, 20, i * 10 + 4, 24), i)
+        assert index.delete(spanner, 0) == 1  # one logical item
+        assert index.search_exact(spanner) == []
+
+    def test_survivors_intact_after_delete(self, loaded):
+        index, segments = loaded
+        index.delete(segments[2], 2)
+        win = Box(0, 0, 100, 100)
+        expected = sorted(
+            i for i, s in enumerate(segments)
+            if i != 2 and s.intersects_box(win)
+        )
+        assert sorted(v for _, v in index.search_window(win)) == expected

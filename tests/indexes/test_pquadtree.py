@@ -1,0 +1,126 @@
+"""Tests for the point-quadtree instantiation."""
+
+import random
+
+import pytest
+
+from repro.core import BLANK
+from repro.geometry import Box, Point
+from repro.indexes.pquadtree import (
+    PointQuadtreeIndex,
+    PointQuadtreeMethods,
+    quadrant_of,
+    quadrant_region,
+)
+from repro.workloads import clustered_points, random_points, random_query_boxes
+
+
+@pytest.fixture
+def loaded(buffer):
+    points = random_points(800, seed=61)
+    index = PointQuadtreeIndex(buffer)
+    for i, p in enumerate(points):
+        index.insert(p, i)
+    return index, points
+
+
+class TestQuadrantGeometry:
+    def test_quadrant_of_all_four(self):
+        c = Point(50, 50)
+        assert quadrant_of(Point(60, 60), c) == "NE"
+        assert quadrant_of(Point(40, 60), c) == "NW"
+        assert quadrant_of(Point(40, 40), c) == "SW"
+        assert quadrant_of(Point(60, 40), c) == "SE"
+
+    def test_ties_go_east_north(self):
+        c = Point(50, 50)
+        assert quadrant_of(Point(50, 50), c) == "NE"
+        assert quadrant_of(Point(50, 40), c) == "SE"
+        assert quadrant_of(Point(40, 50), c) == "NW"
+
+    def test_quadrant_region_clips(self):
+        region = Box(0, 0, 100, 100)
+        c = Point(30, 70)
+        ne = quadrant_region(region, c, "NE")
+        assert ne == Box(30, 70, 100, 100)
+        sw = quadrant_region(region, c, "SW")
+        assert sw == Box(0, 0, 30, 70)
+
+    def test_parameters(self):
+        cfg = PointQuadtreeMethods().get_parameters()
+        assert cfg.num_space_partitions == 4
+        assert cfg.bucket_size == 1
+
+
+class TestSearch:
+    def test_point_match_vs_bruteforce(self, loaded):
+        index, points = loaded
+        rng = random.Random(0)
+        for probe in rng.sample(points, 40):
+            expected = sorted(i for i, p in enumerate(points) if p == probe)
+            assert sorted(v for _, v in index.search_point(probe)) == expected
+
+    def test_range_vs_bruteforce(self, loaded):
+        index, points = loaded
+        for box in random_query_boxes(10, side=10.0, seed=62):
+            expected = sorted(
+                i for i, p in enumerate(points) if box.contains_point(p)
+            )
+            assert sorted(v for _, v in index.search_range(box)) == expected
+
+    def test_clustered_data(self, buffer):
+        points = clustered_points(600, clusters=5, seed=63)
+        index = PointQuadtreeIndex(buffer)
+        for i, p in enumerate(points):
+            index.insert(p, i)
+        box = Box(40, 40, 60, 60)
+        expected = sorted(
+            i for i, p in enumerate(points) if box.contains_point(p)
+        )
+        assert sorted(v for _, v in index.search_range(box)) == expected
+
+    def test_bucketed_variant(self, buffer):
+        points = random_points(400, seed=64)
+        index = PointQuadtreeIndex(buffer, bucket_size=8)
+        for i, p in enumerate(points):
+            index.insert(p, i)
+        box = Box(10, 10, 30, 30)
+        expected = sorted(
+            i for i, p in enumerate(points) if box.contains_point(p)
+        )
+        assert sorted(v for _, v in index.search_range(box)) == expected
+        # Bigger buckets → fewer nodes than the bucket-1 default.
+        small = PointQuadtreeIndex(buffer, name="b1")
+        for i, p in enumerate(points):
+            small.insert(p, i)
+        assert index.statistics().total_nodes < small.statistics().total_nodes
+
+
+class TestPickSplit:
+    def test_first_point_becomes_center(self):
+        methods = PointQuadtreeMethods()
+        items = [(Point(50, 50), 0), (Point(60, 60), 1), (Point(10, 10), 2)]
+        result = methods.picksplit(items, level=0)
+        assert result.node_predicate == Point(50, 50)
+        partitions = dict(result.partitions)
+        assert partitions[BLANK] == [items[0]]
+        assert partitions["NE"] == [items[1]]
+        assert partitions["SW"] == [items[2]]
+
+    def test_duplicates_of_center_terminate(self, buffer):
+        index = PointQuadtreeIndex(buffer)
+        p = Point(42, 42)
+        for i in range(6):
+            index.insert(p, i)
+        assert sorted(v for _, v in index.search_point(p)) == list(range(6))
+
+
+class TestDelete:
+    def test_delete_and_requery(self, loaded):
+        index, points = loaded
+        index.delete(points[11], 11)
+        assert 11 not in [v for _, v in index.search_point(points[11])]
+        # neighbours unaffected
+        assert sorted(v for _, v in index.search_point(points[12])) == sorted(
+            i for i, p in enumerate(points) if p == points[12] and i != 11
+        )

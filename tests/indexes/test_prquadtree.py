@@ -1,0 +1,139 @@
+"""Tests for the space-driven PR quadtree instantiation."""
+
+import random
+
+import pytest
+
+from repro.core.nn import nearest
+from repro.geometry import Box, Point
+from repro.geometry.distance import euclidean
+from repro.indexes.prquadtree import PRQuadtreeIndex, PRQuadtreeMethods
+from repro.indexes.pquadtree import PointQuadtreeIndex
+from repro.workloads import clustered_points, random_points, random_query_boxes
+from repro.workloads.points import WORLD
+
+
+@pytest.fixture
+def loaded(buffer):
+    points = random_points(800, seed=321)
+    index = PRQuadtreeIndex(buffer, WORLD, bucket_size=4)
+    for i, p in enumerate(points):
+        index.insert(p, i)
+    return index, points
+
+
+class TestConfiguration:
+    def test_parameters(self):
+        cfg = PRQuadtreeMethods(WORLD, bucket_size=6, resolution=12).get_parameters()
+        assert cfg.num_space_partitions == 4
+        assert cfg.bucket_size == 6
+        assert cfg.resolution == 12
+        assert cfg.node_shrink is False  # space-driven: all quadrants exist
+
+    def test_root_predicate_is_world(self):
+        assert PRQuadtreeMethods(WORLD).initial_root_predicate() == WORLD
+
+
+class TestSearch:
+    def test_point_match_vs_bruteforce(self, loaded):
+        index, points = loaded
+        rng = random.Random(0)
+        for probe in rng.sample(points, 30):
+            expected = sorted(i for i, p in enumerate(points) if p == probe)
+            assert sorted(v for _, v in index.search_point(probe)) == expected
+
+    def test_range_vs_bruteforce(self, loaded):
+        index, points = loaded
+        for box in random_query_boxes(10, side=9.0, seed=322):
+            expected = sorted(
+                i for i, p in enumerate(points) if box.contains_point(p)
+            )
+            assert sorted(v for _, v in index.search_range(box)) == expected
+
+    def test_agrees_with_data_driven_quadtree(self, buffer):
+        points = clustered_points(600, clusters=4, seed=323)
+        space_driven = PRQuadtreeIndex(buffer, WORLD)
+        data_driven = PointQuadtreeIndex(buffer)
+        for i, p in enumerate(points):
+            space_driven.insert(p, i)
+            data_driven.insert(p, i)
+        box = Box(30, 30, 70, 60)
+        assert sorted(space_driven.search_range(box)) == sorted(
+            data_driven.search_range(box)
+        )
+
+    def test_absent_point(self, loaded):
+        index, _ = loaded
+        assert index.search_point(Point(-5.0, -5.0)) == []
+
+
+class TestSpaceDrivenStructure:
+    def test_duplicates_spill_at_resolution(self, buffer):
+        index = PRQuadtreeIndex(buffer, WORLD, bucket_size=2, resolution=6)
+        p = Point(12.0, 34.0)
+        for i in range(12):
+            index.insert(p, i)
+        assert sorted(v for _, v in index.search_point(p)) == list(range(12))
+        assert index.statistics().max_node_height <= 7
+
+    def test_out_of_world_points_are_findable(self, buffer):
+        index = PRQuadtreeIndex(buffer, Box(0, 0, 10, 10), bucket_size=1)
+        outsider = Point(25.0, 25.0)
+        index.insert(outsider, 1)
+        for i, p in enumerate(random_points(50, seed=324, world=Box(0, 0, 10, 10))):
+            index.insert(p, 10 + i)
+        assert index.search_point(outsider) == [(outsider, 1)]
+
+    def test_all_four_quadrants_materialized_on_split(self, buffer):
+        index = PRQuadtreeIndex(buffer, WORLD, bucket_size=1)
+        index.insert(Point(10, 10), 0)
+        index.insert(Point(90, 90), 1)  # triggers the first split
+        root = index.store.read(index.root)
+        assert not root.is_leaf
+        assert len(root.entries) == 4  # NodeShrink=False keeps empties
+
+
+class TestNN:
+    def test_matches_bruteforce(self, loaded):
+        index, points = loaded
+        query = Point(47.0, 12.0)
+        expected = sorted(euclidean(p, query) for p in points)[:15]
+        got = [d for d, _, _ in nearest(index, query, 15)]
+        assert [round(d, 9) for d in got] == [round(d, 9) for d in expected]
+
+
+class TestMaintenance:
+    def test_delete(self, loaded):
+        index, points = loaded
+        assert index.delete(points[5], 5) == 1
+        assert 5 not in [v for _, v in index.search_point(points[5])]
+
+    def test_bulk_build(self, buffer):
+        points = random_points(700, seed=325)
+        index = PRQuadtreeIndex(buffer, WORLD)
+        index.bulk_build([(p, i) for i, p in enumerate(points)])
+        box = Box(20, 40, 55, 80)
+        expected = sorted(
+            i for i, p in enumerate(points) if box.contains_point(p)
+        )
+        assert sorted(v for _, v in index.search_range(box)) == expected
+
+    def test_repack_preserves(self, loaded):
+        index, points = loaded
+        box = Box(0, 0, 50, 50)
+        before = sorted(index.search_range(box))
+        index.repack()
+        assert sorted(index.search_range(box)) == before
+
+    def test_engine_opclass_registered(self):
+        from repro.engine import Database
+
+        db = Database()
+        db.execute("CREATE TABLE pts (p POINT);")
+        db.execute("INSERT INTO pts VALUES ('(3,4)');")
+        db.execute(
+            "CREATE INDEX pr ON pts USING SP_GiST (p SP_GiST_prquadtree);"
+        )
+        assert db.execute("SELECT * FROM pts WHERE p @ '(3,4)';") == [
+            (Point(3, 4),)
+        ]

@@ -1,0 +1,88 @@
+"""Tests for the suffix-tree instantiation (substring search)."""
+
+import random
+
+import pytest
+
+from repro.indexes.suffix import SuffixTreeIndex, SuffixTreeMethods
+from repro.workloads import random_words
+
+
+@pytest.fixture
+def loaded(buffer):
+    words = random_words(300, seed=41, min_length=3, max_length=10)
+    index = SuffixTreeIndex(buffer, bucket_size=8)
+    for i, w in enumerate(words):
+        index.insert_word(w, i)
+    return index, words
+
+
+class TestKeyExtraction:
+    def test_all_suffixes(self):
+        assert list(SuffixTreeMethods.extract_keys("abc")) == ["abc", "bc", "c"]
+
+    def test_empty_word_has_no_suffixes(self):
+        assert list(SuffixTreeMethods.extract_keys("")) == []
+
+    def test_operator_set_includes_substring(self):
+        assert "@=" in SuffixTreeMethods.supported_operators
+
+
+class TestSubstringSearch:
+    def test_vs_bruteforce(self, loaded):
+        index, words = loaded
+        rng = random.Random(0)
+        for _ in range(20):
+            w = rng.choice(words)
+            start = rng.randrange(len(w))
+            needle = w[start : start + rng.randint(1, 3)]
+            expected = sorted(i for i, word in enumerate(words) if needle in word)
+            got = sorted(v for _word, v in index.search_substring(needle))
+            assert got == expected, needle
+
+    def test_word_reported_once_despite_repeats(self, buffer):
+        index = SuffixTreeIndex(buffer)
+        index.insert_word("abab", 1)  # 'ab' occurs at two offsets
+        assert index.search_substring("ab") == [("abab", 1)]
+
+    def test_full_word_as_substring(self, loaded):
+        index, words = loaded
+        probe = words[0]
+        hits = [w for w, _ in index.search_substring(probe)]
+        assert probe in hits
+
+    def test_absent_substring(self, loaded):
+        index, _ = loaded
+        assert index.search_substring("qqqqqqqq") == []
+
+    def test_single_char_needle(self, loaded):
+        index, words = loaded
+        expected = sorted(i for i, w in enumerate(words) if "q" in w)
+        got = sorted(v for _w, v in index.search_substring("q"))
+        assert got == expected
+
+
+class TestMaintenance:
+    def test_word_count(self, buffer):
+        index = SuffixTreeIndex(buffer)
+        index.insert_word("one", 1)
+        index.insert_word("two", 2)
+        assert index.word_count == 2
+        assert len(index) == len("one") + len("two")
+
+    def test_delete_word_removes_all_suffixes(self, buffer):
+        index = SuffixTreeIndex(buffer)
+        index.insert_word("banana", 1)
+        index.insert_word("bandana", 2)
+        index.delete_word("banana", 1)
+        assert index.search_substring("ana") == [("bandana", 2)]
+        assert index.word_count == 1
+
+    def test_values_carry_word_and_payload(self, buffer):
+        from repro.storage.heap import TupleId
+
+        index = SuffixTreeIndex(buffer)
+        index.insert_word("hello", TupleId(3, 7))
+        [(word, payload)] = index.search_substring("ell")
+        assert word == "hello"
+        assert payload == TupleId(3, 7)

@@ -1,0 +1,210 @@
+"""Tests for the patricia-trie instantiation."""
+
+import random
+
+import pytest
+
+from repro.core import PathShrink, Query
+from repro.errors import KeyNotFoundError
+from repro.indexes.trie import TrieIndex, TrieMethods, regex_matches
+from repro.workloads import random_words
+
+
+@pytest.fixture
+def loaded(buffer):
+    words = random_words(800, seed=31)
+    trie = TrieIndex(buffer, bucket_size=4)
+    for i, w in enumerate(words):
+        trie.insert(w, i)
+    return trie, words
+
+
+class TestParameters:
+    def test_paper_parameter_block(self):
+        cfg = TrieMethods().get_parameters()
+        assert cfg.num_space_partitions == 27
+        assert cfg.path_shrink is PathShrink.TREE_SHRINK
+        assert cfg.node_shrink is True
+        assert cfg.key_type == "varchar"
+
+    def test_supported_operators(self):
+        assert set(TrieMethods.supported_operators) == {
+            "=", "#=", "?=", "*=", "@@",
+        }
+
+
+class TestRegexMatcher:
+    def test_exact(self):
+        assert regex_matches("abc", "abc")
+
+    def test_wildcards(self):
+        assert regex_matches("a?c", "abc")
+        assert regex_matches("???", "xyz")
+
+    def test_length_must_match(self):
+        assert not regex_matches("a?", "abc")
+        assert not regex_matches("a?cd", "abc")
+
+    def test_literal_mismatch(self):
+        assert not regex_matches("a?d", "abc")
+
+
+class TestExactMatch:
+    def test_vs_bruteforce(self, loaded):
+        trie, words = loaded
+        rng = random.Random(0)
+        for probe in rng.sample(words, 40):
+            expected = sorted(i for i, w in enumerate(words) if w == probe)
+            assert sorted(v for _, v in trie.search_equal(probe)) == expected
+
+    def test_absent_word(self, loaded):
+        trie, _ = loaded
+        assert trie.search_equal("zzzzzzzzzzzzzzz") == []
+
+    def test_single_character_words(self, buffer):
+        trie = TrieIndex(buffer, bucket_size=1)
+        for ch in "abcxyz":
+            trie.insert(ch, ch)
+        assert trie.search_equal("x") == [("x", "x")]
+
+    def test_word_that_is_prefix_of_another(self, buffer):
+        trie = TrieIndex(buffer, bucket_size=1)
+        trie.insert("car", 1)
+        trie.insert("cart", 2)
+        trie.insert("carts", 3)
+        assert trie.search_equal("car") == [("car", 1)]
+        assert trie.search_equal("cart") == [("cart", 2)]
+
+    def test_duplicate_words(self, buffer):
+        trie = TrieIndex(buffer, bucket_size=2)
+        for i in range(7):
+            trie.insert("same", i)
+        assert sorted(v for _, v in trie.search_equal("same")) == list(range(7))
+
+
+class TestPrefixMatch:
+    def test_vs_bruteforce(self, loaded):
+        trie, words = loaded
+        for prefix in ["a", "ab", "qx", "zzz", ""]:
+            expected = sorted(
+                i for i, w in enumerate(words) if w.startswith(prefix)
+            )
+            assert sorted(v for _, v in trie.search_prefix(prefix)) == expected
+
+    def test_empty_prefix_returns_all(self, loaded):
+        trie, words = loaded
+        assert len(trie.search_prefix("")) == len(words)
+
+    def test_prefix_longer_than_any_word(self, loaded):
+        trie, _ = loaded
+        assert trie.search_prefix("q" * 20) == []
+
+
+class TestRegexMatch:
+    def test_vs_bruteforce(self, loaded):
+        trie, words = loaded
+        rng = random.Random(1)
+        candidates = [w for w in words if len(w) >= 4]
+        for _ in range(15):
+            word = rng.choice(candidates)
+            pattern = "".join(
+                "?" if rng.random() < 0.4 else ch for ch in word
+            )
+            expected = sorted(
+                i for i, w in enumerate(words) if regex_matches(pattern, w)
+            )
+            assert sorted(v for _, v in trie.search_regex(pattern)) == expected
+
+    def test_leading_wildcard(self, loaded):
+        trie, words = loaded
+        pattern = "?" + words[0][1:]
+        expected = sorted(
+            i for i, w in enumerate(words) if regex_matches(pattern, w)
+        )
+        assert sorted(v for _, v in trie.search_regex(pattern)) == expected
+
+    def test_all_wildcards_matches_by_length(self, loaded):
+        trie, words = loaded
+        expected = sorted(i for i, w in enumerate(words) if len(w) == 5)
+        assert sorted(v for _, v in trie.search_regex("?????")) == expected
+
+
+class TestPatriciaStructure:
+    def test_tree_shrink_compresses_chains(self, buffer):
+        # Words sharing a long prefix: TreeShrink collapses the chain.
+        tree_shrunk = TrieIndex(buffer, bucket_size=1)
+        plain = TrieIndex(
+            buffer, bucket_size=1, path_shrink=PathShrink.NEVER_SHRINK
+        )
+        words = ["abcdefgh", "abcdefgz", "abcdefxy"]
+        for trie in (tree_shrunk, plain):
+            for w in words:
+                trie.insert(w)
+        assert (
+            tree_shrunk.statistics().max_node_height
+            < plain.statistics().max_node_height
+        )
+
+    def test_prefix_split_restructure(self, buffer):
+        # Insert a word that diverges inside a collapsed prefix.
+        trie = TrieIndex(buffer, bucket_size=1)
+        trie.insert("abcdef", 1)
+        trie.insert("abcdeg", 2)  # split at last char
+        trie.insert("abxy", 3)    # SplitPrefix restructure at 'ab'
+        trie.insert("ab", 4)      # ends inside what was the prefix
+        for w, v in [("abcdef", 1), ("abcdeg", 2), ("abxy", 3), ("ab", 4)]:
+            assert trie.search_equal(w) == [(w, v)]
+
+    def test_never_shrink_ablation_equivalent_results(self, buffer):
+        words = random_words(300, seed=32)
+        shrunk = TrieIndex(buffer, bucket_size=4)
+        plain = TrieIndex(
+            buffer, bucket_size=4, path_shrink=PathShrink.NEVER_SHRINK
+        )
+        for i, w in enumerate(words):
+            shrunk.insert(w, i)
+            plain.insert(w, i)
+        for prefix in ["a", "xy"]:
+            assert sorted(shrunk.search_prefix(prefix)) == sorted(
+                plain.search_prefix(prefix)
+            )
+
+
+class TestDelete:
+    def test_delete_and_prune(self, buffer):
+        trie = TrieIndex(buffer, bucket_size=1)
+        for i, w in enumerate(["one", "two", "three"]):
+            trie.insert(w, i)
+        assert trie.delete("two") == 1
+        assert trie.search_equal("two") == []
+        assert trie.search_equal("one") == [("one", 0)]
+
+    def test_delete_missing_raises(self, buffer):
+        trie = TrieIndex(buffer)
+        trie.insert("here")
+        with pytest.raises(KeyNotFoundError):
+            trie.delete("gone")
+
+    def test_mass_delete_random_subset(self, loaded):
+        trie, words = loaded
+        rng = random.Random(2)
+        victims = set(rng.sample(range(len(words)), 200))
+        for i in sorted(victims):
+            trie.delete(words[i], i)
+        survivors = sorted(
+            i for i, w in enumerate(words) if i not in victims
+        )
+        assert sorted(v for _, v in trie.search_prefix("")) == survivors
+
+
+class TestLevelAccounting:
+    def test_level_delta_includes_prefix(self):
+        methods = TrieMethods()
+        assert methods.level_delta("") == 1
+        assert methods.level_delta("abc") == 4
+        assert methods.level_delta(None) == 1
+
+    def test_query_api_directly(self, buffer):
+        trie = TrieIndex(buffer, bucket_size=2)
+        trie.insert("query", 9)
+        assert trie.search_list(Query("=", "query")) == [("query", 9)]

@@ -1,0 +1,144 @@
+"""Integration: all access methods answer identical queries identically."""
+
+import random
+
+import pytest
+
+from repro.baselines import BPlusTree, RTree, substring_scan
+from repro.geometry import Box
+from repro.indexes.kdtree import KDTreeIndex
+from repro.indexes.pmr import PMRQuadtreeIndex
+from repro.indexes.pquadtree import PointQuadtreeIndex
+from repro.indexes.suffix import SuffixTreeIndex
+from repro.indexes.trie import TrieIndex
+from repro.storage import HeapFile
+from repro.workloads import (
+    random_points,
+    random_query_boxes,
+    random_segments,
+    random_words,
+)
+from repro.workloads.points import WORLD
+
+
+class TestStringMethodsAgree:
+    @pytest.fixture
+    def string_world(self, buffer):
+        words = random_words(1200, seed=141)
+        trie = TrieIndex(buffer, bucket_size=8)
+        btree = BPlusTree(buffer)
+        for i, w in enumerate(words):
+            trie.insert(w, i)
+            btree.insert(w, i)
+        return words, trie, btree
+
+    def test_exact_match_agree(self, string_world):
+        words, trie, btree = string_world
+        for probe in random.Random(0).sample(words, 30):
+            assert sorted(v for _, v in trie.search_equal(probe)) == sorted(
+                btree.search(probe)
+            )
+
+    def test_prefix_match_agree(self, string_world):
+        words, trie, btree = string_world
+        for prefix in ["a", "ab", "xyz", "q"]:
+            assert sorted(v for _, v in trie.search_prefix(prefix)) == sorted(
+                v for _, v in btree.prefix_scan(prefix)
+            )
+
+    def test_regex_match_agree(self, string_world):
+        words, trie, btree = string_world
+        rng = random.Random(1)
+        pool = [w for w in words if len(w) >= 4]
+        for _ in range(10):
+            w = rng.choice(pool)
+            pattern = "".join("?" if rng.random() < 0.3 else c for c in w)
+            assert sorted(v for _, v in trie.search_regex(pattern)) == sorted(
+                v for _, v in btree.regex_scan(pattern)
+            )
+
+
+class TestSubstringMethodsAgree:
+    def test_suffix_tree_equals_seqscan(self, buffer):
+        words = random_words(400, seed=142, min_length=3)
+        heap = HeapFile(buffer)
+        suffix = SuffixTreeIndex(buffer)
+        for w in words:
+            tid = heap.insert(w)
+            suffix.insert_word(w, tid)
+        for needle in ["ab", "qx", "zzz", "a"]:
+            via_index = sorted(w for w, _tid in suffix.search_substring(needle))
+            via_scan = sorted(r for _tid, r in substring_scan(heap, needle))
+            assert via_index == via_scan
+
+
+class TestPointMethodsAgree:
+    def test_three_way_agreement(self, buffer):
+        points = random_points(1000, seed=143)
+        kd = KDTreeIndex(buffer)
+        pq = PointQuadtreeIndex(buffer)
+        rt = RTree(buffer)
+        for i, p in enumerate(points):
+            kd.insert(p, i)
+            pq.insert(p, i)
+            rt.insert(p, i)
+        for box in random_query_boxes(12, side=7.5, seed=144):
+            a = sorted(v for _, v in kd.search_range(box))
+            b = sorted(v for _, v in pq.search_range(box))
+            c = sorted(v for _, v in rt.range_search(box))
+            assert a == b == c
+
+    def test_nn_agreement_kd_vs_pq(self, buffer):
+        from repro.core.nn import nearest
+        from repro.geometry import Point
+
+        points = random_points(600, seed=145)
+        kd = KDTreeIndex(buffer)
+        pq = PointQuadtreeIndex(buffer)
+        for i, p in enumerate(points):
+            kd.insert(p, i)
+            pq.insert(p, i)
+        query = Point(31.0, 77.0)
+        d_kd = [round(d, 9) for d, _, _ in nearest(kd, query, 64)]
+        d_pq = [round(d, 9) for d, _, _ in nearest(pq, query, 64)]
+        assert d_kd == d_pq
+
+
+class TestSegmentMethodsAgree:
+    def test_pmr_equals_rtree(self, buffer):
+        segments = random_segments(700, seed=146)
+        pmr = PMRQuadtreeIndex(buffer, WORLD, threshold=8)
+        rt = RTree(buffer)
+        for i, s in enumerate(segments):
+            pmr.insert(s, i)
+            rt.insert(s, i)
+        for win in [Box(5, 5, 25, 25), Box(40, 60, 70, 90), Box(0, 0, 100, 100)]:
+            assert sorted(v for _, v in pmr.search_window(win)) == sorted(
+                v for _, v in rt.range_search(win)
+            )
+
+
+class TestDynamicWorkload:
+    def test_interleaved_insert_delete_search(self, buffer):
+        """Random operation stream applied to index + Python-dict oracle."""
+        rng = random.Random(147)
+        words = random_words(300, seed=148)
+        trie = TrieIndex(buffer, bucket_size=4)
+        oracle: dict[int, str] = {}
+        next_id = 0
+        for _step in range(1500):
+            action = rng.random()
+            if action < 0.55 or not oracle:
+                w = rng.choice(words)
+                trie.insert(w, next_id)
+                oracle[next_id] = w
+                next_id += 1
+            elif action < 0.8:
+                victim = rng.choice(list(oracle))
+                trie.delete(oracle.pop(victim), victim)
+            else:
+                probe = rng.choice(words)
+                expected = sorted(i for i, w in oracle.items() if w == probe)
+                got = sorted(v for _, v in trie.search_equal(probe))
+                assert got == expected
+        assert len(trie) == len(oracle)

@@ -1,0 +1,141 @@
+"""Integration: the full engine stack, SQL to storage and back.
+
+Recreates the paper's Table 6 workflow end-to-end and stresses mixed DDL /
+DML / query sequences across every index type.
+"""
+
+import random
+
+import pytest
+
+from repro.engine import Database
+from repro.geometry import Point
+from repro.workloads import random_points, random_words
+
+
+@pytest.fixture
+def db():
+    return Database(buffer_capacity=512)
+
+
+class TestPaperWorkflow:
+    def test_table6_end_to_end(self, db):
+        db.execute("CREATE TABLE word_data (name VARCHAR(50), id INT);")
+        words = random_words(1500, seed=161)
+        table = db.table("word_data")
+        for i, w in enumerate(words):
+            table.insert((w, i))
+        db.execute(
+            "CREATE INDEX sp_trie_index ON word_data USING SP_GiST "
+            "(name SP_GiST_trie);"
+        )
+        db.execute("ANALYZE word_data;")
+
+        probe = words[7]
+        rows = db.execute(f"SELECT * FROM word_data WHERE name = '{probe}';")
+        assert sorted(rows) == sorted(
+            (w, i) for i, w in enumerate(words) if w == probe
+        )
+
+        plan = db.execute(
+            f"EXPLAIN SELECT * FROM word_data WHERE name = '{probe}';"
+        )
+        assert "Index Scan" in plan and "sp_trie_index" in plan
+
+    def test_point_workflow(self, db):
+        db.execute("CREATE TABLE point_data (p POINT, id INT);")
+        points = random_points(800, seed=162)
+        table = db.table("point_data")
+        for i, p in enumerate(points):
+            table.insert((p, i))
+        db.execute(
+            "CREATE INDEX sp_kdtree_index ON point_data USING SP_GiST "
+            "(p SP_GiST_kdtree);"
+        )
+        db.execute("ANALYZE point_data;")
+        rows = db.execute("SELECT * FROM point_data WHERE p ^ '(0,0,25,25)';")
+        from repro.geometry import Box
+
+        box = Box(0, 0, 25, 25)
+        assert sorted(r[1] for r in rows) == sorted(
+            i for i, p in enumerate(points) if box.contains_point(p)
+        )
+
+    def test_nn_cursor_semantics(self, db):
+        db.execute("CREATE TABLE point_data (p POINT, id INT);")
+        points = random_points(500, seed=163)
+        table = db.table("point_data")
+        for i, p in enumerate(points):
+            table.insert((p, i))
+        db.execute(
+            "CREATE INDEX kd ON point_data USING SP_GiST (p SP_GiST_kdtree);"
+        )
+        # the paper: "number of required NNs is controlled ... using cursors"
+        for k in (1, 8, 32):
+            rows = db.execute(
+                f"SELECT * FROM point_data WHERE p @@ '(50,50)' LIMIT {k};"
+            )
+            assert len(rows) == k
+        from repro.geometry.distance import euclidean
+
+        rows = db.execute(
+            "SELECT * FROM point_data WHERE p @@ '(50,50)' LIMIT 16;"
+        )
+        dists = [euclidean(r[0], Point(50, 50)) for r in rows]
+        assert dists == sorted(dists)
+
+
+class TestMixedWorkload:
+    def test_insert_query_delete_cycle_keeps_indexes_consistent(self, db):
+        db.execute("CREATE TABLE w (name VARCHAR(30), id INT);")
+        db.execute("CREATE INDEX t ON w USING SP_GiST (name SP_GiST_trie);")
+        db.execute("CREATE INDEX b ON w USING btree (name btree_varchar);")
+        rng = random.Random(164)
+        alive: dict[int, str] = {}
+        words = random_words(120, seed=165)
+        table = db.table("w")
+        for step in range(600):
+            move = rng.random()
+            if move < 0.6 or not alive:
+                w = rng.choice(words)
+                table.insert((w, step))
+                alive[step] = w
+            elif move < 0.85:
+                victim_id = rng.choice(list(alive))
+                victim_word = alive.pop(victim_id)
+                db.execute(
+                    f"DELETE FROM w WHERE name = '{victim_word}';"
+                )
+                alive = {
+                    i: w for i, w in alive.items() if w != victim_word
+                }
+            else:
+                probe = rng.choice(words)
+                rows = db.execute(f"SELECT * FROM w WHERE name = '{probe}';")
+                assert sorted(r[1] for r in rows) == sorted(
+                    i for i, w in alive.items() if w == probe
+                )
+        # Final consistency check across both indexes and the heap.
+        trie_idx = table.indexes["t"]
+        btree_idx = table.indexes["b"]
+        for probe in words[:20]:
+            heap_hits = sorted(
+                i for i, w in alive.items() if w == probe
+            )
+            trie_hits = sorted(
+                table.fetch(t)[1] for t in trie_idx.scan("=", probe)
+            )
+            btree_hits = sorted(
+                table.fetch(t)[1] for t in btree_idx.scan("=", probe)
+            )
+            assert trie_hits == btree_hits == heap_hits
+
+
+class TestMultipleTables:
+    def test_independent_tables_share_buffer(self, db):
+        db.execute("CREATE TABLE a (x VARCHAR(10));")
+        db.execute("CREATE TABLE b (y INT);")
+        db.execute("INSERT INTO a VALUES ('hello');")
+        db.execute("INSERT INTO b VALUES (42);")
+        assert db.execute("SELECT * FROM a;") == [("hello",)]
+        assert db.execute("SELECT * FROM b;") == [(42,)]

@@ -1,0 +1,51 @@
+"""The example scripts must run clean — they are the public face of the API."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+
+
+class TestExamples:
+    def test_quickstart(self):
+        result = run_example("quickstart.py")
+        assert result.returncode == 0, result.stderr
+        assert "trie exact" in result.stdout
+        assert "PMR window" in result.stdout
+
+    def test_text_search(self):
+        result = run_example("text_search.py")
+        assert result.returncode == 0, result.stderr
+        assert "plan:" in result.stdout
+        assert "'random'" in result.stdout
+
+    def test_spatial_gis(self):
+        result = run_example("spatial_gis.py")
+        assert result.returncode == 0, result.stderr
+        assert "nearest cities" in result.stdout
+        assert "page reads" in result.stdout
+
+    def test_engine_tour(self):
+        result = run_example("engine_tour.py")
+        assert result.returncode == 0, result.stderr
+        assert "SP_GiST_bittrie" in result.stdout
+        assert "without index" in result.stdout
+
+    @pytest.mark.slow
+    def test_reproduce_paper_quick(self):
+        result = run_example("reproduce_paper.py", "--quick")
+        assert result.returncode == 0, result.stderr
+        assert "Figure 17" in result.stdout
+        assert "done in" in result.stdout

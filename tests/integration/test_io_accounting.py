@@ -1,0 +1,129 @@
+"""Integration: the I/O accounting that underpins every experiment.
+
+These tests pin down the cost-model facts the paper's figures rely on:
+searches through a small buffer pool miss; clustering cuts per-search page
+reads; bulk-built B+-tree leaves scan sequentially (cheap) where trie
+subtrees scatter; and a leading wildcard collapses the B+-tree's regex
+narrowing but not the trie's.
+"""
+
+from repro.baselines import BPlusTree
+from repro.bench import Workbench, measure, measure_many
+from repro.indexes.trie import TrieIndex
+from repro.workloads import random_words, sample_prefixes
+
+
+def build_pair(n: int = 3000, pool_pages: int = 16):
+    """One trie and one B+-tree over the same words, each on its own disk.
+
+    Separate disks keep page allocation physically contiguous per structure
+    (as separate index files are), which the sequential-read classification
+    depends on.
+    """
+    words = random_words(n, seed=151)
+    trie_bench = Workbench(pool_pages=pool_pages)
+    trie = TrieIndex(trie_bench.buffer, bucket_size=32)
+    for i, w in enumerate(words):
+        trie.insert(w, i)
+    trie.repack()
+    btree_bench = Workbench(pool_pages=pool_pages)
+    btree = BPlusTree(btree_bench.buffer)
+    btree.bulk_load([(w, i) for i, w in enumerate(words)])
+    return words, (trie, trie_bench), (btree, btree_bench)
+
+
+class TestMeasurementPlumbing:
+    def test_measure_counts_misses_and_cpu(self):
+        words, (trie, bench), _ = build_pair(n=2000, pool_pages=8)
+        bench.cold()
+        _result, cost = measure(bench.buffer, lambda: trie.search_equal(words[0]))
+        assert cost.io_reads > 0
+        assert cost.io_reads == cost.seq_reads + cost.random_reads
+        assert cost.cpu_ops > 0
+        assert cost.operations == 1
+        assert cost.cost > 0.0
+
+    def test_measure_many_accumulates(self):
+        words, (trie, bench), _ = build_pair(n=2000, pool_pages=8)
+        batch = [lambda w=w: trie.search_equal(w) for w in words[:20]]
+        total = measure_many(bench.buffer, batch)
+        assert total.operations == 20
+        assert total.reads_per_op >= 0.0
+        assert total.cost_per_op >= 0.0
+
+    def test_cold_each_costs_more_than_warm(self):
+        words, (trie, bench), _ = build_pair(n=2000, pool_pages=64)
+        probes = words[:30]
+        warm = measure_many(
+            bench.buffer, [lambda w=w: trie.search_equal(w) for w in probes]
+        )
+        cold = measure_many(
+            bench.buffer,
+            [lambda w=w: trie.search_equal(w) for w in probes],
+            cold_each=True,
+        )
+        assert cold.io_reads >= warm.io_reads
+
+
+class TestClusteringIOEffect:
+    def test_repack_reduces_search_reads(self):
+        bench = Workbench(pool_pages=16)
+        words = random_words(4000, seed=152)
+        trie = TrieIndex(bench.buffer, bucket_size=32)
+        for i, w in enumerate(words):
+            trie.insert(w, i)
+        probes = words[::200]
+        before = measure_many(
+            bench.buffer,
+            [lambda w=w: trie.search_equal(w) for w in probes],
+            cold_each=True,
+        )
+        trie.repack()
+        after = measure_many(
+            bench.buffer,
+            [lambda w=w: trie.search_equal(w) for w in probes],
+            cold_each=True,
+        )
+        assert after.io_reads <= before.io_reads
+
+
+class TestPaperIOFacts:
+    def test_btree_prefix_beats_trie_prefix_cost(self):
+        # Figure 6, prefix panel: bulk-built (CREATE INDEX) leaves are
+        # physically sequential, so a prefix scan pays mostly cheap
+        # sequential reads; the trie forks into scattered subtree pages.
+        words, (trie, trie_bench), (btree, bt_bench) = build_pair(n=8000)
+        prefixes = sample_prefixes(words, 15, length=1, seed=153)
+        trie_cost = measure_many(
+            trie_bench.buffer,
+            [lambda p=p: trie.search_prefix(p) for p in prefixes],
+            cold_each=True,
+        )
+        btree_cost = measure_many(
+            bt_bench.buffer,
+            [lambda p=p: list(btree.prefix_scan(p)) for p in prefixes],
+            cold_each=True,
+        )
+        assert btree_cost.cost < trie_cost.cost
+        # ...and sequential leaf reads are why:
+        assert btree_cost.seq_reads > trie_cost.seq_reads
+
+    def test_leading_wildcard_explodes_btree_reads_not_trie(self):
+        # Figure 7's mechanism: '?' first char forces a full leaf-level
+        # read in the B+-tree; the trie still filters on later characters.
+        words, (trie, trie_bench), (btree, bt_bench) = build_pair(n=16000)
+        sample = [w for w in words if len(w) >= 6][:10]
+        patterns = ["?" + w[1:] for w in sample]
+        trie_cost = measure_many(
+            trie_bench.buffer,
+            [lambda p=p: trie.search_regex(p) for p in patterns],
+            cold_each=True,
+        )
+        btree_cost = measure_many(
+            bt_bench.buffer,
+            [lambda p=p: list(btree.regex_scan(p)) for p in patterns],
+            cold_each=True,
+        )
+        assert btree_cost.io_reads > 2 * trie_cost.io_reads
+        # The wildcard costs the B+-tree key comparisons on every entry too.
+        assert btree_cost.cpu_ops > 2 * trie_cost.cpu_ops

@@ -1,0 +1,90 @@
+"""Property-based tests for the B+-tree baseline."""
+
+import string
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import BPlusTree
+from repro.storage import BufferPool, DiskManager
+
+KEYS = st.lists(
+    st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=10),
+    min_size=1,
+    max_size=120,
+)
+
+SETTINGS = settings(
+    max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+def build(keys: list[str]) -> BPlusTree:
+    tree = BPlusTree(BufferPool(DiskManager(), capacity=128))
+    for i, k in enumerate(keys):
+        tree.insert(k, i)
+    return tree
+
+
+class TestOrderInvariant:
+    @SETTINGS
+    @given(KEYS)
+    def test_scan_all_is_sorted_multiset(self, keys):
+        tree = build(keys)
+        scanned = [k for k, _ in tree.scan_all()]
+        assert scanned == sorted(keys)
+        tree.check_invariants()
+
+    @SETTINGS
+    @given(KEYS)
+    def test_bulk_load_equals_incremental(self, keys):
+        incremental = build(keys)
+        bulk = BPlusTree(BufferPool(DiskManager(), capacity=128))
+        bulk.bulk_load([(k, i) for i, k in enumerate(keys)])
+        assert list(bulk.scan_all()) == list(incremental.scan_all())
+
+
+class TestSearchEquivalence:
+    @SETTINGS
+    @given(KEYS, st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=10))
+    def test_search_equals_bruteforce(self, keys, probe):
+        tree = build(keys)
+        assert sorted(tree.search(probe)) == sorted(
+            i for i, k in enumerate(keys) if k == probe
+        )
+
+    @SETTINGS
+    @given(
+        KEYS,
+        st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=5),
+        st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=5),
+    )
+    def test_range_scan_equals_bruteforce(self, keys, a, b):
+        lo, hi = min(a, b), max(a, b)
+        tree = build(keys)
+        got = sorted(v for _, v in tree.range_scan(lo, hi))
+        assert got == sorted(
+            i for i, k in enumerate(keys) if lo <= k <= hi
+        )
+
+    @SETTINGS
+    @given(KEYS, st.text(alphabet=string.ascii_lowercase, max_size=4))
+    def test_prefix_scan_equals_bruteforce(self, keys, prefix):
+        tree = build(keys)
+        got = sorted(v for _, v in tree.prefix_scan(prefix))
+        assert got == sorted(
+            i for i, k in enumerate(keys) if k.startswith(prefix)
+        )
+
+
+class TestDeleteProperties:
+    @SETTINGS
+    @given(KEYS, st.data())
+    def test_delete_removes_exactly_matches(self, keys, data):
+        tree = build(keys)
+        victim = keys[data.draw(st.integers(0, len(keys) - 1))]
+        expected_removed = keys.count(victim)
+        assert tree.delete(victim) == expected_removed
+        assert tree.search(victim) == []
+        assert len(tree) == len(keys) - expected_removed
+        tree.check_invariants()

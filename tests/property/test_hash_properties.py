@@ -1,0 +1,126 @@
+"""Property-based tests for the linear-hashing index and PR quadtree."""
+
+import string
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import HashIndex
+from repro.geometry import Box, Point
+from repro.indexes.prquadtree import PRQuadtreeIndex
+from repro.storage import BufferPool, DiskManager
+
+SETTINGS = settings(
+    max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+KEYS = st.lists(
+    st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=10),
+    min_size=1,
+    max_size=120,
+)
+
+COORD = st.floats(0, 100, allow_nan=False).map(lambda v: round(v, 2))
+POINTS = st.lists(st.builds(Point, COORD, COORD), min_size=1, max_size=60)
+BOXES = st.builds(
+    lambda x1, y1, x2, y2: Box(min(x1, x2), min(y1, y2), max(x1, x2), max(y1, y2)),
+    COORD, COORD, COORD, COORD,
+)
+
+
+def fresh_buffer() -> BufferPool:
+    return BufferPool(DiskManager(), capacity=128)
+
+
+class TestHashProperties:
+    @SETTINGS
+    @given(KEYS)
+    def test_every_key_findable_and_invariants_hold(self, keys):
+        index = HashIndex(fresh_buffer())
+        for i, k in enumerate(keys):
+            index.insert(k, i)
+        index.check_invariants()
+        for i, k in enumerate(keys):
+            assert i in index.search(k)
+
+    @SETTINGS
+    @given(KEYS, st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=10))
+    def test_search_equals_bruteforce(self, keys, probe):
+        index = HashIndex(fresh_buffer())
+        for i, k in enumerate(keys):
+            index.insert(k, i)
+        assert sorted(index.search(probe)) == sorted(
+            i for i, k in enumerate(keys) if k == probe
+        )
+
+    @SETTINGS
+    @given(KEYS, st.data())
+    def test_delete_removes_exactly_matches(self, keys, data):
+        index = HashIndex(fresh_buffer())
+        for i, k in enumerate(keys):
+            index.insert(k, i)
+        victim = keys[data.draw(st.integers(0, len(keys) - 1))]
+        assert index.delete(victim) == keys.count(victim)
+        assert index.search(victim) == []
+        index.check_invariants()
+
+    @SETTINGS
+    @given(KEYS)
+    def test_items_is_a_permutation_of_inserts(self, keys):
+        index = HashIndex(fresh_buffer())
+        for i, k in enumerate(keys):
+            index.insert(k, i)
+        assert sorted(index.items()) == sorted(
+            (k, i) for i, k in enumerate(keys)
+        )
+
+
+class TestPRQuadtreeProperties:
+    @SETTINGS
+    @given(POINTS, BOXES)
+    def test_range_equals_bruteforce(self, points, box):
+        index = PRQuadtreeIndex(fresh_buffer(), Box(0, 0, 100, 100),
+                                bucket_size=3)
+        for i, p in enumerate(points):
+            index.insert(p, i)
+        expected = sorted(
+            i for i, p in enumerate(points) if box.contains_point(p)
+        )
+        assert sorted(v for _, v in index.search_range(box)) == expected
+
+    @SETTINGS
+    @given(POINTS)
+    def test_point_match_finds_all_occurrences(self, points):
+        index = PRQuadtreeIndex(fresh_buffer(), Box(0, 0, 100, 100))
+        for i, p in enumerate(points):
+            index.insert(p, i)
+        probe = points[0]
+        expected = sorted(i for i, p in enumerate(points) if p == probe)
+        assert sorted(v for _, v in index.search_point(probe)) == expected
+
+    @SETTINGS
+    @given(POINTS, st.builds(Point, COORD, COORD))
+    def test_nn_first_is_true_nearest(self, points, query):
+        from repro.core.nn import nearest
+        from repro.geometry.distance import euclidean
+
+        index = PRQuadtreeIndex(fresh_buffer(), Box(0, 0, 100, 100))
+        for i, p in enumerate(points):
+            index.insert(p, i)
+        [(d, _k, _v)] = nearest(index, query, 1)
+        assert abs(d - min(euclidean(p, query) for p in points)) < 1e-9
+
+    @SETTINGS
+    @given(POINTS)
+    def test_bulk_equals_incremental(self, points):
+        bulk = PRQuadtreeIndex(fresh_buffer(), Box(0, 0, 100, 100),
+                               bucket_size=3)
+        bulk.bulk_build([(p, i) for i, p in enumerate(points)])
+        incremental = PRQuadtreeIndex(fresh_buffer(), Box(0, 0, 100, 100),
+                                      bucket_size=3)
+        for i, p in enumerate(points):
+            incremental.insert(p, i)
+        box = Box(0, 0, 100, 100)
+        assert sorted(bulk.search_range(box)) == sorted(
+            incremental.search_range(box)
+        )

@@ -1,0 +1,154 @@
+"""Property-based tests for the spatial indexes (kd-tree, quadtrees, R-tree)."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import RTree
+from repro.geometry import Box, LineSegment, Point
+from repro.indexes.kdtree import KDTreeIndex
+from repro.indexes.pmr import PMRQuadtreeIndex
+from repro.indexes.pquadtree import PointQuadtreeIndex
+from repro.storage import BufferPool, DiskManager
+
+COORD = st.floats(0, 100, allow_nan=False).map(lambda v: round(v, 2))
+POINTS = st.lists(
+    st.builds(Point, COORD, COORD), min_size=1, max_size=60
+)
+BOXES = st.builds(
+    lambda x1, y1, x2, y2: Box(min(x1, x2), min(y1, y2), max(x1, x2), max(y1, y2)),
+    COORD, COORD, COORD, COORD,
+)
+SEGMENTS = st.lists(
+    st.builds(LineSegment, st.builds(Point, COORD, COORD),
+              st.builds(Point, COORD, COORD)),
+    min_size=1,
+    max_size=40,
+)
+
+SETTINGS = settings(
+    max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+def fresh_buffer() -> BufferPool:
+    return BufferPool(DiskManager(), capacity=128)
+
+
+class TestPointIndexEquivalence:
+    @SETTINGS
+    @given(POINTS, BOXES)
+    def test_kdtree_range_equals_bruteforce(self, points, box):
+        index = KDTreeIndex(fresh_buffer())
+        for i, p in enumerate(points):
+            index.insert(p, i)
+        expected = sorted(i for i, p in enumerate(points) if box.contains_point(p))
+        assert sorted(v for _, v in index.search_range(box)) == expected
+
+    @SETTINGS
+    @given(POINTS, BOXES)
+    def test_pquadtree_range_equals_bruteforce(self, points, box):
+        index = PointQuadtreeIndex(fresh_buffer())
+        for i, p in enumerate(points):
+            index.insert(p, i)
+        expected = sorted(i for i, p in enumerate(points) if box.contains_point(p))
+        assert sorted(v for _, v in index.search_range(box)) == expected
+
+    @SETTINGS
+    @given(POINTS)
+    def test_kdtree_point_match_finds_all_occurrences(self, points):
+        index = KDTreeIndex(fresh_buffer())
+        for i, p in enumerate(points):
+            index.insert(p, i)
+        probe = points[0]
+        expected = sorted(i for i, p in enumerate(points) if p == probe)
+        assert sorted(v for _, v in index.search_point(probe)) == expected
+
+    @SETTINGS
+    @given(POINTS, BOXES)
+    def test_three_structures_agree(self, points, box):
+        kd = KDTreeIndex(fresh_buffer())
+        pq = PointQuadtreeIndex(fresh_buffer())
+        rt = RTree(fresh_buffer())
+        for i, p in enumerate(points):
+            kd.insert(p, i)
+            pq.insert(p, i)
+            rt.insert(p, i)
+        a = sorted(v for _, v in kd.search_range(box))
+        b = sorted(v for _, v in pq.search_range(box))
+        c = sorted(v for _, v in rt.range_search(box))
+        assert a == b == c
+
+
+class TestNNProperties:
+    @SETTINGS
+    @given(POINTS, st.builds(Point, COORD, COORD))
+    def test_kdtree_nn_first_is_true_nearest(self, points, query):
+        from repro.core.nn import nearest
+        from repro.geometry.distance import euclidean
+
+        index = KDTreeIndex(fresh_buffer())
+        for i, p in enumerate(points):
+            index.insert(p, i)
+        [(d, _key, _v)] = nearest(index, query, 1)
+        assert abs(d - min(euclidean(p, query) for p in points)) < 1e-9
+
+    @SETTINGS
+    @given(POINTS, st.builds(Point, COORD, COORD))
+    def test_nn_stream_sorted_and_complete(self, points, query):
+        index = PointQuadtreeIndex(fresh_buffer())
+        for i, p in enumerate(points):
+            index.insert(p, i)
+        results = list(index.nn_search(query))
+        distances = [d for d, _, _ in results]
+        assert distances == sorted(distances)
+        assert sorted(v for _, _, v in results) == list(range(len(points)))
+
+
+class TestPMRProperties:
+    @SETTINGS
+    @given(SEGMENTS, BOXES)
+    def test_window_equals_bruteforce(self, segments, window):
+        index = PMRQuadtreeIndex(
+            fresh_buffer(), Box(0, 0, 100, 100), threshold=3, resolution=10
+        )
+        for i, s in enumerate(segments):
+            index.insert(s, i)
+        expected = sorted(
+            i for i, s in enumerate(segments) if s.intersects_box(window)
+        )
+        assert sorted(v for _, v in index.search_window(window)) == expected
+
+    @SETTINGS
+    @given(SEGMENTS)
+    def test_pmr_and_rtree_agree_on_exact_match(self, segments):
+        pmr = PMRQuadtreeIndex(fresh_buffer(), Box(0, 0, 100, 100))
+        rt = RTree(fresh_buffer())
+        for i, s in enumerate(segments):
+            pmr.insert(s, i)
+            rt.insert(s, i)
+        probe = segments[len(segments) // 2]
+        assert sorted(v for _, v in pmr.search_exact(probe)) == sorted(
+            v for _, v in rt.search_exact(probe)
+        )
+
+
+class TestRTreeInvariants:
+    @SETTINGS
+    @given(POINTS)
+    def test_mbr_containment_always_holds(self, points):
+        tree = RTree(fresh_buffer())
+        for i, p in enumerate(points):
+            tree.insert(p, i)
+        tree.check_invariants()
+
+    @SETTINGS
+    @given(SEGMENTS, st.data())
+    def test_invariants_survive_deletes(self, segments, data):
+        tree = RTree(fresh_buffer())
+        for i, s in enumerate(segments):
+            tree.insert(s, i)
+        count = data.draw(st.integers(0, len(segments) - 1))
+        for i in range(count):
+            tree.delete(segments[i], i)
+        tree.check_invariants()
+        assert len(tree) == len(segments) - count

@@ -1,0 +1,107 @@
+"""Property-based tests (hypothesis) for the patricia trie."""
+
+import string
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.indexes.trie import TrieIndex, regex_matches
+from repro.storage import BufferPool, DiskManager
+
+WORDS = st.lists(
+    st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=12),
+    min_size=1,
+    max_size=80,
+)
+
+SETTINGS = settings(
+    max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+def build_trie(words: list[str], bucket_size: int = 2) -> TrieIndex:
+    trie = TrieIndex(
+        BufferPool(DiskManager(), capacity=128), bucket_size=bucket_size
+    )
+    for i, w in enumerate(words):
+        trie.insert(w, i)
+    return trie
+
+
+class TestSearchProperties:
+    @SETTINGS
+    @given(WORDS)
+    def test_every_inserted_word_is_findable(self, words):
+        trie = build_trie(words)
+        for i, w in enumerate(words):
+            assert (w, i) in trie.search_equal(w)
+
+    @SETTINGS
+    @given(WORDS, st.text(alphabet=string.ascii_lowercase, max_size=4))
+    def test_prefix_search_equals_bruteforce(self, words, prefix):
+        trie = build_trie(words)
+        expected = sorted(
+            (w, i) for i, w in enumerate(words) if w.startswith(prefix)
+        )
+        assert sorted(trie.search_prefix(prefix)) == expected
+
+    @SETTINGS
+    @given(
+        WORDS,
+        st.text(alphabet=string.ascii_lowercase + "?", min_size=1, max_size=8),
+    )
+    def test_regex_search_equals_bruteforce(self, words, pattern):
+        trie = build_trie(words)
+        expected = sorted(
+            (w, i) for i, w in enumerate(words) if regex_matches(pattern, w)
+        )
+        assert sorted(trie.search_regex(pattern)) == expected
+
+    @SETTINGS
+    @given(WORDS)
+    def test_item_count_invariant(self, words):
+        trie = build_trie(words)
+        assert len(trie) == len(words)
+        assert trie.statistics().items == len(words)
+
+
+class TestDeleteProperties:
+    @SETTINGS
+    @given(WORDS, st.data())
+    def test_delete_then_absent(self, words, data):
+        trie = build_trie(words)
+        victim_index = data.draw(st.integers(0, len(words) - 1))
+        victim = words[victim_index]
+        trie.delete(victim, victim_index)
+        assert (victim, victim_index) not in trie.search_equal(victim)
+        # Every other item remains findable.
+        for i, w in enumerate(words):
+            if i != victim_index:
+                assert (w, i) in trie.search_equal(w)
+
+    @SETTINGS
+    @given(WORDS)
+    def test_insert_delete_roundtrip_leaves_empty(self, words):
+        trie = build_trie(words)
+        for i, w in enumerate(words):
+            trie.delete(w, i)
+        assert len(trie) == 0
+        assert trie.search_prefix("") == []
+
+
+class TestRepackProperties:
+    @SETTINGS
+    @given(WORDS)
+    def test_repack_preserves_every_search(self, words):
+        trie = build_trie(words)
+        before = sorted(trie.search_prefix(""))
+        trie.repack()
+        assert sorted(trie.search_prefix("")) == before
+
+    @SETTINGS
+    @given(WORDS)
+    def test_repack_never_increases_page_height(self, words):
+        trie = build_trie(words)
+        before = trie.statistics().max_page_height
+        trie.repack()
+        assert trie.statistics().max_page_height <= before

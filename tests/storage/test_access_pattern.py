@@ -1,0 +1,109 @@
+"""Tests for sequential/random miss classification and the CPU counter."""
+
+from repro.bench.harness import (
+    CPU_OP_COST,
+    RANDOM_PAGE_COST,
+    SEQ_PAGE_COST,
+    Measurement,
+)
+from repro.costmodel import CPU_OPS, OperationCounter
+from repro.storage import BufferPool, DiskManager
+
+
+class TestMissClassification:
+    def test_ascending_pages_are_sequential(self):
+        pool = BufferPool(DiskManager(), capacity=2)
+        ids = [pool.new_page(i) for i in range(10)]
+        pool.clear()
+        for pid in ids:
+            pool.fetch(pid)
+        # First miss is random (no predecessor), the rest sequential.
+        assert pool.stats.random_misses == 1
+        assert pool.stats.seq_misses == 9
+
+    def test_scattered_pages_are_random(self):
+        pool = BufferPool(DiskManager(), capacity=2)
+        ids = [pool.new_page(i) for i in range(10)]
+        pool.clear()
+        for pid in ids[::3] + ids[1::3]:
+            pool.fetch(pid)
+        assert pool.stats.seq_misses == 0
+
+    def test_hits_not_classified(self):
+        pool = BufferPool(DiskManager(), capacity=8)
+        pid = pool.new_page("x")
+        pool.clear()
+        pool.fetch(pid)
+        pool.fetch(pid)  # hit
+        assert pool.stats.misses == 1
+        assert pool.stats.seq_misses + pool.stats.random_misses == 1
+
+    def test_split_totals_add_up(self):
+        pool = BufferPool(DiskManager(), capacity=2)
+        ids = [pool.new_page(i) for i in range(20)]
+        pool.clear()
+        for pid in reversed(ids):
+            pool.fetch(pid)
+        assert (
+            pool.stats.seq_misses + pool.stats.random_misses
+            == pool.stats.misses
+        )
+
+
+class TestOperationCounter:
+    def test_add_and_reset(self):
+        counter = OperationCounter()
+        counter.add()
+        counter.add(5)
+        assert counter.count == 6
+        counter.reset()
+        assert counter.count == 0
+
+    def test_global_counter_incremented_by_btree_search(self):
+        from repro.baselines import BPlusTree
+
+        tree = BPlusTree(BufferPool(DiskManager(), capacity=16))
+        for i in range(100):
+            tree.insert("w%03d" % i, i)
+        before = CPU_OPS.count
+        tree.search("w050")
+        assert CPU_OPS.count > before
+
+    def test_global_counter_incremented_by_trie_search(self):
+        from repro.indexes.trie import TrieIndex
+
+        trie = TrieIndex(BufferPool(DiskManager(), capacity=16), bucket_size=2)
+        for i in range(100):
+            trie.insert("w%03d" % i, i)
+        before = CPU_OPS.count
+        trie.search_equal("w050")
+        assert CPU_OPS.count > before
+
+
+class TestModeledCost:
+    def test_cost_formula(self):
+        m = Measurement(
+            io_reads=10,
+            io_writes=0,
+            wall_seconds=0.0,
+            operations=2,
+            seq_reads=6,
+            random_reads=4,
+            cpu_ops=100,
+        )
+        expected = 4 * RANDOM_PAGE_COST + 6 * SEQ_PAGE_COST + 100 * CPU_OP_COST
+        assert m.cost == expected
+        assert m.cost_per_op == expected / 2
+
+    def test_addition_merges_all_fields(self):
+        a = Measurement(1, 2, 0.5, 1, seq_reads=1, random_reads=0, cpu_ops=3)
+        b = Measurement(4, 0, 0.25, 2, seq_reads=2, random_reads=2, cpu_ops=7)
+        c = a + b
+        assert (c.io_reads, c.io_writes, c.operations) == (5, 2, 3)
+        assert (c.seq_reads, c.random_reads, c.cpu_ops) == (3, 2, 10)
+        assert c.wall_seconds == 0.75
+
+    def test_random_costs_more_than_sequential(self):
+        random_heavy = Measurement(10, 0, 0.0, 1, seq_reads=0, random_reads=10)
+        seq_heavy = Measurement(10, 0, 0.0, 1, seq_reads=10, random_reads=0)
+        assert random_heavy.cost > seq_heavy.cost

@@ -1,0 +1,147 @@
+"""Unit tests for the LRU buffer pool."""
+
+import pytest
+
+from repro.errors import BufferPoolError
+from repro.storage import BufferPool, DiskManager
+
+
+def make_pool(capacity: int = 3) -> BufferPool:
+    return BufferPool(DiskManager(), capacity=capacity)
+
+
+class TestBasics:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            BufferPool(DiskManager(), capacity=0)
+
+    def test_new_page_is_resident_and_fetchable(self):
+        pool = make_pool()
+        pid = pool.new_page(["payload"])
+        assert pool.fetch(pid) == ["payload"]
+        assert pool.stats.hits == 1  # the fetch hit the cached frame
+
+    def test_update_replaces_payload(self):
+        pool = make_pool()
+        pid = pool.new_page("old")
+        pool.update(pid, "new")
+        assert pool.fetch(pid) == "new"
+
+
+class TestEviction:
+    def test_lru_evicts_oldest(self):
+        pool = make_pool(capacity=2)
+        a = pool.new_page("a")
+        b = pool.new_page("b")
+        pool.fetch(a)          # a becomes most-recent
+        pool.new_page("c")     # evicts b
+        resident = set(pool.resident_page_ids())
+        assert a in resident and b not in resident
+
+    def test_dirty_page_written_back_on_eviction(self):
+        pool = make_pool(capacity=1)
+        a = pool.new_page("a")       # dirty (never flushed)
+        pool.new_page("b")           # evicts a, must persist it
+        assert pool.disk.read_page(a) == "a"
+        assert pool.stats.dirty_writebacks >= 1
+
+    def test_refetch_after_eviction_reads_disk(self):
+        pool = make_pool(capacity=1)
+        a = pool.new_page("a")
+        pool.new_page("b")
+        misses_before = pool.stats.misses
+        assert pool.fetch(a) == "a"
+        assert pool.stats.misses == misses_before + 1
+
+    def test_mutation_without_mark_dirty_is_lost_after_eviction(self):
+        # Documents the mutation protocol: fetch + mutate requires mark_dirty.
+        pool = make_pool(capacity=1)
+        a = pool.new_page([1])
+        pool.flush_all()
+        payload = pool.fetch(a)
+        payload.append(2)          # mutated but NOT marked dirty
+        pool.new_page("evictor")   # a evicted without write-back
+        assert pool.fetch(a) == [1]
+
+    def test_mutation_with_mark_dirty_survives_eviction(self):
+        pool = make_pool(capacity=1)
+        a = pool.new_page([1])
+        pool.flush_all()
+        payload = pool.fetch(a)
+        payload.append(2)
+        pool.mark_dirty(a)
+        pool.new_page("evictor")
+        assert pool.fetch(a) == [1, 2]
+
+
+class TestPinning:
+    def test_pinned_page_not_evicted(self):
+        pool = make_pool(capacity=2)
+        a = pool.new_page("a")
+        pool.pin(a)
+        pool.new_page("b")
+        pool.new_page("c")  # must evict b, not pinned a
+        assert a in set(pool.resident_page_ids())
+        pool.unpin(a)
+
+    def test_all_pinned_raises(self):
+        pool = make_pool(capacity=1)
+        a = pool.new_page("a")
+        pool.pin(a)
+        with pytest.raises(BufferPoolError):
+            pool.new_page("b")
+        pool.unpin(a)
+
+    def test_unbalanced_unpin_raises(self):
+        pool = make_pool()
+        a = pool.new_page("a")
+        with pytest.raises(BufferPoolError):
+            pool.unpin(a)
+
+
+class TestMaintenance:
+    def test_mark_dirty_nonresident_raises(self):
+        pool = make_pool(capacity=1)
+        a = pool.new_page("a")
+        pool.new_page("b")  # evicts a
+        with pytest.raises(BufferPoolError):
+            pool.mark_dirty(a)
+
+    def test_flush_all_persists_dirty_pages(self):
+        pool = make_pool()
+        a = pool.new_page("a")
+        pool.flush_all()
+        assert pool.disk.read_page(a) == "a"
+
+    def test_clear_empties_pool_but_preserves_data(self):
+        pool = make_pool()
+        a = pool.new_page("a")
+        pool.clear()
+        assert pool.resident_count == 0
+        assert pool.fetch(a) == "a"
+
+    def test_free_page_removes_everywhere(self):
+        pool = make_pool()
+        a = pool.new_page("a")
+        pool.free_page(a)
+        assert a not in set(pool.resident_page_ids())
+        assert not pool.disk.page_exists(a)
+
+    def test_stats_hit_ratio(self):
+        pool = make_pool()
+        a = pool.new_page("a")
+        pool.clear()
+        pool.fetch(a)  # miss
+        pool.fetch(a)  # hit
+        assert pool.stats.misses == 1
+        assert pool.stats.hits >= 1
+        assert 0.0 < pool.stats.hit_ratio < 1.0
+
+    def test_stats_snapshot_delta(self):
+        pool = make_pool()
+        a = pool.new_page("a")
+        pool.clear()
+        before = pool.stats.snapshot()
+        pool.fetch(a)
+        delta = pool.stats.delta(before)
+        assert delta.misses == 1

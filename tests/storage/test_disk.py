@@ -1,0 +1,94 @@
+"""Unit tests for the DiskManager."""
+
+import pytest
+
+from repro.errors import PageNotFoundError
+from repro.storage import DiskManager
+
+
+class TestAllocation:
+    def test_allocate_returns_distinct_ids(self):
+        disk = DiskManager()
+        ids = {disk.allocate_page() for _ in range(10)}
+        assert len(ids) == 10
+        assert disk.num_pages == 10
+
+    def test_deallocate_then_reuse(self):
+        disk = DiskManager()
+        a = disk.allocate_page()
+        disk.deallocate_page(a)
+        assert disk.num_pages == 0
+        b = disk.allocate_page()
+        assert b == a  # freed ids are recycled
+
+    def test_deallocate_unknown_raises(self):
+        with pytest.raises(PageNotFoundError):
+            DiskManager().deallocate_page(99)
+
+    def test_page_exists(self):
+        disk = DiskManager()
+        pid = disk.allocate_page()
+        assert disk.page_exists(pid)
+        assert not disk.page_exists(pid + 1)
+
+
+class TestReadWrite:
+    def test_roundtrip(self):
+        disk = DiskManager()
+        pid = disk.allocate_page()
+        disk.write_page(pid, {"hello": [1, 2, 3]})
+        assert disk.read_page(pid) == {"hello": [1, 2, 3]}
+
+    def test_fresh_page_reads_none(self):
+        disk = DiskManager()
+        pid = disk.allocate_page()
+        assert disk.read_page(pid) is None
+
+    def test_read_unknown_raises(self):
+        with pytest.raises(PageNotFoundError):
+            DiskManager().read_page(0)
+
+    def test_write_unknown_raises(self):
+        with pytest.raises(PageNotFoundError):
+            DiskManager().write_page(0, "x")
+
+    def test_write_serializes_a_copy(self):
+        # Mutating the object after write must not change disk contents.
+        disk = DiskManager()
+        pid = disk.allocate_page()
+        payload = [1, 2]
+        disk.write_page(pid, payload)
+        payload.append(3)
+        assert disk.read_page(pid) == [1, 2]
+
+
+class TestStats:
+    def test_counters_track_operations(self):
+        disk = DiskManager()
+        pid = disk.allocate_page()
+        disk.write_page(pid, "abc")
+        disk.read_page(pid)
+        disk.read_page(pid)
+        assert disk.stats.allocations == 1
+        assert disk.stats.writes == 1
+        assert disk.stats.reads == 2
+        assert disk.stats.bytes_written > 0
+        assert disk.stats.bytes_read > 0
+
+    def test_snapshot_and_delta(self):
+        disk = DiskManager()
+        pid = disk.allocate_page()
+        disk.write_page(pid, "abc")
+        before = disk.stats.snapshot()
+        disk.read_page(pid)
+        delta = disk.stats.delta(before)
+        assert delta.reads == 1
+        assert delta.writes == 0
+
+    def test_reset_stats_keeps_contents(self):
+        disk = DiskManager()
+        pid = disk.allocate_page()
+        disk.write_page(pid, 42)
+        disk.reset_stats()
+        assert disk.stats.reads == 0
+        assert disk.read_page(pid) == 42

@@ -1,0 +1,58 @@
+"""Unit tests for page constants and approx_size accounting."""
+
+from repro.geometry import Box, LineSegment, Point
+from repro.storage.page import (
+    ITEM_OVERHEAD,
+    PAGE_CAPACITY,
+    PAGE_HEADER_BYTES,
+    PAGE_SIZE,
+    approx_size,
+)
+
+
+class TestConstants:
+    def test_postgres_page_size(self):
+        assert PAGE_SIZE == 8192
+
+    def test_capacity_accounts_for_header(self):
+        assert PAGE_CAPACITY == PAGE_SIZE - PAGE_HEADER_BYTES
+        assert ITEM_OVERHEAD > 0
+
+
+class TestApproxSize:
+    def test_scalars(self):
+        assert approx_size(None) == 1
+        assert approx_size(True) == 1
+        assert approx_size(12345) == 8
+        assert approx_size(3.14) == 8
+
+    def test_strings_scale_with_length(self):
+        assert approx_size("abc") == 4 + 3
+        assert approx_size("") == 4
+        assert approx_size("x" * 100) > approx_size("x" * 10)
+
+    def test_bytes(self):
+        assert approx_size(b"abcd") == 8
+
+    def test_containers_sum_elements(self):
+        assert approx_size([1, 2]) > approx_size([1])
+        assert approx_size((1, "ab")) == 4 + (8 + 2) + (4 + 2 + 2)
+        assert approx_size({"k": 1}) > approx_size({})
+
+    def test_sets(self):
+        assert approx_size({1, 2, 3}) == 4 + 3 * (8 + 2)
+
+    def test_domain_objects_use_approx_bytes(self):
+        assert approx_size(Point(1, 2)) == 16
+        assert approx_size(Box(0, 0, 1, 1)) == 32
+        assert approx_size(LineSegment(Point(0, 0), Point(1, 1))) == 32
+
+    def test_unknown_object_gets_flat_charge(self):
+        class Opaque:
+            pass
+
+        assert approx_size(Opaque()) == 64
+
+    def test_nested_structures(self):
+        nested = [("word", 1), ("other", 2)]
+        assert approx_size(nested) == sum(approx_size(x) + 2 for x in nested) + 4

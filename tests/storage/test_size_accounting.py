@@ -1,0 +1,68 @@
+"""Validation: the byte budgeting tracks real serialized page sizes.
+
+The experiments count "pages" via approx_size budgets; this suite checks
+that a budget-full page's actual pickled image stays within a small factor
+of PAGE_SIZE, so page counts (and hence I/O counts) are meaningful.
+"""
+
+import pickle
+
+from repro.baselines import BPlusTree
+from repro.indexes.trie import TrieIndex
+from repro.storage import BufferPool, DiskManager
+from repro.storage.page import PAGE_SIZE
+from repro.workloads import random_words
+
+
+def pickled_page_sizes(disk: DiskManager) -> list[int]:
+    return [len(raw) for raw in disk._pages.values()]
+
+
+class TestSerializedSizes:
+    def test_trie_pages_within_factor_of_budget(self):
+        disk = DiskManager()
+        pool = BufferPool(disk, capacity=32)
+        trie = TrieIndex(pool, bucket_size=16)
+        for i, w in enumerate(random_words(4000, seed=361)):
+            trie.insert(w, i)
+        trie.repack()
+        pool.flush_all()
+        sizes = pickled_page_sizes(disk)
+        full_pages = [s for s in sizes if s > PAGE_SIZE // 4]
+        assert full_pages, "expected some near-full pages"
+        # Real pickle images of budget-full pages stay within 2.5x of the
+        # nominal page size (python object pickling has per-item overhead).
+        assert max(sizes) < PAGE_SIZE * 2.5
+
+    def test_btree_pages_within_factor_of_budget(self):
+        disk = DiskManager()
+        pool = BufferPool(disk, capacity=32)
+        tree = BPlusTree(pool)
+        tree.bulk_load(
+            [(w, i) for i, w in enumerate(random_words(4000, seed=362))]
+        )
+        pool.flush_all()
+        sizes = pickled_page_sizes(disk)
+        assert max(sizes) < PAGE_SIZE * 2.5
+
+    def test_io_bytes_accounting_consistent(self):
+        disk = DiskManager()
+        pool = BufferPool(disk, capacity=4)
+        tree = BPlusTree(pool)
+        for i, w in enumerate(random_words(2000, seed=363)):
+            tree.insert(w, i)
+        pool.flush_all()
+        # bytes_written must be the sum of the write sizes, not zero.
+        assert disk.stats.bytes_written > 0
+        assert disk.stats.writes > 0
+        average = disk.stats.bytes_written / disk.stats.writes
+        assert 100 < average < PAGE_SIZE * 2.5
+
+    def test_disk_roundtrip_is_pickle_faithful(self):
+        disk = DiskManager()
+        pid = disk.allocate_page()
+        payload = {"keys": ["a", "b"], "vals": [1, 2]}
+        disk.write_page(pid, payload)
+        assert disk.read_page(pid) == pickle.loads(
+            pickle.dumps(payload)
+        )

@@ -1,0 +1,96 @@
+"""Tests for the synthetic workload generators."""
+
+from repro.geometry import Box
+from repro.workloads import (
+    clustered_points,
+    random_points,
+    random_query_boxes,
+    random_segments,
+    random_words,
+    regex_pattern_for,
+    sample_prefixes,
+)
+from repro.workloads.points import WORLD
+from repro.workloads.words import regex_queries
+
+
+class TestWords:
+    def test_count_and_alphabet(self):
+        words = random_words(500, seed=1)
+        assert len(words) == 500
+        assert all(w.islower() and w.isalpha() for w in words)
+
+    def test_paper_length_distribution(self):
+        words = random_words(2000, seed=2)
+        lengths = {len(w) for w in words}
+        assert min(lengths) >= 1 and max(lengths) <= 15
+
+    def test_deterministic_per_seed(self):
+        assert random_words(50, seed=7) == random_words(50, seed=7)
+        assert random_words(50, seed=7) != random_words(50, seed=8)
+
+    def test_sample_prefixes_come_from_data(self):
+        words = random_words(200, seed=3)
+        for prefix in sample_prefixes(words, 20, length=3, seed=4):
+            assert len(prefix) == 3
+            assert any(w.startswith(prefix) for w in words)
+
+    def test_regex_pattern_for(self):
+        assert regex_pattern_for("abcdef", [0, 3]) == "?bc?ef"
+        assert regex_pattern_for("ab", [5]) == "ab"  # out of range ignored
+
+    def test_regex_queries_have_matches(self):
+        words = random_words(300, seed=5)
+        from repro.indexes.trie import regex_matches
+
+        for pattern in regex_queries(words, 10, [1], seed=6):
+            assert any(regex_matches(pattern, w) for w in words)
+
+
+class TestPoints:
+    def test_inside_world(self):
+        for p in random_points(300, seed=1):
+            assert WORLD.contains_point(p)
+
+    def test_deterministic(self):
+        assert random_points(30, seed=9) == random_points(30, seed=9)
+
+    def test_clustered_inside_world(self):
+        for p in clustered_points(300, seed=2):
+            assert WORLD.contains_point(p)
+
+    def test_clustered_is_actually_clustered(self):
+        pts = clustered_points(500, clusters=2, spread=1.0, seed=3)
+        uniform = random_points(500, seed=3)
+        # Clustered data occupies far less of the plane.
+        def spread_of(points):
+            return Box.bounding([Box.from_point(p) for p in points]).area()
+
+        # Both fill the world roughly, but local density differs; use mean
+        # nearest-cluster-center distance proxy: variance of coordinates.
+        import statistics
+
+        cvar = statistics.pvariance([p.x for p in pts])
+        uvar = statistics.pvariance([p.x for p in uniform])
+        assert cvar < uvar
+
+    def test_query_boxes_in_world(self):
+        for b in random_query_boxes(50, side=5.0, seed=4):
+            assert WORLD.contains_box(b)
+            assert abs(b.width - 5.0) < 1e-9
+
+
+class TestSegments:
+    def test_count_and_world(self):
+        segments = random_segments(200, seed=1)
+        assert len(segments) == 200
+        for s in segments:
+            assert WORLD.contains_point(s.a)
+            assert WORLD.contains_point(s.b)
+
+    def test_bounded_length(self):
+        for s in random_segments(300, max_length=5.0, seed=2):
+            assert s.length() <= 5.0 + 1e-6
+
+    def test_deterministic(self):
+        assert random_segments(20, seed=5) == random_segments(20, seed=5)
