@@ -43,6 +43,7 @@ class Measurement:
     seq_reads: int = 0
     random_reads: int = 0
     cpu_ops: int = 0
+    retries: int = 0  # transient-fault retries absorbed by the buffer pool
 
     @property
     def cost(self) -> float:
@@ -73,6 +74,7 @@ class Measurement:
             seq_reads=self.seq_reads + other.seq_reads,
             random_reads=self.random_reads + other.random_reads,
             cpu_ops=self.cpu_ops + other.cpu_ops,
+            retries=self.retries + other.retries,
         )
 
 
@@ -83,8 +85,18 @@ class Workbench:
     so searches actually miss — the disk-resident regime of the paper.
     """
 
-    def __init__(self, pool_pages: int = DEFAULT_POOL_SIZE) -> None:
+    def __init__(
+        self,
+        pool_pages: int = DEFAULT_POOL_SIZE,
+        fault_policy: Any | None = None,
+    ) -> None:
         self.disk = DiskManager()
+        if fault_policy is not None:
+            # Optional fault injection (repro.resilience): wrap the disk so
+            # experiments can measure retry overhead under flaky I/O.
+            from repro.resilience.faults import FaultInjectingDiskManager
+
+            self.disk = FaultInjectingDiskManager(self.disk, fault_policy)
         self.buffer = BufferPool(self.disk, capacity=pool_pages)
 
     def cold(self) -> None:
@@ -116,6 +128,7 @@ def measure(
         seq_reads=delta.seq_misses,
         random_reads=delta.random_misses,
         cpu_ops=CPU_OPS.count - ops_before,
+        retries=delta.retries,
     )
 
 

@@ -30,6 +30,9 @@ class TreeStatistics:
     pages: int
     used_bytes: int
     fill_factor: float
+    #: Leaves holding more than BucketSize items (Resolution reached or
+    #: inseparable duplicates) — the population spgist_check scrutinizes.
+    spilled_leaves: int = 0
 
     @property
     def total_nodes(self) -> int:
@@ -49,6 +52,8 @@ def collect_statistics(index: "SPGiSTIndex") -> TreeStatistics:
     items = 0
     max_node_height = 0
     max_page_height = 0
+    spilled_leaves = 0
+    bucket_size = index.config.bucket_size
 
     if index.root is not None:
         # Stack entries: (ref, node_depth, page_depth, parent_page_id).
@@ -59,6 +64,8 @@ def collect_statistics(index: "SPGiSTIndex") -> TreeStatistics:
             if node.is_leaf:
                 leaf_nodes += 1
                 items += len(node.items)
+                if len(node.items) > bucket_size:
+                    spilled_leaves += 1
                 max_node_height = max(max_node_height, node_depth)
                 max_page_height = max(max_page_height, page_depth)
                 continue
@@ -84,4 +91,5 @@ def collect_statistics(index: "SPGiSTIndex") -> TreeStatistics:
         pages=index.store.num_pages,
         used_bytes=index.store.used_bytes(),
         fill_factor=index.store.fill_factor(),
+        spilled_leaves=spilled_leaves,
     )

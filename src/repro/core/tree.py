@@ -582,3 +582,15 @@ class SPGiSTIndex:
     def statistics(self) -> TreeStatistics:
         """Full structural statistics (heights, node counts, fill factor)."""
         return collect_statistics(self)
+
+    def check(self, strict_buckets: bool = True) -> "Any":
+        """Run the ``amcheck``-style structural verifier on this index.
+
+        Returns a :class:`repro.resilience.check.CheckReport`; call its
+        ``raise_if_failed()`` to turn findings into
+        :class:`IndexCorruptionError`. See :func:`repro.resilience.check.
+        spgist_check` for the list of verified invariants.
+        """
+        from repro.resilience.check import spgist_check
+
+        return spgist_check(self, strict_buckets=strict_buckets)

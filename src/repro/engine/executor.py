@@ -6,6 +6,12 @@ executor correct if a lossy index is ever registered). NN plans yield rows
 in non-decreasing distance order; the caller applies LIMIT by slicing the
 iterator — the paper's "number of NNs controlled by the application using
 cursors".
+
+Resilience: an index scan that hits corruption (a failed page checksum or a
+broken structural invariant) does not fail the query. The executor records
+the incident, quarantines the index so the planner stops choosing it, and
+finishes the query with a sequential scan — PostgreSQL operators call this
+pattern "degrade and REINDEX later".
 """
 
 from __future__ import annotations
@@ -19,12 +25,13 @@ from repro.engine.planner import (
     Plan,
     SeqScanPlan,
 )
-from repro.errors import PlannerError
+from repro.errors import IndexCorruptionError, PageChecksumError, PlannerError
 from repro.geometry.distance import (
     euclidean,
     hamming,
     point_to_segment_distance,
 )
+from repro.resilience.incidents import INCIDENTS
 def execute_plan(plan: Plan) -> Iterator[tuple]:
     """Yield the rows the plan produces, in plan order."""
     if isinstance(plan, (NNIndexScanPlan, NNSortScanPlan)):
@@ -59,9 +66,28 @@ def _execute_index_scan(plan: IndexScanPlan) -> Iterator[tuple]:
     check = _predicate_checker(plan)
     predicate = plan.predicate
     assert predicate is not None
-    for tid in plan.index.scan(predicate.op, predicate.operand):
+    emitted: set[Any] = set()
+    tids = plan.index.scan(predicate.op, predicate.operand)
+    while True:
+        try:
+            tid = next(tids)
+        except StopIteration:
+            return
+        except (IndexCorruptionError, PageChecksumError) as exc:
+            INCIDENTS.record("index-scan-degraded", plan.index.name, exc)
+            plan.index.quarantined = True
+            break
         row = plan.table.fetch(tid)
         if row is not None and check(row):
+            emitted.add(tid)
+            yield row
+    # Graceful degradation: the index is unreadable mid-scan, but the heap
+    # is fine — finish with a sequential scan, skipping rows already
+    # produced, so the query still returns a complete, correct result.
+    for tid, row in plan.table.scan():
+        if tid in emitted:
+            continue
+        if check(row):
             yield row
 
 

@@ -24,7 +24,11 @@ from repro.engine.cost import (
     spgist_cost_estimate,
 )
 from repro.engine.table import Table, TableIndex
-from repro.errors import PlannerError
+from repro.errors import (
+    IndexCorruptionError,
+    PageChecksumError,
+    PlannerError,
+)
 
 #: Operator names treated as nearest-neighbour (ordered) scans.
 NN_OPERATOR = "@@"
@@ -110,27 +114,52 @@ def plan_query(table: Table, predicate: Predicate | None) -> Plan:
         SeqScanPlan(table, predicate, seqscan_cost(table.heap_pages, len(table)))
     ]
     for index in table.indexes.values():
+        if index.quarantined:
+            continue  # corruption seen by the executor; do not plan into it
         if index.column.name != predicate.column:
             continue
         if not index.supports(predicate.op):
             continue
-        cost = _index_cost(index, stats, table, operator.restrict, predicate)
+        try:
+            cost = _index_cost(index, stats, table, operator.restrict, predicate)
+        except (IndexCorruptionError, PageChecksumError) as exc:
+            _quarantine(index, exc)
+            continue
         candidates.append(IndexScanPlan(table, predicate, cost, index=index))
     return min(candidates, key=lambda plan: plan.cost.total_cost)
 
 
+def _quarantine(index: TableIndex, error: Exception) -> None:
+    """Corruption surfaced while *costing* an index: sideline it.
+
+    Cost estimation walks the index (page counts, page height), so it can
+    trip over a corrupt page before any scan starts. Record the incident
+    and quarantine the index so planning proceeds with the healthy paths.
+    """
+    from repro.resilience.incidents import INCIDENTS
+
+    INCIDENTS.record("index-cost-degraded", index.name, error)
+    index.quarantined = True
+
+
 def _plan_nn(table: Table, predicate: Predicate) -> Plan:
     for index in table.indexes.values():
+        if index.quarantined:
+            continue
         if index.column.name == predicate.column and index.supports_nn():
             stats = table.stats()
-            cost = spgist_cost_estimate(
-                index.num_pages,
-                index.page_height,
-                stats,
-                table.heap_pages,
-                restrict="contsel",
-                operand=predicate.operand,
-            )
+            try:
+                cost = spgist_cost_estimate(
+                    index.num_pages,
+                    index.page_height,
+                    stats,
+                    table.heap_pages,
+                    restrict="contsel",
+                    operand=predicate.operand,
+                )
+            except (IndexCorruptionError, PageChecksumError) as exc:
+                _quarantine(index, exc)
+                continue
             return NNIndexScanPlan(table, predicate, cost, index=index)
     return NNSortScanPlan(
         table, predicate, seqscan_cost(table.heap_pages, len(table))

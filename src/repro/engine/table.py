@@ -58,6 +58,10 @@ class TableIndex:
         self.access_method = opclass.access_method.lower()
         self.key_extractor = opclass.key_extractor
         self.structure = self._make_structure(table.buffer, **opclass_kwargs)
+        #: Set by the executor when a scan hit corruption in this index;
+        #: the planner stops choosing quarantined indexes until the flag is
+        #: cleared (e.g. after a REINDEX-style rebuild).
+        self.quarantined = False
 
     def _make_structure(self, buffer: BufferPool, **kwargs: Any) -> Any:
         if self.access_method == "sp_gist":

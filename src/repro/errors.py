@@ -24,6 +24,34 @@ class PageNotFoundError(StorageError):
         self.page_id = page_id
 
 
+class PageChecksumError(StorageError):
+    """A page image failed checksum verification on read.
+
+    Raised at the deserialization boundary: torn writes, bit flips, and
+    truncated images all surface here instead of producing wrong payloads.
+    """
+
+    def __init__(self, page_id: int, detail: str = "") -> None:
+        message = f"page {page_id} failed checksum verification"
+        if detail:
+            message += f": {detail}"
+        super().__init__(message)
+        self.page_id = page_id
+        self.detail = detail
+
+
+class DiskFaultError(StorageError):
+    """An injected or permanent device fault (not retryable)."""
+
+
+class TransientIOError(DiskFaultError):
+    """A transient read/write failure; the buffer pool retries these."""
+
+
+class WALError(StorageError):
+    """The write-ahead log is unreadable or structurally invalid."""
+
+
 class PageOverflowError(StorageError):
     """An item was added to a page beyond its byte capacity."""
 

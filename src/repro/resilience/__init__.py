@@ -1,0 +1,42 @@
+"""Storage resilience subsystem: faults, checksums, recovery, verification.
+
+The paper's SP-GiST realization inherits PostgreSQL's storage robustness —
+WAL, page checksums, ``amcheck`` — for free. This package supplies the
+equivalents for the reproduction's simulated storage stack:
+
+- :mod:`repro.resilience.faults` — seeded, configurable fault injection
+  (:class:`FaultInjectingDiskManager`) over any disk manager;
+- CRC32 page checksums live at the serialization boundary in
+  :mod:`repro.storage.page` / :mod:`repro.storage.disk`;
+- the write-ahead log lives in :mod:`repro.storage.wal` and is wired into
+  :class:`repro.storage.FileDiskManager` (re-exported here);
+- :mod:`repro.resilience.check` — the ``amcheck``-style
+  :func:`spgist_check` structural verifier;
+- :mod:`repro.resilience.incidents` — the process-wide incident log the
+  executor reports graceful degradations to.
+"""
+
+from repro.resilience.check import CheckReport, spgist_check
+from repro.resilience.faults import (
+    FaultCounters,
+    FaultInjectingDiskManager,
+    FaultPolicy,
+    corrupt_page,
+)
+from repro.resilience.incidents import INCIDENTS, Incident, IncidentLog
+from repro.storage.wal import WALRecord, WALStats, WriteAheadLog
+
+__all__ = [
+    "CheckReport",
+    "spgist_check",
+    "FaultCounters",
+    "FaultInjectingDiskManager",
+    "FaultPolicy",
+    "corrupt_page",
+    "INCIDENTS",
+    "Incident",
+    "IncidentLog",
+    "WALRecord",
+    "WALStats",
+    "WriteAheadLog",
+]

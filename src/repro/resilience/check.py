@@ -1,0 +1,266 @@
+"""``amcheck``-style structural verification of SP-GiST indexes.
+
+:func:`spgist_check` walks an index the way PostgreSQL's ``amcheck``
+contrib module walks a B-tree: it re-derives every invariant the insert
+path is supposed to maintain and reports violations instead of trusting
+the in-memory bookkeeping. Checked invariants:
+
+- every child pointer resolves to a live node (no dangling refs), and no
+  node is reachable twice (no cycles / aliased downlinks);
+- **predicate containment**: for each stored item, an equality probe for
+  its key would descend the exact path the item lives under — i.e.
+  ``consistent(node_pred, entry_pred, =key)`` holds at every ancestor and
+  ``leaf_consistent(key, =key)`` holds at the leaf;
+- **BucketSize/Resolution**: a leaf may exceed ``bucket_size`` only when
+  the decomposition legitimately could not go deeper (``Resolution``
+  reached, or PickSplit cannot make progress on its items);
+- no orphaned nodes: every live slot on every node page is reachable from
+  the root, and the store's node counter agrees with the walk;
+- ``len(index)`` equals the number of logical items found by the walk
+  (distinct ``(key, value)`` pairs for spanning trees such as the PMR
+  quadtree).
+
+Corrupt pages encountered during the walk (checksum failures, dangling
+refs) become findings rather than exceptions, so one bad page cannot hide
+the rest of the report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.core.external import Query
+from repro.errors import (
+    IndexCorruptionError,
+    PageChecksumError,
+    StorageError,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.tree import SPGiSTIndex
+
+
+@dataclass
+class CheckReport:
+    """Outcome of one :func:`spgist_check` run."""
+
+    index_name: str
+    inner_nodes: int = 0
+    leaf_nodes: int = 0
+    items_walked: int = 0
+    logical_items: int = 0
+    problems: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+    def raise_if_failed(self) -> None:
+        """Raise :class:`IndexCorruptionError` when any invariant failed."""
+        if self.problems:
+            raise IndexCorruptionError(
+                f"spgist_check({self.index_name}) found "
+                f"{len(self.problems)} problem(s):\n  "
+                + "\n  ".join(self.problems)
+            )
+
+    def describe(self) -> str:
+        """One-line human summary."""
+        status = "OK" if self.ok else f"{len(self.problems)} PROBLEM(S)"
+        return (
+            f"spgist_check({self.index_name}): {status} — "
+            f"{self.inner_nodes} inner, {self.leaf_nodes} leaves, "
+            f"{self.logical_items} items"
+        )
+
+
+def spgist_check(
+    index: "SPGiSTIndex", strict_buckets: bool = True
+) -> CheckReport:
+    """Verify the structural invariants of ``index``; never raises.
+
+    ``strict_buckets=False`` skips the overfull-leaf analysis (useful for
+    adversarial duplicate-heavy datasets where the split-depth cap can
+    legitimately leave an overfull leaf that PickSplit could still divide).
+    """
+    report = CheckReport(index_name=index.name)
+    methods = index.methods
+    config = index.config
+    store = index.store
+
+    if index.root is None:
+        if len(index) != 0:
+            report.problems.append(
+                f"empty tree but len(index) == {len(index)}"
+            )
+        return report
+
+    visited: set[Any] = set()
+    raw_items = 0
+    logical: set[tuple[Any, Any]] = set()
+    # Stack frames: (ref, level, ancestors) where ancestors is a tuple of
+    # (node_predicate, entry_predicate, level) triples along the path.
+    stack: list[tuple[Any, int, tuple]] = [(index.root, 0, ())]
+    while stack:
+        ref, level, ancestors = stack.pop()
+        if ref in visited:
+            report.problems.append(
+                f"node {ref} reachable via more than one path (cycle or "
+                "aliased downlink)"
+            )
+            continue
+        visited.add(ref)
+        try:
+            node = store.read(ref)
+        except PageChecksumError as exc:
+            report.problems.append(f"unreadable node {ref}: {exc}")
+            continue
+        except IndexCorruptionError as exc:
+            report.problems.append(f"dangling reference {ref}: {exc}")
+            continue
+        except StorageError as exc:
+            report.problems.append(f"storage failure at {ref}: {exc}")
+            continue
+
+        if node.is_leaf:
+            report.leaf_nodes += 1
+            raw_items += len(node.items)
+            for key, value in node.items:
+                logical.add((key, value))
+                _check_item_path(report, methods, ref, key, level, ancestors)
+            if strict_buckets and len(node.items) > config.bucket_size:
+                _check_overfull_leaf(
+                    report, index, ref, node, level, ancestors
+                )
+            continue
+
+        report.inner_nodes += 1
+        delta = methods.level_delta(node.predicate)
+        for entry in node.entries:
+            if entry.child is None:
+                continue
+            stack.append(
+                (
+                    entry.child,
+                    level + delta,
+                    ancestors + ((node.predicate, entry.predicate, level),),
+                )
+            )
+
+    report.items_walked = raw_items
+    report.logical_items = (
+        len(logical) if methods.spanning else raw_items
+    )
+    if report.logical_items != len(index):
+        report.problems.append(
+            f"len(index) == {len(index)} but a full walk found "
+            f"{report.logical_items} logical items"
+        )
+    _check_orphans(report, store, visited)
+    return report
+
+
+def _check_item_path(
+    report: CheckReport,
+    methods: Any,
+    ref: Any,
+    key: Any,
+    level: int,
+    ancestors: tuple,
+) -> None:
+    """Predicate containment: an equality probe for ``key`` reaches ``ref``."""
+    probe = Query(methods.equality_operator, key)
+    try:
+        if not methods.leaf_consistent(key, probe, level):
+            report.problems.append(
+                f"leaf {ref}: item {key!r} fails leaf_consistent for its "
+                "own equality probe"
+            )
+            return
+        for node_pred, entry_pred, anc_level in ancestors:
+            if not methods.consistent(node_pred, entry_pred, probe, anc_level):
+                report.problems.append(
+                    f"leaf {ref}: item {key!r} is not contained by ancestor "
+                    f"entry predicate {entry_pred!r} at level {anc_level}"
+                )
+                return
+    except Exception as exc:  # a broken predicate is itself a finding
+        report.problems.append(
+            f"leaf {ref}: containment probe for {key!r} raised "
+            f"{type(exc).__name__}: {exc}"
+        )
+
+
+def _check_overfull_leaf(
+    report: CheckReport,
+    index: "SPGiSTIndex",
+    ref: Any,
+    node: Any,
+    level: int,
+    ancestors: tuple,
+) -> None:
+    """An overfull leaf is legal only when splitting genuinely cannot help."""
+    config = index.config
+    if config.resolution and level >= config.resolution:
+        return  # Resolution reached: spilling is the documented behaviour.
+    parent_predicate = (
+        ancestors[-1][1] if ancestors else index.methods.initial_root_predicate()
+    )
+    from repro.core.tree import SPGiSTIndex as _Core
+
+    try:
+        result = index.methods.picksplit(
+            list(node.items), level, parent_predicate
+        )
+    except Exception as exc:
+        report.problems.append(
+            f"leaf {ref}: picksplit probe on overfull leaf raised "
+            f"{type(exc).__name__}: {exc}"
+        )
+        return
+    if not _Core._is_degenerate_split(result, len(node.items)):
+        report.problems.append(
+            f"leaf {ref}: {len(node.items)} items exceed "
+            f"BucketSize={config.bucket_size} although PickSplit can still "
+            "partition them"
+        )
+
+
+def _check_orphans(
+    report: CheckReport, store: Any, visited: set
+) -> None:
+    """Every live slot on every node page must have been reached."""
+    from repro.core.node import NodeRef
+
+    live_slots = 0
+    for page_id in store.page_ids:
+        try:
+            payload = store.buffer.fetch(page_id)
+        except PageChecksumError as exc:
+            report.problems.append(f"unreadable node page {page_id}: {exc}")
+            continue
+        except StorageError as exc:
+            report.problems.append(f"missing node page {page_id}: {exc}")
+            continue
+        for slot, slotted in enumerate(payload.slots):
+            if slotted is None:
+                continue
+            live_slots += 1
+            if NodeRef(page_id, slot) not in visited:
+                report.problems.append(
+                    f"orphaned node at page {page_id} slot {slot} "
+                    "(live but unreachable from the root)"
+                )
+    if live_slots != len(visited) and not any(
+        "orphaned" in p or "unreadable" in p for p in report.problems
+    ):
+        report.problems.append(
+            f"store holds {live_slots} live nodes but the walk reached "
+            f"{len(visited)}"
+        )
+    if store.num_nodes != live_slots:
+        report.problems.append(
+            f"store.num_nodes == {store.num_nodes} but pages hold "
+            f"{live_slots} live nodes"
+        )

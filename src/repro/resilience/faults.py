@@ -1,0 +1,200 @@
+"""Seeded fault injection for any disk manager.
+
+:class:`FaultInjectingDiskManager` decorates a :class:`DiskManager` (in-memory
+or file-backed) and perturbs its I/O according to a :class:`FaultPolicy`:
+
+- **transient errors** — reads/writes raise
+  :class:`~repro.errors.TransientIOError` with a configured probability;
+  the buffer pool's bounded retry absorbs isolated ones.
+- **torn writes** — a write persists only a prefix of the page image,
+  leaving stale bytes behind it; detected later as
+  :class:`~repro.errors.PageChecksumError`.
+- **bit flips** — one random bit of the stored image is inverted after a
+  write; likewise caught by checksum verification.
+- **fail-after-N-ops** — after a budget of operations the device "dies":
+  every subsequent read/write raises the permanent
+  :class:`~repro.errors.DiskFaultError` (which the buffer pool does *not*
+  retry).
+
+All randomness comes from one seeded RNG, so any observed fault schedule is
+replayable — the property tests rely on this.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import DiskFaultError, TransientIOError
+from repro.storage.disk import DiskManager
+
+
+@dataclass(frozen=True)
+class FaultPolicy:
+    """Knobs for one fault-injection campaign (all probabilities in [0, 1])."""
+
+    seed: int = 0
+    read_error_rate: float = 0.0
+    write_error_rate: float = 0.0
+    torn_write_rate: float = 0.0
+    bit_flip_rate: float = 0.0
+    fail_after_ops: int | None = None
+
+    def __post_init__(self) -> None:
+        for name in (
+            "read_error_rate",
+            "write_error_rate",
+            "torn_write_rate",
+            "bit_flip_rate",
+        ):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be within [0, 1], got {rate}")
+        if self.fail_after_ops is not None and self.fail_after_ops < 0:
+            raise ValueError("fail_after_ops must be >= 0")
+
+
+@dataclass
+class FaultCounters:
+    """How many of each fault kind the injector has actually fired."""
+
+    transient_read_errors: int = 0
+    transient_write_errors: int = 0
+    torn_writes: int = 0
+    bit_flips: int = 0
+    permanent_failures: int = 0
+
+    @property
+    def total(self) -> int:
+        return (
+            self.transient_read_errors
+            + self.transient_write_errors
+            + self.torn_writes
+            + self.bit_flips
+            + self.permanent_failures
+        )
+
+
+class FaultInjectingDiskManager:
+    """A :class:`DiskManager` decorator that injects seeded storage faults.
+
+    Wraps *any* disk manager (the duck-typed page-store interface);
+    everything not intercepted is delegated to the inner manager, so
+    ``sync``/``compact``/``file_bytes`` of a file-backed inner manager stay
+    reachable.
+    """
+
+    def __init__(self, inner: DiskManager, policy: FaultPolicy) -> None:
+        self.inner = inner
+        self.policy = policy
+        self.injected = FaultCounters()
+        self._rng = random.Random(policy.seed)
+        self._ops = 0
+
+    # -- fault machinery -----------------------------------------------------
+
+    def _tick(self, kind: str) -> None:
+        """Count one device operation; kill the device past the budget."""
+        self._ops += 1
+        budget = self.policy.fail_after_ops
+        if budget is not None and self._ops > budget:
+            self.injected.permanent_failures += 1
+            raise DiskFaultError(
+                f"injected device failure: {kind} after {budget} operations"
+            )
+
+    def _maybe_transient(self, rate: float, kind: str, counter: str) -> None:
+        if rate and self._rng.random() < rate:
+            setattr(self.injected, counter, getattr(self.injected, counter) + 1)
+            raise TransientIOError(f"injected transient {kind} error")
+
+    def _corrupt_after_write(self, page_id: int) -> None:
+        """Possibly tear or bit-flip the image that was just persisted."""
+        policy = self.policy
+        if policy.torn_write_rate and self._rng.random() < policy.torn_write_rate:
+            raw = self.inner.raw_page_image(page_id)
+            if len(raw) > 1:
+                keep = self._rng.randrange(1, len(raw))
+                self.inner.store_raw_page_image(page_id, raw[:keep])
+                self.injected.torn_writes += 1
+            return
+        if policy.bit_flip_rate and self._rng.random() < policy.bit_flip_rate:
+            raw = bytearray(self.inner.raw_page_image(page_id))
+            if raw:
+                position = self._rng.randrange(len(raw))
+                raw[position] ^= 1 << self._rng.randrange(8)
+                self.inner.store_raw_page_image(page_id, bytes(raw))
+                self.injected.bit_flips += 1
+
+    # -- intercepted page I/O ------------------------------------------------
+
+    def read_page(self, page_id: int) -> Any:
+        """Read through the inner manager, possibly raising an injected fault."""
+        self._tick("read")
+        self._maybe_transient(
+            self.policy.read_error_rate, "read", "transient_read_errors"
+        )
+        return self.inner.read_page(page_id)
+
+    def write_page(self, page_id: int, payload: Any) -> None:
+        """Write through the inner manager, possibly corrupting the image."""
+        self._tick("write")
+        self._maybe_transient(
+            self.policy.write_error_rate, "write", "transient_write_errors"
+        )
+        self.inner.write_page(page_id, payload)
+        self._corrupt_after_write(page_id)
+
+    def allocate_page(self) -> int:
+        """Allocate a page on the inner manager (counts one device op)."""
+        self._tick("allocate")
+        return self.inner.allocate_page()
+
+    def deallocate_page(self, page_id: int) -> None:
+        """Free a page on the inner manager (counts one device op)."""
+        self._tick("deallocate")
+        self.inner.deallocate_page(page_id)
+
+    # -- transparent delegation ----------------------------------------------
+
+    @property
+    def stats(self) -> Any:
+        """The inner manager's I/O counters."""
+        return self.inner.stats
+
+    @property
+    def num_pages(self) -> int:
+        """Number of allocated pages on the inner manager."""
+        return self.inner.num_pages
+
+    def page_exists(self, page_id: int) -> bool:
+        """True when ``page_id`` is allocated on the inner manager."""
+        return self.inner.page_exists(page_id)
+
+    def reset_stats(self) -> None:
+        """Zero the inner manager's I/O counters."""
+        self.inner.reset_stats()
+
+    def raw_page_image(self, page_id: int) -> bytes:
+        """The inner manager's stored image bytes for ``page_id``."""
+        return self.inner.raw_page_image(page_id)
+
+    def store_raw_page_image(self, page_id: int, raw: bytes) -> None:
+        """Plant raw image bytes on the inner manager (no checksum)."""
+        self.inner.store_raw_page_image(page_id, raw)
+
+    def __getattr__(self, name: str) -> Any:
+        # sync/close/compact/wal/file_bytes/... of file-backed inner managers.
+        return getattr(self.inner, name)
+
+
+def corrupt_page(disk: Any, page_id: int, seed: int = 0) -> None:
+    """Flip one random bit of a stored page image (test/demo helper)."""
+    rng = random.Random(seed)
+    raw = bytearray(disk.raw_page_image(page_id))
+    if not raw:
+        return
+    position = rng.randrange(len(raw))
+    raw[position] ^= 1 << rng.randrange(8)
+    disk.store_raw_page_image(page_id, bytes(raw))

@@ -1,0 +1,58 @@
+"""Process-wide log of storage-resilience incidents.
+
+When the executor hits index corruption mid-scan it degrades to a
+sequential scan rather than failing the query; each such event is recorded
+here so operators (and tests) can see that degradation happened. Follows
+the :data:`repro.costmodel.CPU_OPS` pattern: one process-global object, no
+plumbing through every layer, single-threaded benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Incident:
+    """One recorded resilience event."""
+
+    kind: str  # e.g. "index-scan-degraded"
+    subject: str  # index or table name
+    error_type: str  # exception class name
+    detail: str = ""
+
+
+@dataclass
+class IncidentLog:
+    """An append-only, resettable list of :class:`Incident` records."""
+
+    incidents: list[Incident] = field(default_factory=list)
+
+    def record(
+        self, kind: str, subject: str, error: BaseException
+    ) -> Incident:
+        """Append one incident derived from a caught exception."""
+        incident = Incident(
+            kind=kind,
+            subject=subject,
+            error_type=type(error).__name__,
+            detail=str(error),
+        )
+        self.incidents.append(incident)
+        return incident
+
+    @property
+    def count(self) -> int:
+        return len(self.incidents)
+
+    def of_kind(self, kind: str) -> list[Incident]:
+        """All incidents with the given ``kind``."""
+        return [i for i in self.incidents if i.kind == kind]
+
+    def reset(self) -> None:
+        """Forget all recorded incidents."""
+        self.incidents.clear()
+
+
+#: The process-wide incident log consulted by tests and reports.
+INCIDENTS = IncidentLog()

@@ -9,16 +9,25 @@ are the primary cost metric of every experiment; they are what the relative
 performance ratios in the paper's figures measure.
 """
 
-from repro.storage.page import PAGE_SIZE, Page, approx_size
+from repro.storage.page import (
+    PAGE_SIZE,
+    Page,
+    approx_size,
+    decode_page_image,
+    encode_page_image,
+)
 from repro.storage.disk import DiskManager, DiskStats
 from repro.storage.filedisk import FileDiskManager
 from repro.storage.buffer import BufferPool, BufferStats
 from repro.storage.heap import HeapFile, TupleId
+from repro.storage.wal import WALRecord, WALStats, WriteAheadLog
 
 __all__ = [
     "PAGE_SIZE",
     "Page",
     "approx_size",
+    "decode_page_image",
+    "encode_page_image",
     "DiskManager",
     "DiskStats",
     "FileDiskManager",
@@ -26,4 +35,7 @@ __all__ = [
     "BufferStats",
     "HeapFile",
     "TupleId",
+    "WALRecord",
+    "WALStats",
+    "WriteAheadLog",
 ]

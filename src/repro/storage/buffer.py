@@ -8,16 +8,21 @@ setting, and an ablation (D5 in DESIGN.md) sweeps the pool size.
 
 from __future__ import annotations
 
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Iterator
+from typing import Any, Callable, Iterator
 
-from repro.errors import BufferPoolError
+from repro.errors import BufferPoolError, TransientIOError
 from repro.storage.disk import DiskManager
 from repro.storage.page import Page
 
 #: Default number of 8 KB frames (64 frames = 512 KB cache).
 DEFAULT_POOL_SIZE = 64
+
+#: Default bounded-retry policy for transient disk faults.
+DEFAULT_MAX_RETRIES = 3
+DEFAULT_RETRY_BACKOFF = 0.001  # seconds; doubles per attempt
 
 
 @dataclass
@@ -38,6 +43,8 @@ class BufferStats:
     random_misses: int = 0
     evictions: int = 0
     dirty_writebacks: int = 0
+    read_retries: int = 0
+    write_retries: int = 0
 
     @property
     def accesses(self) -> int:
@@ -46,6 +53,11 @@ class BufferStats:
     @property
     def hit_ratio(self) -> float:
         return self.hits / self.accesses if self.accesses else 0.0
+
+    @property
+    def retries(self) -> int:
+        """Total transient-fault retries (reads + write-backs)."""
+        return self.read_retries + self.write_retries
 
     def snapshot(self) -> "BufferStats":
         """A copy of the current counters."""
@@ -56,6 +68,8 @@ class BufferStats:
             self.random_misses,
             self.evictions,
             self.dirty_writebacks,
+            self.read_retries,
+            self.write_retries,
         )
 
     def delta(self, earlier: "BufferStats") -> "BufferStats":
@@ -67,6 +81,8 @@ class BufferStats:
             random_misses=self.random_misses - earlier.random_misses,
             evictions=self.evictions - earlier.evictions,
             dirty_writebacks=self.dirty_writebacks - earlier.dirty_writebacks,
+            read_retries=self.read_retries - earlier.read_retries,
+            write_retries=self.write_retries - earlier.write_retries,
         )
 
 
@@ -79,11 +95,19 @@ class BufferPool:
     evicted; pins are only used internally by multi-page operations.
     """
 
-    def __init__(self, disk: DiskManager, capacity: int = DEFAULT_POOL_SIZE) -> None:
+    def __init__(
+        self,
+        disk: DiskManager,
+        capacity: int = DEFAULT_POOL_SIZE,
+        max_retries: int = DEFAULT_MAX_RETRIES,
+        retry_backoff: float = DEFAULT_RETRY_BACKOFF,
+    ) -> None:
         if capacity < 1:
             raise ValueError("buffer pool capacity must be >= 1")
         self.disk = disk
         self.capacity = capacity
+        self.max_retries = max_retries
+        self.retry_backoff = retry_backoff
         self.stats = BufferStats()
         self._frames: OrderedDict[int, Page] = OrderedDict()
         self._last_missed_page: int | None = None
@@ -119,10 +143,33 @@ class BufferPool:
         else:
             self.stats.random_misses += 1
         self._last_missed_page = page_id
-        payload = self.disk.read_page(page_id)
+        payload = self._with_retry(
+            lambda: self.disk.read_page(page_id), "read_retries"
+        )
         page = Page(page_id=page_id, payload=payload)
         self._admit(page)
         return page
+
+    def _with_retry(self, operation: Callable[[], Any], counter: str) -> Any:
+        """Run a disk operation, retrying transient faults with backoff.
+
+        Retries only :class:`~repro.errors.TransientIOError` (up to
+        ``max_retries`` times, exponential backoff); permanent faults,
+        checksum failures, and missing pages propagate immediately. The
+        final failure re-raises the transient error for the caller to
+        surface as a typed storage failure.
+        """
+        attempt = 0
+        while True:
+            try:
+                return operation()
+            except TransientIOError:
+                if attempt >= self.max_retries:
+                    raise
+                setattr(self.stats, counter, getattr(self.stats, counter) + 1)
+                if self.retry_backoff:
+                    time.sleep(self.retry_backoff * (2**attempt))
+                attempt += 1
 
     def mark_dirty(self, page_id: int) -> None:
         """Record that the cached payload of ``page_id`` was mutated."""
@@ -157,7 +204,10 @@ class BufferPool:
         """Write back every dirty resident page (checkpoint)."""
         for page in self._frames.values():
             if page.dirty:
-                self.disk.write_page(page.page_id, page.payload)
+                self._with_retry(
+                    lambda p=page: self.disk.write_page(p.page_id, p.payload),
+                    "write_retries",
+                )
                 page.dirty = False
                 self.stats.dirty_writebacks += 1
 
@@ -194,7 +244,10 @@ class BufferPool:
         else:
             raise BufferPoolError("all buffer frames are pinned; cannot evict")
         if victim.dirty:
-            self.disk.write_page(victim_id, victim.payload)
+            self._with_retry(
+                lambda: self.disk.write_page(victim_id, victim.payload),
+                "write_retries",
+            )
             self.stats.dirty_writebacks += 1
         del self._frames[victim_id]
         self.stats.evictions += 1

@@ -4,6 +4,11 @@ Pages are serialized with :mod:`pickle` on write and deserialized on read, so
 a "disk read" does real (de)serialization work — the simulated disk is not
 just a dict of live objects. Reads and writes are counted; those counters are
 the ground truth for every I/O figure in the benchmarks.
+
+Every stored page image carries a CRC32-checksummed header (see
+:func:`repro.storage.page.encode_page_image`); reads verify it before
+deserializing, so bit flips and torn writes raise
+:class:`~repro.errors.PageChecksumError` instead of yielding wrong payloads.
 """
 
 from __future__ import annotations
@@ -13,6 +18,14 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.errors import PageNotFoundError
+from repro.storage.page import decode_page_image, encode_page_image
+
+#: The checksummed image of a freshly allocated (empty) page, computed once —
+#: allocation is hot in bulk builds, so re-pickling ``None`` per page would
+#: be pure waste.
+EMPTY_PAGE_IMAGE = encode_page_image(
+    pickle.dumps(None, protocol=pickle.HIGHEST_PROTOCOL)
+)
 
 
 @dataclass
@@ -70,7 +83,7 @@ class DiskManager:
         else:
             page_id = self._next_page_id
             self._next_page_id += 1
-        self._pages[page_id] = pickle.dumps(None, protocol=pickle.HIGHEST_PROTOCOL)
+        self._pages[page_id] = EMPTY_PAGE_IMAGE
         self.stats.allocations += 1
         return page_id
 
@@ -83,23 +96,49 @@ class DiskManager:
         self.stats.deallocations += 1
 
     def read_page(self, page_id: int) -> Any:
-        """Read and deserialize one page's payload. Counts one physical read."""
+        """Read, verify, and deserialize one page. Counts one physical read.
+
+        Raises :class:`~repro.errors.PageChecksumError` when the stored
+        image fails verification.
+        """
         try:
             raw = self._pages[page_id]
         except KeyError:
             raise PageNotFoundError(page_id) from None
         self.stats.reads += 1
         self.stats.bytes_read += len(raw)
-        return pickle.loads(raw)
+        return pickle.loads(decode_page_image(raw, page_id))
 
     def write_page(self, page_id: int, payload: Any) -> None:
-        """Serialize and persist one page's payload. Counts one physical write."""
+        """Serialize, checksum, and persist one page. Counts one physical write."""
         if page_id not in self._pages:
             raise PageNotFoundError(page_id)
-        raw = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        raw = encode_page_image(
+            pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        )
         self._pages[page_id] = raw
         self.stats.writes += 1
         self.stats.bytes_written += len(raw)
+
+    # -- raw image access (fault injection / verification tooling) -------------
+
+    def raw_page_image(self, page_id: int) -> bytes:
+        """The stored (framed) image of ``page_id``, without accounting."""
+        try:
+            return self._pages[page_id]
+        except KeyError:
+            raise PageNotFoundError(page_id) from None
+
+    def store_raw_page_image(self, page_id: int, raw: bytes) -> None:
+        """Overwrite the stored image bytes verbatim (no checksum stamping).
+
+        Testing/fault-injection hook: lets
+        :class:`~repro.resilience.faults.FaultInjectingDiskManager` plant
+        torn writes and bit flips beneath the checksum boundary.
+        """
+        if page_id not in self._pages:
+            raise PageNotFoundError(page_id)
+        self._pages[page_id] = raw
 
     @property
     def num_pages(self) -> int:

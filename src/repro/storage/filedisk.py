@@ -1,14 +1,23 @@
-"""File-backed disk manager: pages persisted to a real file.
+"""File-backed disk manager: pages persisted to a real file, crash-safely.
 
 :class:`DiskManager` keeps pages in memory (fast, perfect for the
 experiments); :class:`FileDiskManager` stores them in an append-only data
-file with a sidecar page table, so an index survives process restarts.
-Same interface, same I/O accounting — structures don't know the difference.
+file with a sidecar page table and a write-ahead log, so an index survives
+process restarts *and* crashes at arbitrary points. Same interface, same
+I/O accounting — structures don't know the difference.
 
-Layout: ``<path>`` holds page images appended in write order;
-``<path>.map`` holds a JSON page table ``{page_id: [offset, length]}`` plus
-the allocator state, rewritten on :meth:`sync`. Overwritten page versions
-leave garbage in the data file until :meth:`compact`.
+Layout:
+
+- ``<path>`` — checksummed page images appended in write order; overwritten
+  versions leave garbage until :meth:`compact`.
+- ``<path>.map`` — JSON page table ``{page_id: [offset, length]}`` plus
+  allocator state, the WAL checkpoint LSN, and the compaction phase flag;
+  rewritten atomically (tmp + ``os.replace``) on :meth:`sync`.
+- ``<path>.wal`` — redo log (see :mod:`repro.storage.wal`). Mutations are
+  logged before they touch the data file; :meth:`sync` is the commit point.
+  On reopen, committed records newer than the page-table snapshot are
+  replayed, so a crash between ``write_page`` and ``sync`` loses only
+  uncommitted work — never committed pages.
 """
 
 from __future__ import annotations
@@ -16,28 +25,45 @@ from __future__ import annotations
 import json
 import os
 import pickle
+import random
 from typing import Any
 
 from repro.errors import PageNotFoundError, StorageError
-from repro.storage.disk import DiskManager
+from repro.storage.disk import EMPTY_PAGE_IMAGE, DiskManager
+from repro.storage.page import decode_page_image, encode_page_image
+from repro.storage.wal import (
+    REC_ALLOC,
+    REC_DEALLOC,
+    REC_PAGE_IMAGE,
+    WriteAheadLog,
+)
 
 
 class FileDiskManager(DiskManager):
     """A :class:`DiskManager` whose pages live in a file on disk.
 
-    Use :meth:`sync` (or the context manager form) to persist the page
-    table; reopening the same path restores all pages.
+    Use :meth:`sync` (or the context manager form) to commit; reopening the
+    same path restores every committed page, replaying the write-ahead log
+    if the previous process died before checkpointing.
     """
 
-    def __init__(self, path: str) -> None:
+    def __init__(self, path: str, use_wal: bool = True) -> None:
         super().__init__()
         self.path = path
         self._map_path = path + ".map"
+        self._compact_path = path + ".compact"
         self._offsets: dict[int, tuple[int, int]] = {}
+        self._map_lsn = 0
+        self._pending_compact = False
         mode = "r+b" if os.path.exists(path) else "w+b"
         self._file = open(path, mode)
+        self._synced_data_size = self._file.seek(0, os.SEEK_END)
         if os.path.exists(self._map_path):
             self._load_map()
+        self.wal: WriteAheadLog | None = (
+            WriteAheadLog(path + ".wal") if use_wal else None
+        )
+        self._recover()
 
     # -- persistence ------------------------------------------------------------
 
@@ -49,27 +75,53 @@ class FileDiskManager(DiskManager):
         }
         self._next_page_id = raw["next_page_id"]
         self._free_list = list(raw["free_list"])
+        self._map_lsn = raw.get("wal_lsn", 0)
+        self._pending_compact = raw.get("pending_compact", False)
         # Reconstruct the allocation view the base class keeps.
         self._pages = {page_id: b"" for page_id in self._offsets}
+        for page_id in self._free_list:
+            self._pages.pop(page_id, None)
+        # Allocated-but-never-written pages have no offset entry; they are
+        # identified by id range minus free list minus mapped pages.
+        for page_id in range(self._next_page_id):
+            if page_id not in self._pages and page_id not in self._free_list:
+                self._pages[page_id] = b""
 
-    def sync(self) -> None:
-        """Flush the data file and persist the page table."""
-        self._file.flush()
-        os.fsync(self._file.fileno())
+    def _write_map(self, pending_compact: bool = False) -> None:
         payload = {
             "pages": {str(pid): list(entry) for pid, entry in self._offsets.items()},
             "next_page_id": self._next_page_id,
             "free_list": self._free_list,
+            "wal_lsn": self._map_lsn,
+            "pending_compact": pending_compact,
         }
         tmp_path = self._map_path + ".tmp"
         with open(tmp_path, "w", encoding="utf-8") as f:
             json.dump(payload, f)
+            f.flush()
+            os.fsync(f.fileno())
         os.replace(tmp_path, self._map_path)
+        self._pending_compact = pending_compact
+
+    def sync(self) -> None:
+        """Commit: flush data, write a WAL commit marker, checkpoint the map."""
+        self._file.flush()
+        os.fsync(self._file.fileno())
+        self._synced_data_size = self._file.seek(0, os.SEEK_END)
+        if self.wal is not None:
+            self._map_lsn = self.wal.commit()
+        self._write_map()
+        if self.wal is not None:
+            # The page table now covers every logged record; the log can
+            # restart empty (LSNs keep increasing across the reset).
+            self.wal.reset()
 
     def close(self) -> None:
         """Sync the page table and close the data file."""
         self.sync()
         self._file.close()
+        if self.wal is not None:
+            self.wal.close()
 
     def __enter__(self) -> "FileDiskManager":
         return self
@@ -77,15 +129,84 @@ class FileDiskManager(DiskManager):
     def __exit__(self, *exc_info: Any) -> None:
         self.close()
 
+    # -- recovery ----------------------------------------------------------------
+
+    def _recover(self) -> None:
+        """Bring the store to a consistent committed state after any crash."""
+        recovered = False
+        if self._pending_compact:
+            # A compaction was interrupted after the new page table was
+            # written. The table's offsets describe the compacted file: if
+            # the rename never happened, finish it; if it did, there is
+            # nothing to redo.
+            if os.path.exists(self._compact_path):
+                os.replace(self._compact_path, self.path)
+            self._reopen_data_file()
+            recovered = True
+        elif os.path.exists(self._compact_path):
+            # Compaction died before the new page table was committed: the
+            # old table + old data file are authoritative; drop the orphan.
+            os.remove(self._compact_path)
+        if self.wal is not None:
+            records, last_commit = self.wal.scan()
+            self.wal.ensure_lsn_at_least(self._map_lsn)
+            replayed = 0
+            for record in records:
+                if record.lsn <= self._map_lsn:
+                    continue  # already captured by the page-table snapshot
+                self._redo(record)
+                replayed += 1
+            self.wal.stats.records_replayed += replayed
+            recovered = recovered or replayed > 0
+        if recovered:
+            self.sync()
+
+    def _redo(self, record: Any) -> None:
+        """Apply one committed WAL record to the data file / allocator."""
+        page_id = record.page_id
+        if record.rec_type == REC_ALLOC:
+            self._pages[page_id] = b""
+            self._next_page_id = max(self._next_page_id, page_id + 1)
+            if page_id in self._free_list:
+                self._free_list.remove(page_id)
+        elif record.rec_type == REC_DEALLOC:
+            self._pages.pop(page_id, None)
+            self._offsets.pop(page_id, None)
+            if page_id not in self._free_list:
+                self._free_list.append(page_id)
+        elif record.rec_type == REC_PAGE_IMAGE:
+            # Redo by re-appending the logged image; idempotent because the
+            # offset table always points at the latest append.
+            self._file.seek(0, os.SEEK_END)
+            offset = self._file.tell()
+            self._file.write(record.image)
+            self._offsets[page_id] = (offset, len(record.image))
+            self._pages.setdefault(page_id, b"")
+
+    def _reopen_data_file(self) -> None:
+        self._file.close()
+        self._file = open(self.path, "r+b")
+        self._synced_data_size = self._file.seek(0, os.SEEK_END)
+
     # -- page I/O ------------------------------------------------------------------
+
+    def allocate_page(self) -> int:
+        page_id = super().allocate_page()
+        if self.wal is not None:
+            self.wal.log_alloc(page_id)
+        return page_id
 
     def read_page(self, page_id: int) -> Any:
         if page_id not in self._pages:
             raise PageNotFoundError(page_id)
-        self.stats.reads += 1
         entry = self._offsets.get(page_id)
+        self.stats.reads += 1
         if entry is None:
-            return None  # allocated but never written
+            # Allocated but never written: the logical payload is the empty
+            # sentinel. Charge the same bytes the in-memory manager charges
+            # for reading a fresh page, so both managers account alike.
+            self.stats.bytes_read += len(EMPTY_PAGE_IMAGE)
+            return None
         offset, length = entry
         self._file.seek(offset)
         raw = self._file.read(length)
@@ -94,12 +215,16 @@ class FileDiskManager(DiskManager):
                 f"short read for page {page_id}: {len(raw)}/{length} bytes"
             )
         self.stats.bytes_read += length
-        return pickle.loads(raw)
+        return pickle.loads(decode_page_image(raw, page_id))
 
     def write_page(self, page_id: int, payload: Any) -> None:
         if page_id not in self._pages:
             raise PageNotFoundError(page_id)
-        raw = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        raw = encode_page_image(
+            pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        )
+        if self.wal is not None:
+            self.wal.log_page_image(page_id, raw)
         self._file.seek(0, os.SEEK_END)
         offset = self._file.tell()
         self._file.write(raw)
@@ -110,29 +235,100 @@ class FileDiskManager(DiskManager):
     def deallocate_page(self, page_id: int) -> None:
         super().deallocate_page(page_id)
         self._offsets.pop(page_id, None)
+        if self.wal is not None:
+            self.wal.log_dealloc(page_id)
+
+    # -- raw image access (fault injection / verification tooling) ---------------
+
+    def raw_page_image(self, page_id: int) -> bytes:
+        if page_id not in self._pages:
+            raise PageNotFoundError(page_id)
+        entry = self._offsets.get(page_id)
+        if entry is None:
+            return EMPTY_PAGE_IMAGE
+        offset, length = entry
+        self._file.seek(offset)
+        return self._file.read(length)
+
+    def store_raw_page_image(self, page_id: int, raw: bytes) -> None:
+        """Overwrite stored image bytes in place (no checksum, no WAL).
+
+        Fault-injection hook. A shorter ``raw`` models a torn write: only
+        a prefix of the image landed and the rest of the recorded region
+        holds zeroes (what an interrupted append leaves at end-of-file),
+        so a later read fails checksum verification.
+        """
+        if page_id not in self._pages:
+            raise PageNotFoundError(page_id)
+        entry = self._offsets.get(page_id)
+        if entry is None:
+            return
+        offset, length = entry
+        self._file.seek(offset)
+        self._file.write(raw[:length])
+        if len(raw) < length:
+            self._file.write(b"\x00" * (length - len(raw)))
+
+    # -- crash simulation ---------------------------------------------------------
+
+    def simulate_crash(self, seed: int | None = None) -> None:
+        """Die without committing, tearing the unsynced file tails.
+
+        Models ``kill -9`` plus lost in-flight writes: the data file and the
+        WAL are each truncated at a random point within their *unsynced*
+        tail (fsync'd bytes survive a crash; buffered ones may not), the
+        page table is left untouched (it is only ever replaced atomically),
+        and the handles are closed without any flush. Reopening the path
+        afterwards exercises recovery.
+        """
+        rng = random.Random(seed)
+        data_size = self._file.seek(0, os.SEEK_END)
+        keep_data = rng.randint(
+            min(self._synced_data_size, data_size), data_size
+        )
+        self._file.truncate(keep_data)
+        self._file.close()
+        if self.wal is not None:
+            self.wal.tear_tail(rng)
 
     # -- maintenance -----------------------------------------------------------------
 
     def compact(self) -> int:
         """Rewrite the data file dropping dead page versions.
 
-        Returns the number of bytes reclaimed.
+        Returns the number of bytes reclaimed. The rewrite is crash-safe at
+        every step:
+
+        1. checkpoint (so the WAL is empty and the map is current);
+        2. write the compacted images to ``<path>.compact`` and fsync;
+        3. atomically write the *new* page table, flagged
+           ``pending_compact`` — its offsets describe the compacted file;
+        4. ``os.replace`` the compacted file over the data file;
+        5. checkpoint again, clearing the flag.
+
+        A crash before 3 leaves the old table + old data file (the orphan
+        tmp file is deleted on reopen); a crash between 3 and 4 is finished
+        by recovery (the rename is redone); a crash after 4 only needs the
+        flag cleared. The old ordering — replace first, then write the
+        table — left a window where the committed table pointed into the
+        *new* file with *old* offsets: silent corruption.
         """
+        self.sync()
         old_size = self._file.seek(0, os.SEEK_END)
-        tmp_path = self.path + ".compact"
         new_offsets: dict[int, tuple[int, int]] = {}
-        with open(tmp_path, "w+b") as out:
+        with open(self._compact_path, "w+b") as out:
             for page_id, (offset, length) in sorted(self._offsets.items()):
                 self._file.seek(offset)
                 raw = self._file.read(length)
                 new_offsets[page_id] = (out.tell(), length)
                 out.write(raw)
             out.flush()
+            os.fsync(out.fileno())
             new_size = out.tell()
-        self._file.close()
-        os.replace(tmp_path, self.path)
-        self._file = open(self.path, "r+b")
         self._offsets = new_offsets
+        self._write_map(pending_compact=True)
+        os.replace(self._compact_path, self.path)
+        self._reopen_data_file()
         self.sync()
         return old_size - new_size
 

@@ -9,8 +9,12 @@ out in PostgreSQL pages.
 
 from __future__ import annotations
 
+import struct
+import zlib
 from dataclasses import dataclass, field
 from typing import Any
+
+from repro.errors import PageChecksumError
 
 #: Default page size in bytes, matching PostgreSQL's BLCKSZ.
 PAGE_SIZE = 8192
@@ -23,6 +27,55 @@ PAGE_CAPACITY = PAGE_SIZE - PAGE_HEADER_BYTES
 
 #: Per-item overhead (line pointer + tuple header analogue).
 ITEM_OVERHEAD = 16
+
+#: Magic word opening every on-disk page image ("SP").
+PAGE_MAGIC = 0x5350
+
+#: Page image header: magic, format version, body length, CRC32 of the body.
+#: The analogue of PostgreSQL's ``pd_checksum`` (data_checksums): stamped at
+#: the serialization boundary on write, verified on every physical read.
+PAGE_IMAGE_HEADER = struct.Struct("<HHII")
+
+PAGE_IMAGE_VERSION = 1
+
+
+def encode_page_image(body: bytes) -> bytes:
+    """Frame a serialized page body with the checksummed image header."""
+    return (
+        PAGE_IMAGE_HEADER.pack(
+            PAGE_MAGIC, PAGE_IMAGE_VERSION, len(body), zlib.crc32(body)
+        )
+        + body
+    )
+
+
+def decode_page_image(raw: bytes, page_id: int) -> bytes:
+    """Verify a page image and return its body.
+
+    Raises :class:`PageChecksumError` on any malformation — truncated
+    header, bad magic, short body, or CRC mismatch — so corruption is
+    detected before deserialization can produce a wrong payload.
+    """
+    if len(raw) < PAGE_IMAGE_HEADER.size:
+        raise PageChecksumError(
+            page_id, f"image truncated to {len(raw)} bytes"
+        )
+    magic, version, length, crc = PAGE_IMAGE_HEADER.unpack_from(raw)
+    if magic != PAGE_MAGIC or version != PAGE_IMAGE_VERSION:
+        raise PageChecksumError(
+            page_id, f"bad page header (magic={magic:#x}, version={version})"
+        )
+    body = raw[PAGE_IMAGE_HEADER.size:]
+    if len(body) != length:
+        raise PageChecksumError(
+            page_id, f"body length {len(body)} != recorded {length}"
+        )
+    actual = zlib.crc32(body)
+    if actual != crc:
+        raise PageChecksumError(
+            page_id, f"CRC mismatch (stored {crc:#010x}, actual {actual:#010x})"
+        )
+    return body
 
 
 @dataclass

@@ -1,0 +1,227 @@
+"""Write-ahead log for the file-backed disk manager.
+
+Crash-safety protocol (textbook redo logging, the shape PostgreSQL uses):
+
+- Every mutation of the page store appends one WAL record *before* the data
+  file is touched: full page images for writes, allocation/deallocation
+  markers for the allocator.
+- ``commit()`` appends a commit marker and fsyncs — everything up to that
+  marker is durable. Records after the last commit marker are uncommitted
+  and are discarded by recovery.
+- Each record carries a monotonically increasing LSN plus a CRC32 over its
+  body. Recovery replays committed records whose LSN is newer than the
+  page-table snapshot and stops at the first torn/invalid record, so a
+  crash (or injected truncation) at *any* byte boundary leaves a
+  recoverable log.
+
+Record wire format::
+
+    header := <type:u8> <body_len:u32> <lsn:u64> <crc32(body):u32>   (17 bytes)
+    PAGE_IMAGE body := <page_id:i64> <encoded page image bytes>
+    ALLOC/DEALLOC body := <page_id:i64>
+    COMMIT body := (empty)
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import struct
+import zlib
+from dataclasses import dataclass
+
+from repro.errors import WALError
+
+_HEADER = struct.Struct("<BIQI")
+_PAGE_ID = struct.Struct("<q")
+
+#: Record types.
+REC_PAGE_IMAGE = 1
+REC_ALLOC = 2
+REC_DEALLOC = 3
+REC_COMMIT = 4
+
+_KNOWN_TYPES = frozenset(
+    (REC_PAGE_IMAGE, REC_ALLOC, REC_DEALLOC, REC_COMMIT)
+)
+
+
+@dataclass(frozen=True)
+class WALRecord:
+    """One decoded log record."""
+
+    lsn: int
+    rec_type: int
+    page_id: int | None
+    image: bytes | None
+
+
+@dataclass
+class WALStats:
+    """Cumulative write-ahead-log activity counters."""
+
+    records_appended: int = 0
+    bytes_appended: int = 0
+    commits: int = 0
+    records_replayed: int = 0
+    torn_tail_discarded: int = 0
+
+
+class WriteAheadLog:
+    """An append-only redo log backing one :class:`FileDiskManager`.
+
+    The log is a sidecar file (``<data path>.wal``). It is truncated at
+    every checkpoint (the page-table write in ``sync()``), so it only ever
+    holds the records since the last durable snapshot.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.stats = WALStats()
+        mode = "r+b" if os.path.exists(path) else "w+b"
+        self._file = open(path, mode)
+        self._next_lsn = 1
+        self._synced_size = self._file.seek(0, os.SEEK_END)
+
+    # -- appending ----------------------------------------------------------
+
+    def _append(self, rec_type: int, body: bytes) -> int:
+        lsn = self._next_lsn
+        self._next_lsn += 1
+        record = _HEADER.pack(rec_type, len(body), lsn, zlib.crc32(body)) + body
+        self._file.seek(0, os.SEEK_END)
+        self._file.write(record)
+        self.stats.records_appended += 1
+        self.stats.bytes_appended += len(record)
+        return lsn
+
+    def log_page_image(self, page_id: int, image: bytes) -> int:
+        """Append a full-page-image record (before the data-file write)."""
+        return self._append(REC_PAGE_IMAGE, _PAGE_ID.pack(page_id) + image)
+
+    def log_alloc(self, page_id: int) -> int:
+        """Append a page-allocation record."""
+        return self._append(REC_ALLOC, _PAGE_ID.pack(page_id))
+
+    def log_dealloc(self, page_id: int) -> int:
+        """Append a page-deallocation record."""
+        return self._append(REC_DEALLOC, _PAGE_ID.pack(page_id))
+
+    def commit(self) -> int:
+        """Append a commit marker and force the log to stable storage.
+
+        Returns the marker's LSN: every record at or below it is durable.
+        """
+        lsn = self._append(REC_COMMIT, b"")
+        self._file.flush()
+        os.fsync(self._file.fileno())
+        self._synced_size = self._file.tell()
+        self.stats.commits += 1
+        return lsn
+
+    # -- recovery ------------------------------------------------------------
+
+    def scan(self) -> tuple[list[WALRecord], int]:
+        """Decode the log from the start; tolerate a torn tail.
+
+        Returns ``(committed_records, last_commit_lsn)`` where
+        ``committed_records`` contains only non-commit records covered by a
+        commit marker. Decoding stops (without error) at the first
+        truncated or corrupt record — that is the crash point; everything
+        after it never committed. A corrupt record *before* a commit marker
+        simply means the marker is unreachable, so the tail is discarded
+        exactly as redo logging requires.
+        """
+        self._file.seek(0)
+        raw = self._file.read()
+        records: list[WALRecord] = []
+        pending: list[WALRecord] = []
+        last_commit_lsn = 0
+        offset = 0
+        last_lsn = 0
+        while offset + _HEADER.size <= len(raw):
+            rec_type, body_len, lsn, crc = _HEADER.unpack_from(raw, offset)
+            body_start = offset + _HEADER.size
+            body_end = body_start + body_len
+            if (
+                rec_type not in _KNOWN_TYPES
+                or lsn <= last_lsn
+                or body_end > len(raw)
+            ):
+                break  # torn or garbage tail
+            body = raw[body_start:body_end]
+            if zlib.crc32(body) != crc:
+                break
+            last_lsn = lsn
+            offset = body_end
+            if rec_type == REC_COMMIT:
+                records.extend(pending)
+                pending.clear()
+                last_commit_lsn = lsn
+                continue
+            if rec_type == REC_PAGE_IMAGE:
+                if body_len < _PAGE_ID.size:
+                    raise WALError(
+                        f"page-image record at lsn {lsn} has no page id"
+                    )
+                (page_id,) = _PAGE_ID.unpack_from(body)
+                pending.append(
+                    WALRecord(lsn, rec_type, page_id, body[_PAGE_ID.size:])
+                )
+            else:
+                (page_id,) = _PAGE_ID.unpack_from(body)
+                pending.append(WALRecord(lsn, rec_type, page_id, None))
+        if pending or offset < len(raw):
+            self.stats.torn_tail_discarded += 1
+        self._next_lsn = max(self._next_lsn, last_lsn + 1)
+        return records, last_commit_lsn
+
+    def ensure_lsn_at_least(self, lsn: int) -> None:
+        """Never issue LSNs at or below ``lsn`` (the page table's snapshot).
+
+        Called after recovery so records appended into a truncated log sort
+        strictly after everything an existing page-table snapshot covers.
+        """
+        self._next_lsn = max(self._next_lsn, lsn + 1)
+
+    # -- checkpointing -------------------------------------------------------
+
+    def reset(self) -> None:
+        """Discard all records (checkpoint reached: the page table has them).
+
+        LSNs keep increasing across resets so a stale page-table snapshot
+        can never mistake old records for new ones.
+        """
+        self._file.seek(0)
+        self._file.truncate()
+        self._file.flush()
+        os.fsync(self._file.fileno())
+        self._synced_size = 0
+
+    # -- lifecycle ----------------------------------------------------------
+
+    @property
+    def size_bytes(self) -> int:
+        """Current byte length of the log file."""
+        return self._file.seek(0, os.SEEK_END)
+
+    @property
+    def synced_size(self) -> int:
+        """Byte length covered by the last fsync (commit)."""
+        return self._synced_size
+
+    def tear_tail(self, rng: random.Random) -> None:
+        """Crash simulation: truncate the unsynced tail at a random byte.
+
+        Fsync'd bytes always survive; anything after the last commit may be
+        partially lost — including mid-record, which recovery must treat as
+        a clean end of log.
+        """
+        size = self._file.seek(0, os.SEEK_END)
+        keep = rng.randint(min(self._synced_size, size), size)
+        self._file.truncate(keep)
+        self._file.close()
+
+    def close(self) -> None:
+        """Close the log file handle (no implicit commit)."""
+        self._file.close()

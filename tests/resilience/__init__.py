@@ -1,0 +1,1 @@
+"""Tests for the storage-resilience subsystem (repro.resilience)."""

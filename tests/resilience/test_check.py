@@ -1,0 +1,100 @@
+"""The amcheck-style SP-GiST verifier (spgist_check)."""
+
+import pytest
+
+from repro.core.node import LeafNode
+from repro.errors import IndexCorruptionError
+from repro.geometry import Box
+from repro.indexes import (
+    KDTreeIndex,
+    PMRQuadtreeIndex,
+    PointQuadtreeIndex,
+    SuffixTreeIndex,
+    TrieIndex,
+)
+from repro.resilience import corrupt_page, spgist_check
+from repro.storage import BufferPool, DiskManager
+from repro.workloads import random_points, random_segments, random_words
+
+
+def fresh_pool() -> BufferPool:
+    return BufferPool(DiskManager(), capacity=128)
+
+
+def build(kind: str):
+    pool = fresh_pool()
+    if kind == "trie":
+        index = TrieIndex(pool, bucket_size=2)
+        items = random_words(300, seed=51)
+    elif kind == "suffix":
+        index = SuffixTreeIndex(pool, bucket_size=2)
+        items = random_words(80, seed=52)
+    elif kind == "kdtree":
+        index = KDTreeIndex(pool)
+        items = random_points(300, seed=53)
+    elif kind == "pquad":
+        index = PointQuadtreeIndex(pool, bucket_size=2)
+        items = random_points(300, seed=54)
+    else:  # pmr
+        index = PMRQuadtreeIndex(
+            pool, Box(0.0, 0.0, 100.0, 100.0), threshold=8
+        )
+        items = random_segments(150, seed=55)
+    for i, item in enumerate(items):
+        index.insert(item, i)
+    return index
+
+
+ALL_KINDS = ["trie", "suffix", "kdtree", "pquad", "pmr"]
+
+
+class TestHealthyIndexes:
+    @pytest.mark.parametrize("kind", ALL_KINDS)
+    def test_all_five_instantiations_pass(self, kind):
+        report = spgist_check(build(kind))
+        assert report.ok, report.problems
+        assert report.leaf_nodes > 0
+        assert report.logical_items > 0
+
+    def test_empty_index_passes(self):
+        report = spgist_check(TrieIndex(fresh_pool()))
+        assert report.ok
+
+    def test_report_helpers(self):
+        index = build("trie")
+        report = spgist_check(index)
+        report.raise_if_failed()  # no-op when clean
+        assert "OK" in report.describe()
+        assert index.check().ok  # the SPGiSTIndex.check() convenience
+
+    def test_survives_repack(self):
+        index = build("trie")
+        index.repack()
+        assert spgist_check(index).ok
+
+
+class TestCorruptionFindings:
+    def test_checksum_corruption_is_a_finding_not_a_crash(self):
+        index = build("trie")
+        pool = index.buffer
+        pool.clear()  # push every node page to disk, empty the cache
+        corrupt_page(pool.disk, index.store.page_ids[0], seed=3)
+        report = spgist_check(index)
+        assert not report.ok
+        assert any("unreadable" in p for p in report.problems)
+        with pytest.raises(IndexCorruptionError):
+            report.raise_if_failed()
+        assert "PROBLEM" in report.describe()
+
+    def test_item_count_drift_detected(self):
+        index = build("trie")
+        index._item_count += 3  # simulated lost-update bookkeeping bug
+        report = spgist_check(index)
+        assert any("len(index)" in p for p in report.problems)
+
+    def test_orphaned_node_detected(self):
+        index = build("trie")
+        # A live node nothing points at — the amcheck "orphaned page" case.
+        index.store.create(LeafNode(items=[("zzz", 999)]))
+        report = spgist_check(index)
+        assert any("orphaned" in p for p in report.problems)

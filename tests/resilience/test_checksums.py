@@ -1,0 +1,92 @@
+"""Page-image checksum framing and end-to-end corruption detection."""
+
+import pickle
+
+import pytest
+
+from repro.errors import PageChecksumError
+from repro.storage import (
+    DiskManager,
+    FileDiskManager,
+    decode_page_image,
+    encode_page_image,
+)
+from repro.storage.page import PAGE_IMAGE_HEADER
+
+
+def body_of(payload) -> bytes:
+    return pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+class TestImageFraming:
+    def test_roundtrip(self):
+        body = body_of(("k", [1, 2, 3]))
+        assert decode_page_image(encode_page_image(body), 0) == body
+
+    def test_truncated_header_rejected(self):
+        with pytest.raises(PageChecksumError):
+            decode_page_image(b"\x00\x01", 7)
+
+    def test_bad_magic_rejected(self):
+        raw = bytearray(encode_page_image(body_of("x")))
+        raw[0] ^= 0xFF
+        with pytest.raises(PageChecksumError):
+            decode_page_image(bytes(raw), 7)
+
+    def test_flipped_body_bit_rejected(self):
+        raw = bytearray(encode_page_image(body_of("x")))
+        raw[PAGE_IMAGE_HEADER.size] ^= 0x01
+        with pytest.raises(PageChecksumError):
+            decode_page_image(bytes(raw), 7)
+
+    def test_truncated_body_rejected(self):
+        raw = encode_page_image(body_of(list(range(50))))
+        with pytest.raises(PageChecksumError):
+            decode_page_image(raw[:-3], 7)
+
+    def test_error_names_the_page(self):
+        with pytest.raises(PageChecksumError) as excinfo:
+            decode_page_image(b"", 42)
+        assert excinfo.value.page_id == 42
+        assert "42" in str(excinfo.value)
+
+
+class TestEndToEndDetection:
+    def test_in_memory_bit_flip_raises_on_read(self):
+        disk = DiskManager()
+        pid = disk.allocate_page()
+        disk.write_page(pid, {"key": "value"})
+        raw = bytearray(disk.raw_page_image(pid))
+        raw[len(raw) // 2] ^= 0x10
+        disk.store_raw_page_image(pid, bytes(raw))
+        with pytest.raises(PageChecksumError):
+            disk.read_page(pid)
+
+    def test_file_backed_torn_write_raises_after_reopen(self, tmp_path):
+        path = str(tmp_path / "pages.dat")
+        disk = FileDiskManager(path)
+        pid = disk.allocate_page()
+        disk.write_page(pid, list(range(200)))
+        raw = disk.raw_page_image(pid)
+        # A torn write persists only a prefix; the stale tail bytes behind
+        # it keep the recorded length, so only the checksum can tell.
+        disk.store_raw_page_image(pid, raw[: len(raw) // 2])
+        disk.close()
+        reopened = FileDiskManager(path)
+        with pytest.raises(PageChecksumError):
+            reopened.read_page(pid)
+        reopened.close()
+
+    def test_intact_pages_still_read_fine(self, tmp_path):
+        disk = FileDiskManager(str(tmp_path / "pages.dat"))
+        good = disk.allocate_page()
+        bad = disk.allocate_page()
+        disk.write_page(good, "good")
+        disk.write_page(bad, "bad")
+        raw = bytearray(disk.raw_page_image(bad))
+        raw[-1] ^= 0x01
+        disk.store_raw_page_image(bad, bytes(raw))
+        assert disk.read_page(good) == "good"  # corruption is contained
+        with pytest.raises(PageChecksumError):
+            disk.read_page(bad)
+        disk.close()

@@ -1,0 +1,147 @@
+"""Crash-window coverage for the two-phase compaction protocol."""
+
+import os
+
+import pytest
+
+from repro.storage import FileDiskManager
+from repro.storage.filedisk import FileDiskManager as _FDM
+
+
+@pytest.fixture
+def disk_path(tmp_path):
+    return str(tmp_path / "pages.dat")
+
+
+def populate(disk, versions: int = 5) -> dict[int, str]:
+    expected = {}
+    for pid in [disk.allocate_page() for _ in range(8)]:
+        for v in range(versions):  # dead versions make compaction worthwhile
+            expected[pid] = f"p{pid}-v{v}"
+            disk.write_page(pid, expected[pid])
+    disk.sync()
+    return expected
+
+
+def hard_kill(disk) -> None:
+    """Close the raw handles without flushing anything (simulated death)."""
+    try:
+        disk._file.close()
+    except OSError:  # pragma: no cover - already closed
+        pass
+    if disk.wal is not None:
+        try:
+            disk.wal.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+
+
+class TestOrdering:
+    def test_new_map_committed_before_data_file_replace(
+        self, disk_path, monkeypatch
+    ):
+        disk = FileDiskManager(disk_path)
+        populate(disk)
+        events = []
+        real_write_map = _FDM._write_map
+        real_replace = os.replace
+
+        def spy_write_map(self, pending_compact=False):
+            events.append(("map", pending_compact))
+            real_write_map(self, pending_compact=pending_compact)
+
+        def spy_replace(src, dst):
+            events.append(("replace", os.path.basename(dst)))
+            real_replace(src, dst)
+
+        monkeypatch.setattr(_FDM, "_write_map", spy_write_map)
+        monkeypatch.setattr(os, "replace", spy_replace)
+        disk.compact()
+        # The pending-flagged page table must be durable before the data
+        # file is swapped; the old ordering corrupted the store when a
+        # crash landed between the two steps.
+        flagged_map = events.index(("map", True))
+        data_swap = events.index(("replace", os.path.basename(disk_path)))
+        assert flagged_map < data_swap
+        monkeypatch.undo()
+        disk.close()
+
+    def test_compact_reclaims_and_preserves(self, disk_path):
+        disk = FileDiskManager(disk_path)
+        expected = populate(disk)
+        reclaimed = disk.compact()
+        assert reclaimed > 0
+        for pid, value in expected.items():
+            assert disk.read_page(pid) == value
+        disk.close()
+
+
+class TestCrashWindows:
+    def test_crash_before_new_map_keeps_old_state(self, disk_path, monkeypatch):
+        disk = FileDiskManager(disk_path)
+        expected = populate(disk)
+        real_write_map = _FDM._write_map
+
+        def dying_write_map(self, pending_compact=False):
+            if pending_compact:
+                raise RuntimeError("injected crash before the new page table")
+            real_write_map(self, pending_compact=pending_compact)
+
+        monkeypatch.setattr(_FDM, "_write_map", dying_write_map)
+        with pytest.raises(RuntimeError):
+            disk.compact()
+        monkeypatch.undo()
+        hard_kill(disk)
+        assert os.path.exists(disk_path + ".compact")  # orphan left behind
+        recovered = FileDiskManager(disk_path)
+        assert not os.path.exists(disk_path + ".compact")
+        for pid, value in expected.items():
+            assert recovered.read_page(pid) == value
+        recovered.close()
+
+    def test_crash_between_map_and_replace_is_finished(
+        self, disk_path, monkeypatch
+    ):
+        disk = FileDiskManager(disk_path)
+        expected = populate(disk)
+        real_replace = os.replace
+
+        def dying_replace(src, dst):
+            if dst == disk_path:
+                raise RuntimeError("injected crash before the file swap")
+            real_replace(src, dst)
+
+        monkeypatch.setattr(os, "replace", dying_replace)
+        with pytest.raises(RuntimeError):
+            disk.compact()
+        monkeypatch.undo()
+        hard_kill(disk)
+        # The committed page table already describes the compacted file;
+        # recovery must finish the rename, not roll back.
+        recovered = FileDiskManager(disk_path)
+        assert not os.path.exists(disk_path + ".compact")
+        for pid, value in expected.items():
+            assert recovered.read_page(pid) == value
+        recovered.close()
+
+    def test_crash_after_replace_clears_flag(self, disk_path, monkeypatch):
+        disk = FileDiskManager(disk_path)
+        expected = populate(disk)
+
+        def dying_reopen(self):
+            raise RuntimeError("injected crash after the file swap")
+
+        monkeypatch.setattr(_FDM, "_reopen_data_file", dying_reopen)
+        with pytest.raises(RuntimeError):
+            disk.compact()
+        monkeypatch.undo()
+        hard_kill(disk)
+        recovered = FileDiskManager(disk_path)
+        assert recovered._pending_compact is False
+        for pid, value in expected.items():
+            assert recovered.read_page(pid) == value
+        recovered.close()
+        # The durable map no longer carries the flag either.
+        reopened = FileDiskManager(disk_path)
+        assert reopened._pending_compact is False
+        reopened.close()

@@ -1,0 +1,125 @@
+"""Seeded fault injection and the buffer pool's bounded retry."""
+
+import pytest
+
+from repro.errors import DiskFaultError, PageChecksumError, TransientIOError
+from repro.resilience import (
+    FaultInjectingDiskManager,
+    FaultPolicy,
+    corrupt_page,
+)
+from repro.storage import BufferPool, DiskManager, FileDiskManager
+
+
+def flaky(policy: FaultPolicy) -> FaultInjectingDiskManager:
+    return FaultInjectingDiskManager(DiskManager(), policy)
+
+
+class TestFaultPolicy:
+    def test_rates_are_validated(self):
+        with pytest.raises(ValueError):
+            FaultPolicy(read_error_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultPolicy(bit_flip_rate=-0.1)
+        with pytest.raises(ValueError):
+            FaultPolicy(fail_after_ops=-1)
+
+    def test_default_policy_is_silent(self):
+        disk = flaky(FaultPolicy())
+        for _ in range(50):
+            pid = disk.allocate_page()
+            disk.write_page(pid, "payload")
+            assert disk.read_page(pid) == "payload"
+        assert disk.injected.total == 0
+
+
+class TestTransientFaults:
+    def test_certain_read_error_exhausts_retries(self):
+        disk = flaky(FaultPolicy(seed=1, read_error_rate=1.0))
+        pool = BufferPool(disk, capacity=4, retry_backoff=0.0)
+        pid = pool.new_page("v")
+        pool.clear()
+        with pytest.raises(TransientIOError):
+            pool.fetch(pid)
+        # Initial attempt + max_retries further attempts, all injected.
+        assert disk.injected.transient_read_errors == 1 + pool.max_retries
+        assert pool.stats.read_retries == pool.max_retries
+
+    def test_isolated_read_faults_are_absorbed(self):
+        disk = flaky(FaultPolicy(seed=3, read_error_rate=0.2))
+        pool = BufferPool(disk, capacity=4, retry_backoff=0.0)
+        pids = [pool.new_page(i) for i in range(25)]
+        pool.clear()
+        values = [pool.fetch(pid) for pid in pids]  # deterministic by seed
+        assert values == list(range(25))
+        assert disk.injected.transient_read_errors > 0
+        assert pool.stats.read_retries == disk.injected.transient_read_errors
+
+    def test_write_back_faults_are_absorbed(self):
+        disk = flaky(FaultPolicy(seed=5, write_error_rate=0.2))
+        pool = BufferPool(disk, capacity=4, retry_backoff=0.0)
+        pids = [pool.new_page(i) for i in range(25)]
+        pool.clear()
+        assert [pool.fetch(pid) for pid in pids] == list(range(25))
+        assert disk.injected.transient_write_errors > 0
+        assert pool.stats.write_retries == disk.injected.transient_write_errors
+
+    def test_permanent_failure_is_not_retried(self):
+        disk = flaky(FaultPolicy(fail_after_ops=2))
+        pool = BufferPool(disk, capacity=4, retry_backoff=0.0)
+        pid = pool.new_page("v")  # op 1: allocate (write stays in the pool)
+        pool.clear()  # op 2: write-back
+        with pytest.raises(DiskFaultError):
+            pool.fetch(pid)  # op 3: past the budget — the device is dead
+        assert pool.stats.retries == 0
+        assert disk.injected.permanent_failures == 1
+
+
+class TestCorruptionFaults:
+    def test_bit_flip_detected_as_checksum_error(self):
+        disk = flaky(FaultPolicy(seed=2, bit_flip_rate=1.0))
+        pid = disk.allocate_page()
+        disk.write_page(pid, {"k": "v"})
+        assert disk.injected.bit_flips == 1
+        with pytest.raises(PageChecksumError) as excinfo:
+            disk.read_page(pid)
+        assert excinfo.value.page_id == pid
+
+    def test_torn_write_detected_as_checksum_error(self):
+        disk = flaky(FaultPolicy(seed=2, torn_write_rate=1.0))
+        pid = disk.allocate_page()
+        disk.write_page(pid, list(range(100)))
+        assert disk.injected.torn_writes == 1
+        with pytest.raises(PageChecksumError):
+            disk.read_page(pid)
+
+    def test_corrupt_page_helper_flips_one_bit(self):
+        disk = DiskManager()
+        pid = disk.allocate_page()
+        disk.write_page(pid, "payload")
+        corrupt_page(disk, pid, seed=9)
+        with pytest.raises(PageChecksumError):
+            disk.read_page(pid)
+
+
+class TestDelegation:
+    def test_counters_and_pages_pass_through(self):
+        inner = DiskManager()
+        disk = flaky(FaultPolicy())
+        disk.inner = inner
+        pid = disk.allocate_page()
+        disk.write_page(pid, "x")
+        assert disk.num_pages == inner.num_pages == 1
+        assert disk.stats is inner.stats
+        assert disk.page_exists(pid)
+        disk.reset_stats()
+        assert inner.stats.writes == 0
+
+    def test_file_backed_methods_reachable_through_wrapper(self, tmp_path):
+        inner = FileDiskManager(str(tmp_path / "pages.dat"))
+        disk = FaultInjectingDiskManager(inner, FaultPolicy())
+        pid = disk.allocate_page()
+        disk.write_page(pid, "x")
+        disk.sync()  # __getattr__ delegation
+        assert disk.file_bytes > 0
+        disk.close()
