@@ -16,6 +16,20 @@ from repro.bench.figures import (
 )
 
 
+_BENCH_DIR = __file__.rsplit("/", 1)[0]
+
+
+def pytest_collection_modifyitems(items):
+    """Every benchmark sweep is a slow test; the fast CI tier skips them.
+
+    The hook sees the whole session's items, so scope the mark to files
+    under this directory.
+    """
+    for item in items:
+        if str(item.fspath).startswith(_BENCH_DIR):
+            item.add_marker(pytest.mark.slow)
+
+
 @pytest.fixture(scope="session")
 def string_search_rows():
     """Figures 6, 7, 8: trie vs B+-tree search sweep."""

@@ -1,0 +1,60 @@
+"""Per-layer cost attribution table (observability registry columns).
+
+Complements the paper's Section 6 figures: instead of comparing *methods*
+on one cost metric, this table breaks one workload per index type down by
+*layer* — WAL records/bytes written during the build, then buffer reads,
+SP-GiST nodes visited, and page-checksum verifications during a cold-cache
+search batch. The indexes live on file-backed disks (WAL and checksums
+enabled) since the durability layers are what the table measures.
+
+All counters come from the :data:`repro.obs.METRICS` registry snapshots
+taken by :func:`repro.bench.harness.measure`.
+"""
+
+import pytest
+
+from conftest import print_rows
+
+from repro.bench.figures import layer_breakdown
+
+COLUMNS = (
+    "label",
+    "build_wal_records",
+    "build_wal_kb",
+    "search_reads",
+    "search_nodes",
+    "search_checksums",
+    "search_retries",
+)
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return layer_breakdown()
+
+
+def test_layer_columns_present(rows, benchmark):
+    print_rows("Per-layer breakdown — build WAL + cold search, per index type",
+               rows, COLUMNS)
+    assert len(rows) == 6
+    labels = {r.values["label"] for r in rows}
+    assert labels == {"trie", "kdtree", "pquadtree", "prquadtree", "pmr",
+                      "suffix"}
+
+
+def test_every_layer_observed(rows):
+    # Builds are durable: every index type must have written WAL.
+    assert all(r.values["build_wal_records"] > 0 for r in rows)
+    assert all(r.values["build_wal_kb"] > 0 for r in rows)
+    # Cold searches hit the disk, verify checksums, and walk the tree.
+    assert all(r.values["search_reads"] > 0 for r in rows)
+    assert all(r.values["search_checksums"] > 0 for r in rows)
+    assert all(r.values["search_nodes"] > 0 for r in rows)
+
+
+def test_descent_dominates_for_point_methods(rows):
+    # The spatial trees answer window queries by descending partitions:
+    # nodes visited should dwarf the number of queries in the batch.
+    by_label = {r.values["label"]: r for r in rows}
+    for label in ("kdtree", "pquadtree", "prquadtree"):
+        assert by_label[label].values["search_nodes"] >= 30

@@ -808,3 +808,108 @@ def ablation_pmr_threshold(
             )
         )
     return rows
+
+
+# ---------------------------------------------------------------------------
+# Per-layer breakdown (observability registry columns)
+# ---------------------------------------------------------------------------
+
+
+def layer_breakdown(size: int = 2000, batch: int = 30) -> list[ExperimentRow]:
+    """Per-layer cost attribution for each SP-GiST index type.
+
+    One row per index type over the same-sized dataset: the build's WAL
+    traffic and the search batch's buffer reads, SP-GiST nodes visited, and
+    checksum verifications — the registry columns that attribute where each
+    method's cost is paid (tree descent vs. page I/O vs. durability). The
+    paper reports these layers separately in its Section 6 discussion; this
+    table makes the attribution explicit in results.txt.
+
+    Unlike the figure sweeps, each index lives on a *file-backed* disk
+    (with WAL and page checksums), since the durability layers are
+    precisely what this table measures.
+    """
+    import shutil
+    import tempfile
+
+    from repro.indexes.prquadtree import PRQuadtreeIndex
+    from repro.storage.buffer import BufferPool
+    from repro.storage.filedisk import FileDiskManager
+
+    words = random_words(size, seed=281, min_length=3)
+    points = random_points(size, seed=282, decimals=SPATIAL_DECIMALS)
+    segments = random_segments(size, seed=283, decimals=SEGMENT_DECIMALS)
+    boxes = random_query_boxes(batch, side=5.0, seed=284)
+    probes = words[:: max(1, size // batch)][:batch]
+    needles = [w[len(w) // 2 : len(w) // 2 + 3] or w for w in probes]
+
+    tmpdir = tempfile.mkdtemp(prefix="layer-breakdown-")
+
+    class _FileBench:
+        def __init__(self, name: str) -> None:
+            self.disk = FileDiskManager(f"{tmpdir}/{name}.pages")
+            self.buffer = BufferPool(self.disk, capacity=QUERY_POOL_PAGES)
+
+    def _build(name, make_index, items, insert):
+        bench = _FileBench(name)
+        index = make_index(bench)
+        build = measure_many(
+            bench.buffer,
+            [lambda item=item, i=i: insert(index, item, i)
+             for i, item in enumerate(items)],
+        )
+        build += measure(bench.buffer, bench.buffer.flush_all)[1]
+        index.repack()
+        bench.buffer.clear()
+        return bench, index, build
+
+    cases = [
+        ("trie",
+         lambda b: TrieIndex(b.buffer, bucket_size=TRIE_BUCKET),
+         words, lambda ix, w, i: ix.insert(w, i),
+         lambda ix: [lambda w=w: ix.search_equal(w) for w in probes]),
+        ("kdtree",
+         lambda b: KDTreeIndex(b.buffer),
+         points, lambda ix, p, i: ix.insert(p, i),
+         lambda ix: [lambda bx=bx: ix.search_range(bx) for bx in boxes]),
+        ("pquadtree",
+         lambda b: PointQuadtreeIndex(b.buffer),
+         points, lambda ix, p, i: ix.insert(p, i),
+         lambda ix: [lambda bx=bx: ix.search_range(bx) for bx in boxes]),
+        ("prquadtree",
+         lambda b: PRQuadtreeIndex(b.buffer, WORLD),
+         points, lambda ix, p, i: ix.insert(p, i),
+         lambda ix: [lambda bx=bx: ix.search_range(bx) for bx in boxes]),
+        ("pmr",
+         lambda b: PMRQuadtreeIndex(b.buffer, WORLD, threshold=8),
+         segments, lambda ix, s, i: ix.insert(s, i),
+         lambda ix: [lambda bx=bx: ix.search_window(bx) for bx in boxes]),
+        ("suffix",
+         lambda b: SuffixTreeIndex(b.buffer, bucket_size=32),
+         words, lambda ix, w, i: ix.insert_word(w, i),
+         lambda ix: [lambda s=s: ix.search_substring(s) for s in needles]),
+    ]
+
+    rows = []
+    try:
+        for name, make_index, items, insert, searches in cases:
+            bench, index, build = _build(name, make_index, items, insert)
+            search = measure_many(bench.buffer, searches(index),
+                                  cold_each=True)
+            row = ExperimentRow(
+                size,
+                {
+                    "build_wal_records": build.wal_records,
+                    "build_wal_kb": build.wal_bytes / 1024.0,
+                    "search_reads": search.io_reads,
+                    "search_nodes": search.nodes_visited,
+                    "search_checksums": search.checksum_verifications,
+                    "search_retries": search.retries,
+                },
+            )
+            row.values["label"] = name  # type: ignore[assignment]
+            rows.append(row)
+            bench.disk.close()
+    finally:
+        shutil.rmtree(tmpdir, ignore_errors=True)
+    return rows

@@ -44,6 +44,12 @@ class Measurement:
     random_reads: int = 0
     cpu_ops: int = 0
     retries: int = 0  # transient-fault retries absorbed by the buffer pool
+    # Per-layer columns from the observability registry (repro.obs): what
+    # each layer under the buffer pool did during the measured operation.
+    wal_records: int = 0
+    wal_bytes: int = 0
+    checksum_verifications: int = 0
+    nodes_visited: int = 0  # SP-GiST tree nodes read (descents + NN)
 
     @property
     def cost(self) -> float:
@@ -75,6 +81,12 @@ class Measurement:
             random_reads=self.random_reads + other.random_reads,
             cpu_ops=self.cpu_ops + other.cpu_ops,
             retries=self.retries + other.retries,
+            wal_records=self.wal_records + other.wal_records,
+            wal_bytes=self.wal_bytes + other.wal_bytes,
+            checksum_verifications=(
+                self.checksum_verifications + other.checksum_verifications
+            ),
+            nodes_visited=self.nodes_visited + other.nodes_visited,
         )
 
 
@@ -111,15 +123,32 @@ class Workbench:
 def measure(
     buffer: BufferPool, operation: Callable[[], Any]
 ) -> tuple[Any, Measurement]:
-    """Run ``operation``; report buffer misses, CPU ops, and wall time."""
+    """Run ``operation``; report buffer misses, CPU ops, and wall time.
+
+    Alongside the buffer-pool counters, the observability registry
+    (:data:`repro.obs.METRICS`) is snapshotted so each measurement carries
+    per-layer columns — WAL records/bytes, checksum verifications, SP-GiST
+    nodes visited — attributing the cost below the buffer pool.
+    """
     from repro.costmodel import CPU_OPS
+    from repro.obs import METRICS
 
     before = buffer.stats.snapshot()
+    metrics_before = METRICS.snapshot()
     ops_before = CPU_OPS.count
     started = time.perf_counter()
     result = operation()
     elapsed = time.perf_counter() - started
     delta = buffer.stats.delta(before)
+    layers = METRICS.delta(metrics_before, METRICS.snapshot())
+
+    def layer(prefix: str) -> int:
+        return int(sum(
+            value
+            for name, value in layers.items()
+            if name == prefix or name.startswith(prefix + "{")
+        ))
+
     return result, Measurement(
         io_reads=delta.misses,
         io_writes=delta.dirty_writebacks,
@@ -129,6 +158,10 @@ def measure(
         random_reads=delta.random_misses,
         cpu_ops=CPU_OPS.count - ops_before,
         retries=delta.retries,
+        wal_records=layer("wal_records_total"),
+        wal_bytes=layer("wal_bytes_total"),
+        checksum_verifications=layer("checksum_verifications_total"),
+        nodes_visited=layer("spgist_nodes_visited_total"),
     )
 
 

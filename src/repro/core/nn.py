@@ -22,9 +22,19 @@ import itertools
 from typing import TYPE_CHECKING, Any, Iterator
 
 from repro.costmodel import CPU_OPS
+from repro.obs import METRICS, span
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.tree import SPGiSTIndex
+
+_OBS_NN_SCANS = METRICS.counter(
+    "spgist_operations_total", "SP-GiST operations started", labels=("op",)
+).labels("nn")
+_OBS_NN_NODES = METRICS.counter(
+    "spgist_nodes_visited_total",
+    "Tree nodes read during SP-GiST descents",
+    labels=("op",),
+).labels("nn")
 
 
 def nn_search(
@@ -38,7 +48,15 @@ def nn_search(
         )
     if index.root is None:
         return
+    _OBS_NN_SCANS.inc()
+    with span("index.nn", index=index.name):
+        yield from _nn_ranked(index, query)
 
+
+def _nn_ranked(
+    index: "SPGiSTIndex", query: Any
+) -> Iterator[tuple[float, Any, Any]]:
+    methods = index.methods
     tiebreak = itertools.count()
     # Queue entries: (distance, tiebreak, is_object, payload, level, state)
     # where payload is a NodeRef for nodes and a (key, value) pair for
@@ -62,6 +80,7 @@ def nn_search(
             continue
 
         node = index.store.read(payload)
+        _OBS_NN_NODES.inc()
         if node.is_leaf:
             for key, value in node.items:
                 CPU_OPS.add(1)

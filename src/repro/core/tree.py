@@ -17,6 +17,7 @@ from typing import Any, Iterator
 
 from repro.costmodel import CPU_OPS
 from repro.errors import IndexCorruptionError, KeyNotFoundError
+from repro.obs import METRICS, span
 from repro.core.clustering import NodeStore, repack
 from repro.core.config import SPGiSTConfig
 from repro.core.external import (
@@ -35,6 +36,31 @@ from repro.storage.buffer import BufferPool
 #: Hard cap on recursive re-splitting of one overfull partition; beyond this
 #: the items spill into an overfull leaf (duplicate-heavy data).
 _MAX_SPLIT_DEPTH = 128
+
+# Per-operation observability: node visits attribute descent cost to the
+# operation that paid it, the level histogram profiles descent depth (the
+# paper's node-height experiments, figure 11), splits count restructures.
+_OBS_OPS = METRICS.counter(
+    "spgist_operations_total", "SP-GiST operations started", labels=("op",)
+)
+_OBS_INSERTS = _OBS_OPS.labels("insert")
+_OBS_SEARCHES = _OBS_OPS.labels("search")
+_OBS_NN = _OBS_OPS.labels("nn")
+_OBS_NODES = METRICS.counter(
+    "spgist_nodes_visited_total",
+    "Tree nodes read during SP-GiST descents",
+    labels=("op",),
+)
+_OBS_INSERT_NODES = _OBS_NODES.labels("insert")
+_OBS_SEARCH_NODES = _OBS_NODES.labels("search")
+_OBS_SPLITS = METRICS.counter(
+    "spgist_leaf_splits_total", "Overfull leaves decomposed by PickSplit"
+)
+_OBS_DESCENT_LEVELS = METRICS.histogram(
+    "spgist_descent_levels",
+    "Level at which an inserted item reached its leaf",
+    buckets=(1, 2, 4, 8, 16, 32, 64, 128),
+)
 
 
 class SPGiSTIndex:
@@ -72,12 +98,15 @@ class SPGiSTIndex:
 
     def insert(self, key: Any, value: Any = None) -> None:
         """Insert one ``(key, value)`` item (value is typically a heap TID)."""
-        if self.root is None:
-            self.root = self.store.create(LeafNode(items=[(key, value)]))
+        _OBS_INSERTS.inc()
+        with span("index.insert", index=self.name):
+            if self.root is None:
+                self.root = self.store.create(LeafNode(items=[(key, value)]))
+                self._item_count += 1
+                _OBS_DESCENT_LEVELS.observe(1)
+                return
+            self._insert_descend(self.root, [], 0, key, value)
             self._item_count += 1
-            return
-        self._insert_descend(self.root, [], 0, key, value)
-        self._item_count += 1
 
     def _insert_descend(
         self,
@@ -94,9 +123,11 @@ class SPGiSTIndex:
         """
         while True:
             node = self.store.read(ref)
+            _OBS_INSERT_NODES.inc()
             if node.is_leaf:
                 node.items.append((key, value))
                 ref = self._write_with_repair(path, ref, node)
+                _OBS_DESCENT_LEVELS.observe(len(path) + 1)
                 if len(node.items) > self.config.bucket_size:
                     self._split_leaf(path, ref, node, level, depth=0)
                 return
@@ -182,6 +213,7 @@ class SPGiSTIndex:
         result = self.methods.picksplit(list(leaf.items), level, parent_predicate)
         if self._is_degenerate_split(result, len(leaf.items)):
             return  # inseparable items (duplicates): spill
+        _OBS_SPLITS.inc()
 
         inner = InnerNode(predicate=result.node_predicate, entries=[])
         for predicate, part_items in result.partitions:
@@ -284,11 +316,31 @@ class SPGiSTIndex:
             return
         if dedup is None:
             dedup = self.methods.spanning
+        _OBS_SEARCHES.inc()
+        yield from self._search_consistent(query, dedup)
+
+    def _search_consistent(
+        self, query: Query, dedup: bool
+    ) -> Iterator[tuple[Any, Any]]:
+        """The descent loop of :meth:`search`, bracketed by a trace span.
+
+        The span opens at the first ``next()`` and closes at exhaustion (or
+        when the consumer abandons the generator), so its duration is the
+        scan's lifetime — lazy consumers inflate it, which is exactly what
+        an operator-level trace should show.
+        """
+        with span("index.search", index=self.name, op=query.op):
+            yield from self._search_nodes(query, dedup)
+
+    def _search_nodes(
+        self, query: Query, dedup: bool
+    ) -> Iterator[tuple[Any, Any]]:
         seen: set[tuple[Any, Any]] | None = set() if dedup else None
         stack: list[tuple[NodeRef, int]] = [(self.root, 0)]
         while stack:
             ref, level = stack.pop()
             node = self.store.read(ref)
+            _OBS_SEARCH_NODES.inc()
             if node.is_leaf:
                 for key, value in node.items:
                     CPU_OPS.add(1)

@@ -29,6 +29,7 @@ from repro.engine.opclass import OperatorClass
 from repro.engine.table import Column, Table
 from repro.engine.planner import Predicate, plan_query
 from repro.engine.executor import execute_plan
+from repro.engine.explain import ExplainReport, NodeReport, explain, explain_analyze
 from repro.engine.sql import Database
 
 __all__ = [
@@ -42,5 +43,9 @@ __all__ = [
     "Predicate",
     "plan_query",
     "execute_plan",
+    "ExplainReport",
+    "NodeReport",
+    "explain",
+    "explain_analyze",
     "Database",
 ]

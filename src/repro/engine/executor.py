@@ -105,12 +105,36 @@ def _execute_nn(plan: Plan) -> Iterator[tuple]:
     predicate = plan.predicate
     assert predicate is not None
     if isinstance(plan, NNIndexScanPlan):
-        for tid in plan.index.nn_scan(predicate.operand):
+        emitted: set[Any] = set()
+        tids = plan.index.nn_scan(predicate.operand)
+        while True:
+            try:
+                tid = next(tids)
+            except StopIteration:
+                return
+            except (IndexCorruptionError, PageChecksumError) as exc:
+                INCIDENTS.record("nn-scan-degraded", plan.index.name, exc)
+                plan.index.quarantined = True
+                break
             row = plan.table.fetch(tid)
             if row is not None:
+                emitted.add(tid)
                 yield row
+        # Graceful degradation, mirroring _execute_index_scan: the index
+        # died mid-stream, but every row it already produced was one of the
+        # true nearest neighbours, so finishing with the sort-scan path —
+        # skipping those TIDs — continues the stream in non-decreasing
+        # distance order with no duplicates and no gaps.
+        yield from _nn_sort_scan(plan, skip=emitted)
         return
     # Fallback: materialize and sort by distance (no NN-capable index).
+    yield from _nn_sort_scan(plan)
+
+
+def _nn_sort_scan(plan: Plan, skip: set[Any] | None = None) -> Iterator[tuple]:
+    """Heap-scan NN: materialize distances and sort (``skip`` = TIDs done)."""
+    predicate = plan.predicate
+    assert predicate is not None
     table = plan.table
     position = table.column_index(predicate.column)
     column = table.columns[position]
@@ -118,6 +142,7 @@ def _execute_nn(plan: Plan) -> Iterator[tuple]:
     rows = [
         (distance(row[position], predicate.operand), tid, row)
         for tid, row in table.scan()
+        if skip is None or tid not in skip
     ]
     rows.sort(key=lambda item: (item[0], item[1]))
     for _d, _tid, row in rows:

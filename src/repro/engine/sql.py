@@ -27,7 +27,6 @@ from __future__ import annotations
 
 import itertools
 import re
-import time
 from typing import Any, Iterable
 
 from repro.engine.catalog import SystemCatalog, default_catalog
@@ -255,28 +254,20 @@ class Database:
         return (tuple(row[i] for i in positions) for row in rows)
 
     def _explain(self, inner_sql: str, execute: bool = False) -> str:
+        from repro.engine.explain import explain, explain_analyze
+
+        if execute:
+            return explain_analyze(self, inner_sql).render()
+        return explain(self, inner_sql).render()
+
+    def _parse_select(self, inner_sql: str) -> tuple[Plan, int | None]:
+        """Plan a bare SELECT, returning the access path and LIMIT (if any)."""
         match = _SELECT.match(inner_sql)
         if not match:
             raise SQLError(f"EXPLAIN supports only SELECT, got: {inner_sql!r}")
         _select_list, table_name, column, op, literal, limit = match.groups()
         plan = self._plan_select(table_name, column, op, literal)
-        text = plan.describe()
-        if not execute:
-            return text
-        # EXPLAIN ANALYZE: run the plan and report actual work done.
-        before = self.buffer.stats.snapshot()
-        started = time.perf_counter()
-        rows = execute_plan(plan)
-        if limit is not None:
-            produced = sum(1 for _ in itertools.islice(rows, int(limit)))
-        else:
-            produced = sum(1 for _ in rows)
-        elapsed_ms = (time.perf_counter() - started) * 1000.0
-        delta = self.buffer.stats.delta(before)
-        return (
-            f"{text}\n  actual rows={produced} time={elapsed_ms:.3f}ms "
-            f"buffers: hit={delta.hits} read={delta.misses}"
-        )
+        return plan, (int(limit) if limit is not None else None)
 
     def _plan_select(
         self,

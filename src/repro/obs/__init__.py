@@ -1,0 +1,45 @@
+"""Observability substrate: metrics registry, trace spans, reset helper.
+
+The measurement layer underneath the reproduction's Section 5 experiments:
+
+- :mod:`repro.obs.registry` — process-wide counters, gauges, and
+  fixed-bucket histograms (:data:`METRICS`) with snapshot/delta and a
+  Prometheus-style text exporter;
+- :mod:`repro.obs.spans` — nestable trace spans (:func:`span`) recorded to
+  a bounded ring buffer with monotonic timings (:data:`SPANS`).
+
+Instrumented layers bind their metric families at import time and pay one
+attribute-add per event; ``reset_observability()`` restores a pristine
+state between tests and measurements without invalidating those bindings.
+"""
+
+from repro.obs.registry import (
+    METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+)
+from repro.obs.spans import SPANS, SpanRecord, SpanRecorder, span
+
+
+def reset_observability() -> None:
+    """Zero every metric and drop every recorded span (bindings survive)."""
+    METRICS.reset()
+    SPANS.reset()
+
+
+__all__ = [
+    "METRICS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "SPANS",
+    "SpanRecord",
+    "SpanRecorder",
+    "span",
+    "reset_observability",
+]

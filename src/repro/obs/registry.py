@@ -1,0 +1,345 @@
+"""Process-wide metrics registry: counters, gauges, histograms.
+
+The observability substrate for the measurement study (paper Section 5):
+every layer of the stack — buffer pool, disk managers, WAL, checksum
+boundary, SP-GiST core, executor, incident log — increments metrics here,
+so one registry snapshot attributes the cost of an operation to the layer
+that paid it. Follows the :data:`repro.costmodel.CPU_OPS` pattern: one
+process-global object (:data:`METRICS`), no plumbing through every layer,
+single-threaded benchmarks.
+
+Design constraints:
+
+- **Hot-path cheap.** Instrumented call sites bind the metric child once at
+  import time; an increment is one attribute add on a ``__slots__`` object.
+- **Resettable, never re-registered.** ``reset()`` zeroes values but keeps
+  every registered metric object alive, so module-level bindings stay valid
+  across test isolation resets.
+- **Snapshot/delta.** :meth:`MetricsRegistry.snapshot` returns a plain
+  ``{name: value}`` dict and :meth:`MetricsRegistry.delta` subtracts two of
+  them — the per-:class:`~repro.bench.harness.Measurement` and per-EXPLAIN
+  capture primitive.
+- **Prometheus text exposition.** :meth:`MetricsRegistry.render` emits the
+  standard ``# HELP`` / ``# TYPE`` / sample-line format, histograms with
+  cumulative ``_bucket{le=...}`` series.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, Sequence
+
+
+def _format_value(value: float) -> str:
+    """Render a sample value the way Prometheus text format expects."""
+    if value == math.inf:
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def _label_suffix(label_names: Sequence[str], label_values: tuple) -> str:
+    if not label_names:
+        return ""
+    pairs = ",".join(
+        f'{name}="{value}"' for name, value in zip(label_names, label_values)
+    )
+    return "{" + pairs + "}"
+
+
+class Counter:
+    """A monotonically increasing value (one labeled child of a family)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, n: int | float = 1) -> None:
+        """Add ``n`` (must be >= 0) to the counter."""
+        if n < 0:
+            raise ValueError(f"counter increment must be >= 0, got {n}")
+        self.value += n
+
+    def _zero(self) -> None:
+        self.value = 0
+
+
+class Gauge:
+    """A value that can go up and down (one labeled child of a family)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def set(self, value: int | float) -> None:
+        """Replace the gauge value."""
+        self.value = value
+
+    def inc(self, n: int | float = 1) -> None:
+        """Add ``n`` to the gauge."""
+        self.value += n
+
+    def dec(self, n: int | float = 1) -> None:
+        """Subtract ``n`` from the gauge."""
+        self.value -= n
+
+    def _zero(self) -> None:
+        self.value = 0
+
+
+class Histogram:
+    """Fixed-bucket cumulative histogram (one labeled child of a family).
+
+    ``bucket_counts[i]`` counts observations ``<= bounds[i]``; an implicit
+    ``+Inf`` bucket equals ``count``. Bounds are fixed at family creation —
+    no dynamic resizing on the hot path.
+    """
+
+    __slots__ = ("bounds", "bucket_counts", "count", "sum")
+
+    def __init__(self, bounds: Sequence[float]) -> None:
+        self.bounds = tuple(bounds)
+        self.bucket_counts = [0] * len(self.bounds)
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.count += 1
+        self.sum += value
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+
+    def _zero(self) -> None:
+        self.bucket_counts = [0] * len(self.bounds)
+        self.count = 0
+        self.sum = 0.0
+
+
+class MetricFamily:
+    """One named metric plus its labeled children.
+
+    With no label names the family has a single default child and the
+    family object itself proxies ``inc``/``set``/``observe`` to it, so the
+    common unlabeled case stays a one-liner at the call site.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        kind: str,
+        label_names: Sequence[str] = (),
+        bounds: Sequence[float] = (),
+    ) -> None:
+        self.name = name
+        self.help = help_text
+        self.kind = kind  # "counter" | "gauge" | "histogram"
+        self.label_names = tuple(label_names)
+        self.bounds = tuple(bounds)
+        self._children: dict[tuple, Counter | Gauge | Histogram] = {}
+        if not self.label_names:
+            self._default = self._make_child()
+            self._children[()] = self._default
+        else:
+            self._default = None
+
+    def _make_child(self) -> Counter | Gauge | Histogram:
+        if self.kind == "counter":
+            return Counter()
+        if self.kind == "gauge":
+            return Gauge()
+        return Histogram(self.bounds)
+
+    def labels(self, *label_values: object) -> Counter | Gauge | Histogram:
+        """The child for one label-value combination (created on first use)."""
+        if len(label_values) != len(self.label_names):
+            raise ValueError(
+                f"{self.name} takes labels {self.label_names}, "
+                f"got {label_values!r}"
+            )
+        key = tuple(str(v) for v in label_values)
+        child = self._children.get(key)
+        if child is None:
+            child = self._make_child()
+            self._children[key] = child
+        return child
+
+    # -- unlabeled conveniences (proxy to the default child) -----------------
+
+    def inc(self, n: int | float = 1) -> None:
+        """Increment the unlabeled default child by ``n``."""
+        self._default.inc(n)  # type: ignore[union-attr]
+
+    def set(self, value: int | float) -> None:
+        """Set the unlabeled default child (gauges only)."""
+        self._default.set(value)  # type: ignore[union-attr]
+
+    def dec(self, n: int | float = 1) -> None:
+        """Decrement the unlabeled default child (gauges only)."""
+        self._default.dec(n)  # type: ignore[union-attr]
+
+    def observe(self, value: float) -> None:
+        """Record ``value`` into the unlabeled default child (histograms)."""
+        self._default.observe(value)  # type: ignore[union-attr]
+
+    @property
+    def value(self) -> int | float:
+        """Current value of the (unlabeled) default child."""
+        if self._default is None:
+            raise ValueError(f"{self.name} is labeled; use .labels(...)")
+        return self._default.value  # type: ignore[union-attr]
+
+    # -- introspection --------------------------------------------------------
+
+    def samples(self) -> Iterator[tuple[str, float]]:
+        """Flat ``(sample_name, value)`` pairs for snapshots and export."""
+        for key, child in sorted(self._children.items()):
+            suffix = _label_suffix(self.label_names, key)
+            if isinstance(child, Histogram):
+                cumulative = 0
+                for bound, bucket in zip(child.bounds, child.bucket_counts):
+                    cumulative = bucket
+                    yield (
+                        f"{self.name}_bucket{_merge_le(suffix, bound)}",
+                        float(cumulative),
+                    )
+                yield (
+                    f"{self.name}_bucket{_merge_le(suffix, math.inf)}",
+                    float(child.count),
+                )
+                yield f"{self.name}_sum{suffix}", float(child.sum)
+                yield f"{self.name}_count{suffix}", float(child.count)
+            else:
+                yield f"{self.name}{suffix}", float(child.value)
+
+    def _zero(self) -> None:
+        for child in self._children.values():
+            child._zero()
+
+
+def _merge_le(suffix: str, bound: float) -> str:
+    le = f'le="{_format_value(float(bound))}"'
+    if not suffix:
+        return "{" + le + "}"
+    return suffix[:-1] + "," + le + "}"
+
+
+class MetricsRegistry:
+    """A named collection of metric families with snapshot/delta/export."""
+
+    def __init__(self, namespace: str = "repro") -> None:
+        self.namespace = namespace
+        self._families: dict[str, MetricFamily] = {}
+
+    # -- registration ---------------------------------------------------------
+
+    def _register(
+        self,
+        name: str,
+        help_text: str,
+        kind: str,
+        label_names: Sequence[str],
+        bounds: Sequence[float] = (),
+    ) -> MetricFamily:
+        existing = self._families.get(name)
+        if existing is not None:
+            if existing.kind != kind:
+                raise ValueError(
+                    f"metric {name!r} already registered as {existing.kind}"
+                )
+            return existing
+        family = MetricFamily(name, help_text, kind, label_names, bounds)
+        self._families[name] = family
+        return family
+
+    def counter(
+        self, name: str, help_text: str = "", labels: Sequence[str] = ()
+    ) -> MetricFamily:
+        """Get or create a counter family (idempotent)."""
+        return self._register(name, help_text, "counter", labels)
+
+    def gauge(
+        self, name: str, help_text: str = "", labels: Sequence[str] = ()
+    ) -> MetricFamily:
+        """Get or create a gauge family (idempotent)."""
+        return self._register(name, help_text, "gauge", labels)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        buckets: Sequence[float] = (1, 2, 4, 8, 16, 32, 64, 128),
+        labels: Sequence[str] = (),
+    ) -> MetricFamily:
+        """Get or create a fixed-bucket histogram family (idempotent)."""
+        return self._register(
+            name, help_text, "histogram", labels, tuple(sorted(buckets))
+        )
+
+    # -- access ---------------------------------------------------------------
+
+    def get(self, name: str) -> MetricFamily | None:
+        """The family registered under ``name`` (None when absent)."""
+        return self._families.get(name)
+
+    def value(self, name: str) -> float:
+        """Unlabeled current value of ``name`` (0.0 when unregistered)."""
+        family = self._families.get(name)
+        if family is None or family._default is None:
+            return 0.0
+        return float(family._default.value)
+
+    def families(self) -> list[MetricFamily]:
+        """Registered families in name order."""
+        return [self._families[k] for k in sorted(self._families)]
+
+    # -- snapshot / delta -----------------------------------------------------
+
+    def snapshot(self) -> dict[str, float]:
+        """Flat ``{sample_name: value}`` view of every registered sample."""
+        samples: dict[str, float] = {}
+        for family in self._families.values():
+            for name, value in family.samples():
+                samples[name] = value
+        return samples
+
+    @staticmethod
+    def delta(
+        before: dict[str, float], after: dict[str, float]
+    ) -> dict[str, float]:
+        """Per-sample difference ``after - before`` (missing keys read 0)."""
+        names = set(before) | set(after)
+        return {
+            name: after.get(name, 0.0) - before.get(name, 0.0)
+            for name in names
+        }
+
+    # -- export ---------------------------------------------------------------
+
+    def render(self) -> str:
+        """Prometheus text exposition format of the whole registry."""
+        lines: list[str] = []
+        for family in self.families():
+            full = f"{self.namespace}_{family.name}"
+            if family.help:
+                lines.append(f"# HELP {full} {family.help}")
+            lines.append(f"# TYPE {full} {family.kind}")
+            for name, value in family.samples():
+                lines.append(
+                    f"{self.namespace}_{name} {_format_value(value)}"
+                )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def reset(self) -> None:
+        """Zero every metric, keeping all registrations and children alive."""
+        for family in self._families.values():
+            family._zero()
+
+
+#: The process-wide registry every instrumented layer reports to.
+METRICS = MetricsRegistry()

@@ -11,6 +11,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.obs import METRICS
+
+_OBS_INCIDENTS = METRICS.counter(
+    "incidents_total",
+    "Resilience incidents recorded (degradations, quarantines)",
+    labels=("kind",),
+)
+
 
 @dataclass(frozen=True)
 class Incident:
@@ -39,6 +47,7 @@ class IncidentLog:
             detail=str(error),
         )
         self.incidents.append(incident)
+        _OBS_INCIDENTS.labels(kind).inc()
         return incident
 
     @property

@@ -14,11 +14,36 @@ from dataclasses import dataclass
 from typing import Any, Callable, Iterator
 
 from repro.errors import BufferPoolError, TransientIOError
+from repro.obs import METRICS
 from repro.storage.disk import DiskManager
 from repro.storage.page import Page
 
 #: Default number of 8 KB frames (64 frames = 512 KB cache).
 DEFAULT_POOL_SIZE = 64
+
+# Observability families, bound once so the fetch hot path pays a single
+# attribute-add per event. These mirror BufferStats exactly — the registry
+# delta of any operation must reconcile with the pool's own counters, which
+# the explain/obs tests assert.
+_OBS_HITS = METRICS.counter(
+    "buffer_hits_total", "Buffer pool fetches served from a resident frame"
+)
+_OBS_MISSES = METRICS.counter(
+    "buffer_misses_total", "Buffer pool fetches that went to disk"
+)
+_OBS_EVICTIONS = METRICS.counter(
+    "buffer_evictions_total", "Frames evicted to make room in the pool"
+)
+_OBS_WRITEBACKS = METRICS.counter(
+    "buffer_dirty_writebacks_total", "Dirty frames written back to disk"
+)
+_OBS_RETRIES = METRICS.counter(
+    "buffer_retries_total",
+    "Transient disk faults absorbed by bounded retry",
+    labels=("op",),
+)
+_OBS_READ_RETRIES = _OBS_RETRIES.labels("read")
+_OBS_WRITE_RETRIES = _OBS_RETRIES.labels("write")
 
 #: Default bounded-retry policy for transient disk faults.
 DEFAULT_MAX_RETRIES = 3
@@ -135,9 +160,11 @@ class BufferPool:
         page = self._frames.get(page_id)
         if page is not None:
             self.stats.hits += 1
+            _OBS_HITS.inc()
             self._frames.move_to_end(page_id)
             return page
         self.stats.misses += 1
+        _OBS_MISSES.inc()
         if self._last_missed_page is not None and page_id == self._last_missed_page + 1:
             self.stats.seq_misses += 1
         else:
@@ -167,6 +194,10 @@ class BufferPool:
                 if attempt >= self.max_retries:
                     raise
                 setattr(self.stats, counter, getattr(self.stats, counter) + 1)
+                if counter == "read_retries":
+                    _OBS_READ_RETRIES.inc()
+                else:
+                    _OBS_WRITE_RETRIES.inc()
                 if self.retry_backoff:
                     time.sleep(self.retry_backoff * (2**attempt))
                 attempt += 1
@@ -210,6 +241,7 @@ class BufferPool:
                 )
                 page.dirty = False
                 self.stats.dirty_writebacks += 1
+                _OBS_WRITEBACKS.inc()
 
     def clear(self) -> None:
         """Flush then empty the pool — simulates a cold cache."""
@@ -249,5 +281,7 @@ class BufferPool:
                 "write_retries",
             )
             self.stats.dirty_writebacks += 1
+            _OBS_WRITEBACKS.inc()
         del self._frames[victim_id]
         self.stats.evictions += 1
+        _OBS_EVICTIONS.inc()

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.errors import PageNotFoundError
+from repro.obs import METRICS
 from repro.storage.page import decode_page_image, encode_page_image
 
 #: The checksummed image of a freshly allocated (empty) page, computed once —
@@ -25,6 +26,22 @@ from repro.storage.page import decode_page_image, encode_page_image
 #: be pure waste.
 EMPTY_PAGE_IMAGE = encode_page_image(
     pickle.dumps(None, protocol=pickle.HIGHEST_PROTOCOL)
+)
+
+#: Physical-I/O metric families, shared by every disk manager (the
+#: file-backed manager reports here too, so per-layer attribution does not
+#: depend on which substrate an experiment runs on).
+DISK_READS = METRICS.counter(
+    "disk_reads_total", "Physical page reads across all disk managers"
+)
+DISK_WRITES = METRICS.counter(
+    "disk_writes_total", "Physical page writes across all disk managers"
+)
+DISK_BYTES_READ = METRICS.counter(
+    "disk_bytes_read_total", "Bytes read from disk-manager page stores"
+)
+DISK_BYTES_WRITTEN = METRICS.counter(
+    "disk_bytes_written_total", "Bytes written to disk-manager page stores"
 )
 
 
@@ -107,6 +124,8 @@ class DiskManager:
             raise PageNotFoundError(page_id) from None
         self.stats.reads += 1
         self.stats.bytes_read += len(raw)
+        DISK_READS.inc()
+        DISK_BYTES_READ.inc(len(raw))
         return pickle.loads(decode_page_image(raw, page_id))
 
     def write_page(self, page_id: int, payload: Any) -> None:
@@ -119,6 +138,8 @@ class DiskManager:
         self._pages[page_id] = raw
         self.stats.writes += 1
         self.stats.bytes_written += len(raw)
+        DISK_WRITES.inc()
+        DISK_BYTES_WRITTEN.inc(len(raw))
 
     # -- raw image access (fault injection / verification tooling) -------------
 

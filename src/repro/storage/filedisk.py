@@ -29,7 +29,14 @@ import random
 from typing import Any
 
 from repro.errors import PageNotFoundError, StorageError
-from repro.storage.disk import EMPTY_PAGE_IMAGE, DiskManager
+from repro.storage.disk import (
+    DISK_BYTES_READ,
+    DISK_BYTES_WRITTEN,
+    DISK_READS,
+    DISK_WRITES,
+    EMPTY_PAGE_IMAGE,
+    DiskManager,
+)
 from repro.storage.page import decode_page_image, encode_page_image
 from repro.storage.wal import (
     REC_ALLOC,
@@ -156,7 +163,7 @@ class FileDiskManager(DiskManager):
                     continue  # already captured by the page-table snapshot
                 self._redo(record)
                 replayed += 1
-            self.wal.stats.records_replayed += replayed
+            self.wal.note_replayed(replayed)
             recovered = recovered or replayed > 0
         if recovered:
             self.sync()
@@ -201,11 +208,13 @@ class FileDiskManager(DiskManager):
             raise PageNotFoundError(page_id)
         entry = self._offsets.get(page_id)
         self.stats.reads += 1
+        DISK_READS.inc()
         if entry is None:
             # Allocated but never written: the logical payload is the empty
             # sentinel. Charge the same bytes the in-memory manager charges
             # for reading a fresh page, so both managers account alike.
             self.stats.bytes_read += len(EMPTY_PAGE_IMAGE)
+            DISK_BYTES_READ.inc(len(EMPTY_PAGE_IMAGE))
             return None
         offset, length = entry
         self._file.seek(offset)
@@ -215,6 +224,7 @@ class FileDiskManager(DiskManager):
                 f"short read for page {page_id}: {len(raw)}/{length} bytes"
             )
         self.stats.bytes_read += length
+        DISK_BYTES_READ.inc(length)
         return pickle.loads(decode_page_image(raw, page_id))
 
     def write_page(self, page_id: int, payload: Any) -> None:
@@ -231,6 +241,8 @@ class FileDiskManager(DiskManager):
         self._offsets[page_id] = (offset, len(raw))
         self.stats.writes += 1
         self.stats.bytes_written += len(raw)
+        DISK_WRITES.inc()
+        DISK_BYTES_WRITTEN.inc(len(raw))
 
     def deallocate_page(self, page_id: int) -> None:
         super().deallocate_page(page_id)

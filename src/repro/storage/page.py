@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.errors import PageChecksumError
+from repro.obs import METRICS
 
 #: Default page size in bytes, matching PostgreSQL's BLCKSZ.
 PAGE_SIZE = 8192
@@ -38,6 +39,15 @@ PAGE_IMAGE_HEADER = struct.Struct("<HHII")
 
 PAGE_IMAGE_VERSION = 1
 
+_CHECKSUM_VERIFICATIONS = METRICS.counter(
+    "checksum_verifications_total",
+    "Page images verified against their CRC32 header on read",
+)
+_CHECKSUM_FAILURES = METRICS.counter(
+    "checksum_failures_total",
+    "Page images rejected by checksum/header verification",
+)
+
 
 def encode_page_image(body: bytes) -> bytes:
     """Frame a serialized page body with the checksummed image header."""
@@ -56,22 +66,27 @@ def decode_page_image(raw: bytes, page_id: int) -> bytes:
     header, bad magic, short body, or CRC mismatch — so corruption is
     detected before deserialization can produce a wrong payload.
     """
+    _CHECKSUM_VERIFICATIONS.inc()
     if len(raw) < PAGE_IMAGE_HEADER.size:
+        _CHECKSUM_FAILURES.inc()
         raise PageChecksumError(
             page_id, f"image truncated to {len(raw)} bytes"
         )
     magic, version, length, crc = PAGE_IMAGE_HEADER.unpack_from(raw)
     if magic != PAGE_MAGIC or version != PAGE_IMAGE_VERSION:
+        _CHECKSUM_FAILURES.inc()
         raise PageChecksumError(
             page_id, f"bad page header (magic={magic:#x}, version={version})"
         )
     body = raw[PAGE_IMAGE_HEADER.size:]
     if len(body) != length:
+        _CHECKSUM_FAILURES.inc()
         raise PageChecksumError(
             page_id, f"body length {len(body)} != recorded {length}"
         )
     actual = zlib.crc32(body)
     if actual != crc:
+        _CHECKSUM_FAILURES.inc()
         raise PageChecksumError(
             page_id, f"CRC mismatch (stored {crc:#010x}, actual {actual:#010x})"
         )

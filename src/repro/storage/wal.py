@@ -31,6 +31,20 @@ import zlib
 from dataclasses import dataclass
 
 from repro.errors import WALError
+from repro.obs import METRICS
+
+_WAL_RECORDS = METRICS.counter(
+    "wal_records_total", "Records appended to any write-ahead log"
+)
+_WAL_BYTES = METRICS.counter(
+    "wal_bytes_total", "Bytes appended to any write-ahead log"
+)
+_WAL_COMMITS = METRICS.counter(
+    "wal_commits_total", "WAL commit markers forced to stable storage"
+)
+_WAL_REPLAYED = METRICS.counter(
+    "wal_records_replayed_total", "Committed WAL records replayed by recovery"
+)
 
 _HEADER = struct.Struct("<BIQI")
 _PAGE_ID = struct.Struct("<q")
@@ -93,6 +107,8 @@ class WriteAheadLog:
         self._file.write(record)
         self.stats.records_appended += 1
         self.stats.bytes_appended += len(record)
+        _WAL_RECORDS.inc()
+        _WAL_BYTES.inc(len(record))
         return lsn
 
     def log_page_image(self, page_id: int, image: bytes) -> int:
@@ -117,6 +133,7 @@ class WriteAheadLog:
         os.fsync(self._file.fileno())
         self._synced_size = self._file.tell()
         self.stats.commits += 1
+        _WAL_COMMITS.inc()
         return lsn
 
     # -- recovery ------------------------------------------------------------
@@ -175,6 +192,11 @@ class WriteAheadLog:
             self.stats.torn_tail_discarded += 1
         self._next_lsn = max(self._next_lsn, last_lsn + 1)
         return records, last_commit_lsn
+
+    def note_replayed(self, n: int) -> None:
+        """Account ``n`` committed records replayed by crash recovery."""
+        self.stats.records_replayed += n
+        _WAL_REPLAYED.inc(n)
 
     def ensure_lsn_at_least(self, lsn: int) -> None:
         """Never issue LSNs at or below ``lsn`` (the page table's snapshot).

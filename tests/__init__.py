@@ -1,0 +1,18 @@
+"""Test package root.
+
+Hosts :func:`hypothesis_max_examples`, the CI speed knob shared by every
+hypothesis-based suite (tests/property, tests/oracle): the
+``HYPOTHESIS_MAX_EXAMPLES`` environment variable caps each file's example
+count without editing the files, so the fast CI tier can run the full
+property surface at reduced depth.
+"""
+
+import os
+
+
+def hypothesis_max_examples(default: int) -> int:
+    """``default``, capped by the ``HYPOTHESIS_MAX_EXAMPLES`` env var."""
+    cap = os.environ.get("HYPOTHESIS_MAX_EXAMPLES")
+    if not cap:
+        return default
+    return max(1, min(default, int(cap)))

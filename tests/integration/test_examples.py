@@ -25,12 +25,14 @@ class TestExamples:
         assert "trie exact" in result.stdout
         assert "PMR window" in result.stdout
 
+    @pytest.mark.slow
     def test_text_search(self):
         result = run_example("text_search.py")
         assert result.returncode == 0, result.stderr
         assert "plan:" in result.stdout
         assert "'random'" in result.stdout
 
+    @pytest.mark.slow
     def test_spatial_gis(self):
         result = run_example("spatial_gis.py")
         assert result.returncode == 0, result.stderr

@@ -1,0 +1,169 @@
+"""Registry counters must reconcile with the layers' own statistics.
+
+The observability registry is a second accounting path over the same
+events the storage layer already counts (``BufferStats``, ``WALStats``).
+If the two ever disagree, one of them is lying — these tests pin them
+together.
+"""
+
+import pytest
+
+from repro.obs import METRICS, MetricsRegistry, reset_observability
+from repro.storage import BufferPool, DiskManager, FileDiskManager
+
+
+@pytest.fixture(autouse=True)
+def fresh_observability():
+    reset_observability()
+    yield
+    reset_observability()
+
+
+def _delta(before):
+    return MetricsRegistry.delta(before, METRICS.snapshot())
+
+
+def _summed(delta, prefix):
+    return sum(
+        v for k, v in delta.items()
+        if k == prefix or k.startswith(prefix + "{")
+    )
+
+
+class TestBufferReconciliation:
+    def test_hits_misses_evictions_writebacks_match_stats(self):
+        pool = BufferPool(DiskManager(), capacity=4)
+        before_stats = pool.stats.snapshot()
+        before = METRICS.snapshot()
+
+        pids = [pool.new_page(("row", i)) for i in range(8)]
+        for pid in pids:  # re-fetch: some hit, some miss + evict
+            pool.fetch(pid)
+        pool.flush_all()
+
+        stats = pool.stats.delta(before_stats)
+        delta = _delta(before)
+        assert _summed(delta, "buffer_hits_total") == stats.hits
+        assert _summed(delta, "buffer_misses_total") == stats.misses
+        assert _summed(delta, "buffer_evictions_total") == stats.evictions
+        assert (
+            _summed(delta, "buffer_dirty_writebacks_total")
+            == stats.dirty_writebacks
+        )
+        assert stats.misses > 0 and stats.evictions > 0
+
+    def test_retry_counters_match_stats(self):
+        from repro.resilience.faults import (
+            FaultInjectingDiskManager,
+            FaultPolicy,
+        )
+
+        disk = FaultInjectingDiskManager(
+            DiskManager(),
+            FaultPolicy(seed=7, read_error_rate=0.4),
+        )
+        pool = BufferPool(disk, capacity=2)
+        before_stats = pool.stats.snapshot()
+        before = METRICS.snapshot()
+
+        pids = [pool.new_page(("x", i)) for i in range(6)]
+        pool.flush_all()
+        for pid in pids:
+            pool.fetch(pid)
+
+        stats = pool.stats.delta(before_stats)
+        delta = _delta(before)
+        assert _summed(delta, "buffer_retries_total") == (
+            stats.read_retries + stats.write_retries
+        )
+        assert delta.get('buffer_retries_total{op="read"}', 0.0) == (
+            stats.read_retries
+        )
+        assert stats.read_retries > 0  # the fault rate actually fired
+
+
+class TestWalAndChecksumReconciliation:
+    def test_wal_counters_match_wal_stats(self, tmp_path):
+        before = METRICS.snapshot()
+        with FileDiskManager(str(tmp_path / "data.pages")) as disk:
+            for i in range(5):
+                pid = disk.allocate_page()
+                disk.write_page(pid, {"row": i})
+            disk.wal.commit()
+            wal_stats = disk.wal.stats
+            delta = _delta(before)
+            assert _summed(delta, "wal_records_total") == (
+                wal_stats.records_appended
+            )
+            assert _summed(delta, "wal_bytes_total") == (
+                wal_stats.bytes_appended
+            )
+            assert _summed(delta, "wal_commits_total") == wal_stats.commits
+            # 5 data writes plus allocation/commit records.
+            assert wal_stats.records_appended >= 5
+
+    def test_checksum_verifications_count_reads(self, tmp_path):
+        path = str(tmp_path / "data.pages")
+        with FileDiskManager(path) as disk:
+            pids = []
+            for i in range(4):
+                pid = disk.allocate_page()
+                disk.write_page(pid, {"row": i})
+                pids.append(pid)
+        before = METRICS.snapshot()
+        with FileDiskManager(path) as disk:
+            for pid in pids:
+                disk.read_page(pid)
+        delta = _delta(before)
+        assert _summed(delta, "checksum_verifications_total") >= 4
+        assert _summed(delta, "checksum_failures_total") == 0
+
+    def test_checksum_failure_is_counted(self, tmp_path):
+        from repro.errors import PageChecksumError
+        from repro.resilience.faults import corrupt_page
+
+        path = str(tmp_path / "data.pages")
+        with FileDiskManager(path) as disk:
+            pid = disk.allocate_page()
+            disk.write_page(pid, {"row": 0})
+        with FileDiskManager(path) as disk:
+            corrupt_page(disk, pid, seed=3)
+            before = METRICS.snapshot()
+            with pytest.raises(PageChecksumError):
+                disk.read_page(pid)
+            delta = _delta(before)
+            assert _summed(delta, "checksum_failures_total") == 1
+
+
+class TestTreeCounters:
+    def test_descent_counters_and_histogram(self, buffer):
+        from repro.indexes.trie import TrieIndex
+
+        before = METRICS.snapshot()
+        index = TrieIndex(buffer, bucket_size=2)
+        words = ["aa", "ab", "ba", "bb", "ca", "cb", "cc", "da"]
+        for i, w in enumerate(words):
+            index.insert(w, i)
+        list(index.search_equal("ba"))
+
+        delta = _delta(before)
+        assert delta.get('spgist_operations_total{op="insert"}') == len(words)
+        assert delta.get('spgist_operations_total{op="search"}') == 1.0
+        assert _summed(delta, "spgist_nodes_visited_total") > 0
+        # Every insert records one descent-depth observation.
+        assert _summed(delta, "spgist_descent_levels_count") == len(words)
+
+    def test_nn_counters(self, buffer):
+        from repro.core.nn import nearest
+        from repro.indexes.kdtree import KDTreeIndex
+        from repro.geometry import Point
+
+        index = KDTreeIndex(buffer)
+        for i in range(20):
+            index.insert(Point((i * 7) % 20, (i * 13) % 20), i)
+        before = METRICS.snapshot()
+        result = nearest(index, Point(3, 3), 5)
+        assert len(result) == 5
+        delta = _delta(before)
+        assert delta.get('spgist_operations_total{op="nn"}') == 1.0
+        assert delta.get('spgist_nodes_visited_total{op="nn"}', 0) > 0

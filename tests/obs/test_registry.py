@@ -1,0 +1,155 @@
+"""Unit tests for the metrics registry (repro.obs.registry)."""
+
+import math
+
+import pytest
+
+from repro.obs import METRICS, MetricsRegistry, reset_observability
+
+
+@pytest.fixture(autouse=True)
+def fresh_registry():
+    reset_observability()
+    yield
+    reset_observability()
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        r = MetricsRegistry()
+        c = r.counter("ops_total", "operations")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        assert r.value("ops_total") == 5.0
+
+    def test_negative_increment_rejected(self):
+        r = MetricsRegistry()
+        c = r.counter("ops_total")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_registration_is_idempotent(self):
+        r = MetricsRegistry()
+        a = r.counter("ops_total", "operations")
+        b = r.counter("ops_total", "operations")
+        assert a is b
+        a.inc()
+        assert b.value == 1
+
+    def test_kind_conflict_rejected(self):
+        r = MetricsRegistry()
+        r.counter("ops_total")
+        with pytest.raises(ValueError):
+            r.gauge("ops_total")
+
+
+class TestLabels:
+    def test_children_are_independent(self):
+        r = MetricsRegistry()
+        fam = r.counter("reqs_total", labels=("op",))
+        fam.labels("read").inc(3)
+        fam.labels("write").inc()
+        snap = r.snapshot()
+        assert snap['reqs_total{op="read"}'] == 3.0
+        assert snap['reqs_total{op="write"}'] == 1.0
+
+    def test_wrong_arity_rejected(self):
+        r = MetricsRegistry()
+        fam = r.counter("reqs_total", labels=("op",))
+        with pytest.raises(ValueError):
+            fam.labels("a", "b")
+
+    def test_unlabeled_value_on_labeled_family_rejected(self):
+        r = MetricsRegistry()
+        fam = r.counter("reqs_total", labels=("op",))
+        with pytest.raises(ValueError):
+            _ = fam.value
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        r = MetricsRegistry()
+        g = r.gauge("depth")
+        g.set(10)
+        g.inc(2)
+        g.dec(5)
+        assert g.value == 7
+
+
+class TestHistogram:
+    def test_cumulative_buckets(self):
+        r = MetricsRegistry()
+        h = r.histogram("levels", buckets=(1, 2, 4))
+        for v in (1, 1, 3, 9):
+            h.observe(v)
+        snap = r.snapshot()
+        assert snap['levels_bucket{le="1"}'] == 2.0
+        assert snap['levels_bucket{le="2"}'] == 2.0
+        assert snap['levels_bucket{le="4"}'] == 3.0
+        assert snap['levels_bucket{le="+Inf"}'] == 4.0
+        assert snap["levels_count"] == 4.0
+        assert snap["levels_sum"] == 14.0
+
+    def test_buckets_sorted_at_registration(self):
+        r = MetricsRegistry()
+        h = r.histogram("levels", buckets=(4, 1, 2))
+        assert h.bounds == (1, 2, 4)
+
+
+class TestSnapshotDelta:
+    def test_delta_subtracts_and_defaults_missing_to_zero(self):
+        r = MetricsRegistry()
+        c = r.counter("a_total")
+        before = r.snapshot()
+        c.inc(2)
+        r.counter("b_total").inc(7)
+        delta = MetricsRegistry.delta(before, r.snapshot())
+        assert delta["a_total"] == 2.0
+        assert delta["b_total"] == 7.0
+
+    def test_unregistered_value_reads_zero(self):
+        r = MetricsRegistry()
+        assert r.value("nope_total") == 0.0
+        assert r.get("nope_total") is None
+
+
+class TestRender:
+    def test_prometheus_text_format(self):
+        r = MetricsRegistry(namespace="repro")
+        r.counter("ops_total", "operations done").inc(3)
+        fam = r.counter("reqs_total", labels=("op",))
+        fam.labels("read").inc()
+        text = r.render()
+        assert "# HELP repro_ops_total operations done" in text
+        assert "# TYPE repro_ops_total counter" in text
+        assert "repro_ops_total 3" in text
+        assert 'repro_reqs_total{op="read"} 1' in text
+        assert text.endswith("\n")
+
+    def test_inf_formatting(self):
+        r = MetricsRegistry()
+        r.histogram("h", buckets=(1,)).observe(5)
+        assert 'le="+Inf"' in r.render()
+        assert math.inf not in r.snapshot().values()
+
+
+class TestReset:
+    def test_reset_zeroes_but_keeps_bindings(self):
+        r = MetricsRegistry()
+        c = r.counter("ops_total")
+        c.inc(5)
+        r.reset()
+        assert c.value == 0
+        c.inc()  # the pre-reset binding still feeds the registry
+        assert r.value("ops_total") == 1.0
+
+    def test_global_registry_has_instrumented_families(self):
+        # Importing the storage/core layers registers their families.
+        import repro.core.tree  # noqa: F401
+        import repro.storage.buffer  # noqa: F401
+
+        names = {f.name for f in METRICS.families()}
+        assert {"buffer_hits_total", "buffer_misses_total",
+                "spgist_operations_total",
+                "checksum_verifications_total"} <= names

@@ -1,0 +1,125 @@
+"""Unit tests for trace spans (repro.obs.spans)."""
+
+import pytest
+
+from repro.obs import SPANS, SpanRecorder, reset_observability, span
+
+
+@pytest.fixture(autouse=True)
+def fresh_spans():
+    reset_observability()
+    yield
+    reset_observability()
+
+
+class TestSpanBasics:
+    def test_records_name_tags_and_duration(self):
+        with span("unit.op", index="t1"):
+            pass
+        (rec,) = SPANS.records("unit.op")
+        assert rec.tags == {"index": "t1"}
+        assert rec.duration >= 0.0
+        assert rec.duration_ms == rec.duration * 1000.0
+        assert rec.error is None
+        assert rec.depth == 0 and rec.parent_id is None
+
+    def test_nesting_tracks_depth_and_parent(self):
+        with span("outer") as outer:
+            with span("inner"):
+                pass
+        inner_rec = SPANS.records("inner")[0]
+        outer_rec = SPANS.records("outer")[0]
+        assert inner_rec.depth == 1
+        assert inner_rec.parent_id == outer.span_id
+        assert outer_rec.depth == 0
+        # Inner finishes first: ring buffer is oldest-first.
+        assert SPANS.records()[0] is inner_rec
+
+    def test_exception_recorded_and_propagated(self):
+        with pytest.raises(KeyError):
+            with span("boom"):
+                raise KeyError("x")
+        (rec,) = SPANS.records("boom")
+        assert rec.error == "KeyError"
+
+    def test_total_seconds_sums_by_name(self):
+        for _ in range(3):
+            with span("rep"):
+                pass
+        assert SPANS.total_seconds("rep") == pytest.approx(
+            sum(r.duration for r in SPANS.records("rep"))
+        )
+
+
+class TestRecorderBounds:
+    def test_ring_buffer_drops_oldest(self):
+        rec = SpanRecorder(capacity=2)
+        for i in range(4):
+            with rec.span("s", i=i):
+                pass
+        kept = [r.tags["i"] for r in rec.records()]
+        assert kept == [2, 3]
+        assert len(rec) == 2
+
+    def test_disabled_recorder_records_nothing(self):
+        rec = SpanRecorder(enabled=False)
+        with rec.span("s"):
+            pass
+        assert len(rec) == 0
+
+    def test_reset_clears_buffer(self):
+        with span("s"):
+            pass
+        SPANS.reset()
+        assert len(SPANS) == 0
+
+
+class TestGeneratorSpans:
+    def test_abandoned_generator_closes_span(self):
+        # A span wrapping a generator body closes on GeneratorExit, and a
+        # parent span that outlives an abandoned child still unwinds the
+        # stack correctly.
+        def gen():
+            with span("gen.scan"):
+                for i in range(100):
+                    yield i
+
+        g = gen()
+        next(g)
+        assert SPANS.records("gen.scan") == []  # still open
+        g.close()
+        (rec,) = SPANS.records("gen.scan")
+        assert rec.error == "GeneratorExit"
+
+    def test_leaked_child_does_not_corrupt_parent_depth(self):
+        def gen():
+            with span("child"):
+                yield 1
+                yield 2
+
+        with span("parent"):
+            g = gen()
+            next(g)
+            del g  # abandoned mid-flight; child span leaks until GC close
+        (parent,) = SPANS.records("parent")
+        assert parent.depth == 0
+        with span("after"):
+            pass
+        (after,) = SPANS.records("after")
+        assert after.depth == 0
+
+
+class TestIndexInstrumentation:
+    def test_index_operations_emit_spans(self, buffer):
+        from repro.indexes.trie import TrieIndex
+
+        index = TrieIndex(buffer, bucket_size=4, name="t_spans")
+        for i, w in enumerate(["ara", "arb", "arc", "ard", "are"]):
+            index.insert(w, i)
+        assert len(SPANS.records("index.insert")) == 5
+        assert SPANS.records("index.insert")[0].tags == {"index": "t_spans"}
+
+        list(index.search_equal("arc"))
+        search_spans = SPANS.records("index.search")
+        assert len(search_spans) == 1
+        assert search_spans[0].tags["index"] == "t_spans"

@@ -1,0 +1,98 @@
+"""Differential oracle: every index answer is checked against a seq scan.
+
+The oracle principle: for any workload and any query, an SP-GiST index
+scan and the trivially-correct sequential scan must return the *same
+multiset of rows*. Hypothesis drives the workloads; this module holds the
+plumbing that builds a one-index table and runs both access paths with
+the planner bypassed (we force the index path — the point is to test the
+index, not the cost model's choice).
+"""
+
+from __future__ import annotations
+
+import collections
+from typing import Any, Sequence
+
+from repro.engine.catalog import default_catalog
+from repro.engine.cost import seqscan_cost
+from repro.engine.executor import execute_plan
+from repro.engine.planner import (
+    IndexScanPlan,
+    NNIndexScanPlan,
+    Predicate,
+    SeqScanPlan,
+)
+from repro.engine.table import Column, Table
+from repro.storage import BufferPool, DiskManager
+
+
+def build_table(
+    type_name: str,
+    values: Sequence[Any],
+    opclass: str,
+    index_column: str = "key",
+    buffer: BufferPool | None = None,
+    pool_pages: int = 64,
+) -> Table:
+    """A one-index table over ``values`` (row = (value, ordinal))."""
+    table = Table(
+        "oracle",
+        [Column(index_column, type_name), Column("id", "int")],
+        buffer or BufferPool(DiskManager(), capacity=pool_pages),
+        default_catalog(),
+    )
+    for i, value in enumerate(values):
+        table.insert((value, i))
+    table.create_index("oracle_idx", index_column, "SP_GiST", opclass)
+    table.analyze()
+    return table
+
+
+def _forced_plans(table: Table, predicate: Predicate):
+    """The index plan under test and its seq-scan oracle twin."""
+    cost = seqscan_cost(table.heap_pages, len(table))
+    index = table.indexes["oracle_idx"]
+    if predicate.op == "@@":
+        index_plan = NNIndexScanPlan(table, predicate, cost, index=index)
+    else:
+        index_plan = IndexScanPlan(table, predicate, cost, index=index)
+    return index_plan, SeqScanPlan(table, predicate, cost)
+
+
+def assert_index_matches_seqscan(table: Table, op: str, operand: Any) -> None:
+    """Both access paths must return the same multiset of rows."""
+    predicate = Predicate("key", op, operand)
+    index_plan, seq_plan = _forced_plans(table, predicate)
+    index_rows = collections.Counter(execute_plan(index_plan))
+    seq_rows = collections.Counter(execute_plan(seq_plan))
+    assert index_rows == seq_rows, (
+        f"oracle divergence for {op} {operand!r}: "
+        f"index-only={index_rows - seq_rows} seq-only={seq_rows - index_rows}"
+    )
+
+
+def assert_nn_matches_sort(
+    table: Table, query: Any, k: int, distance
+) -> None:
+    """NN-with-LIMIT oracle.
+
+    Ties at the cut-off make the row *set* ambiguous, so the oracle
+    compares the *distance multiset* of the first ``k`` results against
+    the brute-force k smallest distances — which is exactly the guarantee
+    the paper's incremental NN gives.
+    """
+    import itertools
+
+    import pytest
+
+    predicate = Predicate("key", "@@", query)
+    index_plan, _ = _forced_plans(table, predicate)
+    got = list(itertools.islice(execute_plan(index_plan), k))
+    got_distances = sorted(distance(row[0], query) for row in got)
+    want_distances = sorted(
+        distance(row[0], query) for _tid, row in table.scan()
+    )[:k]
+    assert len(got) == min(k, len(table))
+    assert got_distances == pytest.approx(want_distances), (
+        f"NN oracle divergence for k={k}: {got_distances} != {want_distances}"
+    )

@@ -1,0 +1,119 @@
+"""Differential oracle: spatial indexes vs seq scan.
+
+Point equality (``@``), range/containment (``^``), and NN-with-LIMIT
+(``@@``) through the kd-tree, point quadtree, and PR quadtree; segment
+equality and window overlap through the PMR quadtree. Every answer is
+compared against the sequential-scan oracle as a multiset.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Box, Point
+from repro.geometry.distance import euclidean, point_to_segment_distance
+from repro.geometry.segment import LineSegment
+
+from tests import hypothesis_max_examples
+from tests.oracle.harness import (
+    assert_index_matches_seqscan,
+    assert_nn_matches_sort,
+    build_table,
+)
+
+SETTINGS = settings(
+    max_examples=hypothesis_max_examples(20),
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+POINT_OPCLASSES = ("SP_GiST_kdtree", "SP_GiST_pquadtree", "SP_GiST_prquadtree")
+
+COORD = st.integers(min_value=0, max_value=50)
+POINTS = st.lists(
+    st.builds(Point, COORD, COORD), min_size=1, max_size=40
+)
+
+
+@st.composite
+def points_and_box(draw):
+    points = draw(POINTS)
+    x1, x2 = sorted((draw(COORD), draw(COORD)))
+    y1, y2 = sorted((draw(COORD), draw(COORD)))
+    return points, Box(x1, y1, x2, y2)
+
+
+@st.composite
+def segments_and_box(draw):
+    coords = st.integers(min_value=0, max_value=30)
+    segments = draw(st.lists(
+        st.builds(
+            LineSegment,
+            st.builds(Point, coords, coords),
+            st.builds(Point, coords, coords),
+        ),
+        min_size=1,
+        max_size=25,
+    ))
+    x1, x2 = sorted((draw(coords), draw(coords)))
+    y1, y2 = sorted((draw(coords), draw(coords)))
+    return segments, Box(x1, y1, x2, y2)
+
+
+@pytest.mark.parametrize("opclass", POINT_OPCLASSES)
+class TestPointOracles:
+    @given(data=points_and_box())
+    @SETTINGS
+    def test_point_equality(self, opclass, data):
+        points, _box = data
+        table = build_table("point", points, opclass)
+        assert_index_matches_seqscan(table, "@", points[0])
+
+    @given(data=points_and_box())
+    @SETTINGS
+    def test_absent_point_equality(self, opclass, data):
+        points, _box = data
+        table = build_table("point", points, opclass)
+        assert_index_matches_seqscan(table, "@", Point(99, 99))
+
+    @given(data=points_and_box())
+    @SETTINGS
+    def test_range_contains(self, opclass, data):
+        points, box = data
+        table = build_table("point", points, opclass)
+        assert_index_matches_seqscan(table, "^", box)
+
+    @given(data=points_and_box(), k=st.integers(min_value=1, max_value=6))
+    @SETTINGS
+    def test_nn_with_limit(self, opclass, data, k):
+        points, box = data
+        table = build_table("point", points, opclass)
+        query = Point(box.xmin, box.ymin)
+        assert_nn_matches_sort(table, query, k, euclidean)
+
+
+class TestSegmentOracle:
+    @given(data=segments_and_box())
+    @SETTINGS
+    def test_segment_equality(self, data):
+        segments, _box = data
+        table = build_table("lseg", segments, "SP_GiST_pmr")
+        assert_index_matches_seqscan(table, "=", segments[0])
+
+    @given(data=segments_and_box())
+    @SETTINGS
+    def test_window_overlap(self, data):
+        segments, box = data
+        table = build_table("lseg", segments, "SP_GiST_pmr")
+        assert_index_matches_seqscan(table, "&&", box)
+
+    @given(data=segments_and_box(), k=st.integers(min_value=1, max_value=5))
+    @SETTINGS
+    def test_nn_with_limit(self, data, k):
+        segments, box = data
+        table = build_table("lseg", segments, "SP_GiST_pmr")
+        query = Point(box.xmin, box.ymin)
+        assert_nn_matches_sort(
+            table, query, k,
+            lambda seg, q: point_to_segment_distance(q, seg),
+        )

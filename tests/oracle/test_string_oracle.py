@@ -1,0 +1,103 @@
+"""Differential oracle: string indexes (trie, suffix tree) vs seq scan.
+
+Every query shape the paper's Table 6 runs over varchar columns —
+equality, prefix, regex, glob, substring, NN-with-LIMIT — must return the
+same multiset of rows through the index as through the sequential scan.
+"""
+
+import string
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from tests import hypothesis_max_examples
+from tests.oracle.harness import (
+    assert_index_matches_seqscan,
+    assert_nn_matches_sort,
+    build_table,
+)
+
+SETTINGS = settings(
+    max_examples=hypothesis_max_examples(25),
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+WORDS = st.lists(
+    st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=10),
+    min_size=1,
+    max_size=50,
+)
+
+
+@st.composite
+def words_and_probe(draw):
+    """A workload plus a probe that is usually (not always) present."""
+    words = draw(WORDS)
+    if draw(st.booleans()):
+        probe = draw(st.sampled_from(words))
+    else:
+        probe = draw(st.text(alphabet=string.ascii_lowercase, min_size=1,
+                             max_size=10))
+    return words, probe
+
+
+class TestTrieOracle:
+    @given(data=words_and_probe())
+    @SETTINGS
+    def test_equality(self, data):
+        words, probe = data
+        table = build_table("varchar", words, "SP_GiST_trie")
+        assert_index_matches_seqscan(table, "=", probe)
+
+    @given(data=words_and_probe())
+    @SETTINGS
+    def test_prefix(self, data):
+        words, probe = data
+        table = build_table("varchar", words, "SP_GiST_trie")
+        assert_index_matches_seqscan(table, "#=", probe[:2])
+
+    @given(data=words_and_probe())
+    @SETTINGS
+    def test_glob(self, data):
+        words, probe = data
+        table = build_table("varchar", words, "SP_GiST_trie")
+        # A '*' tail glob: matches everything sharing the probe's head.
+        assert_index_matches_seqscan(table, "*=", probe[:1] + "*")
+
+    @given(data=words_and_probe())
+    @SETTINGS
+    def test_regex_single_wildcard(self, data):
+        words, probe = data
+        table = build_table("varchar", words, "SP_GiST_trie")
+        pattern = "?" + probe[1:] if len(probe) > 1 else "?"
+        assert_index_matches_seqscan(table, "?=", pattern)
+
+    @given(data=words_and_probe(), k=st.integers(min_value=1, max_value=8))
+    @SETTINGS
+    def test_nn_with_limit(self, data, k):
+        from repro.geometry.distance import hamming
+
+        words, probe = data
+        table = build_table("varchar", words, "SP_GiST_trie")
+        assert_nn_matches_sort(
+            table, probe, k,
+            lambda value, query: float(hamming(value, query)),
+        )
+
+
+class TestSuffixOracle:
+    @given(data=words_and_probe())
+    @SETTINGS
+    def test_substring(self, data):
+        words, probe = data
+        table = build_table("varchar", words, "SP_GiST_suffix")
+        assert_index_matches_seqscan(table, "@=", probe[:3])
+
+    @given(data=words_and_probe())
+    @SETTINGS
+    def test_substring_of_present_word_interior(self, data):
+        words, probe = data
+        table = build_table("varchar", words, "SP_GiST_suffix")
+        interior = probe[1:4] or probe
+        assert_index_matches_seqscan(table, "@=", interior)

@@ -5,13 +5,17 @@ import string
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
+from tests import hypothesis_max_examples
+
 from repro.baselines import HashIndex
 from repro.geometry import Box, Point
 from repro.indexes.prquadtree import PRQuadtreeIndex
 from repro.storage import BufferPool, DiskManager
 
 SETTINGS = settings(
-    max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    max_examples=hypothesis_max_examples(30),
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
 )
 
 KEYS = st.lists(

@@ -16,6 +16,8 @@ import tempfile
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
+from tests import hypothesis_max_examples
+
 from repro.errors import ReproError
 from repro.indexes import TrieIndex
 from repro.resilience import (
@@ -27,7 +29,9 @@ from repro.storage import BufferPool, DiskManager, FileDiskManager
 from repro.workloads import random_words
 
 SETTINGS = settings(
-    max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    max_examples=hypothesis_max_examples(25),
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
 )
 
 WORDS = random_words(80, seed=71)

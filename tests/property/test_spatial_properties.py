@@ -3,6 +3,8 @@
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
+from tests import hypothesis_max_examples
+
 from repro.baselines import RTree
 from repro.geometry import Box, LineSegment, Point
 from repro.indexes.kdtree import KDTreeIndex
@@ -26,7 +28,9 @@ SEGMENTS = st.lists(
 )
 
 SETTINGS = settings(
-    max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    max_examples=hypothesis_max_examples(30),
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
 )
 
 

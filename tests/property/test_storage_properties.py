@@ -3,10 +3,14 @@
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
+from tests import hypothesis_max_examples
+
 from repro.storage import BufferPool, DiskManager, HeapFile
 
 SETTINGS = settings(
-    max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    max_examples=hypothesis_max_examples(40),
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
 )
 
 PAYLOADS = st.lists(

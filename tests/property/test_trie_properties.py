@@ -5,6 +5,8 @@ import string
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
+from tests import hypothesis_max_examples
+
 from repro.indexes.trie import TrieIndex, regex_matches
 from repro.storage import BufferPool, DiskManager
 
@@ -15,7 +17,9 @@ WORDS = st.lists(
 )
 
 SETTINGS = settings(
-    max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    max_examples=hypothesis_max_examples(40),
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
 )
 
 

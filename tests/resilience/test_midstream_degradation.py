@@ -1,0 +1,169 @@
+"""Mid-stream index death: the fallback must not duplicate emitted rows.
+
+The executor's graceful degradation catches corruption *after* an index
+scan has already yielded rows. The seq-scan (or sort-scan) fallback must
+skip exactly the TIDs already produced — no duplicates, no gaps. These
+tests force the failure deterministically with a stub index that yields
+``k`` genuine TIDs and then dies, and once more with real page corruption
+on the NN path.
+"""
+
+import collections
+
+import pytest
+
+from repro.engine.catalog import default_catalog
+from repro.engine.cost import seqscan_cost
+from repro.engine.executor import execute_plan
+from repro.engine.planner import (
+    IndexScanPlan,
+    NNIndexScanPlan,
+    Predicate,
+    plan_query,
+)
+from repro.engine.table import Column, Table
+from repro.errors import IndexCorruptionError
+from repro.geometry import Point
+from repro.geometry.distance import euclidean
+from repro.resilience import INCIDENTS, corrupt_page
+from repro.workloads import random_points, random_words
+
+
+@pytest.fixture(autouse=True)
+def clean_incident_log():
+    INCIDENTS.reset()
+    yield
+    INCIDENTS.reset()
+
+
+@pytest.fixture
+def word_table(buffer):
+    table = Table(
+        "words",
+        [Column("name", "varchar"), Column("id", "int")],
+        buffer,
+        default_catalog(),
+    )
+    for i, w in enumerate(random_words(1000, seed=71)):
+        table.insert((w, i))
+    table.analyze()
+    return table
+
+
+@pytest.fixture
+def point_table(buffer):
+    table = Table(
+        "pts",
+        [Column("p", "point"), Column("id", "int")],
+        buffer,
+        default_catalog(),
+    )
+    for i, p in enumerate(random_points(1000, seed=72)):
+        table.insert((p, i))
+    table.analyze()
+    return table
+
+
+class _DyingIndex:
+    """Stub index: yields ``k`` genuine TIDs, then raises corruption."""
+
+    def __init__(self, name, tids, k):
+        self.name = name
+        self.quarantined = False
+        self._tids = tids
+        self._k = k
+
+    def scan(self, op, operand):
+        return self._emit()
+
+    def nn_scan(self, query):
+        return self._emit()
+
+    def _emit(self):
+        for tid in self._tids[: self._k]:
+            yield tid
+        raise IndexCorruptionError(self.name, "page torn mid-scan")
+
+
+class TestIndexScanMidStreamDedup:
+    def _plan_with_dying_index(self, table, predicate, k):
+        position = table.column_index(predicate.column)
+        matching = [
+            tid for tid, row in table.scan()
+            if row[position] == predicate.operand
+        ]
+        assert len(matching) > k, "need the index to die mid-stream"
+        index = _DyingIndex("dying", matching, k)
+        cost = seqscan_cost(table.heap_pages, len(table))
+        return IndexScanPlan(table, predicate, cost, index=index)
+
+    def test_no_duplicates_after_k_rows(self, word_table):
+        # Pick the most frequent word so several TIDs match.
+        counts = collections.Counter(r[0] for _t, r in word_table.scan())
+        target, n = counts.most_common(1)[0]
+        assert n >= 2
+        predicate = Predicate("name", "=", target)
+        plan = self._plan_with_dying_index(word_table, predicate, k=1)
+
+        rows = list(execute_plan(plan))
+        expected = [r for _t, r in word_table.scan() if r[0] == target]
+        assert collections.Counter(rows) == collections.Counter(expected)
+        assert INCIDENTS.of_kind("index-scan-degraded")
+        assert plan.index.quarantined
+
+    def test_zero_rows_before_death_still_complete(self, word_table):
+        counts = collections.Counter(r[0] for _t, r in word_table.scan())
+        target, n = counts.most_common(1)[0]
+        predicate = Predicate("name", "=", target)
+        plan = self._plan_with_dying_index(word_table, predicate, k=0)
+        rows = list(execute_plan(plan))
+        expected = [r for _t, r in word_table.scan() if r[0] == target]
+        assert collections.Counter(rows) == collections.Counter(expected)
+
+
+class TestNNMidStreamDedup:
+    def _nn_plan_with_dying_index(self, table, query, k):
+        ranked = sorted(
+            ((euclidean(row[0], query), tid) for tid, row in table.scan()),
+            key=lambda item: (item[0], item[1]),
+        )
+        tids = [tid for _d, tid in ranked]
+        index = _DyingIndex("dying-nn", tids, k)
+        cost = seqscan_cost(table.heap_pages, len(table))
+        return NNIndexScanPlan(
+            table, Predicate("p", "@@", query), cost, index=index
+        )
+
+    def test_stream_continues_in_distance_order_without_dupes(
+        self, point_table
+    ):
+        query = Point(50, 50)
+        plan = self._nn_plan_with_dying_index(point_table, query, k=5)
+        rows = list(execute_plan(plan))
+
+        expected = [r for _t, r in point_table.scan()]
+        assert collections.Counter(rows) == collections.Counter(expected)
+        distances = [euclidean(r[0], query) for r in rows]
+        assert distances == sorted(distances)  # order survives the splice
+        assert INCIDENTS.of_kind("nn-scan-degraded")
+        assert plan.index.quarantined
+
+    def test_real_corruption_on_nn_path(self, point_table):
+        point_table.create_index("kd", "p", "SP_GiST", "SP_GiST_kdtree")
+        point_table.analyze()
+        query = Point(25, 75)
+        plan = plan_query(point_table, Predicate("p", "@@", query))
+        assert isinstance(plan, NNIndexScanPlan)
+
+        index = point_table.indexes["kd"]
+        point_table.buffer.clear()
+        for page_id in index.structure.store.page_ids:
+            corrupt_page(point_table.buffer.disk, page_id, seed=page_id)
+
+        rows = list(execute_plan(plan))
+        expected = [r for _t, r in point_table.scan()]
+        assert collections.Counter(rows) == collections.Counter(expected)
+        distances = [euclidean(r[0], query) for r in rows]
+        assert distances == sorted(distances)
+        assert INCIDENTS.count >= 1
+        assert index.quarantined
