@@ -1,0 +1,260 @@
+"""Hot-path macro-benchmark and regression gate (BENCH_3.json).
+
+Measures the mixed insert+search macro workload for the paper's five index
+instantiations (trie, suffix, kd-tree, point quadtree, PMR quadtree) under
+two configurations:
+
+- ``baseline`` — the pre-optimization write path: per-item inserts with a
+  WAL commit per statement, write-through WAL (no group commit), and no
+  deserialized-node cache. This is how the engine executed an
+  autocommitted single-row INSERT stream before the hot-path overhaul.
+- ``optimized`` — the overhauled path: batched ``insert_many`` statements
+  (one WAL commit per batch), WAL group commit, and the node cache.
+
+Both configurations run the identical logical workload — load N items,
+then answer Q equality searches — against a file-backed, WAL-protected
+disk and a small (disk-resident regime) buffer pool, with fixed seeds.
+
+Reported per workload and configuration: wall time, ops/sec, pages
+read/written through the buffer pool, and WAL records/bytes/commits. The
+wall-clock *ratio* between the two configurations is machine-independent
+enough to gate on, because both sides are always measured on the same
+machine in the same process; the page and WAL counters are fully
+deterministic given the fixed seeds, so the regression test
+(``tests/bench/test_perf_gate.py``) compares them against the committed
+``BENCH_3.json`` with a small tolerance.
+
+CLI::
+
+    PYTHONPATH=src python -m repro.bench.perfgate --out BENCH_3.json
+    PYTHONPATH=src python -m repro.bench.perfgate --quick   # quick scale only
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from typing import Any, Callable
+
+from repro.core.external import Query
+from repro.geometry.box import Box
+from repro.indexes import (
+    KDTreeIndex,
+    PMRQuadtreeIndex,
+    PointQuadtreeIndex,
+    SuffixTreeIndex,
+    TrieIndex,
+)
+from repro.storage.buffer import BufferPool
+from repro.storage.filedisk import FileDiskManager
+from repro.workloads import random_points, random_segments, random_words
+
+#: Benchmark schema version stamped into the JSON.
+SCHEMA = "bench3-v1"
+
+#: Buffer pool frames: small relative to the working sets, the paper's
+#: disk-resident regime.
+POOL_PAGES = 64
+
+#: Scale presets. ``quick`` is what the CI gate re-runs in-process; ``full``
+#: is the committed headline number.
+SCALES = {
+    "quick": {"items": 400, "searches": 200, "batch": 128},
+    "full": {"items": 2400, "searches": 800, "batch": 256},
+}
+
+#: The five paper index types benchmarked.
+WORKLOADS = ("trie", "suffix", "kdtree", "pquad", "pmr")
+
+_WORLD = Box(0.0, 0.0, 100.0, 100.0)
+
+
+def _make_index(kind: str, pool: BufferPool) -> Any:
+    if kind == "trie":
+        return TrieIndex(pool, bucket_size=4)
+    if kind == "suffix":
+        return SuffixTreeIndex(pool, bucket_size=4)
+    if kind == "kdtree":
+        return KDTreeIndex(pool)
+    if kind == "pquad":
+        return PointQuadtreeIndex(pool, bucket_size=4)
+    if kind == "pmr":
+        return PMRQuadtreeIndex(pool, _WORLD, threshold=8)
+    raise ValueError(f"unknown workload kind {kind!r}")
+
+
+def _make_items(kind: str, count: int) -> list[Any]:
+    if kind == "trie":
+        return random_words(count, seed=301)
+    if kind == "suffix":
+        # Suffix trees fan each word into its suffixes internally on
+        # insert_word; here words are indexed directly (as in the recovery
+        # suite) so item count stays comparable across kinds.
+        return random_words(count, seed=302)
+    if kind == "kdtree":
+        return random_points(count, seed=303)
+    if kind == "pquad":
+        return random_points(count, seed=304)
+    if kind == "pmr":
+        return random_segments(max(count // 2, 50), seed=305)
+    raise ValueError(f"unknown workload kind {kind!r}")
+
+
+def _disable_node_cache(index: Any) -> None:
+    """Put an index into the pre-overhaul (cacheless) configuration."""
+    index.store.detach()
+    index.store.cache = None
+
+
+def _chunks(seq: list, size: int) -> list[list]:
+    return [seq[i:i + size] for i in range(0, len(seq), size)]
+
+
+def run_workload(
+    kind: str,
+    optimized: bool,
+    scale: dict[str, int],
+    dir_path: str,
+) -> dict[str, Any]:
+    """Run one index type's mixed macro under one configuration."""
+    items = _make_items(kind, scale["items"])
+    # Search probes: every k-th inserted key, cycled to the probe count.
+    probes = [items[i % len(items)] for i in range(0, scale["searches"] * 3, 3)]
+
+    suffix = "opt" if optimized else "base"
+    path = os.path.join(dir_path, f"{kind}-{suffix}.dat")
+    disk = FileDiskManager(path, group_commit=optimized)
+    pool = BufferPool(disk, capacity=POOL_PAGES)
+    index = _make_index(kind, pool)
+    if not optimized:
+        _disable_node_cache(index)
+
+    reads0 = pool.stats.misses
+    writes0 = pool.stats.dirty_writebacks
+    pairs = [(key, i) for i, key in enumerate(items)]
+
+    started = time.perf_counter()
+    if optimized:
+        for chunk in _chunks(pairs, scale["batch"]):
+            index.insert_many(chunk)
+            pool.flush_all()
+            disk.sync()  # one commit per multi-row INSERT statement
+    else:
+        for key, value in pairs:
+            index.insert(key, value)
+            pool.flush_all()
+            disk.sync()  # one commit per single-row INSERT statement
+    insert_wall = time.perf_counter() - started
+
+    equality = index.methods.equality_operator
+    started = time.perf_counter()
+    matched = 0
+    for probe in probes:
+        for _key, _value in index.search(Query(equality, probe)):
+            matched += 1
+    search_wall = time.perf_counter() - started
+
+    wall = insert_wall + search_wall
+    ops = len(pairs) + len(probes)
+    cache_stats = index.store.cache.stats if index.store.cache else None
+    result = {
+        "items": len(pairs),
+        "searches": len(probes),
+        "matches": matched,
+        "wall_seconds": wall,
+        "insert_seconds": insert_wall,
+        "search_seconds": search_wall,
+        "ops_per_sec": ops / wall if wall > 0 else 0.0,
+        "pages_read": pool.stats.misses - reads0,
+        "pages_written": pool.stats.dirty_writebacks - writes0,
+        "wal_records": disk.wal.stats.records_appended,
+        "wal_bytes": disk.wal.stats.bytes_appended,
+        "wal_commits": disk.wal.stats.commits,
+        "wal_group_flushes": disk.wal.stats.group_flushes,
+        "node_cache_hits": cache_stats.hits if cache_stats else 0,
+        "node_cache_hit_ratio": (
+            round(cache_stats.hit_ratio, 4) if cache_stats else 0.0
+        ),
+    }
+    disk.close()
+    return result
+
+
+def run_scale(scale_name: str, dir_path: str) -> dict[str, Any]:
+    """Run every workload at one scale; returns the per-scale report."""
+    scale = SCALES[scale_name]
+    workloads: dict[str, Any] = {}
+    base_wall = opt_wall = 0.0
+    for kind in WORKLOADS:
+        baseline = run_workload(kind, False, scale, dir_path)
+        optimized = run_workload(kind, True, scale, dir_path)
+        speedup = (
+            baseline["wall_seconds"] / optimized["wall_seconds"]
+            if optimized["wall_seconds"] > 0
+            else 0.0
+        )
+        workloads[kind] = {
+            "baseline": baseline,
+            "optimized": optimized,
+            "speedup": round(speedup, 3),
+        }
+        base_wall += baseline["wall_seconds"]
+        opt_wall += optimized["wall_seconds"]
+    return {
+        "scale": dict(scale),
+        "workloads": workloads,
+        "mixed": {
+            "baseline_wall_seconds": base_wall,
+            "optimized_wall_seconds": opt_wall,
+            "speedup": round(base_wall / opt_wall, 3) if opt_wall else 0.0,
+        },
+    }
+
+
+def run(quick_only: bool = False) -> dict[str, Any]:
+    """Run the full benchmark matrix; returns the BENCH_3 report dict."""
+    report: dict[str, Any] = {"schema": SCHEMA, "pool_pages": POOL_PAGES}
+    with tempfile.TemporaryDirectory(prefix="perfgate-") as dir_path:
+        report["quick"] = run_scale("quick", dir_path)
+        if not quick_only:
+            report["full"] = run_scale("full", dir_path)
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point: run the suite and write/print the JSON report."""
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default=None, help="write the JSON report here")
+    parser.add_argument(
+        "--quick", action="store_true", help="run only the quick scale"
+    )
+    args = parser.parse_args(argv)
+
+    report = run(quick_only=args.quick)
+    for scale_name in ("quick", "full"):
+        if scale_name not in report:
+            continue
+        mixed = report[scale_name]["mixed"]
+        print(f"[{scale_name}] mixed macro speedup: {mixed['speedup']:.2f}x")
+        for kind, entry in report[scale_name]["workloads"].items():
+            base, opt = entry["baseline"], entry["optimized"]
+            print(
+                f"  {kind:7s} {entry['speedup']:5.2f}x  "
+                f"wall {base['wall_seconds']:.3f}s -> {opt['wall_seconds']:.3f}s  "
+                f"wal {base['wal_bytes']} -> {opt['wal_bytes']} B  "
+                f"cache hit {opt['node_cache_hit_ratio']:.0%}"
+            )
+    if args.out:
+        with open(args.out, "w") as f:
+            json.dump(report, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    raise SystemExit(main())

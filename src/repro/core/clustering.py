@@ -26,6 +26,7 @@ from typing import Any
 from repro.errors import IndexCorruptionError
 from repro.core.node import Entry, InnerNode, LeafNode, NodeRef
 from repro.storage.buffer import BufferPool
+from repro.storage.nodecache import MISS, NodeCache
 from repro.storage.page import PAGE_CAPACITY
 
 
@@ -52,13 +53,45 @@ class NodeStore:
     """
 
     def __init__(
-        self, buffer: BufferPool, page_capacity: int = PAGE_CAPACITY
+        self,
+        buffer: BufferPool,
+        page_capacity: int = PAGE_CAPACITY,
+        use_node_cache: bool = True,
     ) -> None:
         self.buffer = buffer
         self.page_capacity = page_capacity
         self.page_ids: list[int] = []
         self.num_nodes = 0
         self._open_page_id: int | None = None
+        # Deserialized-node cache. Coherence: the pool's eviction listener
+        # drops a page's cached nodes the moment the page leaves the pool,
+        # so the cache is always a subset of resident pages (see
+        # repro.storage.nodecache for the full contract).
+        self.cache: NodeCache | None = None
+        self._cache_listener = None
+        if use_node_cache:
+            self.cache = NodeCache()
+            self._cache_listener = buffer.add_eviction_listener(
+                self.cache.drop_page
+            )
+
+    def detach(self) -> None:
+        """Unhook this store's cache from the buffer pool.
+
+        Must be called when a store is retired (e.g. replaced by a
+        :func:`repack`) so the pool does not keep notifying a dead cache.
+        Safe to call on a cacheless or already-detached store.
+        """
+        if self._cache_listener is not None:
+            self.buffer.remove_eviction_listener(self._cache_listener)
+            self._cache_listener = None
+        if self.cache is not None:
+            self.cache.clear()
+
+    def purge_cache(self) -> None:
+        """Drop every cached node (quarantine / recovery / cold-cache)."""
+        if self.cache is not None:
+            self.cache.clear()
 
     # -- creation / placement --------------------------------------------------
 
@@ -79,6 +112,8 @@ class NodeStore:
             self._open_page_id = page_id
             ref = NodeRef(page_id, 0)
         self.num_nodes += 1
+        if self.cache is not None:
+            self.cache.put(ref.page_id, ref.slot, node)
         return ref
 
     def _try_place(self, page_id: int, node: Any, size: int) -> NodeRef | None:
@@ -102,11 +137,33 @@ class NodeStore:
     # -- access -------------------------------------------------------------------
 
     def read(self, ref: NodeRef) -> Any:
-        """Fetch the node at ``ref`` (one buffer access)."""
-        payload: _NodePagePayload = self.buffer.fetch(ref.page_id)
+        """Fetch the node at ``ref`` (one buffer access on a cache miss).
+
+        A node-cache hit still refreshes the page's LRU recency
+        (:meth:`BufferPool.touch`), so the pool evicts in exactly the
+        order it would without the cache — buffer miss counts, the
+        paper's cost metric, are identical either way.
+        """
+        cache = self.cache
+        if cache is not None:
+            node = cache.get(ref.page_id, ref.slot)
+            if node is not MISS and self.buffer.touch(ref.page_id):
+                return node
+        try:
+            payload: _NodePagePayload = self.buffer.fetch(ref.page_id)
+        except Exception:
+            # Checksum / IO failure: never leave poisoned nodes behind.
+            if cache is not None:
+                cache.drop_page(ref.page_id)
+            raise
         if ref.slot >= len(payload.slots) or payload.slots[ref.slot] is None:
+            if cache is not None:
+                cache.drop_page(ref.page_id)
             raise IndexCorruptionError(f"dangling node reference {ref}")
-        return payload.slots[ref.slot]
+        node = payload.slots[ref.slot]
+        if cache is not None:
+            cache.put(ref.page_id, ref.slot, node)
+        return node
 
     def write(self, ref: NodeRef, node: Any) -> NodeRef:
         """Persist ``node`` at ``ref``; relocate if it no longer fits.
@@ -127,6 +184,8 @@ class NodeStore:
             payload.slot_bytes[ref.slot] = size
             payload.used_bytes = new_used
             self.buffer.mark_dirty(ref.page_id)
+            if self.cache is not None:
+                self.cache.put(ref.page_id, ref.slot, node)
             return ref
         self._remove_slot(payload, ref)
         self.num_nodes -= 1  # create() re-counts it
@@ -145,6 +204,8 @@ class NodeStore:
         payload.slots[ref.slot] = None
         payload.slot_bytes[ref.slot] = 0
         self.buffer.mark_dirty(ref.page_id)
+        if self.cache is not None:
+            self.cache.drop_slot(ref.page_id, ref.slot)
 
     # -- statistics ------------------------------------------------------------------
 
@@ -165,6 +226,90 @@ class NodeStore:
         if not self.page_ids:
             return 0.0
         return self.used_bytes() / (len(self.page_ids) * self.page_capacity)
+
+
+def pack_nodes(
+    store: NodeStore, root: Any, children_of: Any
+) -> NodeRef:
+    """Write a fully-built in-memory tree into ``store``, BFS-cap packed.
+
+    ``root`` is the root node object; ``children_of(node)`` returns an
+    inner node's child node objects, aligned 1:1 with ``node.entries``
+    (entry ``i`` points at child ``i``). The function assigns every node
+    its final ``(page, slot)`` with the same BFS-cap planning as
+    :func:`repack`, wires each entry's child pointer, and writes each page
+    exactly once — the bulk-build fast path that skips the
+    create-incrementally-then-repack double write.
+
+    Pages are appended to ``store``; returns the root's :class:`NodeRef`.
+    """
+    from collections import deque
+
+    node_by_id: dict[int, Any] = {}
+    sizes: dict[int, int] = {}
+    kids: dict[int, list[Any]] = {}
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        nid = id(node)
+        node_by_id[nid] = node
+        sizes[nid] = node.approx_bytes()
+        kids[nid] = list(children_of(node))
+        stack.extend(kids[nid])
+
+    # BFS-cap planning, identical to repack(): fill each page with the
+    # breadth-first top of pending subtrees; uncovered frontier children
+    # seed later pages.
+    page_capacity = store.page_capacity
+    group_members: list[list[int]] = []
+    position: dict[int, tuple[int, int]] = {}
+    pending: deque[Any] = deque([root])
+    while pending:
+        group = len(group_members)
+        members: list[int] = []
+        group_members.append(members)
+        free = page_capacity
+        overflow: deque[Any] = deque()
+        while pending:
+            seed = pending.popleft()
+            if members and sizes[id(seed)] > free:
+                overflow.appendleft(seed)
+                break
+            cap: deque[Any] = deque([seed])
+            while cap:
+                node = cap.popleft()
+                nid = id(node)
+                if members and sizes[nid] > free:
+                    overflow.append(node)
+                    continue
+                position[nid] = (group, len(members))
+                members.append(nid)
+                free -= sizes[nid]
+                cap.extend(kids[nid])
+        pending.extendleft(reversed(overflow))
+
+    page_of_group = [
+        store.buffer.new_page(_NodePagePayload()) for _ in group_members
+    ]
+    store.page_ids.extend(page_of_group)
+
+    def _ref(node: Any) -> NodeRef:
+        group, slot = position[id(node)]
+        return NodeRef(page_of_group[group], slot)
+
+    for group, members in enumerate(group_members):
+        payload = _NodePagePayload()
+        for nid in members:
+            node = node_by_id[nid]
+            if isinstance(node, InnerNode):
+                for entry, child in zip(node.entries, kids[nid]):
+                    entry.child = _ref(child)
+            payload.slots.append(node)
+            payload.slot_bytes.append(sizes[nid])
+            payload.used_bytes += sizes[nid]
+            store.num_nodes += 1
+        store.buffer.update(page_of_group[group], payload)
+    return _ref(root)
 
 
 def repack(store: NodeStore, root: NodeRef) -> tuple[NodeStore, NodeRef]:
@@ -226,7 +371,11 @@ def repack(store: NodeStore, root: NodeRef) -> tuple[NodeStore, NodeRef]:
     # Phase 2 — materialize: reserve page ids for every group, then build
     # each page payload fully wired (children already know their final
     # addresses) and write it in one shot. No mutate-after-write anywhere.
-    new_store = NodeStore(store.buffer, page_capacity=page_capacity)
+    new_store = NodeStore(
+        store.buffer,
+        page_capacity=page_capacity,
+        use_node_cache=store.cache is not None,
+    )
     page_of_group = [
         new_store.buffer.new_page(_NodePagePayload()) for _ in group_members
     ]

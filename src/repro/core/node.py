@@ -22,7 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, NamedTuple
 
-from repro.storage.page import ITEM_OVERHEAD, approx_size
+from repro.storage.page import ITEM_OVERHEAD, estimate_size
 
 #: Per-node storage overhead: tuple header + line pointer + alignment, as
 #: an index tuple costs in PostgreSQL. Identical accounting to the heap and
@@ -83,7 +83,7 @@ class Entry:
     def approx_bytes(self) -> int:
         """Serialized footprint for page-space accounting."""
         # predicate + child pointer + line-pointer/alignment share
-        return approx_size(self.predicate) + 8 + ITEM_OVERHEAD // 2
+        return estimate_size(self.predicate) + 8 + ITEM_OVERHEAD // 2
 
 
 @dataclass
@@ -108,7 +108,7 @@ class InnerNode:
         """Serialized footprint for page-space accounting."""
         return (
             NODE_HEADER_BYTES
-            + approx_size(self.predicate)
+            + estimate_size(self.predicate)
             + sum(e.approx_bytes() + 2 for e in self.entries)
         )
 
@@ -128,7 +128,9 @@ class LeafNode:
 
     def approx_bytes(self) -> int:
         """Serialized footprint for page-space accounting."""
+        # Per-item sizes are memoized (estimate_size): a leaf re-budgets its
+        # page on every write, but each (key, value) footprint is constant.
         return NODE_HEADER_BYTES + sum(
-            approx_size(k) + approx_size(v) + ITEM_OVERHEAD
+            estimate_size(k) + estimate_size(v) + ITEM_OVERHEAD
             for k, v in self.items
         )

@@ -18,7 +18,7 @@ from typing import Any, Iterator
 from repro.costmodel import CPU_OPS
 from repro.errors import IndexCorruptionError, KeyNotFoundError
 from repro.obs import METRICS, span
-from repro.core.clustering import NodeStore, repack
+from repro.core.clustering import NodeStore, pack_nodes, repack
 from repro.core.config import SPGiSTConfig
 from repro.core.external import (
     AddEntry,
@@ -83,6 +83,7 @@ class SPGiSTIndex:
         methods: ExternalMethods,
         name: str = "",
         page_capacity: int | None = None,
+        use_node_cache: bool = True,
     ) -> None:
         self.buffer = buffer
         self.methods = methods
@@ -90,7 +91,11 @@ class SPGiSTIndex:
         self.config: SPGiSTConfig = methods.get_parameters()
         from repro.storage.page import PAGE_CAPACITY
 
-        self.store = NodeStore(buffer, page_capacity or PAGE_CAPACITY)
+        self.store = NodeStore(
+            buffer,
+            page_capacity or PAGE_CAPACITY,
+            use_node_cache=use_node_cache,
+        )
         self.root: NodeRef | None = None
         self._item_count = 0
 
@@ -107,6 +112,31 @@ class SPGiSTIndex:
                 return
             self._insert_descend(self.root, [], 0, key, value)
             self._item_count += 1
+
+    def insert_many(self, items: Any) -> int:
+        """Insert a batch of ``(key, value)`` pairs in one call.
+
+        Result-equivalent to repeated :meth:`insert`, but batched for the
+        hot path: an empty index takes the bulk decomposition plus packed
+        materialization route (each final page written exactly once), and a
+        populated index runs the per-item descents under a single trace
+        span so batch overhead is amortized. Returns the number of items
+        inserted.
+        """
+        pairs = list(items)
+        if not pairs:
+            return 0
+        _OBS_INSERTS.inc(len(pairs))
+        with span("index.insert_many", index=self.name):
+            if self.root is None:
+                plan = self._bulk_plan(pairs)
+                self.root = self._materialize_packed(plan)
+                self._item_count += len(pairs)
+            else:
+                for key, value in pairs:
+                    self._insert_descend(self.root, [], 0, key, value)
+                    self._item_count += 1
+        return len(pairs)
 
     def _insert_descend(
         self,
@@ -537,57 +567,101 @@ class SPGiSTIndex:
         if not all_items:
             return
         self._item_count = len(all_items)
-        self.root = self._bulk_subtree(all_items)
+        plan = self._bulk_plan(all_items)
         if cluster:
-            self.repack()
+            # Packed materialization writes each node straight into its
+            # final BFS-cap page — one write per page, no repack pass.
+            self.root = self._materialize_packed(plan)
+        else:
+            self.root = self._materialize_incremental(plan)
 
-    def _bulk_subtree(self, all_items: list[tuple[Any, Any]]) -> NodeRef:
+    def _bulk_plan(self, all_items: list[tuple[Any, Any]]) -> Any:
         """Iterative top-down decomposition (safe for degenerate depths).
 
-        Phase 1 decomposes item sets into a plan tree held in memory;
-        phase 2 materializes it bottom-up through the node store.
+        Plan nodes are ``("leaf", items)`` or
+        ``("inner", node_predicate, [[entry_predicate, child_plan], ...])``.
+        Planning touches only local Python state — no pages are allocated
+        until one of the materialize phases runs.
         """
         resolution = self.config.resolution
         bucket = self.config.bucket_size
 
-        # Phase 1: plan nodes are ("leaf", items) or
-        # ("inner", node_predicate, [(entry_predicate, child_plan), ...]).
-        def decompose(items: list, level: int, region: Any, depth: int):
-            root_plan: list = ["pending"]
-            stack = [(items, level, region, depth, root_plan, 0)]
-            while stack:
-                items_, level_, region_, depth_, parent, slot = stack.pop()
-                if (
-                    len(items_) <= bucket
-                    or (resolution and level_ >= resolution)
-                    or depth_ > _MAX_SPLIT_DEPTH
-                ):
-                    parent[slot] = ("leaf", items_)
+        root_plan: list = ["pending"]
+        stack = [
+            (all_items, 0, self.methods.initial_root_predicate(), 0,
+             root_plan, 0)
+        ]
+        while stack:
+            items_, level_, region_, depth_, parent, slot = stack.pop()
+            if (
+                len(items_) <= bucket
+                or (resolution and level_ >= resolution)
+                or depth_ > _MAX_SPLIT_DEPTH
+            ):
+                parent[slot] = ("leaf", items_)
+                continue
+            result = self.methods.picksplit(list(items_), level_, region_)
+            if self._is_degenerate_split(result, len(items_)):
+                parent[slot] = ("leaf", items_)
+                continue
+            children: list = []
+            child_level = level_ + result.level_delta
+            for predicate, part_items in result.partitions:
+                if not part_items and self.config.node_shrink:
                     continue
-                result = self.methods.picksplit(list(items_), level_, region_)
-                if self._is_degenerate_split(result, len(items_)):
-                    parent[slot] = ("leaf", items_)
-                    continue
-                children: list = []
-                child_level = level_ + result.level_delta
-                for predicate, part_items in result.partitions:
-                    if not part_items and self.config.node_shrink:
-                        continue
-                    children.append([predicate, "pending"])
-                    stack.append(
-                        (part_items, child_level, predicate, depth_ + 1,
-                         children[-1], 1)
-                    )
-                parent[slot] = ("inner", result.node_predicate, children)
-            return root_plan[0]
+                children.append([predicate, "pending"])
+                stack.append(
+                    (part_items, child_level, predicate, depth_ + 1,
+                     children[-1], 1)
+                )
+            parent[slot] = ("inner", result.node_predicate, children)
+        return root_plan[0]
 
-        plan = decompose(
-            all_items, 0, self.methods.initial_root_predicate(), 0
+    def _materialize_packed(self, plan: Any) -> NodeRef:
+        """Write a plan tree straight into its final clustered page layout.
+
+        Builds every node object up-front, then hands the tree to
+        :func:`pack_nodes`, which assigns BFS-cap positions and writes each
+        page exactly once. The resulting layout matches what
+        :meth:`_materialize_incremental` followed by :meth:`repack` would
+        produce, at roughly half the page writes.
+        """
+        plans: list = []
+        stack = [plan]
+        while stack:
+            p = stack.pop()
+            plans.append(p)
+            if p[0] == "inner":
+                stack.extend(child for _epred, child in p[2])
+        node_of: dict[int, Any] = {}
+        for p in plans:
+            if p[0] == "leaf":
+                node_of[id(p)] = LeafNode(items=p[1])
+            else:
+                node_of[id(p)] = InnerNode(
+                    predicate=p[1],
+                    entries=[Entry(epred, None) for epred, _child in p[2]],
+                )
+        children: dict[int, list[Any]] = {
+            id(node_of[id(p)]): (
+                [node_of[id(child)] for _epred, child in p[2]]
+                if p[0] == "inner"
+                else []
+            )
+            for p in plans
+        }
+        return pack_nodes(
+            self.store, node_of[id(plan)], lambda n: children[id(n)]
         )
 
-        # Phase 2: materialize bottom-up. Each work item writes its NodeRef
-        # into ``sink[slot]``; an inner node is pushed back once ("assemble")
-        # after its children so their refs are ready.
+    def _materialize_incremental(self, plan: Any) -> NodeRef:
+        """Materialize a plan tree bottom-up through the node store.
+
+        Each work item writes its NodeRef into ``sink[slot]``; an inner
+        node is pushed back once ("assemble") after its children so their
+        refs are ready. Placement is the dynamic parent-proximity rule —
+        the page layout a pure insert workload would have produced.
+        """
         out: list = [None]
         work: list[tuple] = [("visit", plan, None, out, 0)]
         while work:
@@ -620,6 +694,19 @@ class SPGiSTIndex:
         self.store, self.root = repack(old_store, old_root)
         for page_id in old_store.page_ids:
             self.buffer.free_page(page_id)
+        old_store.detach()
+
+    # ------------------------------------------------------------------ cache
+
+    def purge_node_cache(self) -> None:
+        """Drop every cached node object (quarantine / recovery hook).
+
+        The node cache is coherent by construction, but corruption handling
+        is belt-and-braces: once a page fails verification the executor
+        purges the whole cache before degrading, so no live node object
+        from the poisoned index survives into later scans.
+        """
+        self.store.purge_cache()
 
     # ------------------------------------------------------------------ stats
 

@@ -32,6 +32,22 @@ from repro.geometry.distance import (
     point_to_segment_distance,
 )
 from repro.resilience.incidents import INCIDENTS
+
+
+def _quarantine(index: Any, incident: str, exc: Exception) -> None:
+    """Record the incident, quarantine the index, and purge its node cache.
+
+    Purging is what keeps the deserialized-node cache honest under
+    corruption: no live node object from the poisoned index survives into
+    later scans (the planner also stops choosing it, but belt-and-braces).
+    """
+    INCIDENTS.record(incident, index.name, exc)
+    index.quarantined = True
+    purge = getattr(index, "purge_node_cache", None)
+    if purge is not None:
+        purge()
+
+
 def execute_plan(plan: Plan) -> Iterator[tuple]:
     """Yield the rows the plan produces, in plan order."""
     if isinstance(plan, (NNIndexScanPlan, NNSortScanPlan)):
@@ -74,8 +90,7 @@ def _execute_index_scan(plan: IndexScanPlan) -> Iterator[tuple]:
         except StopIteration:
             return
         except (IndexCorruptionError, PageChecksumError) as exc:
-            INCIDENTS.record("index-scan-degraded", plan.index.name, exc)
-            plan.index.quarantined = True
+            _quarantine(plan.index, "index-scan-degraded", exc)
             break
         row = plan.table.fetch(tid)
         if row is not None and check(row):
@@ -113,8 +128,7 @@ def _execute_nn(plan: Plan) -> Iterator[tuple]:
             except StopIteration:
                 return
             except (IndexCorruptionError, PageChecksumError) as exc:
-                INCIDENTS.record("nn-scan-degraded", plan.index.name, exc)
-                plan.index.quarantined = True
+                _quarantine(plan.index, "nn-scan-degraded", exc)
                 break
             row = plan.table.fetch(tid)
             if row is not None:

@@ -64,7 +64,7 @@ _CREATE_INDEX = re.compile(
     re.I,
 )
 _INSERT = re.compile(
-    r"^\s*insert\s+into\s+(\w+)\s+values\s*\((.*)\)\s*;?\s*$", re.I | re.S
+    r"^\s*insert\s+into\s+(\w+)\s+values\s*(\(.*\))\s*;?\s*$", re.I | re.S
 )
 _SELECT = re.compile(
     r"^\s*select\s+(\*|count\(\*\)|[\w]+(?:\s*,\s*[\w]+)*)\s+from\s+(\w+)"
@@ -193,19 +193,34 @@ class Database:
     # -- DML -------------------------------------------------------------------------
 
     def _insert(self, table_name: str, values_spec: str) -> str:
+        """INSERT one row — or many: ``VALUES (...), (...), ...``.
+
+        Multi-row statements take the batched write path
+        (:meth:`Table.insert_many`), which amortizes heap appends and runs
+        each index's batch insert once instead of once per row.
+        """
         table = self.table(table_name)
-        literals = self._split_top_level(values_spec)
-        if len(literals) != len(table.columns):
-            raise SQLError(
-                f"INSERT arity {len(literals)} != table arity "
-                f"{len(table.columns)}"
+        rows = []
+        for row_spec in self._split_row_groups(values_spec):
+            literals = self._split_top_level(row_spec)
+            if len(literals) != len(table.columns):
+                raise SQLError(
+                    f"INSERT arity {len(literals)} != table arity "
+                    f"{len(table.columns)}"
+                )
+            rows.append(
+                tuple(
+                    self._bind_literal(literal.strip(), column.type_name)
+                    for literal, column in zip(literals, table.columns)
+                )
             )
-        row = tuple(
-            self._bind_literal(literal.strip(), column.type_name)
-            for literal, column in zip(literals, table.columns)
-        )
-        table.insert(row)
-        return "INSERT 0 1"
+        if not rows:
+            raise SQLError("INSERT requires at least one VALUES row")
+        if len(rows) == 1:
+            table.insert(rows[0])
+        else:
+            table.insert_many(rows)
+        return f"INSERT 0 {len(rows)}"
 
     def _delete(
         self, table_name: str, column: str, op: str, literal: str
@@ -323,6 +338,49 @@ class Database:
         if type_name == "lseg":
             return LineSegment.parse(text)
         raise SQLError(f"cannot bind literal for type {type_name!r}")
+
+    @staticmethod
+    def _split_row_groups(spec: str) -> list[str]:
+        """Extract the top-level ``(...)`` groups of a VALUES list.
+
+        Quote-aware and nesting-aware, so geometry literals like
+        ``'(1,2)'`` inside a row never open a new group.
+        """
+        rows: list[str] = []
+        depth = 0
+        in_quote = False
+        current: list[str] = []
+        for ch in spec:
+            if in_quote:
+                current.append(ch)
+                if ch == "'":
+                    in_quote = False
+                continue
+            if ch == "'":
+                in_quote = True
+                current.append(ch)
+                continue
+            if ch == "(":
+                depth += 1
+                if depth == 1:
+                    current = []
+                    continue
+            elif ch == ")":
+                depth -= 1
+                if depth < 0:
+                    raise SQLError("unbalanced parentheses in VALUES list")
+                if depth == 0:
+                    rows.append("".join(current))
+                    continue
+            if depth >= 1:
+                current.append(ch)
+            elif not ch.isspace() and ch != ",":
+                raise SQLError(
+                    f"unexpected {ch!r} between VALUES rows"
+                )
+        if depth != 0 or in_quote:
+            raise SQLError("unbalanced VALUES list")
+        return rows
 
     @staticmethod
     def _split_top_level(spec: str) -> list[str]:

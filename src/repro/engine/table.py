@@ -90,6 +90,29 @@ class TableIndex:
         for key in self._keys_of(value):
             self.structure.insert(key, tid)
 
+    def insert_rows(self, pairs: list[tuple[TupleId, tuple]]) -> None:
+        """Index a batch of new heap rows in one structure call.
+
+        SP-GiST indexes take :meth:`SPGiSTIndex.insert_many` (the batched
+        hot path); other access methods fall back to per-key inserts.
+        """
+        items = []
+        for tid, row in pairs:
+            value = row[self.column_index]
+            for key in self._keys_of(value):
+                items.append((key, tid))
+        if isinstance(self.structure, SPGiSTIndex):
+            self.structure.insert_many(items)
+        else:
+            for key, tid in items:
+                self.structure.insert(key, tid)
+
+    def purge_node_cache(self) -> None:
+        """Drop this index's deserialized-node cache, if it has one."""
+        purge = getattr(self.structure, "purge_node_cache", None)
+        if purge is not None:
+            purge()
+
     def delete_row(self, tid: TupleId, row: tuple) -> None:
         """Remove one heap row's entries from the index."""
         value = row[self.column_index]
@@ -295,6 +318,29 @@ class Table:
         for index in self.indexes.values():
             index.insert_row(tid, row)
         return tid
+
+    def insert_many(self, rows: list[tuple]) -> list[TupleId]:
+        """Insert a batch of rows: heap appends first, then each index once.
+
+        Row-for-row equivalent to repeated :meth:`insert`, but every index
+        sees the whole batch in a single :meth:`TableIndex.insert_rows`
+        call, which is what lets SP-GiST amortize descent and page-write
+        work across the batch.
+        """
+        for row in rows:
+            if len(row) != len(self.columns):
+                raise ValueError(
+                    f"row arity {len(row)} != table arity {len(self.columns)}"
+                )
+        pairs = [(self.heap.insert(row), row) for row in rows]
+        for index in self.indexes.values():
+            index.insert_rows(pairs)
+        return [tid for tid, _row in pairs]
+
+    def purge_caches(self) -> None:
+        """Drop every index's deserialized-node cache (quarantine hook)."""
+        for index in self.indexes.values():
+            index.purge_node_cache()
 
     def delete_tid(self, tid: TupleId) -> tuple:
         """Delete one row by TID from the heap and every index."""

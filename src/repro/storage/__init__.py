@@ -15,11 +15,13 @@ from repro.storage.page import (
     approx_size,
     decode_page_image,
     encode_page_image,
+    estimate_size,
 )
 from repro.storage.disk import DiskManager, DiskStats
 from repro.storage.filedisk import FileDiskManager
 from repro.storage.buffer import BufferPool, BufferStats
 from repro.storage.heap import HeapFile, TupleId
+from repro.storage.nodecache import NodeCache, NodeCacheStats
 from repro.storage.wal import WALRecord, WALStats, WriteAheadLog
 
 __all__ = [
@@ -28,6 +30,7 @@ __all__ = [
     "approx_size",
     "decode_page_image",
     "encode_page_image",
+    "estimate_size",
     "DiskManager",
     "DiskStats",
     "FileDiskManager",
@@ -35,6 +38,8 @@ __all__ = [
     "BufferStats",
     "HeapFile",
     "TupleId",
+    "NodeCache",
+    "NodeCacheStats",
     "WALRecord",
     "WALStats",
     "WriteAheadLog",

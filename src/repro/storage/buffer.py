@@ -136,6 +136,34 @@ class BufferPool:
         self.stats = BufferStats()
         self._frames: OrderedDict[int, Page] = OrderedDict()
         self._last_missed_page: int | None = None
+        # Residency listeners: called with a page id whenever that page
+        # leaves the pool (eviction, clear, free). Caches layered above the
+        # pool (repro.storage.nodecache) key their coherence off this.
+        self._eviction_listeners: list[Callable[[int], None]] = []
+
+    # -- residency listeners -------------------------------------------------
+
+    def add_eviction_listener(
+        self, listener: Callable[[int], None]
+    ) -> Callable[[int], None]:
+        """Call ``listener(page_id)`` whenever a page leaves the pool.
+
+        Returns the listener so callers can keep the handle for
+        :meth:`remove_eviction_listener`.
+        """
+        self._eviction_listeners.append(listener)
+        return listener
+
+    def remove_eviction_listener(self, listener: Callable[[int], None]) -> None:
+        """Detach a listener registered with :meth:`add_eviction_listener`."""
+        try:
+            self._eviction_listeners.remove(listener)
+        except ValueError:
+            pass
+
+    def _notify_departed(self, page_id: int) -> None:
+        for listener in self._eviction_listeners:
+            listener(page_id)
 
     # -- page lifecycle ------------------------------------------------------
 
@@ -147,7 +175,8 @@ class BufferPool:
 
     def free_page(self, page_id: int) -> None:
         """Drop a page from the pool and the disk (no write-back)."""
-        self._frames.pop(page_id, None)
+        if self._frames.pop(page_id, None) is not None:
+            self._notify_departed(page_id)
         self.disk.deallocate_page(page_id)
 
     # -- access --------------------------------------------------------------
@@ -155,6 +184,20 @@ class BufferPool:
     def fetch(self, page_id: int) -> Any:
         """Return the payload of ``page_id``, reading from disk on a miss."""
         return self._fetch_page(page_id).payload
+
+    def touch(self, page_id: int) -> bool:
+        """Refresh the LRU recency of a *resident* page without accounting.
+
+        Returns True when the page was resident (and is now most-recent),
+        False otherwise. Used by the node cache: a node-cache hit must keep
+        the underlying page's recency exactly as a full fetch would, so
+        eviction order — and therefore every miss count the benchmarks
+        measure — is identical with the cache on or off.
+        """
+        if page_id in self._frames:
+            self._frames.move_to_end(page_id)
+            return True
+        return False
 
     def _fetch_page(self, page_id: int) -> Page:
         page = self._frames.get(page_id)
@@ -246,7 +289,10 @@ class BufferPool:
     def clear(self) -> None:
         """Flush then empty the pool — simulates a cold cache."""
         self.flush_all()
+        departed = list(self._frames.keys())
         self._frames.clear()
+        for page_id in departed:
+            self._notify_departed(page_id)
 
     def resident_page_ids(self) -> Iterator[int]:
         """Page ids currently cached, in LRU order (oldest first)."""
@@ -269,11 +315,21 @@ class BufferPool:
         self._frames.move_to_end(page.page_id)
 
     def _evict_one(self) -> None:
-        for page_id, page in self._frames.items():
+        # O(1) victim selection: pop the LRU head; a pinned head is rotated
+        # to the MRU end (a pin means "in use", which is recency), so the
+        # loop touches each frame at most once and the common case — an
+        # unpinned head — costs a single dict operation regardless of pool
+        # size. The micro-benchmark in tests/storage/test_buffer_perf.py
+        # pins this flatness.
+        victim_id = victim = None
+        for _ in range(len(self._frames)):
+            page_id = next(iter(self._frames))
+            page = self._frames[page_id]
             if page.pin_count == 0:
                 victim_id, victim = page_id, page
                 break
-        else:
+            self._frames.move_to_end(page_id)
+        if victim is None:
             raise BufferPoolError("all buffer frames are pinned; cannot evict")
         if victim.dirty:
             self._with_retry(
@@ -285,3 +341,4 @@ class BufferPool:
         del self._frames[victim_id]
         self.stats.evictions += 1
         _OBS_EVICTIONS.inc()
+        self._notify_departed(victim_id)

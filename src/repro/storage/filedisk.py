@@ -54,9 +54,17 @@ class FileDiskManager(DiskManager):
     if the previous process died before checkpointing.
     """
 
-    def __init__(self, path: str, use_wal: bool = True) -> None:
+    def __init__(
+        self,
+        path: str,
+        use_wal: bool = True,
+        group_commit: bool = True,
+        flush_threshold: int | None = None,
+    ) -> None:
         super().__init__()
         self.path = path
+        self._group_commit = group_commit
+        self._flush_threshold = flush_threshold
         self._map_path = path + ".map"
         self._compact_path = path + ".compact"
         self._offsets: dict[int, tuple[int, int]] = {}
@@ -68,7 +76,13 @@ class FileDiskManager(DiskManager):
         if os.path.exists(self._map_path):
             self._load_map()
         self.wal: WriteAheadLog | None = (
-            WriteAheadLog(path + ".wal") if use_wal else None
+            WriteAheadLog(
+                path + ".wal",
+                group_commit=group_commit,
+                flush_threshold=flush_threshold,
+            )
+            if use_wal
+            else None
         )
         self._recover()
 

@@ -1,0 +1,157 @@
+"""Deserialized-node cache: live tree nodes above the buffer pool.
+
+The hot cost of an SP-GiST descent in this reproduction is not the disk
+read (the buffer pool already absorbs those) but the per-node bookkeeping
+of going *through* the pool on every touch: a frame lookup, LRU update,
+stats accounting, and a slot indexing into the page payload. The node
+cache short-circuits that path: it maps ``(page_id, slot)`` directly to
+the live node object, so a repeated descent over a warm tree costs two
+dict probes per node.
+
+Coherence contract (the part that makes this safe):
+
+- A cache entry is only ever populated from a *resident* buffer page, and
+  it is invalidated the moment that page leaves the pool (eviction,
+  ``clear()``, ``free_page``) via the buffer pool's eviction listeners.
+  The cache is therefore always a subset of the pool's resident pages —
+  it can never serve state the pool would have re-read from disk, so
+  buffer *miss* counts (the paper's primary cost metric) are identical
+  with the cache on or off.
+- All mutations flow through :meth:`NodeStore.write`, which updates both
+  the page payload and the cache entry, so the cached object and the
+  on-page slot are the same live object.
+- Corruption handling: a checksum failure or structural-corruption error
+  on a page purges every cached node of that page before the error
+  propagates, so quarantine/degradation never leaves poisoned nodes
+  behind (see ``tests/resilience/test_nodecache_faults.py``).
+
+Hit/miss/invalidation counts are exported both on :class:`NodeCacheStats`
+and through the observability registry (``node_cache_*_total``), and the
+two are reconciled by the obs test suite like every other layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from repro.obs import METRICS
+
+_OBS_HITS = METRICS.counter(
+    "node_cache_hits_total", "Node reads served from the deserialized-node cache"
+)
+_OBS_MISSES = METRICS.counter(
+    "node_cache_misses_total", "Node reads that fell through to the buffer pool"
+)
+_OBS_INVALIDATIONS = METRICS.counter(
+    "node_cache_invalidations_total",
+    "Cached nodes dropped by eviction, free, write-relocation, or corruption",
+)
+
+#: Distinct sentinel for "not cached" (None is never a stored node, but a
+#: dedicated object keeps the contract independent of payload values).
+MISS = object()
+
+
+@dataclass
+class NodeCacheStats:
+    """Cumulative counters for one node cache."""
+
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    def snapshot(self) -> "NodeCacheStats":
+        """An independent copy of the current counters."""
+        return NodeCacheStats(self.hits, self.misses, self.invalidations)
+
+    def delta(self, earlier: "NodeCacheStats") -> "NodeCacheStats":
+        """Counter movement since ``earlier`` (a prior :meth:`snapshot`)."""
+        return NodeCacheStats(
+            hits=self.hits - earlier.hits,
+            misses=self.misses - earlier.misses,
+            invalidations=self.invalidations - earlier.invalidations,
+        )
+
+
+class NodeCache:
+    """Maps ``(page_id, slot)`` to live node objects, per :class:`NodeStore`.
+
+    Entries are grouped by page so a page eviction invalidates all of its
+    nodes in one O(1) dict pop. Capacity is implicitly bounded by the
+    buffer pool: only nodes of resident pages are ever cached.
+    """
+
+    def __init__(self) -> None:
+        self.stats = NodeCacheStats()
+        self._pages: dict[int, dict[int, Any]] = {}
+
+    # -- access --------------------------------------------------------------
+
+    def get(self, page_id: int, slot: int) -> Any:
+        """The cached node, or the :data:`MISS` sentinel. Counts a hit."""
+        slots = self._pages.get(page_id)
+        if slots is not None:
+            node = slots.get(slot, MISS)
+            if node is not MISS:
+                self.stats.hits += 1
+                _OBS_HITS.inc()
+                return node
+        self.stats.misses += 1
+        _OBS_MISSES.inc()
+        return MISS
+
+    def put(self, page_id: int, slot: int, node: Any) -> None:
+        """Cache ``node`` as the live object at ``(page_id, slot)``."""
+        slots = self._pages.get(page_id)
+        if slots is None:
+            slots = self._pages[page_id] = {}
+        slots[slot] = node
+
+    # -- invalidation ----------------------------------------------------------
+
+    def drop_slot(self, page_id: int, slot: int) -> None:
+        """Invalidate one node (free / relocation of that slot)."""
+        slots = self._pages.get(page_id)
+        if slots is not None and slots.pop(slot, MISS) is not MISS:
+            self.stats.invalidations += 1
+            _OBS_INVALIDATIONS.inc()
+            if not slots:
+                del self._pages[page_id]
+
+    def drop_page(self, page_id: int) -> None:
+        """Invalidate every cached node of ``page_id`` (eviction, corruption)."""
+        slots = self._pages.pop(page_id, None)
+        if slots:
+            self.stats.invalidations += len(slots)
+            _OBS_INVALIDATIONS.inc(len(slots))
+
+    def clear(self) -> None:
+        """Invalidate everything (recovery, detach, cold-cache points)."""
+        dropped = sum(len(slots) for slots in self._pages.values())
+        self._pages.clear()
+        if dropped:
+            self.stats.invalidations += dropped
+            _OBS_INVALIDATIONS.inc(dropped)
+
+    # -- introspection ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return sum(len(slots) for slots in self._pages.values())
+
+    def cached_page_ids(self) -> Iterator[int]:
+        """Page ids with at least one cached node."""
+        return iter(self._pages.keys())
+
+    def holds(self, page_id: int, slot: int) -> bool:
+        """True when ``(page_id, slot)`` is currently cached."""
+        slots = self._pages.get(page_id)
+        return slots is not None and slot in slots

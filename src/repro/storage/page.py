@@ -11,7 +11,8 @@ from __future__ import annotations
 
 import struct
 import zlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from functools import lru_cache
 from typing import Any
 
 from repro.errors import PageChecksumError
@@ -106,7 +107,6 @@ class Page:
     payload: Any
     dirty: bool = False
     pin_count: int = 0
-    _lru_tick: int = field(default=0, repr=False)
 
 
 def approx_size(obj: Any) -> int:
@@ -141,3 +141,44 @@ def approx_size(obj: Any) -> int:
         return 4 + sum(approx_size(item) + 2 for item in obj)
     # Fallback for unknown objects: a conservative flat charge.
     return 64
+
+
+#: Bound on the memoized size cache: generous for any realistic key/predicate
+#: vocabulary, small next to the page data it describes.
+_SIZE_CACHE_ENTRIES = 1 << 16
+
+
+@lru_cache(maxsize=_SIZE_CACHE_ENTRIES)
+def _estimate_hashable(kind: type, obj: Any) -> int:
+    # ``kind`` participates in the cache key so values that compare equal
+    # across types (True == 1, 1 == 1.0) cannot alias each other's size.
+    return approx_size(obj)
+
+
+def estimate_size(obj: Any) -> int:
+    """:func:`approx_size` with memoization for immutable payloads.
+
+    Size estimation runs on the insert hot path (every node write re-budgets
+    its page), and the estimate for a given key, predicate, or ``(key,
+    value)`` item never changes — keys and predicates are immutable values
+    (strings, numbers, frozen geometry). Hashability is the immutability
+    gate: mutable containers and mutable domain objects raise ``TypeError``
+    on ``hash()`` and fall through to the uncached walk, so the cache can
+    never serve a stale size. Cached and uncached estimates are identical
+    by construction (the cached branch calls :func:`approx_size` itself);
+    ``tests/storage/test_size_cache.py`` pins that agreement.
+    """
+    try:
+        return _estimate_hashable(type(obj), obj)
+    except TypeError:  # unhashable => potentially mutable => never cache
+        return approx_size(obj)
+
+
+def size_cache_info() -> Any:
+    """Hit/miss statistics of the memoized size cache (for tests/bench)."""
+    return _estimate_hashable.cache_info()
+
+
+def clear_size_cache() -> None:
+    """Drop every memoized size (test isolation helper)."""
+    _estimate_hashable.cache_clear()

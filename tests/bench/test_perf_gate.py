@@ -1,0 +1,108 @@
+"""Benchmark regression gate against the committed BENCH_3.json.
+
+Fast-tier (runs on every CI push): re-executes the quick scale of the
+hot-path macro-benchmark in-process and fails when
+
+- the optimized configuration has stopped being faster than the baseline
+  configuration (wall-clock ratio, measured on the same machine in the
+  same process, so the machine cancels out), or
+- a deterministic hot-path counter (pages read/written, WAL bytes) drifted
+  past tolerance from the committed baseline — catching regressions that
+  wall clocks on noisy CI runners would hide, or
+- the committed full-scale report no longer claims the required headline
+  speedup.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench.perfgate import SCHEMA, WORKLOADS, run_scale
+
+#: The committed benchmark baseline at the repo root.
+BENCH_PATH = Path(__file__).resolve().parents[2] / "BENCH_3.json"
+
+#: The PR's acceptance floor for the committed full-scale mixed macro.
+REQUIRED_FULL_SPEEDUP = 1.5
+
+#: CI gate floor for the in-process quick re-run. Far below the recorded
+#: ~19x so scheduler noise cannot flake it, far above 1.0 so a genuinely
+#: regressed hot path cannot sneak through.
+REQUIRED_QUICK_SPEEDUP = 1.5
+
+#: Relative tolerance for the deterministic counters. They are exactly
+#: reproducible under fixed seeds on one interpreter; the slack absorbs
+#: pickle/layout drift across Python versions.
+COUNTER_TOLERANCE = 0.20
+
+#: The deterministic per-workload counters the gate pins.
+GATED_COUNTERS = ("pages_read", "pages_written", "wal_bytes", "wal_records")
+
+
+@pytest.fixture(scope="module")
+def committed() -> dict:
+    assert BENCH_PATH.exists(), (
+        f"{BENCH_PATH} is missing; regenerate with "
+        "`PYTHONPATH=src python -m repro.bench.perfgate --out BENCH_3.json`"
+    )
+    report = json.loads(BENCH_PATH.read_text())
+    assert report["schema"] == SCHEMA
+    return report
+
+
+@pytest.fixture(scope="module")
+def quick_now(tmp_path_factory) -> dict:
+    """One in-process quick-scale run shared by the gate assertions."""
+    dir_path = tmp_path_factory.mktemp("perfgate")
+    return run_scale("quick", str(dir_path))
+
+
+class TestCommittedReport:
+    def test_full_scale_meets_headline_speedup(self, committed):
+        mixed = committed["full"]["mixed"]
+        assert mixed["speedup"] >= REQUIRED_FULL_SPEEDUP, (
+            f"committed full-scale mixed speedup {mixed['speedup']}x is "
+            f"below the {REQUIRED_FULL_SPEEDUP}x acceptance floor"
+        )
+
+    def test_every_workload_is_present(self, committed):
+        for scale in ("quick", "full"):
+            assert set(committed[scale]["workloads"]) == set(WORKLOADS)
+
+
+class TestHotPathRegression:
+    def test_optimized_path_still_beats_baseline(self, quick_now):
+        mixed = quick_now["mixed"]
+        assert mixed["speedup"] >= REQUIRED_QUICK_SPEEDUP, (
+            f"hot path regressed: quick mixed speedup is now "
+            f"{mixed['speedup']}x (< {REQUIRED_QUICK_SPEEDUP}x). "
+            "If this is an intentional trade-off, regenerate BENCH_3.json "
+            "and justify the change."
+        )
+
+    @pytest.mark.parametrize("kind", WORKLOADS)
+    def test_deterministic_counters_match_committed(
+        self, committed, quick_now, kind
+    ):
+        recorded = committed["quick"]["workloads"][kind]["optimized"]
+        current = quick_now["workloads"][kind]["optimized"]
+        for counter in GATED_COUNTERS:
+            want, got = recorded[counter], current[counter]
+            ceiling = want * (1 + COUNTER_TOLERANCE)
+            floor = want * (1 - COUNTER_TOLERANCE)
+            assert floor <= got <= ceiling, (
+                f"{kind}.optimized.{counter} drifted: committed {want}, "
+                f"measured {got} (tolerance ±{COUNTER_TOLERANCE:.0%}). "
+                "A higher value is a hot-path I/O regression; regenerate "
+                "BENCH_3.json only if the change is intentional."
+            )
+
+    @pytest.mark.parametrize("kind", WORKLOADS)
+    def test_results_identical_across_configs(self, quick_now, kind):
+        """Both configurations must do the same logical work."""
+        entry = quick_now["workloads"][kind]
+        assert entry["baseline"]["matches"] == entry["optimized"]["matches"]
+        assert entry["baseline"]["items"] == entry["optimized"]["items"]

@@ -1,0 +1,115 @@
+"""Batched insert path: multi-row SQL INSERT, Table.insert_many, index sync.
+
+The batch path must be purely a throughput feature — the rows, the heap,
+and every index end up exactly as if each row had been inserted alone.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import Database
+from repro.engine.catalog import default_catalog
+from repro.engine.table import Column, Table
+from repro.errors import SQLError
+from repro.workloads import random_words
+
+
+@pytest.fixture
+def db():
+    return Database(buffer_capacity=256)
+
+
+class TestMultiRowSQL:
+    def test_multi_row_insert_status_counts_rows(self, db):
+        db.execute("CREATE TABLE t (a VARCHAR(10), b INT);")
+        status = db.execute(
+            "INSERT INTO t VALUES ('x', 1), ('y', 2), ('z', 3);"
+        )
+        assert status == "INSERT 0 3"
+        assert sorted(db.execute("SELECT * FROM t;")) == [
+            ("x", 1), ("y", 2), ("z", 3),
+        ]
+
+    def test_single_row_path_unchanged(self, db):
+        db.execute("CREATE TABLE t (a VARCHAR(10), b INT);")
+        assert db.execute("INSERT INTO t VALUES ('x', 1);") == "INSERT 0 1"
+
+    def test_commas_inside_quotes_are_not_row_separators(self, db):
+        db.execute("CREATE TABLE t (a VARCHAR(20), b INT);")
+        db.execute("INSERT INTO t VALUES ('a, (b), c', 1), ('d', 2);")
+        rows = sorted(db.execute("SELECT * FROM t;"))
+        assert rows == [("a, (b), c", 1), ("d", 2)]
+
+    def test_nested_parens_in_geometry_rows(self, db):
+        db.execute("CREATE TABLE pts (p POINT, id INT);")
+        db.execute(
+            "INSERT INTO pts VALUES ((1.0, 2.0), 1), ((3.5, 4.5), 2);"
+        )
+        assert db.execute("SELECT COUNT(*) FROM pts;") == [(2,)]
+
+    def test_unbalanced_rows_rejected(self, db):
+        db.execute("CREATE TABLE t (a INT);")
+        with pytest.raises(SQLError):
+            db.execute("INSERT INTO t VALUES (1), (2;")
+
+    def test_garbage_between_rows_rejected(self, db):
+        db.execute("CREATE TABLE t (a INT);")
+        with pytest.raises(SQLError):
+            db.execute("INSERT INTO t VALUES (1) junk (2);")
+
+    def test_arity_checked_before_any_row_lands(self, db):
+        db.execute("CREATE TABLE t (a VARCHAR(5), b INT);")
+        with pytest.raises(SQLError):
+            db.execute("INSERT INTO t VALUES ('x', 1), ('y');")
+        # All-or-nothing: the valid first row must not have landed.
+        assert db.execute("SELECT COUNT(*) FROM t;") == [(0,)]
+
+
+class TestTableInsertMany:
+    def _table(self, buffer, with_index: bool) -> Table:
+        table = Table(
+            "words",
+            [Column("name", "varchar"), Column("id", "int")],
+            buffer,
+            default_catalog(),
+        )
+        if with_index:
+            table.create_index("trie", "name", "SP_GiST", "SP_GiST_trie")
+        return table
+
+    def test_batch_equals_singles(self, buffer, small_buffer):
+        words = random_words(300, seed=47)
+        single = self._table(buffer, with_index=True)
+        for i, w in enumerate(words):
+            single.insert((w, i))
+        batched = self._table(small_buffer, with_index=True)
+        tids = batched.insert_many([(w, i) for i, w in enumerate(words)])
+        assert len(tids) == len(words)
+        assert sorted(r for _t, r in single.scan()) == sorted(
+            r for _t, r in batched.scan()
+        )
+        # The index sees every batched row.
+        idx = batched.indexes["trie"]
+        for w in words[::13]:
+            expected = sorted(i for i, x in enumerate(words) if x == w)
+            found = sorted(
+                batched.fetch(tid)[1] for tid in idx.scan("=", w)
+            )
+            assert found == expected
+
+    def test_index_created_after_batch_sees_rows(self, buffer):
+        table = self._table(buffer, with_index=False)
+        words = random_words(120, seed=48)
+        table.insert_many([(w, i) for i, w in enumerate(words)])
+        table.create_index("trie", "name", "SP_GiST", "SP_GiST_trie")
+        idx = table.indexes["trie"]
+        target = words[5]
+        expected = sorted(i for i, w in enumerate(words) if w == target)
+        found = sorted(table.fetch(tid)[1] for tid in idx.scan("=", target))
+        assert found == expected
+
+    def test_empty_batch_is_a_noop(self, buffer):
+        table = self._table(buffer, with_index=True)
+        assert table.insert_many([]) == []
+        assert len(table) == 0

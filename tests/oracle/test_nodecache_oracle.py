@@ -1,0 +1,131 @@
+"""The node cache is a pure performance layer: zero observable divergence.
+
+Two invariants, both differential:
+
+- **Oracle equality across cache regimes**: the same workload and query
+  return identical rows with the deserialized-node cache on and off, and
+  both match the sequential-scan oracle.
+- **NN work invariance**: routing ``nn_search`` through the cache changes
+  which *layer* serves a node, never *which nodes are visited*. The
+  ``spgist_nodes_visited_total{op=nn}`` delta and the full ranked result
+  sequence must be byte-for-byte identical in both regimes.
+"""
+
+from __future__ import annotations
+
+import itertools
+import string
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.point import Point
+from repro.indexes import KDTreeIndex, TrieIndex
+from repro.obs import METRICS
+from repro.storage import BufferPool, DiskManager
+from repro.workloads import random_points, random_words
+
+from tests import hypothesis_max_examples
+from tests.oracle.harness import assert_index_matches_seqscan, build_table
+
+SETTINGS = settings(
+    max_examples=hypothesis_max_examples(15),
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+WORDS = st.lists(
+    st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=8),
+    min_size=1,
+    max_size=40,
+)
+
+_NN_NODES = METRICS.counter(
+    "spgist_nodes_visited_total",
+    "Tree nodes read during SP-GiST descents",
+    labels=("op",),
+).labels("nn")
+
+
+def _disable_cache(index) -> None:
+    index.store.detach()
+    index.store.cache = None
+
+
+class TestOracleAcrossCacheRegimes:
+    @given(words=WORDS)
+    @SETTINGS
+    def test_equality_oracle_with_cache_disabled(self, words):
+        table = build_table("varchar", words, "SP_GiST_trie")
+        _disable_cache(table.indexes["oracle_idx"].structure)
+        assert_index_matches_seqscan(table, "=", words[0])
+        assert_index_matches_seqscan(table, "#=", words[0][:2])
+
+    @given(words=WORDS)
+    @SETTINGS
+    def test_both_regimes_return_identical_rows(self, words):
+        def run(use_cache: bool):
+            table = build_table("varchar", words, "SP_GiST_trie")
+            if not use_cache:
+                _disable_cache(table.indexes["oracle_idx"].structure)
+            assert_index_matches_seqscan(table, "=", words[0])
+            from repro.core.external import Query
+
+            return sorted(
+                table.indexes["oracle_idx"].structure.search_list(
+                    Query("=", words[0])
+                )
+            )
+
+        assert run(True) == run(False)
+
+
+class TestNNWorkInvariance:
+    def _ranked_nn(self, use_cache: bool, k: int):
+        """(results, nodes_visited) of a k-NN scan in one cache regime."""
+        pool = BufferPool(DiskManager(), capacity=16)
+        index = KDTreeIndex(pool)
+        if not use_cache:
+            _disable_cache(index)
+        for i, point in enumerate(random_points(500, seed=83)):
+            index.insert(point, i)
+        before = _NN_NODES.value
+        results = list(
+            itertools.islice(index.nn_search(Point(37.0, 59.0)), k)
+        )
+        return results, _NN_NODES.value - before
+
+    def test_nn_visits_identical_node_count_with_and_without_cache(self):
+        cached_results, cached_visits = self._ranked_nn(True, k=25)
+        plain_results, plain_visits = self._ranked_nn(False, k=25)
+        assert cached_visits == plain_visits
+        assert cached_results == plain_results
+        assert len(cached_results) == 25
+
+    def test_nn_distances_nondecreasing_in_both_regimes(self):
+        for use_cache in (True, False):
+            results, _ = self._ranked_nn(use_cache, k=40)
+            distances = [d for d, _k, _v in results]
+            assert distances == sorted(distances)
+
+    def test_trie_search_disk_reads_identical(self):
+        """Equality descents miss the pool identically with the cache on
+        or off — a cache hit spares the deserialization, never changes
+        which pages must come off the disk."""
+
+        def run(use_cache: bool) -> int:
+            pool = BufferPool(DiskManager(), capacity=8)
+            index = TrieIndex(pool, bucket_size=4)
+            if not use_cache:
+                _disable_cache(index)
+            words = random_words(400, seed=19)
+            for i, word in enumerate(words):
+                index.insert(word, i)
+            misses0 = pool.stats.misses
+            from repro.core.external import Query
+
+            for word in words[::7]:
+                index.search_list(Query("=", word))
+            return pool.stats.misses - misses0
+
+        assert run(True) == run(False)

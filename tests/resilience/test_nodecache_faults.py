@@ -1,0 +1,140 @@
+"""Node cache under faults: corruption must purge, not serve stale nodes.
+
+The deserialized-node cache sits *above* the checksummed page store, so a
+cached node could outlive the corruption of its backing page. These tests
+pin down the purge contract: every path that discovers a bad page —
+``NodeStore.read``, executor quarantine, recovery — must leave the cache
+without any node from that page.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.clustering import NodeStore
+from repro.core.node import LeafNode
+from repro.engine.catalog import default_catalog
+from repro.engine.executor import execute_plan
+from repro.engine.planner import IndexScanPlan, Predicate, plan_query
+from repro.engine.table import Column, Table
+from repro.errors import IndexCorruptionError, TransientIOError
+from repro.resilience import INCIDENTS, corrupt_page
+from repro.resilience.faults import FaultInjectingDiskManager, FaultPolicy
+from repro.storage import BufferPool, DiskManager
+from repro.workloads import random_words
+
+
+@pytest.fixture(autouse=True)
+def clean_incident_log():
+    INCIDENTS.reset()
+    yield
+    INCIDENTS.reset()
+
+
+@pytest.fixture
+def word_table(buffer):
+    table = Table(
+        "words",
+        [Column("name", "varchar"), Column("id", "int")],
+        buffer,
+        default_catalog(),
+    )
+    for i, w in enumerate(random_words(2000, seed=29)):
+        table.insert((w, i))
+    table.create_index("trie", "name", "SP_GiST", "SP_GiST_trie")
+    table.analyze()
+    return table
+
+
+def _corrupt_index(table: Table, index_name: str) -> None:
+    index = table.indexes[index_name]
+    table.buffer.clear()
+    for page_id in index.structure.store.page_ids:
+        corrupt_page(table.buffer.disk, page_id, seed=page_id)
+
+
+class TestQuarantinePurge:
+    def test_scan_quarantine_purges_node_cache(self, word_table):
+        store = word_table.indexes["trie"].structure.store
+        target = random_words(2000, seed=29)[11]
+        plan = plan_query(word_table, Predicate("name", "=", target))
+        assert isinstance(plan, IndexScanPlan)
+        # Warm the cache, then corrupt the pages underneath it. Note that
+        # _corrupt_index clears the pool, which already empties the cache
+        # via the eviction listener — re-warm from a *partially* corrupt
+        # read to make the purge observable.
+        _corrupt_index(word_table, "trie")
+        store.cache.put(999_999, 0, LeafNode(items=[("stale", 0)]))
+        assert len(store.cache) == 1
+        rows = sorted(execute_plan(plan))
+        expected = sorted(
+            row for _tid, row in word_table.scan() if row[0] == target
+        )
+        assert rows == expected
+        assert word_table.indexes["trie"].quarantined
+        assert INCIDENTS.of_kind("index-scan-degraded")
+        # The quarantine purged every cached node, stale plant included.
+        assert len(store.cache) == 0
+
+    def test_cache_never_holds_nodes_of_corrupt_pages(self, word_table):
+        """After degradation, no cached node may map to an index page."""
+        _corrupt_index(word_table, "trie")
+        target = random_words(2000, seed=29)[3]
+        plan = plan_query(word_table, Predicate("name", "=", target))
+        list(execute_plan(plan))
+        store = word_table.indexes["trie"].structure.store
+        index_pages = set(store.page_ids)
+        if store.cache is not None:
+            for page_id in store.cache.cached_page_ids():
+                assert page_id not in index_pages
+
+    def test_purge_node_cache_is_idempotent(self, word_table):
+        index = word_table.indexes["trie"]
+        index.purge_node_cache()
+        index.purge_node_cache()  # second purge of an empty cache: no-op
+        assert len(index.structure.store.cache) == 0
+
+
+class TestReadFailureInvalidation:
+    def test_failed_fetch_drops_cached_page(self):
+        flaky = FaultInjectingDiskManager(DiskManager(), FaultPolicy(seed=3))
+        pool = BufferPool(flaky, capacity=4, max_retries=1, retry_backoff=0.0)
+        store = NodeStore(pool)
+        ref = store.create(LeafNode(items=[("k", 1)]))
+        store.read(ref)  # cached
+        assert store.cache.holds(ref.page_id, ref.slot)
+        pool.clear()  # eject the frame so the next read must hit the disk
+        assert not store.cache.holds(ref.page_id, ref.slot)
+        # Plant a (deliberately) stale entry, then make the device fail:
+        # the failed fetch must purge the page rather than serve the plant.
+        store.cache.put(ref.page_id, ref.slot, LeafNode(items=[("k", 1)]))
+        flaky.policy = FaultPolicy(seed=3, read_error_rate=1.0)
+        with pytest.raises(TransientIOError):
+            store.read(ref)
+        assert not store.cache.holds(ref.page_id, ref.slot)
+
+    def test_dangling_slot_purges_page(self, buffer):
+        store = NodeStore(buffer)
+        ref = store.create(LeafNode(items=[("k", 1)]))
+        store.read(ref)
+        store.free(ref)
+        with pytest.raises(IndexCorruptionError):
+            store.read(ref)
+        assert ref.page_id not in set(store.cache.cached_page_ids())
+
+    def test_transient_faults_keep_cache_coherent(self):
+        """Retried reads under a flaky disk never leave stale entries."""
+        policy = FaultPolicy(seed=17, read_error_rate=0.05)
+        flaky = FaultInjectingDiskManager(DiskManager(), policy)
+        pool = BufferPool(flaky, capacity=8, retry_backoff=0.0)
+        store = NodeStore(pool)
+        refs = [
+            store.create(LeafNode(items=[(f"w{i}" * 30, i)] * 10))
+            for i in range(12)
+        ]
+        for ref in refs * 3:
+            node = store.read(ref)
+            assert node.items
+        resident = set(pool.resident_page_ids())
+        for page_id in store.cache.cached_page_ids():
+            assert page_id in resident

@@ -1,0 +1,165 @@
+"""Deserialized-node cache: hits, coherence with the pool, invalidation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.clustering import NodeStore
+from repro.core.node import LeafNode, NodeRef
+from repro.indexes import TrieIndex
+from repro.storage import BufferPool, NodeCache
+from repro.storage.disk import DiskManager
+from repro.storage.nodecache import MISS
+from repro.workloads import random_words
+
+
+class TestNodeCacheUnit:
+    def test_get_miss_then_hit(self):
+        cache = NodeCache()
+        assert cache.get(1, 0) is MISS
+        cache.put(1, 0, "node")
+        assert cache.get(1, 0) == "node"
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_ratio == 0.5
+
+    def test_drop_slot_and_page(self):
+        cache = NodeCache()
+        cache.put(1, 0, "a")
+        cache.put(1, 1, "b")
+        cache.put(2, 0, "c")
+        cache.drop_slot(1, 0)
+        assert not cache.holds(1, 0)
+        assert cache.holds(1, 1)
+        cache.drop_page(1)
+        assert not cache.holds(1, 1)
+        assert cache.holds(2, 0)
+        assert cache.stats.invalidations == 2
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.invalidations == 3
+
+    def test_dropping_absent_entries_counts_nothing(self):
+        cache = NodeCache()
+        cache.drop_slot(9, 9)
+        cache.drop_page(9)
+        cache.clear()
+        assert cache.stats.invalidations == 0
+
+
+class TestStoreIntegration:
+    def test_read_populates_then_hits(self, buffer):
+        store = NodeStore(buffer)
+        ref = store.create(LeafNode(items=[("k", 1)]))
+        hits0 = store.cache.stats.hits
+        node1 = store.read(ref)
+        node2 = store.read(ref)
+        assert node1 is node2
+        assert store.cache.stats.hits >= hits0 + 1
+
+    def test_write_refreshes_cache_entry(self, buffer):
+        store = NodeStore(buffer)
+        ref = store.create(LeafNode(items=[("k", 1)]))
+        replacement = LeafNode(items=[("k", 1), ("k2", 2)])
+        new_ref = store.write(ref, replacement)
+        assert new_ref == ref
+        assert store.read(ref) is replacement
+
+    def test_free_invalidates(self, buffer):
+        store = NodeStore(buffer)
+        ref = store.create(LeafNode(items=[("k", 1)]))
+        store.read(ref)
+        store.free(ref)
+        assert not store.cache.holds(ref.page_id, ref.slot)
+
+    def test_eviction_invalidates_cached_nodes(self, disk):
+        pool = BufferPool(disk, capacity=2)
+        store = NodeStore(pool)
+        refs = [
+            store.create(LeafNode(items=[(f"key-{i}" * 50, i)] * 20))
+            for i in range(6)
+        ]
+        # With 2 frames and 6 node pages, most pages were evicted; the
+        # cache must never hold a node of a non-resident page.
+        resident = set(pool.resident_page_ids())
+        for page_id in store.cache.cached_page_ids():
+            assert page_id in resident
+        # Reading an evicted ref misses the cache, re-reads, re-populates.
+        victim = next(r for r in refs if r.page_id not in resident)
+        misses0 = store.cache.stats.misses
+        node = store.read(victim)
+        assert node.items
+        assert store.cache.stats.misses == misses0 + 1
+
+    def test_pool_clear_empties_cache(self, buffer):
+        store = NodeStore(buffer)
+        ref = store.create(LeafNode(items=[("k", 1)]))
+        store.read(ref)
+        buffer.clear()
+        assert len(store.cache) == 0
+
+    def test_detach_stops_listening(self, buffer):
+        store = NodeStore(buffer)
+        ref = store.create(LeafNode(items=[("k", 1)]))
+        store.detach()
+        assert len(store.cache) == 0
+        # After detach, pool events must not touch the dead cache.
+        buffer.clear()
+        store.cache.put(ref.page_id, ref.slot, "stale-by-choice")
+        buffer.clear()
+        assert store.cache.holds(ref.page_id, ref.slot)
+
+    def test_cacheless_store_still_works(self, buffer):
+        store = NodeStore(buffer, use_node_cache=False)
+        ref = store.create(LeafNode(items=[("k", 1)]))
+        assert store.cache is None
+        assert store.read(ref).items == [("k", 1)]
+        store.detach()  # no-op, must not raise
+
+    def test_dangling_ref_purges_page(self, buffer):
+        store = NodeStore(buffer)
+        ref = store.create(LeafNode(items=[("k", 1)]))
+        store.free(ref)
+        from repro.errors import IndexCorruptionError
+
+        with pytest.raises(IndexCorruptionError):
+            store.read(ref)
+        assert ref.page_id not in set(store.cache.cached_page_ids())
+
+
+class TestCacheTransparency:
+    """The cache must be invisible to everything except wall time."""
+
+    def test_buffer_misses_identical_with_cache_on_and_off(self):
+        def run(use_cache: bool) -> tuple[int, list]:
+            pool = BufferPool(DiskManager(), capacity=8)
+            index = TrieIndex(pool, bucket_size=4)
+            if not use_cache:
+                index.store.detach()
+                index.store.cache = None
+            words = random_words(300, seed=77)
+            for i, word in enumerate(words):
+                index.insert(word, i)
+            from repro.core.external import Query
+
+            results = []
+            for word in words[::5]:
+                results.append(sorted(index.search_list(Query("=", word))))
+            return pool.stats.misses, results
+
+        misses_cached, results_cached = run(True)
+        misses_plain, results_plain = run(False)
+        assert misses_cached == misses_plain
+        assert results_cached == results_plain
+
+    def test_cache_hit_preserves_lru_order(self, disk):
+        pool = BufferPool(disk, capacity=4)
+        store = NodeStore(pool)
+        refs = [
+            store.create(LeafNode(items=[(f"w{i}", i)]), near=None)
+            for i in range(3)
+        ]
+        pool.fetch(refs[0].page_id)  # make page 0 most recent
+        store.read(refs[0])  # cache hit must keep it most recent
+        order = list(pool.resident_page_ids())
+        assert order[-1] == refs[0].page_id

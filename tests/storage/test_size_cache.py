@@ -1,0 +1,110 @@
+"""Memoized size estimation: cached and uncached estimates must agree."""
+
+from __future__ import annotations
+
+from repro.core.node import BLANK, Entry, InnerNode, LeafNode
+from repro.geometry.box import Box
+from repro.geometry.point import Point
+from repro.geometry.segment import LineSegment
+from repro.storage.page import (
+    approx_size,
+    clear_size_cache,
+    estimate_size,
+    size_cache_info,
+)
+
+#: Every immutable payload family the trees store: strings, numbers,
+#: geometry values, tuples of those, None, booleans, bytes.
+IMMUTABLE_SAMPLES = [
+    None,
+    True,
+    False,
+    0,
+    1,
+    1.0,
+    -17,
+    3.25,
+    "",
+    "walnut",
+    "a" * 200,
+    b"\x00\x01",
+    (1, 2),
+    ("key", 42),
+    Point(1.5, -2.25),
+    Box(0.0, 0.0, 10.0, 10.0),
+    LineSegment(Point(0.0, 0.0), Point(3.0, 4.0)),
+    (Point(1.0, 2.0), "tid"),
+    BLANK,
+]
+
+MUTABLE_SAMPLES = [
+    [1, 2, 3],
+    {"k": "v"},
+    {1, 2},
+    LeafNode(items=[("a", 1)]),
+    InnerNode(predicate="p", entries=[Entry("e", None)]),
+]
+
+
+class TestAgreement:
+    def test_cached_equals_uncached_for_every_immutable_sample(self):
+        clear_size_cache()
+        for obj in IMMUTABLE_SAMPLES:
+            first = estimate_size(obj)  # populates the cache
+            second = estimate_size(obj)  # served from the cache
+            assert first == second == approx_size(obj), repr(obj)
+
+    def test_mutable_payloads_fall_through_uncached(self):
+        """Unhashable (mutable) payloads agree too — and never go stale.
+
+        Their immutable constituents ("a", 1, ...) may enter the cache via
+        the recursive walk; the containers themselves cannot, which is
+        what :meth:`test_mutating_a_list_is_never_served_stale` relies on.
+        """
+        clear_size_cache()
+        for obj in MUTABLE_SAMPLES:
+            assert estimate_size(obj) == approx_size(obj)
+            assert estimate_size(obj) == approx_size(obj)  # second look too
+
+    def test_repeat_lookups_hit_the_cache(self):
+        clear_size_cache()
+        estimate_size("repeated-key")
+        misses = size_cache_info().misses
+        hits = size_cache_info().hits
+        estimate_size("repeated-key")
+        info = size_cache_info()
+        assert info.hits == hits + 1
+        assert info.misses == misses
+
+    def test_equal_values_of_distinct_types_do_not_alias(self):
+        """True == 1 == 1.0, but their tuple-layout sizes differ."""
+        clear_size_cache()
+        assert estimate_size(True) == 1
+        assert estimate_size(1) == 8
+        assert estimate_size(1.0) == 8
+        assert estimate_size(False) == 1
+        assert estimate_size(0) == 8
+
+    def test_mutating_a_list_is_never_served_stale(self):
+        clear_size_cache()
+        payload = ["x"]
+        first = estimate_size(payload)
+        payload.append("y" * 50)
+        second = estimate_size(payload)
+        assert second > first
+        assert second == approx_size(payload)
+
+
+class TestNodeAccounting:
+    def test_node_approx_bytes_unchanged_by_memoization(self):
+        """Node budgeting must produce the same numbers as the plain walk."""
+        clear_size_cache()
+        leaf = LeafNode(items=[("walnut", 7), ("pecan", 8)])
+        inner = InnerNode(
+            predicate="wal",
+            entries=[Entry("n", None), Entry(BLANK, None)],
+        )
+        cold_leaf, cold_inner = leaf.approx_bytes(), inner.approx_bytes()
+        # Warm: every constituent size is now memoized.
+        assert leaf.approx_bytes() == cold_leaf
+        assert inner.approx_bytes() == cold_inner

@@ -1,0 +1,159 @@
+"""WAL group commit: batching semantics, durability, crash equivalence."""
+
+from __future__ import annotations
+
+import os
+import random
+
+import pytest
+
+from repro.storage import FileDiskManager, WriteAheadLog
+from repro.storage.wal import REC_ALLOC, REC_PAGE_IMAGE
+
+
+class TestBuffering:
+    def test_appends_stay_in_memory_until_flush(self, tmp_path):
+        path = str(tmp_path / "g.wal")
+        wal = WriteAheadLog(path, group_commit=True)
+        wal.log_alloc(1)
+        wal.log_page_image(2, b"image")
+        assert wal.buffered_bytes > 0
+        assert os.path.getsize(path) == 0
+        wal.flush()
+        assert wal.buffered_bytes == 0
+        assert os.path.getsize(path) > 0
+        assert wal.stats.group_flushes == 1
+        wal.close()
+
+    def test_threshold_triggers_automatic_flush(self, tmp_path):
+        wal = WriteAheadLog(
+            str(tmp_path / "g.wal"), group_commit=True, flush_threshold=64
+        )
+        wal.log_page_image(1, b"x" * 100)  # record > threshold
+        assert wal.buffered_bytes == 0
+        assert wal.stats.group_flushes == 1
+        wal.close()
+
+    def test_write_through_mode_never_buffers(self, tmp_path):
+        path = str(tmp_path / "w.wal")
+        wal = WriteAheadLog(path, group_commit=False)
+        wal.log_alloc(1)
+        assert wal.buffered_bytes == 0
+        assert wal.size_bytes > 0  # already in the file object, not ours
+        assert wal.stats.group_flushes == 0
+        wal.close()
+
+    def test_size_bytes_counts_buffered_records(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path / "g.wal"), group_commit=True)
+        wal.log_alloc(1)
+        assert wal.size_bytes == wal.buffered_bytes
+        wal.commit()
+        assert wal.buffered_bytes == 0
+        assert wal.size_bytes == wal.stats.bytes_appended
+        wal.close()
+
+
+class TestDurabilitySemantics:
+    def test_commit_flushes_and_fsyncs_everything(self, tmp_path):
+        path = str(tmp_path / "g.wal")
+        wal = WriteAheadLog(path, group_commit=True)
+        wal.log_alloc(1)
+        wal.log_page_image(2, b"img")
+        lsn = wal.commit()
+        assert wal.buffered_bytes == 0
+        assert wal.synced_size == os.path.getsize(path)
+        records, last_commit = wal.scan()
+        assert last_commit == lsn
+        assert [r.rec_type for r in records] == [REC_ALLOC, REC_PAGE_IMAGE]
+        wal.close()
+
+    def test_scan_sees_buffered_uncommitted_records(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path / "g.wal"), group_commit=True)
+        wal.log_alloc(1)
+        wal.commit()
+        wal.log_alloc(2)  # buffered, never committed
+        records, _ = wal.scan()
+        # Uncommitted records never surface as committed — but the torn
+        # tail accounting must see them, exactly as in write-through mode.
+        assert [r.page_id for r in records] == [1]
+        assert wal.stats.torn_tail_discarded == 1
+        wal.close()
+
+    def test_tear_tail_drops_buffered_records_entirely(self, tmp_path):
+        path = str(tmp_path / "g.wal")
+        wal = WriteAheadLog(path, group_commit=True)
+        wal.log_alloc(1)
+        wal.commit()
+        synced = wal.synced_size
+        wal.log_alloc(2)  # only buffered: a crash loses it completely
+        wal.tear_tail(random.Random(5))
+        assert os.path.getsize(path) == synced
+        reopened = WriteAheadLog(path)
+        records, _ = reopened.scan()
+        assert [r.page_id for r in records] == [1]
+        reopened.close()
+
+    def test_grouped_and_write_through_logs_are_byte_identical(self, tmp_path):
+        """Same append+commit sequence => exact same bytes on disk."""
+        paths = []
+        for group_commit in (True, False):
+            path = str(tmp_path / f"log-{group_commit}.wal")
+            wal = WriteAheadLog(path, group_commit=group_commit)
+            wal.log_alloc(1)
+            wal.log_page_image(2, b"payload-bytes")
+            wal.commit()
+            wal.log_dealloc(1)
+            wal.commit()
+            wal.close()
+            paths.append(path)
+        grouped, through = (open(p, "rb").read() for p in paths)
+        assert grouped == through
+
+
+class TestFileDiskIntegration:
+    def test_group_commit_is_the_default_and_recovers(self, tmp_path):
+        path = str(tmp_path / "pages.dat")
+        disk = FileDiskManager(path)
+        assert disk.wal.group_commit
+        pid = disk.allocate_page()
+        disk.write_page(pid, "v1")
+        disk.sync()
+        disk.write_page(pid, "v2")  # appended to WAL, never committed
+        disk.simulate_crash(seed=11)
+        recovered = FileDiskManager(path)
+        assert recovered.read_page(pid) == "v1"
+        recovered.close()
+
+    def test_group_commit_off_matches_legacy_behaviour(self, tmp_path):
+        path = str(tmp_path / "pages.dat")
+        disk = FileDiskManager(path, group_commit=False)
+        assert not disk.wal.group_commit
+        pid = disk.allocate_page()
+        disk.write_page(pid, {"k": 1})
+        disk.sync()
+        disk.close()
+        reopened = FileDiskManager(path)
+        assert reopened.read_page(pid) == {"k": 1}
+        reopened.close()
+
+    @pytest.mark.parametrize("group_commit", [True, False])
+    def test_kill_anywhere_recovery_matches_either_mode(
+        self, tmp_path, group_commit
+    ):
+        """Random kill points recover identically with batching on or off."""
+        for seed in range(6):
+            path = str(tmp_path / f"pages-{group_commit}-{seed}.dat")
+            disk = FileDiskManager(path, group_commit=group_commit)
+            committed: dict[int, str] = {}
+            rng = random.Random(seed)
+            for round_no in range(4):
+                pid = disk.allocate_page()
+                disk.write_page(pid, f"value-{round_no}")
+                if rng.random() < 0.7:
+                    disk.sync()
+                    committed[pid] = f"value-{round_no}"
+            disk.simulate_crash(seed=seed)
+            recovered = FileDiskManager(path)
+            for pid, expected in committed.items():
+                assert recovered.read_page(pid) == expected
+            recovered.close()
