@@ -34,26 +34,48 @@ from repro.geometry.distance import (
 from repro.resilience.incidents import INCIDENTS
 
 
-def _quarantine(index: Any, incident: str, exc: Exception) -> None:
+#: Signature of the optional degradation callback: (index, incident kind,
+#: exception). Called after the incident is recorded and the index
+#: quarantined, before the sequential-scan fallback starts.
+OnDegrade = Callable[[Any, str, Exception], None]
+
+
+def _quarantine(
+    index: Any,
+    incident: str,
+    exc: Exception,
+    on_degrade: OnDegrade | None = None,
+) -> None:
     """Record the incident, quarantine the index, and purge its node cache.
 
     Purging is what keeps the deserialized-node cache honest under
     corruption: no live node object from the poisoned index survives into
     later scans (the planner also stops choosing it, but belt-and-braces).
+    ``on_degrade`` lets a caller observe the degradation in-band — the
+    replication read router uses it to flag a standby whose index went bad
+    for resync instead of silently serving it degraded forever.
     """
     INCIDENTS.record(incident, index.name, exc)
     index.quarantined = True
     purge = getattr(index, "purge_node_cache", None)
     if purge is not None:
         purge()
+    if on_degrade is not None:
+        on_degrade(index, incident, exc)
 
 
-def execute_plan(plan: Plan) -> Iterator[tuple]:
-    """Yield the rows the plan produces, in plan order."""
+def execute_plan(
+    plan: Plan, on_degrade: OnDegrade | None = None
+) -> Iterator[tuple]:
+    """Yield the rows the plan produces, in plan order.
+
+    ``on_degrade`` (optional) is invoked if an index scan hits corruption
+    mid-flight and the executor falls back to the heap.
+    """
     if isinstance(plan, (NNIndexScanPlan, NNSortScanPlan)):
-        return _execute_nn(plan)
+        return _execute_nn(plan, on_degrade)
     if isinstance(plan, IndexScanPlan):
-        return _execute_index_scan(plan)
+        return _execute_index_scan(plan, on_degrade)
     if isinstance(plan, SeqScanPlan):
         return _execute_seq_scan(plan)
     raise PlannerError(f"unknown plan node {type(plan).__name__}")
@@ -78,7 +100,9 @@ def _execute_seq_scan(plan: SeqScanPlan) -> Iterator[tuple]:
             yield row
 
 
-def _execute_index_scan(plan: IndexScanPlan) -> Iterator[tuple]:
+def _execute_index_scan(
+    plan: IndexScanPlan, on_degrade: OnDegrade | None = None
+) -> Iterator[tuple]:
     check = _predicate_checker(plan)
     predicate = plan.predicate
     assert predicate is not None
@@ -90,7 +114,7 @@ def _execute_index_scan(plan: IndexScanPlan) -> Iterator[tuple]:
         except StopIteration:
             return
         except (IndexCorruptionError, PageChecksumError) as exc:
-            _quarantine(plan.index, "index-scan-degraded", exc)
+            _quarantine(plan.index, "index-scan-degraded", exc, on_degrade)
             break
         row = plan.table.fetch(tid)
         if row is not None and check(row):
@@ -116,7 +140,9 @@ def _nn_distance_function(type_name: str) -> Callable[[Any, Any], float]:
     raise PlannerError(f"no NN distance function for type {type_name!r}")
 
 
-def _execute_nn(plan: Plan) -> Iterator[tuple]:
+def _execute_nn(
+    plan: Plan, on_degrade: OnDegrade | None = None
+) -> Iterator[tuple]:
     predicate = plan.predicate
     assert predicate is not None
     if isinstance(plan, NNIndexScanPlan):
@@ -128,7 +154,7 @@ def _execute_nn(plan: Plan) -> Iterator[tuple]:
             except StopIteration:
                 return
             except (IndexCorruptionError, PageChecksumError) as exc:
-                _quarantine(plan.index, "nn-scan-degraded", exc)
+                _quarantine(plan.index, "nn-scan-degraded", exc, on_degrade)
                 break
             row = plan.table.fetch(tid)
             if row is not None:

@@ -50,6 +50,10 @@ class Plan:
     table: Table
     predicate: Predicate | None
     cost: CostEstimate
+    #: Which replication node serves this plan ("" = the local/default
+    #: engine). Stamped by the read router (:mod:`repro.replication`) so
+    #: EXPLAIN shows where a routed query actually ran.
+    served_by: str = ""
 
     kind = "Plan"
 
@@ -61,10 +65,11 @@ class Plan:
                 f" where {self.predicate.column} {self.predicate.op} "
                 f"{self.predicate.operand!r}"
             )
+        serving = f" [served by {self.served_by}]" if self.served_by else ""
         return (
             f"{self.kind} on {self.table.name}{where} "
             f"(cost={self.cost.startup_cost:.2f}..{self.cost.total_cost:.2f} "
-            f"sel={self.cost.selectivity:.4f})"
+            f"sel={self.cost.selectivity:.4f}){serving}"
         )
 
 

@@ -15,6 +15,8 @@ Supported statements (case-insensitive keywords, one statement per call)::
     DELETE FROM word_data WHERE name = 'random';
     DROP INDEX sp_trie_index ON word_data;
     DROP TABLE word_data;
+    CHECK INDEX sp_trie_index;                 -- amcheck-style verification
+    SELECT * FROM repro_incidents();           -- the resilience incident log
 
 Literals are bound using the column's catalog type: varchar literals are
 quoted strings, points parse as ``(x,y)``, boxes as ``(x1,y1,x2,y2)``,
@@ -82,6 +84,10 @@ _DROP_INDEX = re.compile(
 )
 _DROP_TABLE = re.compile(r"^\s*drop\s+table\s+(\w+)\s*;?\s*$", re.I)
 _ANALYZE = re.compile(r"^\s*analyze\s+(\w+)\s*;?\s*$", re.I)
+_CHECK_INDEX = re.compile(r"^\s*check\s+index\s+(\w+)\s*;?\s*$", re.I)
+_SELECT_INCIDENTS = re.compile(
+    r"^\s*select\s+\*\s+from\s+repro_incidents\s*\(\s*\)\s*;?\s*$", re.I
+)
 _EXPLAIN_ANALYZE = re.compile(r"^\s*explain\s+analyze\s+(.*)$", re.I | re.S)
 _EXPLAIN = re.compile(r"^\s*explain\s+(.*)$", re.I | re.S)
 
@@ -122,6 +128,12 @@ class Database:
         match = _INSERT.match(sql)
         if match:
             return self._insert(match.group(1), match.group(2))
+        match = _CHECK_INDEX.match(sql)
+        if match:
+            return self._check_index(match.group(1))
+        match = _SELECT_INCIDENTS.match(sql)
+        if match:
+            return self._select_incidents()
         match = _SELECT.match(sql)
         if match:
             return list(self._select(*match.groups()))
@@ -179,6 +191,44 @@ class Database:
             index_name, column_name, using=using, opclass_name=opclass_name
         )
         return f"CREATE INDEX {index_name}"
+
+    def _check_index(self, index_name: str) -> str:
+        """``CHECK INDEX <name>``: run the amcheck-style verifier.
+
+        Finds the index by name across all tables, runs
+        :func:`repro.resilience.check.spgist_check` against its structure,
+        and returns the one-line report. Problems are *reported*, not
+        raised — mirroring ``amcheck``, which leaves acting on a bad index
+        to the operator (the executor quarantines on its own when a scan
+        actually trips).
+        """
+        from repro.resilience.check import spgist_check
+
+        for table in self.tables.values():
+            index = table.indexes.get(index_name)
+            if index is None:
+                continue
+            if index.access_method != "sp_gist":
+                raise SQLError(
+                    f"CHECK INDEX supports SP-GiST indexes; {index_name!r} "
+                    f"uses {index.access_method!r}"
+                )
+            return spgist_check(index.structure).describe()
+        raise SQLError(f"unknown index {index_name!r}")
+
+    def _select_incidents(self) -> list[tuple]:
+        """``SELECT * FROM repro_incidents()``: the incident log as rows.
+
+        A set-returning function in the PostgreSQL style: one row per
+        recorded resilience incident, columns ``(kind, subject,
+        error_type, detail)``.
+        """
+        from repro.resilience.incidents import INCIDENTS
+
+        return [
+            (i.kind, i.subject, i.error_type, i.detail)
+            for i in INCIDENTS.incidents
+        ]
 
     def _drop_index(self, index_name: str, table_name: str) -> str:
         self.table(table_name).drop_index(index_name)

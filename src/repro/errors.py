@@ -99,3 +99,19 @@ class PlannerError(ReproError):
 
 class SQLError(ReproError):
     """The mini-SQL front end could not parse or bind a statement."""
+
+
+class ReplicationError(ReproError):
+    """Base class for replication-layer failures (shipping, failover)."""
+
+
+class SegmentCorruptError(ReplicationError):
+    """A shipped WAL segment failed its frame checksum or framing checks."""
+
+
+class PrimaryUnavailableError(ReplicationError):
+    """No primary can currently serve the request (failover in progress)."""
+
+
+class ReplicaDivergedError(ReplicationError):
+    """A node holds WAL beyond the promoted timeline and must be resynced."""

@@ -1,0 +1,33 @@
+"""Physical replication: WAL shipping, hot standbys, automatic failover.
+
+The paper realizes SP-GiST inside one PostgreSQL instance; the ROADMAP
+north-star is a production-scale service, which must survive whole-node
+loss. This package supplies the PostgreSQL-style replication substrate on
+top of the storage stack that PRs 1–3 built:
+
+- :mod:`repro.replication.segments` — the shippable unit: one commit's
+  WAL records framed as a checksummed :class:`WALSegment`;
+- :mod:`repro.replication.node` — :class:`StorageNode`, one "server": a
+  :class:`~repro.storage.filedisk.FileDiskManager` + buffer pool + engine
+  stack that can act as a WAL-emitting primary or a continuously-replaying
+  hot standby, and can be promoted in place;
+- :mod:`repro.replication.replicaset` — :class:`ReplicaSet`, the
+  coordinator: synchronous-quorum writes, round-robin standby reads under
+  a max-lag bound, heartbeat-based failure detection, election of the
+  most-caught-up standby, and promotion with divergence truncation.
+
+The shipping transport is in-process and seeded-fault-injectable
+(:class:`repro.resilience.faults.FaultyChannel`); the end-to-end chaos
+harness over all of it lives in :mod:`repro.resilience.chaos`.
+"""
+
+from repro.replication.node import META_PAGE_ID, StorageNode
+from repro.replication.replicaset import ReplicaSet
+from repro.replication.segments import WALSegment
+
+__all__ = [
+    "META_PAGE_ID",
+    "ReplicaSet",
+    "StorageNode",
+    "WALSegment",
+]

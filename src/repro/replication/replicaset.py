@@ -1,0 +1,463 @@
+"""The replica-set coordinator: quorum writes, routed reads, failover.
+
+A :class:`ReplicaSet` owns one primary :class:`StorageNode` and N hot
+standbys, each fed through its own seeded fault-injectable
+:class:`~repro.resilience.faults.FaultyChannel`. It implements, in process,
+the control loop a PostgreSQL HA stack (synchronous replication +
+Patroni-style failover) runs across machines:
+
+- **writes** (:meth:`client_write`) go to the primary, commit locally,
+  ship the commit's WAL segment to every standby, and are acknowledged
+  only once ``quorum`` standbys have *applied* it — so an acknowledged
+  commit survives the loss of the primary plus any ``quorum - 1``
+  standbys;
+- **reads** (:meth:`client_read`) are routed round-robin over standbys
+  whose replication lag (tracked in the ``repro.obs`` gauge
+  ``replication_lag_segments``) is within ``max_lag``; with no eligible
+  standby the primary serves them in degraded single-node mode (counted);
+- **time** is logical: :meth:`tick` delivers in-flight frames, retransmits
+  to stalled standbys, resyncs flagged ones, and counts the primary's
+  missed heartbeats — after ``heartbeat_timeout`` consecutive misses the
+  most-caught-up standby (highest applied commit, then LSN) is elected
+  and promoted, with WAL divergence truncated.
+
+Retransmission is pull-free: a standby whose channel has drained but whose
+applied position trails the primary is assumed to have lost frames (the
+only possibility on this transport) and is resent everything it misses
+from the primary's in-memory segment archive; positions below the archive
+floor (a restarted primary's archive is empty) force a full resync.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.errors import (
+    PrimaryUnavailableError,
+    ReplicaDivergedError,
+    ReplicationError,
+    SegmentCorruptError,
+)
+from repro.obs import METRICS, span
+from repro.replication.node import StorageNode
+from repro.replication.segments import WALSegment
+from repro.resilience.faults import ChannelFaultPolicy, FaultyChannel
+
+_LAG = METRICS.gauge(
+    "replication_lag_segments",
+    "Commits the primary is ahead of each standby",
+    labels=("node",),
+)
+_ROUTED_READS = METRICS.counter(
+    "replication_routed_reads_total",
+    "Reads served, by node",
+    labels=("node",),
+)
+_DEGRADED_READS = METRICS.counter(
+    "replication_degraded_reads_total",
+    "Reads the primary served because no standby was within the lag bound",
+)
+_RETRANSMITS = METRICS.counter(
+    "replication_retransmits_total",
+    "Segments re-sent to standbys that lost frames",
+)
+_CORRUPT_FRAMES = METRICS.counter(
+    "replication_corrupt_frames_total",
+    "Shipped frames discarded for failing the segment checksum",
+)
+_FAILOVERS = METRICS.counter(
+    "replication_failovers_total",
+    "Automatic primary failovers completed",
+)
+_FAILOVER_TICKS = METRICS.gauge(
+    "replication_last_failover_ticks",
+    "Ticks from first missed heartbeat to promotion, last failover",
+)
+_FULL_RESYNCS = METRICS.counter(
+    "replication_full_resyncs_total",
+    "Standbys re-seeded from a fresh basebackup",
+)
+_ALIVE = METRICS.gauge(
+    "replication_alive_nodes",
+    "Nodes currently alive in the replica set",
+)
+
+#: Delivery/retransmit rounds a quorum wait runs before giving up; with
+#: per-frame drop probability p the miss chance decays as p^rounds, so
+#: even the chaos harness's p=0.25 channels converge in a handful.
+_MAX_PUMP_ROUNDS = 64
+
+
+@dataclass
+class _Standby:
+    """One standby and its shipping channel."""
+
+    node: StorageNode
+    channel: FaultyChannel
+    policy: ChannelFaultPolicy = field(default_factory=ChannelFaultPolicy)
+
+
+class ReplicaSet:
+    """One primary plus N hot standbys behind fault-injectable channels.
+
+    ``directory`` holds every node's data files (``node-<i>.dat`` etc.).
+    ``channel_policies`` (optional) gives each standby's shipping channel
+    its fault policy, in order; missing entries get clean channels.
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        kind: str = "trie",
+        replicas: int = 2,
+        quorum: int = 1,
+        heartbeat_timeout: int = 3,
+        max_lag: int = 2,
+        fsync: bool = True,
+        pool_pages: int = 64,
+        channel_policies: Iterable[ChannelFaultPolicy] | None = None,
+    ) -> None:
+        if replicas < 1:
+            raise ReplicationError("a replica set needs at least one standby")
+        if quorum > replicas:
+            raise ReplicationError(
+                f"quorum {quorum} cannot exceed replica count {replicas}"
+            )
+        self.directory = directory
+        self.kind = kind
+        self.quorum = quorum
+        self.heartbeat_timeout = heartbeat_timeout
+        self.max_lag = max_lag
+        self.fsync = fsync
+        self.pool_pages = pool_pages
+        self.clock = 0
+        self.failover_log: list[dict[str, Any]] = []
+        self._missed_heartbeats = 0
+        self._round_robin = 0
+        self._node_counter = 0
+        self.last_served_by = ""
+
+        self.primary = StorageNode.create_primary(
+            self._next_name(), self._path(0), kind,
+            fsync=fsync, pool_pages=pool_pages,
+        )
+        self.standbys: list[_Standby] = []
+        policies = list(channel_policies or [])
+        for i in range(replicas):
+            policy = policies[i] if i < len(policies) else ChannelFaultPolicy()
+            self.add_standby(policy)
+        self._update_gauges()
+
+    # -- membership -----------------------------------------------------------
+
+    def _next_name(self) -> str:
+        name = f"node-{self._node_counter}"
+        self._node_counter += 1
+        return name
+
+    def _path(self, index: int) -> str:
+        return os.path.join(self.directory, f"node-{index}.dat")
+
+    def add_standby(
+        self, policy: ChannelFaultPolicy | None = None
+    ) -> StorageNode:
+        """Basebackup a new hot standby off the current primary."""
+        self._require_primary()
+        name = self._next_name()
+        node = StorageNode.basebackup(
+            self.primary,
+            name,
+            os.path.join(self.directory, f"{name}.dat"),
+            fsync=self.fsync,
+            pool_pages=self.pool_pages,
+        )
+        policy = policy or ChannelFaultPolicy()
+        self.standbys.append(
+            _Standby(node=node, channel=FaultyChannel(policy), policy=policy)
+        )
+        self._update_gauges()
+        return node
+
+    @property
+    def nodes(self) -> list[StorageNode]:
+        """Every member, primary first."""
+        return [self.primary] + [entry.node for entry in self.standbys]
+
+    def node(self, name: str) -> StorageNode:
+        """Look a member up by name."""
+        for candidate in self.nodes:
+            if candidate.name == name:
+                return candidate
+        raise ReplicationError(f"no node named {name!r}")
+
+    # -- shipping pipeline ----------------------------------------------------
+
+    def _ship_outbox(self) -> None:
+        for segment in self.primary.outbox:
+            frame = segment.encode()
+            for entry in self.standbys:
+                entry.channel.send(frame)
+        self.primary.outbox.clear()
+
+    def _deliver(self, entry: _Standby) -> None:
+        """Drain one standby's channel into its apply loop."""
+        if entry.node.crashed:
+            entry.channel.poll()  # frames to a dead node are lost
+            return
+        for frame in entry.channel.poll():
+            try:
+                segment = WALSegment.decode(frame)
+            except SegmentCorruptError:
+                _CORRUPT_FRAMES.inc()
+                continue  # wait for the retransmit path to resend it
+            try:
+                entry.node.apply_segment(segment)
+            except ReplicaDivergedError:
+                entry.node.needs_resync = True
+                return
+
+    def _retransmit(self, entry: _Standby) -> None:
+        """Resend everything a drained-but-trailing standby is missing."""
+        try:
+            missing = self.primary.segments_since(entry.node.applied_seq)
+        except ReplicaDivergedError:
+            entry.node.needs_resync = True
+            return
+        for segment in missing:
+            entry.channel.send(segment.encode())
+            _RETRANSMITS.inc()
+
+    def _resync(self, entry: _Standby) -> None:
+        with span("replication.full_resync", node=entry.node.name):
+            entry.node.full_resync(self.primary)
+            entry.channel = FaultyChannel(entry.policy)  # stale frames dropped
+        _FULL_RESYNCS.inc()
+
+    def _pump(self) -> None:
+        """One shipping round: outbox, deliveries, retransmits, resyncs."""
+        primary_up = not self.primary.crashed
+        if primary_up:
+            self._ship_outbox()
+        for entry in self.standbys:
+            self._deliver(entry)
+            if entry.node.crashed or not primary_up:
+                continue
+            if entry.node.needs_resync:
+                self._resync(entry)
+                continue
+            behind = entry.node.applied_seq < self.primary.commit_seq
+            if behind and entry.channel.in_flight == 0:
+                self._retransmit(entry)
+
+    # -- client API -----------------------------------------------------------
+
+    def client_write(self, rows: list[tuple]) -> int:
+        """Insert ``rows``, commit, and wait for quorum acknowledgement.
+
+        Returns the acknowledged commit sequence. Raises
+        :class:`PrimaryUnavailableError` with no live primary, and
+        :class:`ReplicationError` when the quorum cannot be reached — in
+        both cases the write is NOT acknowledged (it may or may not
+        survive, exactly like an in-doubt transaction).
+        """
+        self._require_primary()
+        assert self.primary.table is not None
+        if rows:
+            self.primary.table.insert_many(rows)
+        seq = self.primary.commit()
+        self._ship_outbox()
+        if not self._await_quorum(seq):
+            raise ReplicationError(
+                f"commit {seq} not acknowledged by {self.quorum} standby(s)"
+            )
+        return seq
+
+    def _await_quorum(self, target_seq: int) -> bool:
+        if self.quorum <= 0:
+            return True
+        for _round in range(_MAX_PUMP_ROUNDS):
+            acked = sum(
+                1
+                for entry in self.standbys
+                if not entry.node.crashed
+                and not entry.node.needs_resync
+                and entry.node.applied_seq >= target_seq
+            )
+            if acked >= self.quorum:
+                return True
+            self._pump()
+        return False
+
+    def client_read(self, op: str, operand: Any) -> list[tuple]:
+        """Answer ``key <op> operand`` from a routed node.
+
+        Round-robin over alive standbys within the lag bound; primary
+        fallback (degraded single-node mode) when none qualifies.
+        """
+        from repro.engine.executor import execute_plan
+        from repro.engine.planner import Predicate, plan_query
+
+        node = self._route_read()
+        self.last_served_by = node.name
+        _ROUTED_READS.labels(node.name).inc()
+        assert node.table is not None
+        plan = plan_query(node.table, Predicate("key", op, operand))
+        plan.served_by = node.name
+
+        def on_degrade(_index: Any, _incident: str, _exc: Exception) -> None:
+            # A routed read tripped over corruption: the scan degraded to
+            # the heap (still correct), and the node is flagged so the next
+            # tick re-seeds it instead of serving degraded forever.
+            if node.role == "standby":
+                node.needs_resync = True
+
+        return list(execute_plan(plan, on_degrade=on_degrade))
+
+    def _route_read(self) -> StorageNode:
+        head = self.primary.commit_seq if not self.primary.crashed else None
+        eligible = [
+            entry.node
+            for entry in self.standbys
+            if not entry.node.crashed
+            and not entry.node.needs_resync
+            and (
+                head is None
+                or head - entry.node.applied_seq <= self.max_lag
+            )
+        ]
+        if eligible:
+            node = eligible[self._round_robin % len(eligible)]
+            self._round_robin += 1
+            return node
+        if not self.primary.crashed:
+            _DEGRADED_READS.inc()
+            return self.primary
+        raise PrimaryUnavailableError(
+            "no primary and no eligible standby to serve reads"
+        )
+
+    # -- the control loop ------------------------------------------------------
+
+    def tick(self) -> None:
+        """Advance logical time: deliver, retransmit, heartbeat, failover."""
+        self.clock += 1
+        self._pump()
+        if self.primary.crashed:
+            self._missed_heartbeats += 1
+            if self._missed_heartbeats >= self.heartbeat_timeout:
+                self._failover()
+        else:
+            self._missed_heartbeats = 0
+        self._update_gauges()
+
+    def _failover(self) -> None:
+        """Elect and promote the most-caught-up live standby."""
+        candidates = [
+            entry for entry in self.standbys if not entry.node.crashed
+        ]
+        if not candidates:
+            return  # nothing to promote; retry on a later tick
+        with span("replication.failover"):
+            # Last-chance delivery: a candidate applies everything already
+            # in its channel before positions are compared (PostgreSQL
+            # promotes only after the standby finishes replaying received
+            # WAL).
+            for entry in candidates:
+                self._deliver(entry)
+            winner = max(
+                candidates,
+                key=lambda entry: (
+                    entry.node.applied_seq,
+                    entry.node.applied_lsn,
+                    entry.node.name,
+                ),
+            )
+            winner.node.promote()
+            self.standbys.remove(winner)
+            self.primary = winner.node
+            for entry in self.standbys:
+                if not entry.node.crashed:
+                    # Followers of the old timeline re-seed from the new
+                    # primary; their channels may hold stale frames.
+                    entry.node.needs_resync = True
+                entry.channel = FaultyChannel(entry.policy)
+        _FAILOVERS.inc()
+        _FAILOVER_TICKS.set(self._missed_heartbeats)
+        self.failover_log.append(
+            {
+                "tick": self.clock,
+                "elected": self.primary.name,
+                "missed_heartbeats": self._missed_heartbeats,
+                "commit_seq": self.primary.commit_seq,
+            }
+        )
+        self._missed_heartbeats = 0
+
+    def rejoin(self, node: StorageNode) -> None:
+        """Bring a crashed member back.
+
+        The still-current primary resumes its role after WAL crash
+        recovery; any other node (including a deposed primary) restarts
+        and re-seeds as a standby of the current primary.
+        """
+        if not node.crashed:
+            return
+        node.restart()
+        if node is self.primary:
+            self._missed_heartbeats = 0
+            self._update_gauges()
+            return
+        if all(entry.node is not node for entry in self.standbys):
+            # A deposed primary rejoining after failover.
+            policy = ChannelFaultPolicy()
+            self.standbys.append(
+                _Standby(node=node, channel=FaultyChannel(policy), policy=policy)
+            )
+        node.needs_resync = True
+        if not self.primary.crashed:
+            for entry in self.standbys:
+                if entry.node is node:
+                    self._resync(entry)
+        self._update_gauges()
+
+    def catch_up(self, max_ticks: int = 200) -> bool:
+        """Tick until every live standby has applied the primary's head."""
+        for _ in range(max_ticks):
+            if self.primary.crashed:
+                self.tick()
+                continue
+            live = [e for e in self.standbys if not e.node.crashed]
+            if all(
+                e.node.applied_seq >= self.primary.commit_seq
+                and not e.node.needs_resync
+                for e in live
+            ):
+                return True
+            self.tick()
+        return False
+
+    # -- bookkeeping ----------------------------------------------------------
+
+    def lag_of(self, node: StorageNode) -> int:
+        """Commits ``node`` trails the current primary by."""
+        return max(0, self.primary.commit_seq - node.applied_seq)
+
+    def _update_gauges(self) -> None:
+        alive = sum(1 for node in self.nodes if not node.crashed)
+        _ALIVE.set(alive)
+        for entry in self.standbys:
+            _LAG.labels(entry.node.name).set(self.lag_of(entry.node))
+
+    def _require_primary(self) -> None:
+        if self.primary.crashed:
+            raise PrimaryUnavailableError(
+                f"primary {self.primary.name} is down"
+            )
+
+    def close(self) -> None:
+        """Shut every live member down cleanly."""
+        for node in self.nodes:
+            if not node.crashed:
+                node.close()

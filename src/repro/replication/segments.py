@@ -1,0 +1,111 @@
+"""WAL segment framing: the unit a primary ships to its standbys.
+
+Every :meth:`~repro.storage.wal.WriteAheadLog.commit` on the primary hands
+its commit listeners the raw record bytes that commit made durable; a
+:class:`WALSegment` wraps those bytes with a sequence number, the LSN range
+they cover, and a CRC32 over the whole frame. Standbys apply segments
+strictly in sequence order, so the header is what makes drops, reorders,
+duplicates, and corruption *detectable*:
+
+- a CRC mismatch (bit flip in flight) raises :class:`SegmentCorruptError`
+  — the receiver discards the frame and waits for a retransmit;
+- ``seq`` at or below the standby's applied position is a duplicate and is
+  ignored (application is idempotent anyway, but skipping is cheaper);
+- ``seq`` ahead of the next expected one is buffered until the gap closes
+  (reordering) or re-requested (a drop).
+
+Wire format::
+
+    header := <seq:u64> <start_lsn:u64> <end_lsn:u64> <length:u32> <crc32:u32>
+    frame  := header + payload        (payload = raw WAL record bytes)
+
+The CRC covers the first three header fields plus the payload, so a flip
+anywhere in the frame — header or body — is caught.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import SegmentCorruptError
+from repro.storage.wal import ReplayCursor, WALRecord
+
+_SEGMENT_HEADER = struct.Struct("<QQQII")
+
+
+@dataclass(frozen=True)
+class WALSegment:
+    """One commit's worth of WAL records, framed for shipping.
+
+    ``seq`` equals the primary's commit sequence number at the commit that
+    produced the segment; ``start_lsn``/``end_lsn`` bound the LSNs of the
+    records inside (``end_lsn`` is the commit marker's LSN).
+    """
+
+    seq: int
+    start_lsn: int
+    end_lsn: int
+    payload: bytes
+
+    def encode(self) -> bytes:
+        """Serialize to the checksummed wire frame."""
+        crc = zlib.crc32(self.payload, zlib.crc32(
+            _SEGMENT_HEADER.pack(self.seq, self.start_lsn, self.end_lsn, 0, 0)
+        ))
+        header = _SEGMENT_HEADER.pack(
+            self.seq, self.start_lsn, self.end_lsn, len(self.payload), crc
+        )
+        return header + self.payload
+
+    @classmethod
+    def decode(cls, frame: bytes) -> "WALSegment":
+        """Parse and verify a wire frame; raise on any corruption."""
+        if len(frame) < _SEGMENT_HEADER.size:
+            raise SegmentCorruptError(
+                f"segment frame of {len(frame)} bytes is shorter than the "
+                f"{_SEGMENT_HEADER.size}-byte header"
+            )
+        seq, start_lsn, end_lsn, length, crc = _SEGMENT_HEADER.unpack_from(frame)
+        payload = frame[_SEGMENT_HEADER.size:]
+        if len(payload) != length:
+            raise SegmentCorruptError(
+                f"segment {seq}: payload length {len(payload)} != header "
+                f"length {length}"
+            )
+        expect = zlib.crc32(payload, zlib.crc32(
+            _SEGMENT_HEADER.pack(seq, start_lsn, end_lsn, 0, 0)
+        ))
+        if crc != expect:
+            raise SegmentCorruptError(f"segment {seq}: CRC mismatch")
+        if end_lsn < start_lsn and length:
+            raise SegmentCorruptError(
+                f"segment {seq}: LSN range {start_lsn}..{end_lsn} is inverted"
+            )
+        return cls(seq=seq, start_lsn=start_lsn, end_lsn=end_lsn, payload=payload)
+
+    def records(self) -> Iterator[WALRecord]:
+        """Decode the payload's WAL records (commit markers included).
+
+        Uses the shared :class:`~repro.storage.wal.ReplayCursor`, so a
+        payload that somehow ends mid-record replays its complete prefix;
+        the frame CRC makes that unreachable in practice, but the standby
+        checks ``cursor.torn`` afterwards anyway.
+        """
+        cursor = ReplayCursor(
+            self.payload,
+            start_lsn=self.start_lsn - 1,
+            origin=f"segment-{self.seq}",
+        )
+        yield from cursor
+        if cursor.torn:
+            raise SegmentCorruptError(
+                f"segment {self.seq}: torn record inside a CRC-valid frame"
+            )
+
+    @property
+    def size_bytes(self) -> int:
+        """Frame size on the wire."""
+        return _SEGMENT_HEADER.size + len(self.payload)

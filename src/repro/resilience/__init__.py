@@ -18,9 +18,12 @@ equivalents for the reproduction's simulated storage stack:
 
 from repro.resilience.check import CheckReport, spgist_check
 from repro.resilience.faults import (
+    ChannelFaultCounters,
+    ChannelFaultPolicy,
     FaultCounters,
     FaultInjectingDiskManager,
     FaultPolicy,
+    FaultyChannel,
     corrupt_page,
 )
 from repro.resilience.incidents import INCIDENTS, Incident, IncidentLog
@@ -29,6 +32,9 @@ from repro.storage.wal import WALRecord, WALStats, WriteAheadLog
 __all__ = [
     "CheckReport",
     "spgist_check",
+    "ChannelFaultCounters",
+    "ChannelFaultPolicy",
+    "FaultyChannel",
     "FaultCounters",
     "FaultInjectingDiskManager",
     "FaultPolicy",

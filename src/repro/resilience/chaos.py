@@ -1,0 +1,373 @@
+"""End-to-end chaos harness for the replication subsystem.
+
+Runs randomized, fully seeded schedules against a live
+:class:`~repro.replication.ReplicaSet`: client writes, routed reads, node
+crashes (primary and standby), restarts, and shipping channels that drop,
+corrupt, reorder, and duplicate frames — then heals the cluster and checks
+the invariants that define correct replication:
+
+1. **Zero acknowledged-commit loss** — every row whose commit was
+   quorum-acknowledged is present on the (possibly promoted) primary.
+2. **Logical equivalence** — after catch-up, every surviving node's heap
+   holds exactly the same rows, and on each node the SP-GiST index agrees
+   with its own heap key-for-key (the PR 2 differential-oracle check, run
+   per node) while :func:`~repro.resilience.check.spgist_check` reports a
+   clean structure.
+3. **Bounded failover** — every automatic failover completed within
+   ``heartbeat_timeout + 1`` ticks of the primary's crash.
+
+The failure model matches the write path's guarantee: with ``quorum=1``
+acknowledged commits survive any single-node loss, so schedules keep at
+most one node down at a time (the documented failure bound; see DESIGN.md
+§9). Everything — fault rates, event order, crash points, keys — derives
+from one integer seed, so any red run reproduces exactly from the seed the
+harness prints.
+
+CLI::
+
+    PYTHONPATH=src python -m repro.resilience.chaos --schedules 25 --seed 0
+    PYTHONPATH=src python -m repro.resilience.chaos --seed 1234 --schedules 1 \\
+        --transcript chaos-transcript.json   # replay one seed, keep evidence
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import tempfile
+from typing import Any
+
+from repro.replication import ReplicaSet
+from repro.resilience.check import spgist_check
+from repro.resilience.faults import ChannelFaultPolicy
+
+#: Schema kinds a schedule may draw (one string, one spatial — exercises
+#: both predicate families through replication).
+CHAOS_KINDS = ("trie", "pquad")
+
+#: Differential-oracle probes per node during final verification; keys are
+#: sampled beyond this count to bound schedule cost.
+MAX_PROBES = 30
+
+
+def _make_key(kind: str, rng: random.Random, counter: int) -> Any:
+    if kind == "trie":
+        alphabet = "abcdefghijklmnopqrstuvwxyz"
+        word = "".join(rng.choice(alphabet) for _ in range(rng.randint(3, 8)))
+        return f"{word}{counter}"
+    from repro.geometry.point import Point
+
+    # The counter in the low digits keeps every generated point distinct.
+    return Point(
+        round(rng.uniform(0.0, 100.0), 3) + counter * 1e-6,
+        round(rng.uniform(0.0, 100.0), 3),
+    )
+
+
+def run_schedule(
+    seed: int,
+    steps: int = 32,
+    directory: str | None = None,
+) -> dict[str, Any]:
+    """Run one seeded chaos schedule; returns its transcript.
+
+    The transcript dict carries the drawn configuration, the event list,
+    final statistics, and ``ok``/``failures`` — it is what the CI job
+    uploads when a schedule goes red.
+    """
+    if directory is None:
+        with tempfile.TemporaryDirectory(prefix="chaos-") as tmp:
+            return run_schedule(seed, steps=steps, directory=tmp)
+
+    rng = random.Random(seed)
+    kind = rng.choice(CHAOS_KINDS)
+    replicas = rng.randint(2, 3)
+    heartbeat_timeout = rng.randint(2, 4)
+    max_lag = rng.randint(1, 3)
+    policies = [
+        ChannelFaultPolicy(
+            seed=rng.randrange(2**31),
+            drop_rate=round(rng.uniform(0.0, 0.25), 3),
+            corrupt_rate=round(rng.uniform(0.0, 0.15), 3),
+            reorder_rate=round(rng.uniform(0.0, 0.25), 3),
+            duplicate_rate=round(rng.uniform(0.0, 0.15), 3),
+        )
+        for _ in range(replicas)
+    ]
+    transcript: dict[str, Any] = {
+        "seed": seed,
+        "kind": kind,
+        "replicas": replicas,
+        "quorum": 1,
+        "heartbeat_timeout": heartbeat_timeout,
+        "max_lag": max_lag,
+        "channel_policies": [vars(policy) for policy in policies],
+        "events": [],
+        "failures": [],
+    }
+    events: list[dict[str, Any]] = transcript["events"]
+    failures: list[str] = transcript["failures"]
+
+    rs = ReplicaSet(
+        directory,
+        kind=kind,
+        replicas=replicas,
+        quorum=1,
+        heartbeat_timeout=heartbeat_timeout,
+        max_lag=max_lag,
+        fsync=False,  # crashes are simulated by truncation; see DESIGN.md §9
+        channel_policies=policies,
+    )
+    equality = rs.primary.index.methods.equality_operator
+
+    acked: dict[Any, Any] = {}  # key -> id of quorum-acknowledged rows
+    unacked_writes = 0
+    down = None  # the failure bound: at most one node down at a time
+    primary_crash_tick: int | None = None
+    seen_failovers = 0
+    counter = 0
+
+    def note_failovers() -> None:
+        nonlocal seen_failovers, primary_crash_tick
+        while seen_failovers < len(rs.failover_log):
+            record = rs.failover_log[seen_failovers]
+            seen_failovers += 1
+            if primary_crash_tick is not None:
+                taken = record["tick"] - primary_crash_tick
+                bound = heartbeat_timeout + 1
+                if taken > bound:
+                    failures.append(
+                        f"failover at tick {record['tick']} took {taken} "
+                        f"ticks (> bound {bound})"
+                    )
+                events.append(
+                    {"event": "failover", "tick": record["tick"],
+                     "elected": record["elected"], "ticks": taken}
+                )
+                primary_crash_tick = None
+
+    for step in range(steps):
+        roll = rng.random()
+        if roll < 0.45:  # client write (1-3 rows)
+            rows = []
+            for _ in range(rng.randint(1, 3)):
+                counter += 1
+                rows.append((_make_key(kind, rng, counter), counter))
+            try:
+                seq = rs.client_write(rows)
+            except Exception as exc:  # not acknowledged: in-doubt, no claim
+                unacked_writes += 1
+                events.append(
+                    {"event": "write-unacked", "step": step,
+                     "error": type(exc).__name__}
+                )
+            else:
+                for key, value in rows:
+                    acked[key] = value
+                events.append(
+                    {"event": "write-acked", "step": step, "seq": seq,
+                     "rows": len(rows)}
+                )
+        elif roll < 0.65 and acked:  # routed read of an acknowledged key
+            key = rng.choice(list(acked))
+            try:
+                result = rs.client_read(equality, key)
+            except Exception as exc:
+                events.append(
+                    {"event": "read-failed", "step": step,
+                     "error": type(exc).__name__}
+                )
+            else:
+                wrong = [row for row in result if row[0] != key]
+                if wrong:
+                    failures.append(
+                        f"read of {key!r} on {rs.last_served_by} returned "
+                        f"non-matching rows {wrong!r}"
+                    )
+                events.append(
+                    {"event": "read", "step": step,
+                     "served_by": rs.last_served_by, "rows": len(result)}
+                )
+        elif roll < 0.75:  # crash one node (respecting the failure bound)
+            if down is None:
+                victim = (
+                    rs.primary
+                    if rng.random() < 0.5
+                    else rng.choice(rs.nodes[1:])
+                )
+                if victim is rs.primary:
+                    primary_crash_tick = rs.clock
+                victim.crash(seed=rng.randrange(2**31))
+                down = victim
+                events.append(
+                    {"event": "crash", "step": step, "node": victim.name,
+                     "was_primary": victim is rs.primary}
+                )
+        elif roll < 0.9:  # restart the down node
+            if down is not None:
+                if down is rs.primary:
+                    primary_crash_tick = None  # recovered before failover
+                rs.rejoin(down)
+                events.append(
+                    {"event": "restart", "step": step, "node": down.name}
+                )
+                down = None
+        else:
+            events.append({"event": "tick", "step": step})
+        rs.tick()
+        note_failovers()
+
+    # -- heal and verify -------------------------------------------------------
+    if down is not None:
+        if down is rs.primary:
+            primary_crash_tick = None
+        rs.rejoin(down)
+    for _ in range(heartbeat_timeout + 2):
+        rs.tick()  # let any in-flight failover finish
+    note_failovers()
+    if rs.primary.crashed:
+        failures.append("no live primary after healing")
+    elif not rs.catch_up():
+        failures.append("standbys failed to catch up after healing")
+    else:
+        _verify(rs, acked, failures)
+
+    transcript["ok"] = not failures
+    transcript["stats"] = {
+        "acked_rows": len(acked),
+        "unacked_writes": unacked_writes,
+        "failovers": len(rs.failover_log),
+        "final_commit_seq": rs.primary.commit_seq,
+        "clock": rs.clock,
+    }
+    rs.close()
+    return transcript
+
+
+def _verify(rs: ReplicaSet, acked: dict, failures: list[str]) -> None:
+    """The end-state invariants: no acked loss, equivalence, clean checks."""
+    primary_rows = set(rs.primary.rows())
+    lost = {
+        (key, value)
+        for key, value in acked.items()
+        if (key, value) not in primary_rows
+    }
+    if lost:
+        failures.append(
+            f"{len(lost)} acknowledged row(s) lost, e.g. "
+            f"{sorted(lost, key=repr)[:3]!r}"
+        )
+    row_sets = {node.name: frozenset(node.rows()) for node in rs.nodes}
+    if len(set(row_sets.values())) != 1:
+        counts = {name: len(rows) for name, rows in row_sets.items()}
+        failures.append(f"nodes are not logically equivalent: {counts}")
+    rng = random.Random(0)
+    probes = list(acked)
+    if len(probes) > MAX_PROBES:
+        probes = rng.sample(probes, MAX_PROBES)
+    for node in rs.nodes:
+        equality = node.index.methods.equality_operator
+        assert node.table is not None
+        heap_rows = list(node.rows())
+        for key in probes:
+            via_index = sorted(
+                node.search(equality, key), key=repr
+            )
+            via_heap = sorted(
+                (row for row in heap_rows if row[0] == key), key=repr
+            )
+            if via_index != via_heap:
+                failures.append(
+                    f"differential mismatch on {node.name} for key {key!r}: "
+                    f"index={via_index!r} heap={via_heap!r}"
+                )
+                break
+        report = spgist_check(node.index)
+        if not report.ok:
+            failures.append(
+                f"spgist_check failed on {node.name}: {report.describe()}"
+            )
+
+
+def run_campaign(
+    schedules: int, base_seed: int = 0, steps: int = 32
+) -> dict[str, Any]:
+    """Run ``schedules`` seeded schedules; returns the campaign summary.
+
+    Schedule ``i`` uses seed ``base_seed + i``, so any failure reproduces
+    with ``run_schedule(that_seed)`` alone.
+    """
+    failed: list[dict[str, Any]] = []
+    stats = {"acked_rows": 0, "failovers": 0, "unacked_writes": 0}
+    for i in range(schedules):
+        transcript = run_schedule(base_seed + i, steps=steps)
+        for key in stats:
+            stats[key] += transcript["stats"][key]
+        if not transcript["ok"]:
+            failed.append(transcript)
+    return {
+        "schedules": schedules,
+        "base_seed": base_seed,
+        "steps": steps,
+        "failed": failed,
+        "ok": not failed,
+        "totals": stats,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; exit 1 (with transcripts written) on any failure."""
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--seed", type=int, default=0,
+        help="base seed; schedule i runs with seed+i (default 0)",
+    )
+    parser.add_argument(
+        "--schedules", type=int, default=25,
+        help="number of seeded schedules to run (default 25)",
+    )
+    parser.add_argument(
+        "--steps", type=int, default=32,
+        help="events per schedule (default 32)",
+    )
+    parser.add_argument(
+        "--transcript", default=None,
+        help="write failing schedule transcripts (or the summary) here",
+    )
+    args = parser.parse_args(argv)
+
+    summary = run_campaign(args.schedules, base_seed=args.seed, steps=args.steps)
+    totals = summary["totals"]
+    print(
+        f"chaos: {args.schedules} schedule(s) from seed {args.seed}: "
+        f"{totals['acked_rows']} acked rows, {totals['failovers']} "
+        f"failovers, {totals['unacked_writes']} in-doubt writes"
+    )
+    for transcript in summary["failed"]:
+        print(
+            f"  FAILED seed={transcript['seed']}: "
+            f"{'; '.join(transcript['failures'])}"
+        )
+        print(
+            f"  reproduce: python -m repro.resilience.chaos "
+            f"--seed {transcript['seed']} --schedules 1"
+        )
+    if args.transcript and (summary["failed"] or args.schedules == 1):
+        payload = summary["failed"] or [
+            run_schedule(args.seed, steps=args.steps)
+        ]
+        with open(args.transcript, "w", encoding="utf-8") as f:
+            json.dump(payload if len(payload) > 1 else payload[0], f, indent=2,
+                      default=repr)
+            f.write("\n")
+        print(f"wrote {args.transcript}")
+    if summary["failed"]:
+        return 1
+    print("chaos: all schedules green")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    raise SystemExit(main())

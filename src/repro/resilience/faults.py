@@ -189,6 +189,102 @@ class FaultInjectingDiskManager:
         return getattr(self.inner, name)
 
 
+@dataclass(frozen=True)
+class ChannelFaultPolicy:
+    """Knobs for one WAL-shipping channel (all probabilities in [0, 1]).
+
+    Mirrors :class:`FaultPolicy` one layer up the stack: where that class
+    perturbs a disk, this one perturbs the in-process transport that ships
+    WAL segments from a primary to a standby (:mod:`repro.replication`).
+    """
+
+    seed: int = 0
+    drop_rate: float = 0.0  # frame silently lost
+    corrupt_rate: float = 0.0  # one bit of the frame flipped in flight
+    reorder_rate: float = 0.0  # frame delivered after later frames
+    duplicate_rate: float = 0.0  # frame delivered twice
+
+    def __post_init__(self) -> None:
+        for name in (
+            "drop_rate",
+            "corrupt_rate",
+            "reorder_rate",
+            "duplicate_rate",
+        ):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be within [0, 1], got {rate}")
+
+
+@dataclass
+class ChannelFaultCounters:
+    """How many of each channel fault kind have actually fired."""
+
+    drops: int = 0
+    corruptions: int = 0
+    reorders: int = 0
+    duplicates: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.drops + self.corruptions + self.reorders + self.duplicates
+
+
+class FaultyChannel:
+    """A unidirectional, seeded-lossy frame pipe (primary → one standby).
+
+    ``send`` enqueues a frame subject to the policy; ``poll`` drains
+    everything currently deliverable. Reordered frames are held back and
+    delivered *after* frames sent later, so a receiver that applies
+    segments strictly in sequence must buffer or re-request. All
+    randomness comes from the policy's seeded RNG — a chaos schedule's
+    fault pattern is replayable from its seed.
+    """
+
+    def __init__(self, policy: ChannelFaultPolicy | None = None) -> None:
+        self.policy = policy or ChannelFaultPolicy()
+        self.injected = ChannelFaultCounters()
+        self._rng = random.Random(self.policy.seed)
+        self._queue: list[bytes] = []
+        self._held: list[bytes] = []  # reordered frames, delivered last
+
+    def send(self, frame: bytes) -> None:
+        """Offer one frame for delivery (may drop/corrupt/reorder/dup it)."""
+        policy = self.policy
+        if policy.drop_rate and self._rng.random() < policy.drop_rate:
+            self.injected.drops += 1
+            return
+        if policy.corrupt_rate and self._rng.random() < policy.corrupt_rate:
+            mutated = bytearray(frame)
+            if mutated:
+                position = self._rng.randrange(len(mutated))
+                mutated[position] ^= 1 << self._rng.randrange(8)
+            frame = bytes(mutated)
+            self.injected.corruptions += 1
+        copies = 1
+        if policy.duplicate_rate and self._rng.random() < policy.duplicate_rate:
+            self.injected.duplicates += 1
+            copies = 2
+        for _ in range(copies):
+            if policy.reorder_rate and self._rng.random() < policy.reorder_rate:
+                self.injected.reorders += 1
+                self._held.append(frame)
+            else:
+                self._queue.append(frame)
+
+    def poll(self) -> list[bytes]:
+        """Drain deliverable frames: in-order sends first, then held ones."""
+        delivered = self._queue + self._held
+        self._queue = []
+        self._held = []
+        return delivered
+
+    @property
+    def in_flight(self) -> int:
+        """Frames sent but not yet polled (including held ones)."""
+        return len(self._queue) + len(self._held)
+
+
 def corrupt_page(disk: Any, page_id: int, seed: int = 0) -> None:
     """Flip one random bit of a stored page image (test/demo helper)."""
     rng = random.Random(seed)

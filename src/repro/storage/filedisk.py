@@ -40,6 +40,7 @@ from repro.storage.disk import (
 from repro.storage.page import decode_page_image, encode_page_image
 from repro.storage.wal import (
     REC_ALLOC,
+    REC_COMMIT,
     REC_DEALLOC,
     REC_PAGE_IMAGE,
     WriteAheadLog,
@@ -60,11 +61,16 @@ class FileDiskManager(DiskManager):
         use_wal: bool = True,
         group_commit: bool = True,
         flush_threshold: int | None = None,
+        fsync: bool = True,
     ) -> None:
         super().__init__()
         self.path = path
         self._group_commit = group_commit
         self._flush_threshold = flush_threshold
+        #: With ``fsync=False`` commits stop at the OS page cache; the
+        #: commit protocol, tear points, and recovery are unchanged. Used
+        #: by harnesses that crash via truncation, not power loss.
+        self._fsync_enabled = fsync
         self._map_path = path + ".map"
         self._compact_path = path + ".compact"
         self._offsets: dict[int, tuple[int, int]] = {}
@@ -80,11 +86,16 @@ class FileDiskManager(DiskManager):
                 path + ".wal",
                 group_commit=group_commit,
                 flush_threshold=flush_threshold,
+                fsync=fsync,
             )
             if use_wal
             else None
         )
         self._recover()
+
+    def _fsync_file(self, fileobj: Any) -> None:
+        if self._fsync_enabled:
+            os.fsync(fileobj.fileno())
 
     # -- persistence ------------------------------------------------------------
 
@@ -120,14 +131,14 @@ class FileDiskManager(DiskManager):
         with open(tmp_path, "w", encoding="utf-8") as f:
             json.dump(payload, f)
             f.flush()
-            os.fsync(f.fileno())
+            self._fsync_file(f)
         os.replace(tmp_path, self._map_path)
         self._pending_compact = pending_compact
 
     def sync(self) -> None:
         """Commit: flush data, write a WAL commit marker, checkpoint the map."""
         self._file.flush()
-        os.fsync(self._file.fileno())
+        self._fsync_file(self._file)
         self._synced_data_size = self._file.seek(0, os.SEEK_END)
         if self.wal is not None:
             self._map_lsn = self.wal.commit()
@@ -175,16 +186,27 @@ class FileDiskManager(DiskManager):
             for record in records:
                 if record.lsn <= self._map_lsn:
                     continue  # already captured by the page-table snapshot
-                self._redo(record)
+                self.apply_record(record)
                 replayed += 1
             self.wal.note_replayed(replayed)
             recovered = recovered or replayed > 0
         if recovered:
             self.sync()
 
-    def _redo(self, record: Any) -> None:
-        """Apply one committed WAL record to the data file / allocator."""
+    def apply_record(self, record: Any) -> None:
+        """Apply one committed WAL record to the data file / allocator.
+
+        The redo primitive shared by crash recovery and standby replay
+        (:mod:`repro.replication`): a standby applies the records of each
+        shipped segment through this method and then checkpoints with
+        :meth:`sync`, so its page file converges on the primary's logical
+        state. Idempotent — re-applying a page image appends a new copy
+        and repoints the offset table at it, so the latest application
+        always wins.
+        """
         page_id = record.page_id
+        if record.rec_type == REC_COMMIT:
+            return  # a boundary, not a mutation
         if record.rec_type == REC_ALLOC:
             self._pages[page_id] = b""
             self._next_page_id = max(self._next_page_id, page_id + 1)
@@ -203,6 +225,36 @@ class FileDiskManager(DiskManager):
             self._file.write(record.image)
             self._offsets[page_id] = (offset, len(record.image))
             self._pages.setdefault(page_id, b"")
+
+    def enable_wal(
+        self,
+        group_commit: bool = True,
+        flush_threshold: int | None = None,
+    ) -> WriteAheadLog:
+        """Attach a fresh write-ahead log to a WAL-less manager.
+
+        The promotion primitive: a hot standby replays shipped segments
+        without a local WAL (each applied segment is followed by a full
+        checkpoint), but the moment it is promoted to primary it must log
+        its own mutations. Any stale log file at ``<path>.wal`` is
+        discarded — the page table already covers everything it held.
+        Callers that replayed a foreign log must then raise the LSN floor
+        with ``ensure_lsn_at_least`` so fresh records sort after every
+        applied one.
+        """
+        if self.wal is not None:
+            return self.wal
+        wal_path = self.path + ".wal"
+        if os.path.exists(wal_path):
+            os.remove(wal_path)
+        self.wal = WriteAheadLog(
+            wal_path,
+            group_commit=group_commit,
+            flush_threshold=flush_threshold,
+            fsync=self._fsync_enabled,
+        )
+        self.wal.ensure_lsn_at_least(self._map_lsn)
+        return self.wal
 
     def _reopen_data_file(self) -> None:
         self._file.close()
@@ -349,7 +401,7 @@ class FileDiskManager(DiskManager):
                 new_offsets[page_id] = (out.tell(), length)
                 out.write(raw)
             out.flush()
-            os.fsync(out.fileno())
+            self._fsync_file(out)
             new_size = out.tell()
         self._offsets = new_offsets
         self._write_map(pending_compact=True)
@@ -362,3 +414,13 @@ class FileDiskManager(DiskManager):
     def file_bytes(self) -> int:
         """Current size of the data file (including dead versions)."""
         return self._file.seek(0, os.SEEK_END)
+
+    @property
+    def map_lsn(self) -> int:
+        """The WAL LSN the page-table snapshot covers (0 when none).
+
+        On a WAL-less manager (a hot standby) this is the LSN inherited
+        from the basebackup's page table; replication uses it as the
+        standby's initial applied-LSN position.
+        """
+        return self._map_lsn

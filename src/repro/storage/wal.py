@@ -21,6 +21,11 @@ Crash-safety protocol (textbook redo logging, the shape PostgreSQL uses):
   page-table snapshot and stops at the first torn/invalid record, so a
   crash (or injected truncation) at *any* byte boundary leaves a
   recoverable log.
+- **Shipping**: commit listeners registered with :meth:`add_commit_listener`
+  receive the raw record bytes each commit made durable, which is exactly
+  the unit PostgreSQL ships to physical standbys. The replication layer
+  (:mod:`repro.replication`) frames those bytes into
+  :class:`~repro.replication.segments.WALSegment` objects.
 
 Record wire format::
 
@@ -28,6 +33,11 @@ Record wire format::
     PAGE_IMAGE body := <page_id:i64> <encoded page image bytes>
     ALLOC/DEALLOC body := <page_id:i64>
     COMMIT body := (empty)
+
+Decoding is shared: :class:`ReplayCursor` walks any byte string of records
+(the log file during recovery, a shipped segment payload on a standby) and
+treats a trailing torn/partial record as a clean, *counted* end of stream
+— truncate-and-warn, never an exception.
 """
 
 from __future__ import annotations
@@ -37,8 +47,8 @@ import random
 import struct
 import zlib
 from dataclasses import dataclass
+from typing import Callable, Iterator
 
-from repro.errors import WALError
 from repro.obs import METRICS
 
 _WAL_RECORDS = METRICS.counter(
@@ -56,6 +66,10 @@ _WAL_REPLAYED = METRICS.counter(
 _WAL_GROUP_FLUSHES = METRICS.counter(
     "wal_group_flushes_total",
     "Buffered record batches written to the log file (group commit)",
+)
+_WAL_TORN_TAILS = METRICS.counter(
+    "wal_torn_tails_total",
+    "Torn/partial trailing records truncated (and warned about) by replay",
 )
 
 _HEADER = struct.Struct("<BIQI")
@@ -94,6 +108,91 @@ class WALStats:
     group_flushes: int = 0  # buffered batches written to the file
 
 
+class ReplayCursor:
+    """Decode a byte string of WAL records, tolerating a torn tail.
+
+    The single decoder behind crash recovery (:meth:`WriteAheadLog.scan`)
+    and standby replay (:meth:`repro.replication.segments.WALSegment.records`).
+    Iteration yields every well-formed record — commit markers included —
+    in log order, then stops at the first truncated or corrupt record.
+    That stop is a *finding*, not an error: ``torn`` flips to True, the
+    partial record is truncated away, one warning incident is recorded
+    (kind ``wal-torn-tail``) and the ``wal_torn_tails_total`` metric is
+    incremented. This is what lets a segment that ends mid-record — a
+    crash during an append, an injected truncation — replay its complete
+    prefix instead of poisoning recovery.
+    """
+
+    def __init__(self, raw: bytes, start_lsn: int = 0, origin: str = "wal") -> None:
+        self.raw = raw
+        self.offset = 0
+        self.last_lsn = start_lsn
+        self.origin = origin  # names the log in the torn-tail warning
+        self.torn = False
+        self._exhausted = False
+
+    def _mark_torn(self) -> None:
+        self.torn = True
+        _WAL_TORN_TAILS.inc()
+        from repro.resilience.incidents import INCIDENTS
+
+        INCIDENTS.record(
+            "wal-torn-tail",
+            self.origin,
+            WALTornTailWarning(
+                f"truncated partial record at byte {self.offset} "
+                f"of {len(self.raw)} (last good lsn {self.last_lsn})"
+            ),
+        )
+
+    def __iter__(self) -> Iterator[WALRecord]:
+        raw = self.raw
+        while self.offset + _HEADER.size <= len(raw):
+            rec_type, body_len, lsn, crc = _HEADER.unpack_from(raw, self.offset)
+            body_start = self.offset + _HEADER.size
+            body_end = body_start + body_len
+            if (
+                rec_type not in _KNOWN_TYPES
+                or lsn <= self.last_lsn
+                or body_end > len(raw)
+            ):
+                self._mark_torn()
+                return
+            body = raw[body_start:body_end]
+            if zlib.crc32(body) != crc:
+                self._mark_torn()
+                return
+            if rec_type != REC_COMMIT and body_len < _PAGE_ID.size:
+                # A record that should carry a page id but is too short to
+                # hold one: treat as a torn tail (truncate-and-warn), not a
+                # hard error — everything before it already replayed.
+                self._mark_torn()
+                return
+            self.last_lsn = lsn
+            self.offset = body_end
+            if rec_type == REC_COMMIT:
+                yield WALRecord(lsn, rec_type, None, None)
+            elif rec_type == REC_PAGE_IMAGE:
+                (page_id,) = _PAGE_ID.unpack_from(body)
+                yield WALRecord(lsn, rec_type, page_id, body[_PAGE_ID.size:])
+            else:
+                (page_id,) = _PAGE_ID.unpack_from(body)
+                yield WALRecord(lsn, rec_type, page_id, None)
+        self._exhausted = True
+        if self.offset < len(raw):
+            # Trailing bytes too short to even hold a header.
+            self._mark_torn()
+
+    @property
+    def consumed_bytes(self) -> int:
+        """Bytes of ``raw`` covered by well-formed records so far."""
+        return self.offset
+
+
+class WALTornTailWarning(Warning):
+    """Carried inside the ``wal-torn-tail`` incident: a truncated record."""
+
+
 class WriteAheadLog:
     """An append-only redo log backing one :class:`FileDiskManager`.
 
@@ -112,6 +211,7 @@ class WriteAheadLog:
         path: str,
         group_commit: bool = True,
         flush_threshold: int | None = None,
+        fsync: bool = True,
     ) -> None:
         self.path = path
         self.stats = WALStats()
@@ -121,11 +221,27 @@ class WriteAheadLog:
             if flush_threshold is None
             else flush_threshold
         )
+        #: With ``fsync=False`` commits stop at the OS page cache (test
+        #: harnesses that simulate crashes by truncation, where a real
+        #: fsync would only add milliseconds); durability bookkeeping —
+        #: ``synced_size``, tear points, shipping — is unchanged.
+        self.fsync = fsync
         mode = "r+b" if os.path.exists(path) else "w+b"
         self._file = open(path, mode)
         self._next_lsn = 1
+        self.last_commit_lsn = 0
         self._buffer = bytearray()  # records awaiting a group flush
         self._synced_size = self._file.seek(0, os.SEEK_END)
+        # Shipping state: byte offset / LSN up to which commit listeners
+        # have already been handed the log, so each commit captures exactly
+        # the records it made durable.
+        self._commit_listeners: list[Callable[[bytes, int, int], None]] = []
+        self._capture_offset = self._synced_size
+        self._capture_lsn = 0
+
+    def _fsync(self) -> None:
+        if self.fsync:
+            os.fsync(self._file.fileno())
 
     # -- appending ----------------------------------------------------------
 
@@ -182,15 +298,65 @@ class WriteAheadLog:
         """Append a commit marker and force the log to stable storage.
 
         Returns the marker's LSN: every record at or below it is durable.
+        Commit listeners then receive the raw bytes this commit made
+        durable — the shippable unit for physical replication.
         """
         lsn = self._append(REC_COMMIT, b"")
         self.flush()
         self._file.flush()
-        os.fsync(self._file.fileno())
+        self._fsync()
         self._synced_size = self._file.seek(0, os.SEEK_END)
         self.stats.commits += 1
+        self.last_commit_lsn = lsn
         _WAL_COMMITS.inc()
+        if self._commit_listeners:
+            self._file.seek(self._capture_offset)
+            payload = self._file.read()
+            start_lsn = self._capture_lsn + 1
+            self._capture_offset = self._file.seek(0, os.SEEK_END)
+            self._capture_lsn = lsn
+            for listener in list(self._commit_listeners):
+                listener(payload, start_lsn, lsn)
         return lsn
+
+    # -- shipping (physical replication) -------------------------------------
+
+    def add_commit_listener(
+        self, listener: Callable[[bytes, int, int], None]
+    ) -> Callable[[bytes, int, int], None]:
+        """Call ``listener(raw_records, start_lsn, commit_lsn)`` per commit.
+
+        Capture starts at the durable end of the log as of registration:
+        history already checkpointed into the page table is transferred by
+        base backup, not by the stream (exactly PostgreSQL's split between
+        ``pg_basebackup`` and WAL shipping). Returns the listener handle.
+        """
+        self.flush()  # buffered records must be in the file, behind the mark
+        self._capture_offset = self._file.seek(0, os.SEEK_END)
+        self._capture_lsn = self._next_lsn - 1
+        self._commit_listeners.append(listener)
+        return listener
+
+    def remove_commit_listener(
+        self, listener: Callable[[bytes, int, int], None]
+    ) -> None:
+        """Detach a listener registered with :meth:`add_commit_listener`."""
+        try:
+            self._commit_listeners.remove(listener)
+        except ValueError:
+            pass
+
+    # -- LSN API --------------------------------------------------------------
+
+    @property
+    def next_lsn(self) -> int:
+        """The LSN the next appended record will carry."""
+        return self._next_lsn
+
+    @property
+    def last_lsn(self) -> int:
+        """The LSN of the most recently appended record (0 when none)."""
+        return self._next_lsn - 1
 
     # -- recovery ------------------------------------------------------------
 
@@ -208,46 +374,21 @@ class WriteAheadLog:
         self.flush()  # scan sees every appended record, buffered or not
         self._file.seek(0)
         raw = self._file.read()
+        cursor = ReplayCursor(raw, origin=self.path)
         records: list[WALRecord] = []
         pending: list[WALRecord] = []
         last_commit_lsn = 0
-        offset = 0
-        last_lsn = 0
-        while offset + _HEADER.size <= len(raw):
-            rec_type, body_len, lsn, crc = _HEADER.unpack_from(raw, offset)
-            body_start = offset + _HEADER.size
-            body_end = body_start + body_len
-            if (
-                rec_type not in _KNOWN_TYPES
-                or lsn <= last_lsn
-                or body_end > len(raw)
-            ):
-                break  # torn or garbage tail
-            body = raw[body_start:body_end]
-            if zlib.crc32(body) != crc:
-                break
-            last_lsn = lsn
-            offset = body_end
-            if rec_type == REC_COMMIT:
+        for record in cursor:
+            if record.rec_type == REC_COMMIT:
                 records.extend(pending)
                 pending.clear()
-                last_commit_lsn = lsn
-                continue
-            if rec_type == REC_PAGE_IMAGE:
-                if body_len < _PAGE_ID.size:
-                    raise WALError(
-                        f"page-image record at lsn {lsn} has no page id"
-                    )
-                (page_id,) = _PAGE_ID.unpack_from(body)
-                pending.append(
-                    WALRecord(lsn, rec_type, page_id, body[_PAGE_ID.size:])
-                )
+                last_commit_lsn = record.lsn
             else:
-                (page_id,) = _PAGE_ID.unpack_from(body)
-                pending.append(WALRecord(lsn, rec_type, page_id, None))
-        if pending or offset < len(raw):
+                pending.append(record)
+        if pending or cursor.torn:
             self.stats.torn_tail_discarded += 1
-        self._next_lsn = max(self._next_lsn, last_lsn + 1)
+        self._next_lsn = max(self._next_lsn, cursor.last_lsn + 1)
+        self.last_commit_lsn = max(self.last_commit_lsn, last_commit_lsn)
         return records, last_commit_lsn
 
     def note_replayed(self, n: int) -> None:
@@ -275,8 +416,9 @@ class WriteAheadLog:
         self._file.seek(0)
         self._file.truncate()
         self._file.flush()
-        os.fsync(self._file.fileno())
+        self._fsync()
         self._synced_size = 0
+        self._capture_offset = 0  # capture LSN keeps increasing, offsets reset
 
     # -- lifecycle ----------------------------------------------------------
 

@@ -1,0 +1,66 @@
+"""The SQL maintenance surface: CHECK INDEX and repro_incidents().
+
+Both are operator-facing windows into the resilience layer — the
+reproduction's analogues of PostgreSQL's ``amcheck`` extension and an
+incident-log set-returning function.
+"""
+
+import pytest
+
+from repro.engine.sql import Database
+from repro.errors import SQLError
+from repro.resilience.incidents import INCIDENTS
+
+
+@pytest.fixture
+def db():
+    INCIDENTS.reset()
+    database = Database()
+    database.execute("CREATE TABLE word_data (name VARCHAR(50), id INT)")
+    database.execute(
+        "CREATE INDEX sp_trie_index ON word_data "
+        "USING SP_GiST (name SP_GiST_trie)"
+    )
+    database.execute(
+        "INSERT INTO word_data VALUES ('random', 1), ('ransom', 2)"
+    )
+    yield database
+    INCIDENTS.reset()
+
+
+class TestCheckIndex:
+    def test_clean_index_reports_ok(self, db):
+        report = db.execute("CHECK INDEX sp_trie_index;")
+        assert "OK" in report
+        assert "sp_trie_index" in report
+
+    def test_unknown_index_is_an_error(self, db):
+        with pytest.raises(SQLError):
+            db.execute("CHECK INDEX no_such_index")
+
+    def test_non_spgist_index_is_rejected(self, db):
+        db.execute(
+            "CREATE INDEX btree_idx ON word_data USING btree (name)"
+        )
+        with pytest.raises(SQLError):
+            db.execute("CHECK INDEX btree_idx")
+
+    def test_corruption_is_reported_not_raised(self, db):
+        index = db.table("word_data").indexes["sp_trie_index"]
+        index.structure._item_count += 5  # bookkeeping out of step: bad
+        report = db.execute("CHECK INDEX sp_trie_index")
+        assert "PROBLEM" in report
+
+
+class TestReproIncidents:
+    def test_empty_log_returns_no_rows(self, db):
+        assert db.execute("SELECT * FROM repro_incidents()") == []
+
+    def test_incident_rows_have_the_documented_shape(self, db):
+        INCIDENTS.record(
+            "index-scan-degraded", "sp_trie_index", ValueError("bad page")
+        )
+        rows = db.execute("SELECT * FROM repro_incidents();")
+        assert rows == [
+            ("index-scan-degraded", "sp_trie_index", "ValueError", "bad page")
+        ]

@@ -1,0 +1,1 @@
+"""Tests for the WAL-shipping replication subsystem (repro.replication)."""

@@ -1,0 +1,172 @@
+"""StorageNode lifecycle: basebackup, apply, promote, crash, resync."""
+
+import os
+
+import pytest
+
+from repro.errors import ReplicaDivergedError, ReplicationError
+from repro.replication import StorageNode
+from repro.resilience.check import spgist_check
+
+
+@pytest.fixture
+def primary(tmp_path):
+    node = StorageNode.create_primary(
+        "p", os.path.join(tmp_path, "p.dat"), "trie", fsync=False
+    )
+    yield node
+    if not node.crashed:
+        node.close()
+
+
+def _write(node: StorageNode, rows: list[tuple]) -> None:
+    assert node.table is not None
+    node.table.insert_many(rows)
+    node.commit()
+
+
+def _standby(primary: StorageNode, tmp_path, name: str = "s") -> StorageNode:
+    return StorageNode.basebackup(
+        primary, name, os.path.join(tmp_path, f"{name}.dat"), fsync=False
+    )
+
+
+class TestPrimaryLifecycle:
+    def test_create_primary_commits_the_empty_schema(self, primary):
+        assert primary.role == "primary"
+        assert primary.commit_seq == 1
+        assert primary.outbox == []  # nothing shippable before a standby
+
+    def test_commit_frames_one_segment_per_commit(self, primary):
+        _write(primary, [("alpha", 1)])
+        _write(primary, [("beta", 2), ("gamma", 3)])
+        assert [s.seq for s in primary.outbox] == [2, 3]
+        assert [s.seq for s in primary.archive] == [2, 3]
+        # LSN ranges are strictly increasing and non-overlapping.
+        first, second = primary.archive
+        assert first.end_lsn < second.start_lsn
+
+    def test_checkpoint_only_sync_ships_nothing(self, primary, tmp_path):
+        _standby(primary, tmp_path)  # basebackup syncs the primary
+        assert primary.outbox == []
+        assert primary.commit_seq == 1
+
+    def test_standby_cannot_commit(self, primary, tmp_path):
+        standby = _standby(primary, tmp_path)
+        with pytest.raises(ReplicationError):
+            standby.commit()
+        standby.close()
+
+
+class TestStandbyApply:
+    def test_applied_segments_reach_the_engine(self, primary, tmp_path):
+        standby = _standby(primary, tmp_path)
+        _write(primary, [("alpha", 1), ("beta", 2)])
+        for segment in primary.outbox:
+            assert standby.apply_segment(segment) == "applied"
+        assert sorted(standby.rows()) == [("alpha", 1), ("beta", 2)]
+        assert list(standby.search("=", "alpha")) == [("alpha", 1)]
+        assert spgist_check(standby.index).ok
+        standby.close()
+
+    def test_duplicate_and_buffered_segments(self, primary, tmp_path):
+        standby = _standby(primary, tmp_path)
+        _write(primary, [("alpha", 1)])
+        _write(primary, [("beta", 2)])
+        seg2, seg3 = primary.outbox
+        assert standby.apply_segment(seg3) == "buffered"
+        assert standby.pending_count == 1
+        # Closing the gap applies the buffered successor in the same call.
+        assert standby.apply_segment(seg2) == "applied"
+        assert standby.applied_seq == 3
+        assert standby.apply_segment(seg2) == "duplicate"
+        assert sorted(standby.rows()) == [("alpha", 1), ("beta", 2)]
+        standby.close()
+
+    def test_overlapping_lsn_is_divergence(self, primary, tmp_path):
+        standby = _standby(primary, tmp_path)
+        _write(primary, [("alpha", 1)])
+        (segment,) = primary.outbox
+        standby.apply_segment(segment)
+        # Same seq+1 but an LSN range the standby already applied: the
+        # shape of a stale-timeline segment after a mis-promotion.
+        stale = type(segment)(
+            seq=segment.seq + 1,
+            start_lsn=segment.start_lsn,
+            end_lsn=segment.end_lsn,
+            payload=segment.payload,
+        )
+        with pytest.raises(ReplicaDivergedError):
+            standby.apply_segment(stale)
+        assert standby.needs_resync
+        standby.close()
+
+
+class TestPromotion:
+    def test_promote_truncates_divergence_and_accepts_writes(
+        self, primary, tmp_path
+    ):
+        standby = _standby(primary, tmp_path)
+        _write(primary, [("alpha", 1)])
+        _write(primary, [("beta", 2)])
+        seg2, seg3 = primary.outbox
+        standby.apply_segment(seg2)
+        # seg4 arrives out of order and stays buffered; promotion must
+        # truncate it away (WAL divergence truncation).
+        _write(primary, [("gamma", 3)])
+        seg4 = primary.outbox[-1]
+        standby.apply_segment(seg4)
+        assert standby.pending_count == 1
+
+        standby.promote()
+        assert standby.role == "primary"
+        assert standby.pending_count == 0
+        assert standby.commit_seq == seg2.seq
+        _write(standby, [("delta", 4)])
+        assert sorted(standby.rows()) == [("alpha", 1), ("delta", 4)]
+        # New segments continue the numbering past the applied position,
+        # with LSNs beyond everything applied.
+        (fresh,) = standby.outbox
+        assert fresh.seq == seg2.seq + 1
+        assert fresh.start_lsn > seg2.end_lsn
+        assert spgist_check(standby.index).ok
+        standby.close()
+
+
+class TestCrashRestartResync:
+    def test_primary_crash_recovers_committed_state(self, primary):
+        _write(primary, [("alpha", 1)])
+        primary.crash(seed=7)
+        assert primary.crashed
+        primary.restart()
+        assert primary.commit_seq == 2
+        assert sorted(primary.rows()) == [("alpha", 1)]
+        assert spgist_check(primary.index).ok
+
+    def test_standby_crash_restart_keeps_applied_position(
+        self, primary, tmp_path
+    ):
+        standby = _standby(primary, tmp_path)
+        _write(primary, [("alpha", 1)])
+        for segment in primary.outbox:
+            standby.apply_segment(segment)
+        standby.crash(seed=3)
+        standby.restart()
+        assert standby.applied_seq == 2
+        assert sorted(standby.rows()) == [("alpha", 1)]
+        standby.close()
+
+    def test_full_resync_reseeds_a_diverged_node(self, primary, tmp_path):
+        standby = _standby(primary, tmp_path)
+        _write(primary, [("alpha", 1)])
+        # The standby never receives the segment and its position falls
+        # below a restarted primary's archive floor.
+        primary.crash(seed=1)
+        primary.restart()
+        with pytest.raises(ReplicaDivergedError):
+            primary.segments_since(standby.applied_seq)
+        standby.full_resync(primary)
+        assert standby.applied_seq == primary.commit_seq
+        assert sorted(standby.rows()) == [("alpha", 1)]
+        assert not standby.needs_resync
+        standby.close()

@@ -1,0 +1,171 @@
+"""ReplicaSet: quorum writes, routed reads, failover, rejoin, fault channels."""
+
+import pytest
+
+from repro.errors import PrimaryUnavailableError, ReplicationError
+from repro.replication import ReplicaSet
+from repro.resilience.check import spgist_check
+from repro.resilience.faults import ChannelFaultPolicy
+
+
+@pytest.fixture
+def rs(tmp_path):
+    replica_set = ReplicaSet(
+        str(tmp_path), kind="trie", replicas=2, quorum=1,
+        heartbeat_timeout=3, max_lag=2, fsync=False,
+    )
+    yield replica_set
+    replica_set.close()
+
+
+class TestQuorumWrites:
+    def test_acknowledged_write_is_on_a_quorum_of_standbys(self, rs):
+        seq = rs.client_write([("alpha", 1), ("beta", 2)])
+        applied = [
+            entry.node
+            for entry in rs.standbys
+            if entry.node.applied_seq >= seq
+        ]
+        assert len(applied) >= rs.quorum
+        assert sorted(applied[0].rows()) == [("alpha", 1), ("beta", 2)]
+
+    def test_write_without_primary_raises(self, rs):
+        rs.primary.crash(seed=1)
+        with pytest.raises(PrimaryUnavailableError):
+            rs.client_write([("alpha", 1)])
+
+    def test_quorum_failure_is_an_unacknowledged_write(self, tmp_path):
+        replica_set = ReplicaSet(
+            str(tmp_path), kind="trie", replicas=1, quorum=1, fsync=False
+        )
+        replica_set.standbys[0].node.crash(seed=1)
+        with pytest.raises(ReplicationError):
+            replica_set.client_write([("alpha", 1)])
+        replica_set.close()
+
+    def test_writes_survive_lossy_channels(self, tmp_path):
+        policy = ChannelFaultPolicy(
+            seed=11, drop_rate=0.25, corrupt_rate=0.1,
+            reorder_rate=0.25, duplicate_rate=0.1,
+        )
+        replica_set = ReplicaSet(
+            str(tmp_path), kind="trie", replicas=2, quorum=2,
+            fsync=False, channel_policies=[policy, policy],
+        )
+        rows = [(f"word{i}", i) for i in range(30)]
+        for row in rows:
+            replica_set.client_write([row])
+        assert replica_set.catch_up()
+        for entry in replica_set.standbys:
+            assert sorted(entry.node.rows()) == sorted(rows)
+        replica_set.close()
+
+
+class TestRoutedReads:
+    def test_reads_round_robin_over_standbys(self, rs):
+        rs.client_write([("alpha", 1)])
+        rs.catch_up()
+        served = set()
+        for _ in range(4):
+            rows = rs.client_read("=", "alpha")
+            assert rows == [("alpha", 1)]
+            served.add(rs.last_served_by)
+        assert served == {"node-1", "node-2"}
+
+    def test_lagging_standby_is_skipped(self, tmp_path):
+        replica_set = ReplicaSet(
+            str(tmp_path), kind="trie", replicas=2, quorum=1,
+            max_lag=0, fsync=False,
+        )
+        replica_set.client_write([("alpha", 1)])
+        replica_set.catch_up()
+        # node-1 falls one commit behind a zero-lag bound: never routed to.
+        replica_set.standbys[0].node.applied_seq -= 1
+        for _ in range(3):
+            rows = replica_set.client_read("=", "alpha")
+            assert rows == [("alpha", 1)]
+            assert replica_set.last_served_by == "node-2"
+        replica_set.close()
+
+    def test_primary_serves_degraded_when_no_standby_qualifies(self, rs):
+        rs.client_write([("alpha", 1)])
+        rs.catch_up()
+        for entry in rs.standbys:
+            entry.node.needs_resync = True  # no ticks: flags stay until read
+        rows = rs.client_read("=", "alpha")
+        assert rows == [("alpha", 1)]
+        assert rs.last_served_by == "node-0"
+
+    def test_no_primary_and_no_standby_raises(self, rs):
+        for entry in rs.standbys:
+            entry.node.crash(seed=1)
+        rs.primary.crash(seed=2)
+        with pytest.raises(PrimaryUnavailableError):
+            rs.client_read("=", "alpha")
+
+
+class TestFailover:
+    def test_failover_elects_most_caught_up_standby(self, rs):
+        rs.client_write([("alpha", 1)])
+        rs.catch_up()
+        behind, ahead = rs.standbys[0].node, rs.standbys[1].node
+        rs.client_write([("beta", 2)])
+        rs.catch_up()
+        behind.applied_seq -= 1  # model a node that lost its last apply
+        rs.primary.crash(seed=5)
+        for _ in range(rs.heartbeat_timeout):
+            rs.tick()
+        assert rs.primary is ahead
+        assert len(rs.failover_log) == 1
+        entry = rs.failover_log[0]
+        assert entry["elected"] == ahead.name
+        assert entry["missed_heartbeats"] == rs.heartbeat_timeout
+
+    def test_writes_resume_after_failover(self, rs):
+        rs.client_write([("alpha", 1)])
+        old_primary = rs.primary
+        rs.primary.crash(seed=5)
+        with pytest.raises(PrimaryUnavailableError):
+            rs.client_write([("beta", 2)])  # the mid-failover write window
+        for _ in range(rs.heartbeat_timeout):
+            rs.tick()
+        assert rs.primary is not old_primary
+        rs.client_write([("gamma", 3)])
+        assert ("gamma", 3) in rs.primary.rows()
+        assert ("alpha", 1) in rs.primary.rows()
+
+    def test_deposed_primary_rejoins_as_standby(self, rs):
+        rs.client_write([("alpha", 1)])
+        old_primary = rs.primary
+        old_primary.crash(seed=5)
+        for _ in range(rs.heartbeat_timeout):
+            rs.tick()
+        rs.client_write([("beta", 2)])
+        rs.rejoin(old_primary)
+        assert old_primary.role == "standby"
+        assert rs.catch_up()
+        assert sorted(old_primary.rows()) == [("alpha", 1), ("beta", 2)]
+        for node in rs.nodes:
+            assert spgist_check(node.index).ok
+
+    def test_current_primary_rejoins_as_primary_before_timeout(self, rs):
+        rs.client_write([("alpha", 1)])
+        rs.primary.crash(seed=5)
+        rs.tick()  # one missed heartbeat < timeout: no failover yet
+        assert not rs.failover_log
+        rs.rejoin(rs.primary)
+        assert rs.primary.role == "primary"
+        rs.client_write([("beta", 2)])
+        assert rs.catch_up()
+
+
+class TestGauges:
+    def test_lag_gauge_tracks_standby_position(self, rs):
+        from repro.replication.replicaset import _LAG
+
+        rs.client_write([("alpha", 1)])
+        rs.catch_up()
+        rs.standbys[0].node.applied_seq -= 1
+        rs._update_gauges()
+        assert _LAG.labels("node-1").value == 1
+        assert _LAG.labels("node-2").value == 0

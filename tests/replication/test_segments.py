@@ -1,0 +1,77 @@
+"""WALSegment framing: roundtrip, corruption detection, record iteration."""
+
+import struct
+import zlib
+
+import pytest
+
+from repro.errors import SegmentCorruptError
+from repro.replication.segments import WALSegment
+from repro.storage.wal import REC_COMMIT, REC_PAGE_IMAGE
+
+_HEADER = struct.Struct("<BIQI")  # the wal.py record header
+_PAGE_ID = struct.Struct("<q")
+
+
+def _record(rec_type: int, lsn: int, page_id: int = 0, image: bytes = b"") -> bytes:
+    body = b"" if rec_type == REC_COMMIT else _PAGE_ID.pack(page_id) + image
+    return _HEADER.pack(rec_type, len(body), lsn, zlib.crc32(body)) + body
+
+
+class TestRoundtrip:
+    def test_encode_decode_roundtrip(self):
+        payload = (
+            _record(REC_PAGE_IMAGE, 5, 1, b"page-one")
+            + _record(REC_PAGE_IMAGE, 6, 2, b"page-two")
+            + _record(REC_COMMIT, 7)
+        )
+        segment = WALSegment(seq=3, start_lsn=5, end_lsn=7, payload=payload)
+        decoded = WALSegment.decode(segment.encode())
+        assert decoded == segment
+        replayed = list(decoded.records())
+        assert [r.lsn for r in replayed] == [5, 6, 7]
+        assert replayed[0].image == b"page-one"
+        assert replayed[0].page_id == 1
+
+    def test_size_bytes_matches_frame(self):
+        segment = WALSegment(seq=1, start_lsn=1, end_lsn=1, payload=b"x" * 10)
+        assert segment.size_bytes == len(segment.encode())
+
+
+class TestCorruptionDetection:
+    def _frame(self) -> bytes:
+        payload = _record(REC_PAGE_IMAGE, 2, 1, b"body-bytes")
+        return WALSegment(
+            seq=1, start_lsn=2, end_lsn=2, payload=payload
+        ).encode()
+
+    def test_every_single_bit_flip_is_detected(self):
+        frame = self._frame()
+        for byte_index in range(len(frame)):
+            flipped = bytearray(frame)
+            flipped[byte_index] ^= 0x40
+            with pytest.raises(SegmentCorruptError):
+                WALSegment.decode(bytes(flipped))
+
+    def test_truncated_frame_is_detected(self):
+        frame = self._frame()
+        for cut in (0, 5, len(frame) // 2, len(frame) - 1):
+            with pytest.raises(SegmentCorruptError):
+                WALSegment.decode(frame[:cut])
+
+    def test_inverted_lsn_range_rejected(self):
+        payload = _record(REC_PAGE_IMAGE, 3, 1, b"x")
+        frame = WALSegment(
+            seq=1, start_lsn=9, end_lsn=3, payload=payload
+        ).encode()
+        with pytest.raises(SegmentCorruptError):
+            WALSegment.decode(frame)
+
+    def test_torn_payload_rejected_by_records(self):
+        # The frame CRC covers the payload, so a torn payload inside a
+        # valid frame can only be constructed deliberately — but the
+        # records() iterator still refuses it (defense in depth).
+        torn = _record(REC_PAGE_IMAGE, 2, 1, b"full-record")[:-3]
+        segment = WALSegment(seq=1, start_lsn=2, end_lsn=2, payload=torn)
+        with pytest.raises(SegmentCorruptError):
+            list(segment.records())
