@@ -93,9 +93,23 @@ def _predicate_checker(plan: Plan) -> Callable[[tuple], bool]:
     return lambda row: operator.apply(row[position], operand)
 
 
+def _plan_snapshot(plan: Plan) -> Any:
+    """Resolve the snapshot this plan reads through, exactly once.
+
+    A plan stamped by an open transaction carries that transaction's
+    snapshot; otherwise take a fresh statement snapshot now, so every
+    heap fetch of this one execution — including the degradation
+    fallback — sees the same database state.
+    """
+    if plan.snapshot is not None:
+        return plan.snapshot
+    return plan.table.current_snapshot()
+
+
 def _execute_seq_scan(plan: SeqScanPlan) -> Iterator[tuple]:
     check = _predicate_checker(plan)
-    for _tid, row in plan.table.scan():
+    snapshot = _plan_snapshot(plan)
+    for _tid, row in plan.table.scan(snapshot):
         if check(row):
             yield row
 
@@ -106,6 +120,7 @@ def _execute_index_scan(
     check = _predicate_checker(plan)
     predicate = plan.predicate
     assert predicate is not None
+    snapshot = _plan_snapshot(plan)
     emitted: set[Any] = set()
     tids = plan.index.scan(predicate.op, predicate.operand)
     while True:
@@ -116,14 +131,18 @@ def _execute_index_scan(
         except (IndexCorruptionError, PageChecksumError) as exc:
             _quarantine(plan.index, "index-scan-degraded", exc, on_degrade)
             break
-        row = plan.table.fetch(tid)
+        # Index entries point at every heap version; the snapshot-aware
+        # fetch filters out the invisible ones (PostgreSQL's division of
+        # labour between the access method and the heap).
+        row = plan.table.fetch(tid, snapshot)
         if row is not None and check(row):
             emitted.add(tid)
             yield row
     # Graceful degradation: the index is unreadable mid-scan, but the heap
-    # is fine — finish with a sequential scan, skipping rows already
-    # produced, so the query still returns a complete, correct result.
-    for tid, row in plan.table.scan():
+    # is fine — finish with a sequential scan under the SAME snapshot,
+    # skipping rows already produced, so the query still returns a
+    # complete, correct result.
+    for tid, row in plan.table.scan(snapshot):
         if tid in emitted:
             continue
         if check(row):
@@ -145,6 +164,7 @@ def _execute_nn(
 ) -> Iterator[tuple]:
     predicate = plan.predicate
     assert predicate is not None
+    snapshot = _plan_snapshot(plan)
     if isinstance(plan, NNIndexScanPlan):
         emitted: set[Any] = set()
         tids = plan.index.nn_scan(predicate.operand)
@@ -156,7 +176,7 @@ def _execute_nn(
             except (IndexCorruptionError, PageChecksumError) as exc:
                 _quarantine(plan.index, "nn-scan-degraded", exc, on_degrade)
                 break
-            row = plan.table.fetch(tid)
+            row = plan.table.fetch(tid, snapshot)
             if row is not None:
                 emitted.add(tid)
                 yield row
@@ -165,13 +185,15 @@ def _execute_nn(
         # true nearest neighbours, so finishing with the sort-scan path —
         # skipping those TIDs — continues the stream in non-decreasing
         # distance order with no duplicates and no gaps.
-        yield from _nn_sort_scan(plan, skip=emitted)
+        yield from _nn_sort_scan(plan, skip=emitted, snapshot=snapshot)
         return
     # Fallback: materialize and sort by distance (no NN-capable index).
-    yield from _nn_sort_scan(plan)
+    yield from _nn_sort_scan(plan, snapshot=snapshot)
 
 
-def _nn_sort_scan(plan: Plan, skip: set[Any] | None = None) -> Iterator[tuple]:
+def _nn_sort_scan(
+    plan: Plan, skip: set[Any] | None = None, snapshot: Any = None
+) -> Iterator[tuple]:
     """Heap-scan NN: materialize distances and sort (``skip`` = TIDs done)."""
     predicate = plan.predicate
     assert predicate is not None
@@ -179,9 +201,11 @@ def _nn_sort_scan(plan: Plan, skip: set[Any] | None = None) -> Iterator[tuple]:
     position = table.column_index(predicate.column)
     column = table.columns[position]
     distance = _nn_distance_function(column.type_name)
+    if snapshot is None:
+        snapshot = _plan_snapshot(plan)
     rows = [
         (distance(row[position], predicate.operand), tid, row)
-        for tid, row in table.scan()
+        for tid, row in table.scan(snapshot)
         if skip is None or tid not in skip
     ]
     rows.sort(key=lambda item: (item[0], item[1]))

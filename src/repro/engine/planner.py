@@ -54,6 +54,11 @@ class Plan:
     #: engine). Stamped by the read router (:mod:`repro.replication`) so
     #: EXPLAIN shows where a routed query actually ran.
     served_by: str = ""
+    #: The MVCC snapshot this plan reads through. ``None`` means "resolve
+    #: a fresh one at execution time" (autocommit statement semantics);
+    #: the SQL layer stamps an open transaction's snapshot here so every
+    #: statement of the transaction reads the same database state.
+    snapshot: Any = None
 
     kind = "Plan"
 

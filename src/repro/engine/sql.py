@@ -13,16 +13,27 @@ Supported statements (case-insensitive keywords, one statement per call)::
     SELECT * FROM point_data WHERE p @@ '(1,2)' LIMIT 8;   -- NN via cursor/LIMIT
     EXPLAIN SELECT * FROM word_data WHERE name = 'random';
     DELETE FROM word_data WHERE name = 'random';
+    UPDATE word_data SET name = 'chosen' WHERE id = 1;
+    BEGIN; COMMIT; ROLLBACK;                   -- snapshot-isolation txns
+    VACUUM word_data;                          -- reclaim dead versions
     DROP INDEX sp_trie_index ON word_data;
     DROP TABLE word_data;
     CHECK INDEX sp_trie_index;                 -- amcheck-style verification
     SELECT * FROM repro_incidents();           -- the resilience incident log
+    SELECT * FROM repro_heap_stats('word_data');  -- heap version accounting
 
 Literals are bound using the column's catalog type: varchar literals are
-quoted strings, points parse as ``(x,y)``, boxes as ``(x1,y1,x2,y2)``,
-segments as ``[(x1,y1),(x2,y2)]``. The operand type of an operator (e.g.
-``^`` takes a box although the column is a point) comes from the operator's
-catalog row, exactly as PostgreSQL binds ``leftarg``/``rightarg``.
+quoted strings with SQL-standard doubled-quote escapes (``'O''Brien'``),
+points parse as ``(x,y)``, boxes as ``(x1,y1,x2,y2)``, segments as
+``[(x1,y1),(x2,y2)]``. The operand type of an operator (e.g. ``^`` takes a
+box although the column is a point) comes from the operator's catalog row,
+exactly as PostgreSQL binds ``leftarg``/``rightarg``.
+
+Transactions: every DML statement outside ``BEGIN``/``COMMIT`` autocommits.
+Inside a transaction block, all statements read through the snapshot taken
+at ``BEGIN`` (plus the transaction's own writes); ``ROLLBACK`` makes every
+write vanish. A write-write conflict (:class:`~repro.errors.TxnError`)
+aborts the whole block, PostgreSQL's "could not serialize" behaviour.
 """
 
 from __future__ import annotations
@@ -35,7 +46,8 @@ from repro.engine.catalog import SystemCatalog, default_catalog
 from repro.engine.executor import execute_plan
 from repro.engine.planner import NN_OPERATOR, Plan, Predicate, plan_query
 from repro.engine.table import Column, Table
-from repro.errors import SQLError
+from repro.engine.txn import Snapshot, Transaction, TransactionManager
+from repro.errors import SQLError, TxnError
 from repro.geometry.box import Box
 from repro.geometry.point import Point
 from repro.geometry.segment import LineSegment
@@ -68,17 +80,32 @@ _CREATE_INDEX = re.compile(
 _INSERT = re.compile(
     r"^\s*insert\s+into\s+(\w+)\s+values\s*(\(.*\))\s*;?\s*$", re.I | re.S
 )
+#: One SQL literal: a quoted string with SQL-standard doubled-quote
+#: escapes (``'O''Brien'``), or any bare token. The quoted branch must
+#: come first so an escaped literal is consumed whole instead of the
+#: bare branch grabbing a fragment of it; the bare branch stops at ``;``
+#: so ``WHERE id = 1;`` binds ``1``, not ``1;``.
+_LITERAL = r"'(?:[^']|'')*'|[^\s;]+"
 _SELECT = re.compile(
     r"^\s*select\s+(\*|count\(\*\)|[\w]+(?:\s*,\s*[\w]+)*)\s+from\s+(\w+)"
-    r"(?:\s+where\s+(\w+)\s*(\S+)\s*('(?:[^']*)'|\S+))?"
+    rf"(?:\s+where\s+(\w+)\s*(\S+)\s*({_LITERAL}))?"
     r"(?:\s+limit\s+(\d+))?\s*;?\s*$",
     re.I,
 )
 _DELETE = re.compile(
     r"^\s*delete\s+from\s+(\w+)\s+where\s+(\w+)\s*(\S+)\s*"
-    r"('(?:[^']*)'|\S+)\s*;?\s*$",
+    rf"({_LITERAL})\s*;?\s*$",
     re.I,
 )
+_UPDATE = re.compile(
+    rf"^\s*update\s+(\w+)\s+set\s+(\w+)\s*=\s*({_LITERAL})"
+    rf"\s+where\s+(\w+)\s*(\S+)\s*({_LITERAL})\s*;?\s*$",
+    re.I,
+)
+_BEGIN = re.compile(r"^\s*begin(?:\s+transaction)?\s*;?\s*$", re.I)
+_COMMIT = re.compile(r"^\s*(?:commit|end)(?:\s+transaction)?\s*;?\s*$", re.I)
+_ROLLBACK = re.compile(r"^\s*rollback(?:\s+transaction)?\s*;?\s*$", re.I)
+_VACUUM = re.compile(r"^\s*vacuum\s+(\w+)\s*;?\s*$", re.I)
 _DROP_INDEX = re.compile(
     r"^\s*drop\s+index\s+(\w+)\s+on\s+(\w+)\s*;?\s*$", re.I
 )
@@ -87,6 +114,10 @@ _ANALYZE = re.compile(r"^\s*analyze\s+(\w+)\s*;?\s*$", re.I)
 _CHECK_INDEX = re.compile(r"^\s*check\s+index\s+(\w+)\s*;?\s*$", re.I)
 _SELECT_INCIDENTS = re.compile(
     r"^\s*select\s+\*\s+from\s+repro_incidents\s*\(\s*\)\s*;?\s*$", re.I
+)
+_SELECT_HEAP_STATS = re.compile(
+    r"^\s*select\s+\*\s+from\s+repro_heap_stats\s*\(\s*'(\w+)'\s*\)\s*;?\s*$",
+    re.I,
 )
 _EXPLAIN_ANALYZE = re.compile(r"^\s*explain\s+analyze\s+(.*)$", re.I | re.S)
 _EXPLAIN = re.compile(r"^\s*explain\s+(.*)$", re.I | re.S)
@@ -108,6 +139,12 @@ class Database:
         self.buffer = buffer or BufferPool(DiskManager(), capacity=buffer_capacity)
         self.catalog = catalog or default_catalog()
         self.tables: dict[str, Table] = {}
+        #: One transaction manager per cluster; every table shares it.
+        self.txn = TransactionManager()
+        #: The open BEGIN block, if any (None = autocommit mode).
+        self._current: Transaction | None = None
+        #: Tables written by the open block, for eager pruning at COMMIT.
+        self._block_tables: set[str] = set()
 
     # -- public API -----------------------------------------------------------------
 
@@ -128,18 +165,36 @@ class Database:
         match = _INSERT.match(sql)
         if match:
             return self._insert(match.group(1), match.group(2))
+        match = _BEGIN.match(sql)
+        if match:
+            return self._begin()
+        match = _COMMIT.match(sql)
+        if match:
+            return self._commit()
+        match = _ROLLBACK.match(sql)
+        if match:
+            return self._rollback()
+        match = _VACUUM.match(sql)
+        if match:
+            return self._vacuum(match.group(1))
         match = _CHECK_INDEX.match(sql)
         if match:
             return self._check_index(match.group(1))
         match = _SELECT_INCIDENTS.match(sql)
         if match:
             return self._select_incidents()
+        match = _SELECT_HEAP_STATS.match(sql)
+        if match:
+            return self.table(match.group(1)).heap_stats()
         match = _SELECT.match(sql)
         if match:
             return list(self._select(*match.groups()))
         match = _DELETE.match(sql)
         if match:
             return self._delete(*match.groups())
+        match = _UPDATE.match(sql)
+        if match:
+            return self._update(*match.groups())
         match = _DROP_INDEX.match(sql)
         if match:
             return self._drop_index(match.group(1), match.group(2))
@@ -175,7 +230,9 @@ class Database:
             if type_name is None:
                 raise SQLError(f"unknown column type {tokens[1]!r}")
             columns.append(Column(col_name, type_name))
-        self.tables[name.lower()] = Table(name, columns, self.buffer, self.catalog)
+        self.tables[name.lower()] = Table(
+            name, columns, self.buffer, self.catalog, txn=self.txn
+        )
         return f"CREATE TABLE {name}"
 
     def _create_index(
@@ -240,6 +297,91 @@ class Database:
         del self.tables[name.lower()]
         return f"DROP TABLE {name}"
 
+    # -- transaction control ---------------------------------------------------------
+
+    def _begin(self) -> str:
+        if self._current is not None:
+            raise SQLError("a transaction is already in progress")
+        self._current = self.txn.begin()
+        self._block_tables = set()
+        return "BEGIN"
+
+    def _commit(self) -> str:
+        if self._current is None:
+            raise SQLError("no transaction in progress")
+        txn = self._current
+        self._current = None
+        self.txn.commit(txn)
+        self._prune_after_commit(txn, self._block_tables)
+        self._block_tables = set()
+        return "COMMIT"
+
+    def _rollback(self) -> str:
+        if self._current is None:
+            raise SQLError("no transaction in progress")
+        txn = self._current
+        self._current = None
+        self._block_tables = set()
+        self.txn.abort(txn)
+        return "ROLLBACK"
+
+    def _vacuum(self, table_name: str) -> str:
+        if self._current is not None:
+            raise SQLError("VACUUM cannot run inside a transaction block")
+        stats = self.table(table_name).vacuum()
+        return (
+            f"VACUUM {table_name}: removed {stats.versions_pruned} versions, "
+            f"{stats.index_entries_pruned} index entries; truncated "
+            f"{stats.pages_truncated} pages ({stats.pages} pages, "
+            f"{stats.pages_needed} needed)"
+        )
+
+    def _write_txn(self) -> tuple[Transaction, bool]:
+        """The open block's transaction, or a fresh autocommit one."""
+        if self._current is not None:
+            return self._current, False
+        return self.txn.begin(), True
+
+    def _finish_write(
+        self, txn: Transaction, autocommit: bool, table: Table
+    ) -> None:
+        """Commit an autocommit statement's transaction and eager-prune.
+
+        Pruning right after an autocommit DELETE/UPDATE keeps the legacy
+        contract — "SQL DELETE removes the index entries" — whenever no
+        other transaction could still see the old versions. Interleaved
+        transactions suppress it; VACUUM catches up later.
+        """
+        if not autocommit:
+            self._block_tables.add(table.name.lower())
+            return
+        self.txn.commit(txn)
+        self._prune_after_commit(txn, {table.name.lower()})
+
+    def _abort_write(self, txn: Transaction, autocommit: bool) -> None:
+        """A statement failed mid-write: roll its transaction back.
+
+        For an autocommit statement that aborts just the statement; for an
+        explicit block the whole block dies (PostgreSQL aborts the
+        transaction on a serialization failure too).
+        """
+        if not autocommit:
+            self._current = None
+            self._block_tables = set()
+        if txn.is_open:
+            self.txn.abort(txn)
+
+    def _prune_after_commit(
+        self, txn: Transaction, table_names: set[str]
+    ) -> None:
+        if not txn.touched or not self.txn.quiescent():
+            return
+        only = set(txn.touched)
+        for name in table_names:
+            table = self.tables.get(name)
+            if table is not None:
+                table.vacuum(only_tids=only)
+
     # -- DML -------------------------------------------------------------------------
 
     def _insert(self, table_name: str, values_spec: str) -> str:
@@ -266,30 +408,82 @@ class Database:
             )
         if not rows:
             raise SQLError("INSERT requires at least one VALUES row")
-        if len(rows) == 1:
-            table.insert(rows[0])
-        else:
-            table.insert_many(rows)
+        txn, autocommit = self._write_txn()
+        try:
+            if len(rows) == 1:
+                table.insert(rows[0], txn=txn)
+            else:
+                table.insert_many(rows, txn=txn)
+        except Exception:
+            self._abort_write(txn, autocommit)
+            raise
+        self._finish_write(txn, autocommit, table)
         return f"INSERT 0 {len(rows)}"
+
+    def _find_victims(
+        self, table: Table, predicate: Predicate, snapshot: Snapshot
+    ) -> list[tuple]:
+        """(tid, row) pairs the predicate selects under ``snapshot``."""
+        position = table.column_index(predicate.column)
+        operator = table.catalog.operators_named(
+            predicate.op, table.columns[position].type_name
+        )[0]
+        return [
+            (tid, row)
+            for tid, row in table.scan(snapshot)
+            if operator.apply(row[position], predicate.operand)
+        ]
 
     def _delete(
         self, table_name: str, column: str, op: str, literal: str
     ) -> str:
         table = self.table(table_name)
         predicate = self._bind_predicate(table, column, op, literal)
-        plan = plan_query(table, predicate)
-        victims = []
-        position = table.column_index(column)
-        operator = table.catalog.operators_named(
-            op, table.columns[position].type_name
-        )[0]
-        for tid, row in table.scan():
-            if operator.apply(row[position], predicate.operand):
-                victims.append(tid)
-        for tid in victims:
-            table.delete_tid(tid)
-        _ = plan  # planning kept for EXPLAIN parity; deletion scans the heap
+        txn, autocommit = self._write_txn()
+        try:
+            victims = self._find_victims(table, predicate, txn.snapshot)
+            for tid, _row in victims:
+                table.mvcc_delete(tid, txn)
+        except Exception:
+            self._abort_write(txn, autocommit)
+            raise
+        self._finish_write(txn, autocommit, table)
         return f"DELETE {len(victims)}"
+
+    def _update(
+        self,
+        table_name: str,
+        set_column: str,
+        set_literal: str,
+        column: str,
+        op: str,
+        literal: str,
+    ) -> str:
+        """UPDATE: new versions for every matching row, one transaction.
+
+        The old version's expiry and the new version's insert carry the
+        same xid, so readers see either both or neither — the atomic
+        index-maintenance fix rides on the MVCC layer.
+        """
+        table = self.table(table_name)
+        predicate = self._bind_predicate(table, column, op, literal)
+        set_position = table.column_index(set_column)
+        new_value = self._bind_literal(
+            set_literal.strip(), table.columns[set_position].type_name
+        )
+        txn, autocommit = self._write_txn()
+        try:
+            victims = self._find_victims(table, predicate, txn.snapshot)
+            for tid, row in victims:
+                new_row = (
+                    row[:set_position] + (new_value,) + row[set_position + 1:]
+                )
+                table.mvcc_update(tid, new_row, txn)
+        except Exception:
+            self._abort_write(txn, autocommit)
+            raise
+        self._finish_write(txn, autocommit, table)
+        return f"UPDATE {len(victims)}"
 
     # -- queries -----------------------------------------------------------------------
 
@@ -346,7 +540,12 @@ class Database:
         if column is not None:
             assert op is not None and literal is not None
             predicate = self._bind_predicate(table, column, op, literal)
-        return plan_query(table, predicate)
+        plan = plan_query(table, predicate)
+        if self._current is not None:
+            # Inside BEGIN ... COMMIT every statement reads through the
+            # snapshot taken at BEGIN (plus the block's own writes).
+            plan.snapshot = self._current.snapshot
+        return plan
 
     # -- literal binding -------------------------------------------------------------------
 
@@ -368,11 +567,27 @@ class Database:
         return Predicate(column, op, self._bind_literal(literal, operand_type))
 
     @staticmethod
+    def _unquote(text: str) -> str | None:
+        """Strip outer quotes and fold ``''`` escapes; None if not quoted.
+
+        Raises :class:`SQLError` on an unterminated or malformed literal
+        (a stray single quote inside the body) instead of letting it fall
+        through to the bare-token parsers.
+        """
+        if not text.startswith("'"):
+            return None
+        body = text[1:-1] if len(text) >= 2 and text.endswith("'") else None
+        if body is None or body.replace("''", "").count("'"):
+            raise SQLError(f"unterminated string literal: {text!r}")
+        return body.replace("''", "'")
+
+    @staticmethod
     def _bind_literal(literal: str, type_name: str) -> Any:
         text = literal.strip()
-        quoted = len(text) >= 2 and text[0] == "'" and text[-1] == "'"
+        unquoted = Database._unquote(text)
+        quoted = unquoted is not None
         if quoted:
-            text = text[1:-1]
+            text = unquoted
         if type_name == "varchar":
             if not quoted:
                 raise SQLError(f"varchar literals must be quoted: {literal!r}")

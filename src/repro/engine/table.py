@@ -25,9 +25,32 @@ from repro.core.tree import SPGiSTIndex
 from repro.engine.catalog import SystemCatalog
 from repro.engine.opclass import NN_STRATEGY, OperatorClass
 from repro.engine.selectivity import TableStats
+from repro.engine.txn import (
+    Snapshot,
+    Transaction,
+    TransactionManager,
+    XID_FROZEN,
+)
 from repro.errors import CatalogError, PlannerError
+from repro.obs import METRICS
 from repro.storage.buffer import BufferPool
 from repro.storage.heap import HeapFile, TupleId
+
+_VACUUM_RUNS = METRICS.counter(
+    "vacuum_runs_total", "Table-level VACUUM passes completed"
+)
+_VACUUM_VERSIONS = METRICS.counter(
+    "vacuum_versions_pruned_total",
+    "Dead heap tuple versions reclaimed by VACUUM",
+)
+_VACUUM_INDEX_ENTRIES = METRICS.counter(
+    "vacuum_index_entries_pruned_total",
+    "Index entries removed for dead heap versions",
+)
+_VACUUM_PAGES_TRUNCATED = METRICS.counter(
+    "vacuum_pages_truncated_total",
+    "Trailing all-empty heap pages released by VACUUM",
+)
 
 
 @dataclass(frozen=True)
@@ -118,6 +141,26 @@ class TableIndex:
         value = row[self.column_index]
         for key in set(self._keys_of(value)):
             self.structure.delete(key, tid)
+
+    def bulk_delete_rows(self, dead: list[tuple[TupleId, tuple]]) -> int:
+        """Remove every entry pointing at a dead row (``ambulkdelete``).
+
+        SP-GiST indexes take one full :meth:`SPGiSTIndex.bulk_delete` walk
+        with a TID-set predicate — exactly how PostgreSQL hands the
+        dead-TID list to the access method during VACUUM. Other access
+        methods fall back to per-row deletes. Returns the number of
+        logical entries removed.
+        """
+        if not dead:
+            return 0
+        if isinstance(self.structure, SPGiSTIndex):
+            tids = {tid for tid, _row in dead}
+            return self.structure.bulk_delete(lambda _key, tid: tid in tids)
+        removed = 0
+        for tid, row in dead:
+            self.delete_row(tid, row)
+            removed += 1
+        return removed
 
     # -- scans -----------------------------------------------------------------------
 
@@ -228,6 +271,17 @@ class _Top:
 _TOP = _Top()
 
 
+@dataclass(frozen=True)
+class VacuumStats:
+    """What one VACUUM pass reclaimed (the ``VACUUM VERBOSE`` analogue)."""
+
+    versions_pruned: int
+    index_entries_pruned: int
+    pages_truncated: int
+    pages: int
+    pages_needed: int
+
+
 class Table:
     """A named heap relation with typed columns and secondary indexes."""
 
@@ -237,11 +291,17 @@ class Table:
         columns: list[Column],
         buffer: BufferPool,
         catalog: SystemCatalog,
+        txn: TransactionManager | None = None,
     ) -> None:
         self.name = name
         self.columns = columns
         self.buffer = buffer
         self.catalog = catalog
+        #: The cluster's transaction manager. ``None`` keeps the table in
+        #: the legacy single-version mode (every tuple frozen, physical
+        #: deletes); with a manager attached, scans and fetches filter by
+        #: snapshot visibility.
+        self.txn = txn
         self.heap = HeapFile(buffer)
         self.indexes: dict[str, TableIndex] = {}
         self._column_positions = {col.name: i for i, col in enumerate(columns)}
@@ -308,18 +368,26 @@ class Table:
 
     # -- DML ----------------------------------------------------------------------------
 
-    def insert(self, row: tuple) -> TupleId:
-        """Insert one row into the heap and every index."""
+    def insert(self, row: tuple, txn: Transaction | None = None) -> TupleId:
+        """Insert one row into the heap and every index.
+
+        With ``txn``, the new version carries the transaction's xid as
+        ``xmin`` — invisible to other snapshots until the commit verdict
+        lands in the clog. Index entries are created immediately (index
+        entries point at all versions; readers filter by visibility).
+        """
         if len(row) != len(self.columns):
             raise ValueError(
                 f"row arity {len(row)} != table arity {len(self.columns)}"
             )
-        tid = self.heap.insert(row)
+        tid = self.heap.insert(row, xmin=txn.xid if txn else XID_FROZEN)
         for index in self.indexes.values():
             index.insert_row(tid, row)
         return tid
 
-    def insert_many(self, rows: list[tuple]) -> list[TupleId]:
+    def insert_many(
+        self, rows: list[tuple], txn: Transaction | None = None
+    ) -> list[TupleId]:
         """Insert a batch of rows: heap appends first, then each index once.
 
         Row-for-row equivalent to repeated :meth:`insert`, but every index
@@ -332,7 +400,8 @@ class Table:
                 raise ValueError(
                     f"row arity {len(row)} != table arity {len(self.columns)}"
                 )
-        pairs = [(self.heap.insert(row), row) for row in rows]
+        xmin = txn.xid if txn else XID_FROZEN
+        pairs = [(self.heap.insert(row, xmin=xmin), row) for row in rows]
         for index in self.indexes.values():
             index.insert_rows(pairs)
         return [tid for tid, _row in pairs]
@@ -343,7 +412,12 @@ class Table:
             index.purge_node_cache()
 
     def delete_tid(self, tid: TupleId) -> tuple:
-        """Delete one row by TID from the heap and every index."""
+        """Physically delete one row by TID from the heap and every index.
+
+        The legacy non-transactional path: index entries are removed
+        immediately and the version is gone. The MVCC path is
+        :meth:`mvcc_delete`.
+        """
         row = self.heap.fetch(tid)
         if row is None:
             raise PlannerError(f"tuple {tid} is already deleted")
@@ -351,13 +425,164 @@ class Table:
             index.delete_row(tid, row)
         return self.heap.delete(tid)
 
-    def fetch(self, tid: TupleId) -> tuple | None:
-        """The row at ``tid`` (None when tombstoned)."""
-        return self.heap.fetch(tid)
+    def mvcc_delete(self, tid: TupleId, txn: Transaction) -> tuple:
+        """DELETE under MVCC: stamp ``xmax``; indexes are left alone.
 
-    def scan(self) -> Iterator[tuple[TupleId, tuple]]:
-        """Sequential scan over all live rows."""
-        return self.heap.scan()
+        The version (and its index entries) survives for older snapshots;
+        VACUUM reclaims both once the deleter's commit passes the horizon.
+        Raises :class:`~repro.errors.TxnError` when another transaction
+        already claimed the tuple (first-updater-wins).
+        """
+        assert self.txn is not None, "mvcc_delete needs a transaction manager"
+        tup = self.heap.tuple_at(tid)
+        if tup is None:
+            raise PlannerError(f"tuple {tid} is already deleted")
+        self.txn.check_delete_conflict(tup, txn)
+        record = self.heap.mark_deleted(tid, txn.xid)
+        txn.touched.append(tid)
+        return record
+
+    def mvcc_update(
+        self, tid: TupleId, new_row: tuple, txn: Transaction
+    ) -> TupleId:
+        """UPDATE under MVCC: expire the old version, insert the new one.
+
+        Both halves carry the same xid, so they become visible (or vanish
+        on rollback) atomically — one transaction, exactly as the SQL
+        layer's UPDATE statement requires. The new version's index entries
+        are inserted now; the old version's are reclaimed by VACUUM.
+        """
+        if len(new_row) != len(self.columns):
+            raise ValueError(
+                f"row arity {len(new_row)} != table arity {len(self.columns)}"
+            )
+        self.mvcc_delete(tid, txn)
+        new_tid = self.insert(new_row, txn=txn)
+        txn.touched.append(new_tid)
+        return new_tid
+
+    def update_tid(self, tid: TupleId, new_row: tuple) -> None:
+        """Non-transactional in-place update with index maintenance.
+
+        Replaces the record at ``tid`` and atomically swaps the index
+        entries from the old key to the new one. The transactional SQL
+        UPDATE goes through :meth:`mvcc_update` instead.
+        """
+        if len(new_row) != len(self.columns):
+            raise ValueError(
+                f"row arity {len(new_row)} != table arity {len(self.columns)}"
+            )
+        old_row = self.heap.fetch(tid)
+        if old_row is None:
+            raise PlannerError(f"tuple {tid} is deleted")
+        self.heap.update(tid, new_row)
+        for index in self.indexes.values():
+            old_value = old_row[index.column_index]
+            new_value = new_row[index.column_index]
+            if old_value == new_value:
+                continue
+            index.delete_row(tid, old_row)
+            index.insert_row(tid, new_row)
+
+    def current_snapshot(self) -> Snapshot | None:
+        """A fresh read snapshot, or None without a transaction manager."""
+        if self.txn is None:
+            return None
+        return self.txn.read_snapshot()
+
+    def fetch(
+        self, tid: TupleId, snapshot: Snapshot | None = None
+    ) -> tuple | None:
+        """The row at ``tid`` as ``snapshot`` sees it (None if invisible).
+
+        Without an explicit snapshot, a table with a transaction manager
+        reads through a fresh one; a manager-less table returns any stored
+        version (the legacy single-version behaviour).
+        """
+        tup = self.heap.tuple_at(tid)
+        if tup is None:
+            return None
+        if snapshot is None:
+            snapshot = self.current_snapshot()
+        if snapshot is not None and not snapshot.tuple_visible(tup):
+            return None
+        return tup.record
+
+    def scan(
+        self, snapshot: Snapshot | None = None
+    ) -> Iterator[tuple[TupleId, tuple]]:
+        """Snapshot-consistent sequential scan over visible rows."""
+        if snapshot is None:
+            snapshot = self.current_snapshot()
+        if snapshot is None:
+            return self.heap.scan()
+        return (
+            (tid, tup.record)
+            for tid, tup in self.heap.scan_versions()
+            if snapshot.tuple_visible(tup)
+        )
+
+    # -- vacuum ----------------------------------------------------------------------------
+
+    def vacuum(self, only_tids: set[TupleId] | None = None) -> "VacuumStats":
+        """Reclaim versions dead to every snapshot (PostgreSQL's lazy VACUUM).
+
+        Order matters, exactly as in PostgreSQL: first every index entry
+        pointing at a dead TID is removed (``ambulkdelete``), only then is
+        the heap slot reclaimed for reuse, and finally trailing all-empty
+        pages are truncated so ``num_pages`` can shrink. With a transaction
+        manager attached, "dead" is decided by
+        :meth:`TransactionManager.tuple_dead` against the oldest-snapshot
+        horizon; without one, there is nothing to reclaim (legacy deletes
+        are already physical). ``only_tids`` restricts the pass to the
+        given candidates (eager pruning after an autocommit statement).
+        """
+        dead: list[tuple[TupleId, tuple]] = []
+        if self.txn is not None:
+            for tid, tup in self.heap.scan_versions():
+                if only_tids is not None and tid not in only_tids:
+                    continue
+                if self.txn.tuple_dead(tup):
+                    dead.append((tid, tup.record))
+        index_entries = 0
+        for index in self.indexes.values():
+            index_entries += index.bulk_delete_rows(dead)
+        for tid, _row in dead:
+            self.heap.reclaim(tid)
+        pages_truncated = self.heap.truncate_trailing_empty_pages()
+        pages, pages_needed = self.heap.vacuum_page_stats()
+        _VACUUM_RUNS.inc()
+        _VACUUM_VERSIONS.inc(len(dead))
+        _VACUUM_INDEX_ENTRIES.inc(index_entries)
+        _VACUUM_PAGES_TRUNCATED.inc(pages_truncated)
+        return VacuumStats(
+            versions_pruned=len(dead),
+            index_entries_pruned=index_entries,
+            pages_truncated=pages_truncated,
+            pages=pages,
+            pages_needed=pages_needed,
+        )
+
+    def heap_stats(self) -> list[tuple[str, int]]:
+        """(stat, value) rows for the ``repro_heap_stats('t')`` SRF."""
+        pages, pages_needed = self.heap.vacuum_page_stats()
+        snapshot = self.current_snapshot()
+        if snapshot is None:
+            visible = len(self.heap)
+        else:
+            visible = sum(
+                1
+                for _tid, tup in self.heap.scan_versions()
+                if snapshot.tuple_visible(tup)
+            )
+        return [
+            ("versions", len(self.heap)),
+            ("visible_rows", visible),
+            ("dead_versions", len(self.heap) - visible),
+            ("pages", pages),
+            ("pages_needed", pages_needed),
+            ("free_slots", self.heap.free_slot_count),
+        ]
 
     # -- statistics ------------------------------------------------------------------------
 
@@ -371,12 +596,13 @@ class Table:
     def analyze(self) -> dict[str, int]:
         """Gather per-column distinct counts (PostgreSQL's ANALYZE).
 
-        One heap scan; results are cached and consulted by the planner's
-        selectivity estimation until the next analyze.
+        One heap scan over currently-visible rows; results are cached and
+        consulted by the planner's selectivity estimation until the next
+        analyze.
         """
         positions = range(len(self.columns))
         values: list[set] = [set() for _ in positions]
-        for _tid, row in self.heap.scan():
+        for _tid, row in self.scan():
             for i in positions:
                 values[i].add(row[i])
         self._distinct_counts = {

@@ -1,0 +1,336 @@
+"""MVCC transactions: xids, snapshots, and the commit log (``clog``).
+
+The paper defers concurrency control to the host system (Eltabakh et al.,
+ICDE 2006, §3): SP-GiST lives inside PostgreSQL's transactional heap and
+inherits its MVCC semantics. This module supplies that layer for the
+reproduction:
+
+- every transaction gets a **xid** from a monotone counter;
+- heap tuples carry ``xmin`` (inserting xid) and ``xmax`` (deleting xid)
+  version stamps (:class:`~repro.storage.heap.HeapTuple`);
+- a **commit log** (:class:`CommitLog`, PostgreSQL's ``pg_xact``/clog)
+  records each xid's fate — in progress, committed, or aborted;
+- a :class:`Snapshot` captures "which xids were committed when I started"
+  and answers tuple-visibility questions against the clog, exactly
+  PostgreSQL's ``HeapTupleSatisfiesMVCC``.
+
+Snapshot isolation falls out of the rules: a snapshot taken at ``BEGIN``
+never sees a commit that happened after it, an aborted transaction's
+inserts are invisible from the instant of abort (no undo needed — the
+clog verdict *is* the rollback), and deletes become invisible only to
+snapshots taken after the deleter committed.
+
+Index entries are **not** versioned: they point at every heap version of
+a key and the executor filters fetched tuples by visibility — the exact
+division of labour PostgreSQL uses between access methods and the heap.
+``VACUUM`` (:meth:`repro.engine.table.Table.vacuum`) reclaims versions
+dead to every possible snapshot (the :meth:`TransactionManager.horizon`)
+and only then removes their index entries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable
+
+from repro.errors import TxnError
+from repro.obs import METRICS
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.storage.heap import HeapTuple
+
+#: Sentinel xids. ``XID_INVALID`` means "no transaction" (an unset xmax);
+#: ``XID_FROZEN`` stamps bootstrap/non-transactional tuples that are
+#: visible to every snapshot (PostgreSQL's ``FrozenTransactionId``).
+XID_INVALID = 0
+XID_FROZEN = 1
+
+#: The first xid a :class:`TransactionManager` hands out.
+FIRST_XID = 2
+
+#: Clog verdicts.
+IN_PROGRESS = "in-progress"
+COMMITTED = "committed"
+ABORTED = "aborted"
+
+_TXN_BEGUN = METRICS.counter(
+    "txn_begun_total", "Transactions started (explicit and autocommit)"
+)
+_TXN_COMMITTED = METRICS.counter(
+    "txn_committed_total", "Transactions committed"
+)
+_TXN_ABORTED = METRICS.counter(
+    "txn_aborted_total", "Transactions rolled back"
+)
+_TXN_ACTIVE = METRICS.gauge(
+    "txn_active", "Transactions currently in progress"
+)
+_TXN_CONFLICTS = METRICS.counter(
+    "txn_write_conflicts_total",
+    "Write-write conflicts raised (first-updater-wins)",
+)
+
+
+class CommitLog:
+    """xid -> fate. The reproduction's ``pg_xact``.
+
+    Unknown xids below the frozen floor are treated as committed (frozen
+    history); everything else defaults to in-progress until a verdict is
+    recorded — the safe default for visibility (an unknown writer hides
+    its work).
+    """
+
+    __slots__ = ("_status",)
+
+    def __init__(self) -> None:
+        self._status: dict[int, str] = {}
+
+    def status(self, xid: int) -> str:
+        """The recorded verdict for ``xid`` (default: in progress)."""
+        if xid == XID_FROZEN:
+            return COMMITTED
+        return self._status.get(xid, IN_PROGRESS)
+
+    def is_committed(self, xid: int) -> bool:
+        """True when ``xid``'s work is visible to new snapshots."""
+        return self.status(xid) == COMMITTED
+
+    def is_aborted(self, xid: int) -> bool:
+        """True when ``xid`` rolled back (its work never existed)."""
+        return self.status(xid) == ABORTED
+
+    def set_in_progress(self, xid: int) -> None:
+        """Register a freshly-assigned xid as undecided."""
+        self._status[xid] = IN_PROGRESS
+
+    def set_committed(self, xid: int) -> None:
+        """Record the commit verdict — the atomic instant of commit."""
+        self._status[xid] = COMMITTED
+
+    def set_aborted(self, xid: int) -> None:
+        """Record the abort verdict — the whole rollback, no undo."""
+        self._status[xid] = ABORTED
+
+    def closed_verdicts(self) -> dict[int, str]:
+        """Every committed/aborted xid — the shippable clog snapshot."""
+        return {
+            xid: status
+            for xid, status in self._status.items()
+            if status != IN_PROGRESS
+        }
+
+    def load(self, verdicts: dict[int, str]) -> None:
+        """Replace the log with a replicated snapshot (standby revive)."""
+        self._status = {int(xid): status for xid, status in verdicts.items()}
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """What one moment in xid-time can see (``SnapshotData`` analogue).
+
+    ``xmin`` — every xid below it is decided (commit/abort) as of the
+    snapshot; ``xmax`` — the first xid *not yet assigned*; ``xip`` — xids
+    in ``[xmin, xmax)`` still in progress at snapshot time; ``own_xid`` —
+    the owning transaction (its own uncommitted work is visible to it).
+    """
+
+    xmin: int
+    xmax: int
+    xip: frozenset[int]
+    clog: CommitLog
+    own_xid: int | None = None
+
+    def sees(self, xid: int) -> bool:
+        """Did ``xid`` commit before this snapshot was taken?"""
+        if xid == XID_FROZEN:
+            return True
+        if xid == XID_INVALID:
+            return False
+        if xid == self.own_xid:
+            return True
+        if xid >= self.xmax:
+            return False
+        if xid in self.xip:
+            return False
+        return self.clog.is_committed(xid)
+
+    def tuple_visible(self, tup: "HeapTuple") -> bool:
+        """``HeapTupleSatisfiesMVCC``: inserted-for-me and not deleted-for-me."""
+        if not self.sees(tup.xmin):
+            return False
+        if tup.xmax == XID_INVALID:
+            return True
+        return not self.sees(tup.xmax)
+
+
+@dataclass
+class Transaction:
+    """One open transaction: a xid plus the snapshot it reads through."""
+
+    xid: int
+    snapshot: Snapshot
+    status: str = IN_PROGRESS
+    #: TIDs whose xmax this transaction set (deletes and update-old-halves);
+    #: consulted by eager pruning after an autocommit statement.
+    touched: list = field(default_factory=list)
+
+    @property
+    def is_open(self) -> bool:
+        return self.status == IN_PROGRESS
+
+
+class TransactionManager:
+    """Allocates xids, tracks active transactions, owns the clog.
+
+    One manager per database/node ("cluster"). Single-threaded by design —
+    interleaving comes from holding several :class:`Transaction` objects
+    open at once, not from OS threads — which is all the differential
+    oracle and the replication layer need.
+    """
+
+    def __init__(self) -> None:
+        self.clog = CommitLog()
+        self.next_xid = FIRST_XID
+        self.active: dict[int, Transaction] = {}
+        #: Committed xids not yet drained into a WAL commit record.
+        self._recent_commits: list[int] = []
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def begin(self) -> Transaction:
+        """Start a transaction: assign a xid and take its snapshot."""
+        xid = self.next_xid
+        self.next_xid += 1
+        self.clog.set_in_progress(xid)
+        snapshot = self._snapshot(own_xid=xid)
+        txn = Transaction(xid=xid, snapshot=snapshot)
+        self.active[xid] = txn
+        _TXN_BEGUN.inc()
+        _TXN_ACTIVE.set(len(self.active))
+        return txn
+
+    def commit(self, txn: Transaction) -> None:
+        """Commit: record the clog verdict and queue the xid for WAL."""
+        self._close(txn, COMMITTED)
+        self._recent_commits.append(txn.xid)
+        _TXN_COMMITTED.inc()
+
+    def abort(self, txn: Transaction) -> None:
+        """Roll back: the clog verdict hides the txn's work instantly."""
+        self._close(txn, ABORTED)
+        _TXN_ABORTED.inc()
+
+    def _close(self, txn: Transaction, verdict: str) -> None:
+        if not txn.is_open:
+            raise TxnError(f"transaction {txn.xid} is already {txn.status}")
+        txn.status = verdict
+        if verdict == COMMITTED:
+            self.clog.set_committed(txn.xid)
+        else:
+            self.clog.set_aborted(txn.xid)
+        self.active.pop(txn.xid, None)
+        _TXN_ACTIVE.set(len(self.active))
+
+    # -- snapshots ------------------------------------------------------------
+
+    def _snapshot(self, own_xid: int | None = None) -> Snapshot:
+        xip = frozenset(
+            xid for xid in self.active if xid != own_xid
+        )
+        xmin = min(xip, default=self.next_xid)
+        return Snapshot(
+            xmin=xmin,
+            xmax=self.next_xid,
+            xip=xip,
+            clog=self.clog,
+            own_xid=own_xid,
+        )
+
+    def read_snapshot(self) -> Snapshot:
+        """A fresh statement snapshot for autocommit reads."""
+        return self._snapshot()
+
+    # -- vacuum support -------------------------------------------------------
+
+    def horizon(self) -> int:
+        """The oldest xid any live snapshot might still need to see.
+
+        Every xid strictly below the horizon is decided *and* visible (or
+        invisible) identically to all current and future snapshots, so a
+        tuple deleted by a committed xid below it is dead to everyone.
+        """
+        floors = [txn.snapshot.xmin for txn in self.active.values()]
+        floors.extend(self.active)  # an active xid itself is a floor
+        return min(floors, default=self.next_xid)
+
+    def tuple_dead(self, tup: "HeapTuple") -> bool:
+        """Is this version unreachable by every current & future snapshot?"""
+        if tup.xmin != XID_FROZEN:
+            status = self.clog.status(tup.xmin)
+            if status == ABORTED:
+                return True  # never visible to anyone
+            if status == IN_PROGRESS:
+                return False  # might yet commit
+        if tup.xmax == XID_INVALID:
+            return False
+        if self.clog.status(tup.xmax) != COMMITTED:
+            return False  # deleter aborted or undecided: version lives
+        return tup.xmax < self.horizon()
+
+    # -- write-write conflicts ------------------------------------------------
+
+    def check_delete_conflict(self, tup: "HeapTuple", txn: Transaction) -> None:
+        """First-updater-wins: refuse to re-delete a concurrently-deleted row.
+
+        A tuple whose ``xmax`` belongs to another in-progress or committed
+        transaction is already claimed; under snapshot isolation the second
+        writer must fail (PostgreSQL's ``could not serialize access``). An
+        aborted deleter's claim is void and may be overwritten.
+        """
+        if tup.xmax == XID_INVALID or tup.xmax == txn.xid:
+            return
+        if self.clog.is_aborted(tup.xmax):
+            return
+        _TXN_CONFLICTS.inc()
+        raise TxnError(
+            f"could not serialize: tuple already deleted/updated by "
+            f"transaction {tup.xmax} ({self.clog.status(tup.xmax)})"
+        )
+
+    # -- bookkeeping ----------------------------------------------------------
+
+    def quiescent(self) -> bool:
+        """True when no transaction is in progress (eager-prune safe)."""
+        return not self.active
+
+    def drain_recent_commits(self) -> list[int]:
+        """Committed xids since the last drain (for WAL commit records)."""
+        drained = self._recent_commits
+        self._recent_commits = []
+        return drained
+
+    # -- replication ----------------------------------------------------------
+
+    def state_snapshot(self) -> dict:
+        """The shippable manager state (meta-page payload on a primary)."""
+        return {
+            "next_xid": self.next_xid,
+            "clog": self.clog.closed_verdicts(),
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Revive from a replicated snapshot (standby/restart path).
+
+        In-flight transactions never replicate — a shipped snapshot only
+        holds closed verdicts, so a standby exposes exactly the committed
+        history.
+        """
+        self.next_xid = int(state["next_xid"])
+        self.clog.load(dict(state["clog"]))
+        self.active.clear()
+        self._recent_commits = []
+        _TXN_ACTIVE.set(0)
+
+    def statuses_of(self, xids: Iterable[int]) -> dict[int, str]:
+        """Clog verdicts for ``xids`` (observability/debugging helper)."""
+        return {xid: self.clog.status(xid) for xid in xids}

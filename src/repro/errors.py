@@ -101,6 +101,11 @@ class SQLError(ReproError):
     """The mini-SQL front end could not parse or bind a statement."""
 
 
+class TxnError(ReproError):
+    """A transaction-layer failure: bad state transition or a
+    write-write conflict (first-updater-wins serialization failure)."""
+
+
 class ReplicationError(ReproError):
     """Base class for replication-layer failures (shipping, failover)."""
 

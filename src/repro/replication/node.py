@@ -40,12 +40,15 @@ import shutil
 from typing import Any, Iterator
 
 from repro.engine.catalog import default_catalog
-from repro.engine.table import Column, Table
+from repro.engine.table import Column, Table, VacuumStats
+from repro.engine.txn import TransactionManager
 from repro.errors import ReplicaDivergedError, ReplicationError
 from repro.obs import METRICS
 from repro.replication.segments import WALSegment
 from repro.storage.buffer import BufferPool
 from repro.storage.filedisk import FileDiskManager
+from repro.storage.heap import TupleId
+from repro.storage.wal import REC_COMMIT
 
 #: The engine-state snapshot page: always page id 0, always written last
 #: before a commit, never read through the buffer pool.
@@ -204,7 +207,9 @@ class StorageNode:
                 raise ReplicationError(
                     f"meta page allocated as {meta_page}, expected {META_PAGE_ID}"
                 )
-        self.table = Table(_TABLE_NAME, columns, self.pool, catalog)
+        self.txn = TransactionManager()
+        self.table = Table(_TABLE_NAME, columns, self.pool, catalog,
+                           txn=self.txn)
         index = self.table.create_index(
             _INDEX_NAME, "key", opclass_name=opclass_name, **opclass_kwargs
         )
@@ -227,12 +232,20 @@ class StorageNode:
             "kind": self.kind,
             "heap_page_ids": list(table.heap._page_ids),
             "heap_tuple_count": table.heap._tuple_count,
+            "heap_free_slots": [
+                (tid.page_id, tid.slot) for tid in table.heap._free_slots
+            ],
             "distinct": dict(table._distinct_counts),
             "index_root": index.structure.root,
             "index_item_count": index.structure._item_count,
             "index_page_ids": list(store.page_ids),
             "index_num_nodes": store.num_nodes,
             "index_open_page_id": store._open_page_id,
+            # The transaction manager's shippable state: xid counter plus
+            # every closed clog verdict. In-flight transactions never ship,
+            # so a standby revived from this meta exposes exactly the
+            # committed snapshots — no dirty reads across failover.
+            "txn": self.txn.state_snapshot(),
         }
         self.disk.write_page(META_PAGE_ID, meta)
 
@@ -259,7 +272,16 @@ class StorageNode:
         table.heap._page_ids = list(meta["heap_page_ids"])
         table.heap._page_id_set = set(meta["heap_page_ids"])
         table.heap._tuple_count = meta["heap_tuple_count"]
+        free_slots = [
+            TupleId(page_id, slot)
+            for page_id, slot in meta.get("heap_free_slots", ())
+        ]
+        table.heap._free_slots = free_slots
+        table.heap._free_slot_set = set(free_slots)
         table._distinct_counts = dict(meta["distinct"])
+        txn_state = meta.get("txn")
+        if txn_state is not None:
+            self.txn.load_state(txn_state)
         index = table.indexes[_INDEX_NAME]
         structure = index.structure
         structure.root = meta["index_root"]
@@ -315,8 +337,41 @@ class StorageNode:
         self.commit_seq += 1
         self._write_meta()
         self.pool.flush_all()
-        self.disk.sync()
+        # Transactions committed since the last WAL commit ride inside the
+        # commit marker, so standby replay can apply the clog verdicts in
+        # the same step that applies the pages.
+        self.disk.sync(commit_xids=tuple(self.txn.drain_recent_commits()))
         return self.commit_seq
+
+    def write_rows(self, rows: list[tuple], abort: bool = False) -> None:
+        """Apply ``rows`` under one transaction (committed or rolled back).
+
+        With ``abort=True`` the transaction is rolled back after the
+        inserts: the versions (and their index entries) still exist on
+        disk and replicate to standbys, but their xmin is aborted in the
+        clog, so no snapshot anywhere ever sees them — the dirty-read
+        probe the chaos harness leans on. The caller drives
+        :meth:`commit` to make the outcome durable and shippable.
+        """
+        self._require_alive()
+        if self.role != "primary":
+            raise ReplicationError(f"node {self.name} is a standby; no writes")
+        assert self.table is not None
+        txn = self.txn.begin()
+        if rows:
+            self.table.insert_many(rows, txn=txn)
+        if abort:
+            self.txn.abort(txn)
+        else:
+            self.txn.commit(txn)
+
+    def vacuum(self) -> VacuumStats:
+        """Run a table VACUUM on this primary (caller commits afterwards)."""
+        self._require_alive()
+        if self.role != "primary":
+            raise ReplicationError(f"node {self.name} is a standby; no vacuum")
+        assert self.table is not None
+        return self.table.vacuum()
 
     def segments_since(self, seq: int) -> list[WALSegment]:
         """Archived segments with sequence numbers above ``seq``.
@@ -369,6 +424,13 @@ class StorageNode:
                 f"{self.applied_lsn}"
             )
         for record in segment.records():
+            if record.rec_type == REC_COMMIT:
+                # Commit records carry the xids they made durable; apply
+                # their verdicts so the standby's clog tracks the stream
+                # even before the meta-page refresh lands.
+                for xid in record.xids:
+                    self.txn.clog.set_committed(xid)
+                continue
             self.disk.apply_record(record)
         self.disk.sync()
         self.applied_seq = segment.seq

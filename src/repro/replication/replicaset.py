@@ -263,9 +263,28 @@ class ReplicaSet:
         survive, exactly like an in-doubt transaction).
         """
         self._require_primary()
-        assert self.primary.table is not None
-        if rows:
-            self.primary.table.insert_many(rows)
+        self.primary.write_rows(rows)
+        return self._commit_and_ack()
+
+    def client_write_aborted(self, rows: list[tuple]) -> int:
+        """Insert ``rows`` in a transaction that ROLLS BACK, then commit.
+
+        The WAL commit still ships (the aborted versions' pages are real),
+        but the clog verdict travels with it, so no node — primary,
+        standby, or a post-failover promotee — ever shows the rows. The
+        chaos harness uses this to assert snapshot isolation end to end.
+        """
+        self._require_primary()
+        self.primary.write_rows(rows, abort=True)
+        return self._commit_and_ack()
+
+    def client_vacuum(self) -> int:
+        """VACUUM the primary's table and replicate the reclamation."""
+        self._require_primary()
+        self.primary.vacuum()
+        return self._commit_and_ack()
+
+    def _commit_and_ack(self) -> int:
         seq = self.primary.commit()
         self._ship_outbox()
         if not self._await_quorum(seq):

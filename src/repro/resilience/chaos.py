@@ -1,10 +1,11 @@
 """End-to-end chaos harness for the replication subsystem.
 
 Runs randomized, fully seeded schedules against a live
-:class:`~repro.replication.ReplicaSet`: client writes, routed reads, node
-crashes (primary and standby), restarts, and shipping channels that drop,
-corrupt, reorder, and duplicate frames — then heals the cluster and checks
-the invariants that define correct replication:
+:class:`~repro.replication.ReplicaSet`: client writes (committed AND
+rolled back), routed reads, VACUUM passes, node crashes (primary and
+standby), restarts, and shipping channels that drop, corrupt, reorder, and
+duplicate frames — then heals the cluster and checks the invariants that
+define correct replication:
 
 1. **Zero acknowledged-commit loss** — every row whose commit was
    quorum-acknowledged is present on the (possibly promoted) primary.
@@ -15,6 +16,11 @@ the invariants that define correct replication:
    clean structure.
 3. **Bounded failover** — every automatic failover completed within
    ``heartbeat_timeout + 1`` ticks of the primary's crash.
+4. **Snapshot isolation across failover** — a row written by a rolled-back
+   transaction is never visible anywhere, ever: not to a routed read
+   mid-schedule, not on any node after healing, not after a VACUUM, and
+   not on a standby promoted mid-stream (its clog replicates through the
+   meta page and the commit records' xids).
 
 The failure model matches the write path's guarantee: with ``quorum=1``
 acknowledged commits survive any single-node loss, so schedules keep at
@@ -121,6 +127,10 @@ def run_schedule(
     equality = rs.primary.index.methods.equality_operator
 
     acked: dict[Any, Any] = {}  # key -> id of quorum-acknowledged rows
+    #: key -> id of rows written by ROLLED-BACK transactions. The abort
+    #: verdict lands in the clog before the commit ships, so these must
+    #: never be visible anywhere — acknowledged or not.
+    aborted: dict[Any, Any] = {}
     unacked_writes = 0
     down = None  # the failure bound: at most one node down at a time
     primary_crash_tick: int | None = None
@@ -148,7 +158,7 @@ def run_schedule(
 
     for step in range(steps):
         roll = rng.random()
-        if roll < 0.45:  # client write (1-3 rows)
+        if roll < 0.40:  # client write (1-3 rows)
             rows = []
             for _ in range(rng.randint(1, 3)):
                 counter += 1
@@ -168,8 +178,33 @@ def run_schedule(
                     {"event": "write-acked", "step": step, "seq": seq,
                      "rows": len(rows)}
                 )
-        elif roll < 0.65 and acked:  # routed read of an acknowledged key
-            key = rng.choice(list(acked))
+        elif roll < 0.48:  # transactional write that ROLLS BACK
+            rows = []
+            for _ in range(rng.randint(1, 3)):
+                counter += 1
+                rows.append((_make_key(kind, rng, counter), counter))
+            # Visible-nowhere applies whether or not the commit was
+            # acknowledged: the rollback verdict precedes the commit.
+            for key, value in rows:
+                aborted[key] = value
+            try:
+                seq = rs.client_write_aborted(rows)
+            except Exception as exc:
+                events.append(
+                    {"event": "abort-unacked", "step": step,
+                     "error": type(exc).__name__}
+                )
+            else:
+                events.append(
+                    {"event": "write-aborted", "step": step, "seq": seq,
+                     "rows": len(rows)}
+                )
+        elif roll < 0.65 and (acked or aborted):  # routed read
+            probe_aborted = bool(aborted) and (
+                not acked or rng.random() < 0.35
+            )
+            pool = aborted if probe_aborted else acked
+            key = rng.choice(list(pool))
             try:
                 result = rs.client_read(equality, key)
             except Exception as exc:
@@ -178,17 +213,35 @@ def run_schedule(
                      "error": type(exc).__name__}
                 )
             else:
-                wrong = [row for row in result if row[0] != key]
-                if wrong:
-                    failures.append(
-                        f"read of {key!r} on {rs.last_served_by} returned "
-                        f"non-matching rows {wrong!r}"
-                    )
+                if probe_aborted:
+                    if result:
+                        failures.append(
+                            f"dirty read: rolled-back key {key!r} visible "
+                            f"on {rs.last_served_by}: {result!r}"
+                        )
+                else:
+                    wrong = [row for row in result if row[0] != key]
+                    if wrong:
+                        failures.append(
+                            f"read of {key!r} on {rs.last_served_by} "
+                            f"returned non-matching rows {wrong!r}"
+                        )
                 events.append(
                     {"event": "read", "step": step,
-                     "served_by": rs.last_served_by, "rows": len(result)}
+                     "served_by": rs.last_served_by, "rows": len(result),
+                     "aborted_probe": probe_aborted}
                 )
-        elif roll < 0.75:  # crash one node (respecting the failure bound)
+        elif roll < 0.70:  # VACUUM the primary, replicate the reclamation
+            try:
+                seq = rs.client_vacuum()
+            except Exception as exc:
+                events.append(
+                    {"event": "vacuum-failed", "step": step,
+                     "error": type(exc).__name__}
+                )
+            else:
+                events.append({"event": "vacuum", "step": step, "seq": seq})
+        elif roll < 0.78:  # crash one node (respecting the failure bound)
             if down is None:
                 victim = (
                     rs.primary
@@ -230,11 +283,12 @@ def run_schedule(
     elif not rs.catch_up():
         failures.append("standbys failed to catch up after healing")
     else:
-        _verify(rs, acked, failures)
+        _verify(rs, acked, aborted, failures)
 
     transcript["ok"] = not failures
     transcript["stats"] = {
         "acked_rows": len(acked),
+        "aborted_rows": len(aborted),
         "unacked_writes": unacked_writes,
         "failovers": len(rs.failover_log),
         "final_commit_seq": rs.primary.commit_seq,
@@ -244,7 +298,9 @@ def run_schedule(
     return transcript
 
 
-def _verify(rs: ReplicaSet, acked: dict, failures: list[str]) -> None:
+def _verify(
+    rs: ReplicaSet, acked: dict, aborted: dict, failures: list[str]
+) -> None:
     """The end-state invariants: no acked loss, equivalence, clean checks."""
     primary_rows = set(rs.primary.rows())
     lost = {
@@ -257,6 +313,17 @@ def _verify(rs: ReplicaSet, acked: dict, failures: list[str]) -> None:
             f"{len(lost)} acknowledged row(s) lost, e.g. "
             f"{sorted(lost, key=repr)[:3]!r}"
         )
+    for node in rs.nodes:
+        dirty = {
+            (key, value)
+            for key, value in aborted.items()
+            if (key, value) in set(node.rows())
+        }
+        if dirty:
+            failures.append(
+                f"{len(dirty)} rolled-back row(s) visible on {node.name} "
+                f"after healing, e.g. {sorted(dirty, key=repr)[:3]!r}"
+            )
     row_sets = {node.name: frozenset(node.rows()) for node in rs.nodes}
     if len(set(row_sets.values())) != 1:
         counts = {name: len(rows) for name, rows in row_sets.items()}
@@ -298,7 +365,12 @@ def run_campaign(
     with ``run_schedule(that_seed)`` alone.
     """
     failed: list[dict[str, Any]] = []
-    stats = {"acked_rows": 0, "failovers": 0, "unacked_writes": 0}
+    stats = {
+        "acked_rows": 0,
+        "aborted_rows": 0,
+        "failovers": 0,
+        "unacked_writes": 0,
+    }
     for i in range(schedules):
         transcript = run_schedule(base_seed + i, steps=steps)
         for key in stats:
@@ -342,8 +414,9 @@ def main(argv: list[str] | None = None) -> int:
     totals = summary["totals"]
     print(
         f"chaos: {args.schedules} schedule(s) from seed {args.seed}: "
-        f"{totals['acked_rows']} acked rows, {totals['failovers']} "
-        f"failovers, {totals['unacked_writes']} in-doubt writes"
+        f"{totals['acked_rows']} acked rows, {totals['aborted_rows']} "
+        f"rolled-back rows, {totals['failovers']} failovers, "
+        f"{totals['unacked_writes']} in-doubt writes"
     )
     for transcript in summary["failed"]:
         print(

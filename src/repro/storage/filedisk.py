@@ -135,13 +135,17 @@ class FileDiskManager(DiskManager):
         os.replace(tmp_path, self._map_path)
         self._pending_compact = pending_compact
 
-    def sync(self) -> None:
-        """Commit: flush data, write a WAL commit marker, checkpoint the map."""
+    def sync(self, commit_xids: tuple[int, ...] | list[int] = ()) -> None:
+        """Commit: flush data, write a WAL commit marker, checkpoint the map.
+
+        ``commit_xids`` names the transactions this commit makes durable;
+        they ride inside the WAL commit marker for standby clog replay.
+        """
         self._file.flush()
         self._fsync_file(self._file)
         self._synced_data_size = self._file.seek(0, os.SEEK_END)
         if self.wal is not None:
-            self._map_lsn = self.wal.commit()
+            self._map_lsn = self.wal.commit(commit_xids)
         self._write_map()
         if self.wal is not None:
             # The page table now covers every logged record; the log can

@@ -32,7 +32,13 @@ Record wire format::
     header := <type:u8> <body_len:u32> <lsn:u64> <crc32(body):u32>   (17 bytes)
     PAGE_IMAGE body := <page_id:i64> <encoded page image bytes>
     ALLOC/DEALLOC body := <page_id:i64>
-    COMMIT body := (empty)
+    COMMIT body := (empty) | <count:u32> <xid:u64>*
+
+A commit marker may carry the transaction ids it made durable (PostgreSQL's
+commit records name their xid the same way); an empty body means "no
+transactional writes" and keeps old logs replayable unchanged. Standbys
+apply the xids to their commit log so a promoted node exposes exactly the
+committed snapshots.
 
 Decoding is shared: :class:`ReplayCursor` walks any byte string of records
 (the log file during recovery, a shipped segment payload on a standby) and
@@ -74,6 +80,8 @@ _WAL_TORN_TAILS = METRICS.counter(
 
 _HEADER = struct.Struct("<BIQI")
 _PAGE_ID = struct.Struct("<q")
+_XID_COUNT = struct.Struct("<I")
+_XID = struct.Struct("<Q")
 
 #: Record types.
 REC_PAGE_IMAGE = 1
@@ -94,6 +102,8 @@ class WALRecord:
     rec_type: int
     page_id: int | None
     image: bytes | None
+    #: For COMMIT records: the transaction ids this commit made durable.
+    xids: tuple[int, ...] = ()
 
 
 @dataclass
@@ -171,7 +181,11 @@ class ReplayCursor:
             self.last_lsn = lsn
             self.offset = body_end
             if rec_type == REC_COMMIT:
-                yield WALRecord(lsn, rec_type, None, None)
+                xids = _decode_commit_body(body)
+                if xids is None:  # malformed xid payload: a torn tail
+                    self._mark_torn()
+                    return
+                yield WALRecord(lsn, rec_type, None, None, xids=xids)
             elif rec_type == REC_PAGE_IMAGE:
                 (page_id,) = _PAGE_ID.unpack_from(body)
                 yield WALRecord(lsn, rec_type, page_id, body[_PAGE_ID.size:])
@@ -187,6 +201,21 @@ class ReplayCursor:
     def consumed_bytes(self) -> int:
         """Bytes of ``raw`` covered by well-formed records so far."""
         return self.offset
+
+
+def _decode_commit_body(body: bytes) -> tuple[int, ...] | None:
+    """The xids of a COMMIT body; () when empty, None when malformed."""
+    if not body:
+        return ()
+    if len(body) < _XID_COUNT.size:
+        return None
+    (count,) = _XID_COUNT.unpack_from(body)
+    if len(body) != _XID_COUNT.size + count * _XID.size:
+        return None
+    return tuple(
+        _XID.unpack_from(body, _XID_COUNT.size + i * _XID.size)[0]
+        for i in range(count)
+    )
 
 
 class WALTornTailWarning(Warning):
@@ -294,14 +323,22 @@ class WriteAheadLog:
         """Append a page-deallocation record."""
         return self._append(REC_DEALLOC, _PAGE_ID.pack(page_id))
 
-    def commit(self) -> int:
+    def commit(self, xids: tuple[int, ...] | list[int] = ()) -> int:
         """Append a commit marker and force the log to stable storage.
 
-        Returns the marker's LSN: every record at or below it is durable.
-        Commit listeners then receive the raw bytes this commit made
-        durable — the shippable unit for physical replication.
+        ``xids`` names the transactions this commit makes durable; they
+        ride inside the marker so standbys can update their commit log in
+        the same replay step that applies the pages. Returns the marker's
+        LSN: every record at or below it is durable. Commit listeners then
+        receive the raw bytes this commit made durable — the shippable
+        unit for physical replication.
         """
-        lsn = self._append(REC_COMMIT, b"")
+        body = b""
+        if xids:
+            body = _XID_COUNT.pack(len(xids)) + b"".join(
+                _XID.pack(xid) for xid in xids
+            )
+        lsn = self._append(REC_COMMIT, body)
         self.flush()
         self._file.flush()
         self._fsync()

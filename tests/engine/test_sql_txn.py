@@ -1,0 +1,235 @@
+"""SQL-level tests for transactions, UPDATE, VACUUM, and literal fixes.
+
+Covers the statement surface the MVCC layer added: BEGIN/COMMIT/ROLLBACK
+blocks, the UPDATE verb, explicit VACUUM, the ``repro_heap_stats`` SRF,
+doubled-quote string literals, and the autocommit eager-prune behaviour
+that keeps DELETE's legacy index-cleanup semantics.
+"""
+
+import pytest
+
+from repro.engine import Database
+from repro.errors import SQLError
+
+
+@pytest.fixture
+def db():
+    return Database(buffer_capacity=256)
+
+
+@pytest.fixture
+def word_db(db):
+    db.execute("CREATE TABLE words (name VARCHAR(50), id INT);")
+    for i, w in enumerate(["alpha", "beta", "gamma", "beta"]):
+        db.execute(f"INSERT INTO words VALUES ('{w}', {i});")
+    db.execute(
+        "CREATE INDEX words_idx ON words USING SP_GiST (name SP_GiST_trie);"
+    )
+    return db
+
+
+def names(db, table="words"):
+    return sorted(r[0] for r in db.execute(f"SELECT * FROM {table};"))
+
+
+class TestTransactionControl:
+    def test_begin_commit_makes_writes_durable(self, word_db):
+        assert word_db.execute("BEGIN;") == "BEGIN"
+        word_db.execute("INSERT INTO words VALUES ('delta', 9);")
+        assert word_db.execute("COMMIT;") == "COMMIT"
+        assert "delta" in names(word_db)
+
+    def test_rollback_undoes_inserts(self, word_db):
+        word_db.execute("BEGIN;")
+        word_db.execute("INSERT INTO words VALUES ('delta', 9);")
+        assert word_db.execute("ROLLBACK;") == "ROLLBACK"
+        assert "delta" not in names(word_db)
+
+    def test_rollback_undoes_deletes(self, word_db):
+        word_db.execute("BEGIN;")
+        word_db.execute("DELETE FROM words WHERE name = 'alpha';")
+        assert "alpha" not in sorted(
+            r[0] for r in word_db.execute("SELECT * FROM words;")
+        )  # own delete visible inside the block
+        word_db.execute("ROLLBACK;")
+        assert "alpha" in names(word_db)
+
+    def test_select_inside_block_sees_own_writes(self, word_db):
+        word_db.execute("BEGIN;")
+        word_db.execute("INSERT INTO words VALUES ('delta', 9);")
+        assert "delta" in sorted(
+            r[0] for r in word_db.execute("SELECT * FROM words;")
+        )
+        word_db.execute("ROLLBACK;")
+
+    def test_index_scan_inside_block_matches(self, word_db):
+        word_db.execute("BEGIN;")
+        word_db.execute("INSERT INTO words VALUES ('betsy', 9);")
+        word_db.execute("DELETE FROM words WHERE name = 'gamma';")
+        rows = word_db.execute("SELECT * FROM words WHERE name #= 'bet';")
+        assert sorted(r[0] for r in rows) == ["beta", "beta", "betsy"]
+        word_db.execute("COMMIT;")
+
+    def test_nested_begin_rejected(self, word_db):
+        word_db.execute("BEGIN;")
+        with pytest.raises(SQLError, match="already in progress"):
+            word_db.execute("BEGIN;")
+        word_db.execute("ROLLBACK;")
+
+    def test_commit_without_begin_rejected(self, db):
+        with pytest.raises(SQLError, match="no transaction"):
+            db.execute("COMMIT;")
+        with pytest.raises(SQLError, match="no transaction"):
+            db.execute("ROLLBACK;")
+
+    def test_end_is_commit_alias(self, word_db):
+        word_db.execute("BEGIN TRANSACTION;")
+        word_db.execute("INSERT INTO words VALUES ('delta', 9);")
+        assert word_db.execute("END;") == "COMMIT"
+        assert "delta" in names(word_db)
+
+
+class TestUpdate:
+    def test_update_rewrites_matching_rows(self, word_db):
+        status = word_db.execute(
+            "UPDATE words SET name = 'betamax' WHERE name = 'beta';"
+        )
+        assert status == "UPDATE 2"
+        assert names(word_db) == ["alpha", "betamax", "betamax", "gamma"]
+
+    def test_update_maintains_index(self, word_db):
+        word_db.execute("UPDATE words SET name = 'omega' WHERE id = 0;")
+        rows = word_db.execute("SELECT * FROM words WHERE name = 'omega';")
+        assert [r for r in rows] == [("omega", 0)]
+        assert word_db.execute("SELECT * FROM words WHERE name = 'alpha';") == []
+
+    def test_update_zero_rows(self, word_db):
+        assert (
+            word_db.execute(
+                "UPDATE words SET name = 'x' WHERE name = 'missing';"
+            )
+            == "UPDATE 0"
+        )
+
+    def test_update_rolls_back(self, word_db):
+        word_db.execute("BEGIN;")
+        word_db.execute("UPDATE words SET name = 'omega' WHERE id = 0;")
+        word_db.execute("ROLLBACK;")
+        assert "omega" not in names(word_db)
+        assert "alpha" in names(word_db)
+
+    def test_update_non_indexed_column(self, word_db):
+        word_db.execute("UPDATE words SET id = 77 WHERE name = 'alpha';")
+        rows = word_db.execute("SELECT * FROM words WHERE name = 'alpha';")
+        assert rows == [("alpha", 77)]
+
+
+class TestVacuumAndHeapStats:
+    def test_vacuum_reports_and_reclaims(self, word_db):
+        word_db.execute("BEGIN;")
+        word_db.execute("DELETE FROM words WHERE name = 'beta';")
+        word_db.execute("COMMIT;")
+        status = word_db.execute("VACUUM words;")
+        assert status.startswith("VACUUM words:")
+        stats = dict(word_db.execute("SELECT * FROM repro_heap_stats('words');"))
+        assert stats["dead_versions"] == 0
+        assert stats["versions"] == stats["visible_rows"] == 2
+
+    def test_vacuum_inside_block_rejected(self, word_db):
+        word_db.execute("BEGIN;")
+        with pytest.raises(SQLError, match="transaction block"):
+            word_db.execute("VACUUM words;")
+        word_db.execute("ROLLBACK;")
+
+    def test_vacuum_unknown_table(self, db):
+        with pytest.raises(SQLError, match="unknown table"):
+            db.execute("VACUUM ghosts;")
+
+    def test_heap_stats_counts_dead_versions(self, word_db):
+        # Keep a block open on a *different* connection path is not
+        # possible here (one session), so exercise dead-version
+        # accounting by deleting inside an open block: the old versions
+        # are dead-to-us but not yet vacuumable.
+        word_db.execute("DELETE FROM words WHERE name = 'alpha';")
+        stats = dict(word_db.execute("SELECT * FROM repro_heap_stats('words');"))
+        # Autocommit eager pruning already reclaimed the version.
+        assert stats["visible_rows"] == 3
+        assert stats["dead_versions"] == 0
+
+    def test_autocommit_delete_prunes_index_eagerly(self, word_db):
+        word_db.execute("DELETE FROM words WHERE name = 'beta';")
+        index = word_db.table("words").indexes["words_idx"]
+        assert list(index.scan("=", "beta")) == []
+
+    def test_block_delete_defers_prune_to_vacuum(self, word_db):
+        word_db.execute("BEGIN;")
+        word_db.execute("DELETE FROM words WHERE name = 'beta';")
+        word_db.execute("COMMIT;")
+        stats = dict(word_db.execute("SELECT * FROM repro_heap_stats('words');"))
+        if stats["dead_versions"]:
+            word_db.execute("VACUUM words;")
+            stats = dict(
+                word_db.execute("SELECT * FROM repro_heap_stats('words');")
+            )
+        assert stats["dead_versions"] == 0
+        assert stats["visible_rows"] == 2
+
+
+class TestStringLiterals:
+    def test_doubled_quote_insert_and_select(self, db):
+        db.execute("CREATE TABLE people (name VARCHAR(30), id INT);")
+        db.execute("INSERT INTO people VALUES ('O''Brien', 1);")
+        rows = db.execute("SELECT * FROM people WHERE name = 'O''Brien';")
+        assert rows == [("O'Brien", 1)]
+
+    def test_doubled_quote_in_multi_row_insert(self, db):
+        db.execute("CREATE TABLE people (name VARCHAR(30), id INT);")
+        db.execute(
+            "INSERT INTO people VALUES ('O''Brien', 1), ('D''Arcy', 2);"
+        )
+        assert sorted(r[0] for r in db.execute("SELECT * FROM people;")) == [
+            "D'Arcy",
+            "O'Brien",
+        ]
+
+    def test_doubled_quote_update_and_delete(self, db):
+        db.execute("CREATE TABLE people (name VARCHAR(30), id INT);")
+        db.execute("INSERT INTO people VALUES ('smith', 1);")
+        db.execute("UPDATE people SET name = 'O''Brien' WHERE id = 1;")
+        assert db.execute("SELECT * FROM people;") == [("O'Brien", 1)]
+        assert (
+            db.execute("DELETE FROM people WHERE name = 'O''Brien';")
+            == "DELETE 1"
+        )
+
+    def test_unterminated_literal_is_clean_error(self, db):
+        db.execute("CREATE TABLE people (name VARCHAR(30), id INT);")
+        with pytest.raises(SQLError, match="unterminated string literal"):
+            db.execute("SELECT * FROM people WHERE name = 'O'Brien';")
+
+
+class TestWriteConflictAbortsBlock:
+    def test_txn_error_surfaces_and_aborts(self, word_db):
+        """A serialization failure kills the whole block, like PostgreSQL."""
+        from repro.engine.txn import TransactionManager
+        from repro.errors import TxnError
+
+        table = word_db.table("words")
+        # Claim a row from a side transaction on the same manager.
+        side = word_db.txn.begin()
+        victim = next(
+            tid for tid, row in table.scan(side.snapshot)
+            if row[0] == "alpha"
+        )
+        table.mvcc_delete(victim, side)
+
+        word_db.execute("BEGIN;")
+        word_db.execute("INSERT INTO words VALUES ('delta', 9);")
+        with pytest.raises(TxnError):
+            word_db.execute("DELETE FROM words WHERE name = 'alpha';")
+        # The block is gone: its insert rolled back, no dangling txn.
+        with pytest.raises(SQLError, match="no transaction"):
+            word_db.execute("COMMIT;")
+        word_db.txn.commit(side)
+        assert "delta" not in names(word_db)
+        assert "alpha" not in names(word_db)

@@ -1,0 +1,247 @@
+"""Unit tests for the MVCC transaction layer (xids, snapshots, clog).
+
+These pin the visibility rules the differential oracle relies on:
+``HeapTupleSatisfiesMVCC`` semantics, first-updater-wins conflicts, the
+vacuum horizon, and the replication state round-trip.
+"""
+
+import pytest
+
+from repro.engine.txn import (
+    ABORTED,
+    COMMITTED,
+    FIRST_XID,
+    IN_PROGRESS,
+    XID_FROZEN,
+    XID_INVALID,
+    CommitLog,
+    TransactionManager,
+)
+from repro.errors import TxnError
+from repro.storage.heap import HeapTuple
+
+
+def _tuple(xmin=XID_FROZEN, xmax=XID_INVALID):
+    return HeapTuple(record=("row",), xmin=xmin, xmax=xmax)
+
+
+class TestCommitLog:
+    def test_frozen_is_always_committed(self):
+        assert CommitLog().is_committed(XID_FROZEN)
+
+    def test_unknown_xid_defaults_to_in_progress(self):
+        clog = CommitLog()
+        assert clog.status(97) == IN_PROGRESS
+        assert not clog.is_committed(97)
+        assert not clog.is_aborted(97)
+
+    def test_verdicts_stick(self):
+        clog = CommitLog()
+        clog.set_committed(5)
+        clog.set_aborted(6)
+        assert clog.is_committed(5)
+        assert clog.is_aborted(6)
+
+    def test_closed_verdicts_exclude_in_progress(self):
+        clog = CommitLog()
+        clog.set_in_progress(4)
+        clog.set_committed(5)
+        clog.set_aborted(6)
+        assert clog.closed_verdicts() == {5: COMMITTED, 6: ABORTED}
+
+    def test_load_replaces_history(self):
+        clog = CommitLog()
+        clog.set_committed(5)
+        clog.load({"7": COMMITTED, "8": ABORTED})
+        assert clog.status(5) == IN_PROGRESS  # old verdict gone
+        assert clog.is_committed(7)
+        assert clog.is_aborted(8)
+
+
+class TestSnapshotVisibility:
+    def test_own_writes_visible(self):
+        manager = TransactionManager()
+        txn = manager.begin()
+        assert txn.snapshot.tuple_visible(_tuple(xmin=txn.xid))
+
+    def test_uncommitted_other_invisible(self):
+        manager = TransactionManager()
+        writer = manager.begin()
+        reader = manager.begin()
+        assert not reader.snapshot.tuple_visible(_tuple(xmin=writer.xid))
+
+    def test_commit_after_snapshot_invisible(self):
+        """Snapshot isolation: a later commit never leaks in."""
+        manager = TransactionManager()
+        reader = manager.begin()
+        writer = manager.begin()
+        manager.commit(writer)
+        assert not reader.snapshot.tuple_visible(_tuple(xmin=writer.xid))
+        # ...but a fresh snapshot sees it.
+        assert manager.read_snapshot().tuple_visible(_tuple(xmin=writer.xid))
+
+    def test_commit_before_snapshot_visible(self):
+        manager = TransactionManager()
+        writer = manager.begin()
+        manager.commit(writer)
+        reader = manager.begin()
+        assert reader.snapshot.tuple_visible(_tuple(xmin=writer.xid))
+
+    def test_aborted_insert_invisible_everywhere(self):
+        manager = TransactionManager()
+        writer = manager.begin()
+        manager.abort(writer)
+        assert not manager.read_snapshot().tuple_visible(
+            _tuple(xmin=writer.xid)
+        )
+
+    def test_delete_by_committed_xid_hides_tuple(self):
+        manager = TransactionManager()
+        deleter = manager.begin()
+        tup = _tuple(xmax=deleter.xid)
+        # The deleter's own snapshot no longer sees the row...
+        assert not deleter.snapshot.tuple_visible(tup)
+        # ...a concurrent snapshot still does (delete uncommitted)...
+        concurrent = manager.read_snapshot()
+        manager.commit(deleter)
+        assert concurrent.tuple_visible(tup)
+        # ...and a post-commit snapshot does not.
+        assert not manager.read_snapshot().tuple_visible(tup)
+
+    def test_aborted_delete_is_undone(self):
+        manager = TransactionManager()
+        deleter = manager.begin()
+        tup = _tuple(xmax=deleter.xid)
+        manager.abort(deleter)
+        assert manager.read_snapshot().tuple_visible(tup)
+
+    def test_frozen_and_invalid_sentinels(self):
+        snapshot = TransactionManager().read_snapshot()
+        assert snapshot.sees(XID_FROZEN)
+        assert not snapshot.sees(XID_INVALID)
+
+
+class TestLifecycle:
+    def test_xids_monotone_from_first(self):
+        manager = TransactionManager()
+        a, b = manager.begin(), manager.begin()
+        assert (a.xid, b.xid) == (FIRST_XID, FIRST_XID + 1)
+
+    def test_double_close_raises(self):
+        manager = TransactionManager()
+        txn = manager.begin()
+        manager.commit(txn)
+        with pytest.raises(TxnError):
+            manager.commit(txn)
+        with pytest.raises(TxnError):
+            manager.abort(txn)
+
+    def test_quiescent_tracks_active(self):
+        manager = TransactionManager()
+        assert manager.quiescent()
+        txn = manager.begin()
+        assert not manager.quiescent()
+        manager.commit(txn)
+        assert manager.quiescent()
+
+    def test_drain_recent_commits(self):
+        manager = TransactionManager()
+        a, b, c = manager.begin(), manager.begin(), manager.begin()
+        manager.commit(a)
+        manager.abort(b)
+        manager.commit(c)
+        assert manager.drain_recent_commits() == [a.xid, c.xid]
+        assert manager.drain_recent_commits() == []
+
+
+class TestConflicts:
+    def test_first_updater_wins(self):
+        manager = TransactionManager()
+        first = manager.begin()
+        second = manager.begin()
+        tup = _tuple(xmax=first.xid)
+        with pytest.raises(TxnError):
+            manager.check_delete_conflict(tup, second)
+        # The conflict persists even after the first writer commits.
+        manager.commit(first)
+        with pytest.raises(TxnError):
+            manager.check_delete_conflict(tup, second)
+
+    def test_aborted_claim_is_void(self):
+        manager = TransactionManager()
+        first = manager.begin()
+        second = manager.begin()
+        tup = _tuple(xmax=first.xid)
+        manager.abort(first)
+        manager.check_delete_conflict(tup, second)  # no raise
+
+    def test_own_claim_and_unclaimed_pass(self):
+        manager = TransactionManager()
+        txn = manager.begin()
+        manager.check_delete_conflict(_tuple(), txn)
+        manager.check_delete_conflict(_tuple(xmax=txn.xid), txn)
+
+
+class TestHorizonAndVacuum:
+    def test_horizon_advances_past_closed_txns(self):
+        manager = TransactionManager()
+        txn = manager.begin()
+        assert manager.horizon() <= txn.xid
+        manager.commit(txn)
+        assert manager.horizon() == manager.next_xid
+
+    def test_open_snapshot_pins_horizon(self):
+        manager = TransactionManager()
+        old = manager.begin()
+        deleter = manager.begin()
+        manager.commit(deleter)
+        tup = _tuple(xmax=deleter.xid)
+        # The old snapshot can still see the row: not dead yet.
+        assert not manager.tuple_dead(tup)
+        manager.commit(old)
+        assert manager.tuple_dead(tup)
+
+    def test_aborted_insert_is_dead_immediately(self):
+        manager = TransactionManager()
+        writer = manager.begin()
+        manager.abort(writer)
+        assert manager.tuple_dead(_tuple(xmin=writer.xid))
+
+    def test_in_progress_versions_never_dead(self):
+        manager = TransactionManager()
+        writer = manager.begin()
+        assert not manager.tuple_dead(_tuple(xmin=writer.xid))
+        assert not manager.tuple_dead(_tuple(xmax=writer.xid))
+
+    def test_live_tuple_never_dead(self):
+        manager = TransactionManager()
+        assert not manager.tuple_dead(_tuple())
+
+
+class TestReplicationState:
+    def test_state_round_trip_ships_only_closed_verdicts(self):
+        primary = TransactionManager()
+        committed = primary.begin()
+        aborted = primary.begin()
+        in_flight = primary.begin()
+        primary.commit(committed)
+        primary.abort(aborted)
+
+        standby = TransactionManager()
+        standby.load_state(primary.state_snapshot())
+        assert standby.next_xid == primary.next_xid
+        assert standby.clog.is_committed(committed.xid)
+        assert standby.clog.is_aborted(aborted.xid)
+        # The in-flight xid never ships: the standby treats it as
+        # in-progress, i.e. invisible — no dirty reads after failover.
+        assert standby.clog.status(in_flight.xid) == IN_PROGRESS
+        assert standby.quiescent()
+
+    def test_statuses_of(self):
+        manager = TransactionManager()
+        txn = manager.begin()
+        manager.commit(txn)
+        assert manager.statuses_of([txn.xid, 99]) == {
+            txn.xid: COMMITTED,
+            99: IN_PROGRESS,
+        }

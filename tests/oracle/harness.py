@@ -23,6 +23,7 @@ from repro.engine.planner import (
     SeqScanPlan,
 )
 from repro.engine.table import Column, Table
+from repro.engine.txn import Snapshot, TransactionManager
 from repro.storage import BufferPool, DiskManager
 
 
@@ -33,13 +34,21 @@ def build_table(
     index_column: str = "key",
     buffer: BufferPool | None = None,
     pool_pages: int = 64,
+    txn: "TransactionManager | None" = None,
 ) -> Table:
-    """A one-index table over ``values`` (row = (value, ordinal))."""
+    """A one-index table over ``values`` (row = (value, ordinal)).
+
+    Pass a :class:`~repro.engine.txn.TransactionManager` to build an
+    MVCC table whose scans filter by snapshot; the seed rows are still
+    inserted frozen (visible to every snapshot), exactly like rows loaded
+    before the first transaction began.
+    """
     table = Table(
         "oracle",
         [Column(index_column, type_name), Column("id", "int")],
         buffer or BufferPool(DiskManager(), capacity=pool_pages),
         default_catalog(),
+        txn=txn,
     )
     for i, value in enumerate(values):
         table.insert((value, i))
@@ -59,10 +68,24 @@ def _forced_plans(table: Table, predicate: Predicate):
     return index_plan, SeqScanPlan(table, predicate, cost)
 
 
-def assert_index_matches_seqscan(table: Table, op: str, operand: Any) -> None:
-    """Both access paths must return the same multiset of rows."""
+def assert_index_matches_seqscan(
+    table: Table,
+    op: str,
+    operand: Any,
+    snapshot: "Snapshot | None" = None,
+) -> None:
+    """Both access paths must return the same multiset of rows.
+
+    When ``snapshot`` is given, both plans are stamped with it so the
+    comparison happens under one MVCC snapshot (the transactional
+    oracle); otherwise each plan resolves its own fresh snapshot, which
+    is only deterministic on a quiescent table.
+    """
     predicate = Predicate("key", op, operand)
     index_plan, seq_plan = _forced_plans(table, predicate)
+    if snapshot is not None:
+        index_plan.snapshot = snapshot
+        seq_plan.snapshot = snapshot
     index_rows = collections.Counter(execute_plan(index_plan))
     seq_rows = collections.Counter(execute_plan(seq_plan))
     assert index_rows == seq_rows, (
