@@ -1,0 +1,224 @@
+"""Concurrency benchmark: throughput and latency vs. session count (BENCH_6.json).
+
+Measures the session server end to end — admission queue, worker pool,
+lock manager, engine mutex, MVCC — under a *closed-loop* mixed workload
+at 16, 100, and 1000 concurrent sessions. Closed loop means each session
+has exactly one statement outstanding at all times: a completion
+immediately triggers the session's next submission. That models "N
+connected clients each waiting for their answer" (the paper's
+heavy-traffic regime) without needing N OS threads: a single driver
+thread chains completions, while the manager's fixed worker pool
+(``worker_threads``) does the executing — so rising session counts raise
+*queueing*, which is exactly the effect the p99 column exists to show.
+
+Workload per statement (seeded per session): 70% indexed SELECT on the
+SP-GiST trie key, 25% INSERT of a fresh row, 5% UPDATE of a previously
+inserted row (exercising TID locks and first-updater-wins retries).
+
+Reported per session count: completed statements, wall seconds,
+throughput (statements/s), and p50/p95/p99 latency in milliseconds from
+submission to completion (queueing included — that is the point).
+Absolute numbers are machine-dependent; the regression gate
+(``tests/bench/test_concurrency_gate.py``) checks structure, sanity
+(p50 <= p99, non-zero throughput), and re-runs the 16-session point
+in-process against a deliberately loose floor.
+
+CLI::
+
+    PYTHONPATH=src python -m repro.bench.concurrency --out BENCH_6.json
+    PYTHONPATH=src python -m repro.bench.concurrency --quick
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+from typing import Any
+
+from repro.engine.sql import Database
+from repro.errors import ReproError
+from repro.server.manager import PendingStatement, SessionManager
+from repro.settings import SETTINGS
+
+#: Benchmark schema version stamped into the JSON.
+SCHEMA = "bench6-v1"
+
+#: The session counts of the committed headline table.
+SESSION_POINTS = (16, 100, 1000)
+
+#: Total statements per point (split across sessions), keeping each
+#: point's wall time in the seconds range at every session count.
+TOTAL_STATEMENTS = 4000
+
+#: Seed rows loaded before measuring.
+SEED_ROWS = 200
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, int(q * (len(sorted_values) - 1)))
+    return sorted_values[index]
+
+
+class _SessionScript:
+    """One session's seeded statement stream (closed loop state)."""
+
+    def __init__(self, session, sid: int, seed: int, statements: int) -> None:
+        self.session = session
+        self.rng = random.Random(seed * 7919 + sid)
+        self.sid = sid
+        self.remaining = statements
+        self.next_row = 0
+        self.inserted: list[int] = []
+        self.pending: PendingStatement | None = None
+        self.started = 0.0
+
+    def next_sql(self) -> str:
+        roll = self.rng.random()
+        if roll < 0.70:
+            probe = self.rng.randrange(SEED_ROWS)
+            return f"SELECT * FROM bench WHERE key = 'seed{probe:05d}';"
+        if roll < 0.95 or not self.inserted:
+            row_id = self.sid * 1000000 + self.next_row
+            self.next_row += 1
+            self.inserted.append(row_id)
+            return f"INSERT INTO bench VALUES ('s{self.sid}x{row_id}', {row_id});"
+        victim = self.rng.choice(self.inserted)
+        return f"UPDATE bench SET key = 'u{self.sid}' WHERE id = {victim};"
+
+
+def _run_point(
+    sessions: int, statements_per_session: int, seed: int
+) -> dict[str, Any]:
+    """One closed-loop measurement at ``sessions`` concurrent sessions."""
+    settings = SETTINGS.replace(
+        # The closed loop legitimately keeps one statement per session in
+        # flight; admission control must admit that, not fight the bench.
+        max_queue=sessions + 16,
+        max_sessions=sessions + 16,
+        shed_threshold=sessions + 16,
+        statement_timeout=120.0,
+        lock_timeout=60.0,
+    )
+    db = Database(buffer_capacity=512)
+    manager = SessionManager(db, settings=settings)
+    boot = manager.connect("bench-boot")
+    manager.execute(boot, "CREATE TABLE bench (key VARCHAR(24), id INT);")
+    manager.execute(
+        boot,
+        "CREATE INDEX bench_idx ON bench USING SP_GiST (key SP_GiST_trie);",
+    )
+    rows = ", ".join(f"('seed{i:05d}', {i})" for i in range(SEED_ROWS))
+    manager.execute(boot, f"INSERT INTO bench VALUES {rows};")
+    manager.disconnect(boot)
+
+    scripts = [
+        _SessionScript(manager.connect(f"bench-{i}"), i, seed,
+                       statements_per_session)
+        for i in range(sessions)
+    ]
+
+    latencies: list[float] = []
+    errors = 0
+    started = time.perf_counter()
+    live = list(scripts)
+    for script in live:
+        script.started = time.perf_counter()
+        script.pending = manager.submit(script.session, script.next_sql())
+    while live:
+        progressed = False
+        still: list[_SessionScript] = []
+        for script in live:
+            pending = script.pending
+            assert pending is not None
+            if not pending.done():
+                still.append(script)
+                continue
+            progressed = True
+            latencies.append(time.perf_counter() - script.started)
+            if pending.error is not None:
+                if not isinstance(pending.error, ReproError):
+                    raise pending.error
+                errors += 1
+            script.remaining -= 1
+            if script.remaining > 0:
+                script.started = time.perf_counter()
+                script.pending = manager.submit(script.session, script.next_sql())
+                still.append(script)
+        live = still
+        if not progressed:
+            time.sleep(0.0005)
+    wall = time.perf_counter() - started
+    manager.stop()
+
+    latencies.sort()
+    completed = len(latencies)
+    return {
+        "sessions": sessions,
+        "statements": completed,
+        "errors": errors,
+        "wall_seconds": round(wall, 4),
+        "throughput_stmts_per_sec": round(completed / wall, 2) if wall else 0.0,
+        "p50_ms": round(_percentile(latencies, 0.50) * 1000, 3),
+        "p95_ms": round(_percentile(latencies, 0.95) * 1000, 3),
+        "p99_ms": round(_percentile(latencies, 0.99) * 1000, 3),
+    }
+
+
+def run(
+    session_points: tuple[int, ...] = SESSION_POINTS,
+    total_statements: int = TOTAL_STATEMENTS,
+    seed: int = 0,
+) -> dict[str, Any]:
+    """The full benchmark: one closed-loop point per session count."""
+    points = []
+    for sessions in session_points:
+        per_session = max(2, total_statements // sessions)
+        points.append(_run_point(sessions, per_session, seed))
+    return {
+        "schema": SCHEMA,
+        "seed": seed,
+        "total_statements_target": total_statements,
+        "worker_threads": SETTINGS.worker_threads,
+        "points": points,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point: run the benchmark and optionally write the JSON."""
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default=None, help="write the JSON here")
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small scale (16/100 sessions, fewer statements) for CI smoke",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        result = run(session_points=(16, 100), total_statements=600,
+                     seed=args.seed)
+    else:
+        result = run(seed=args.seed)
+
+    for point in result["points"]:
+        print(
+            f"{point['sessions']:>5} sessions: "
+            f"{point['throughput_stmts_per_sec']:>8.1f} stmts/s, "
+            f"p50 {point['p50_ms']:.2f} ms, p99 {point['p99_ms']:.2f} ms "
+            f"({point['statements']} statements, {point['errors']} errors)"
+        )
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(result, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

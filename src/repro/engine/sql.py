@@ -40,19 +40,67 @@ from __future__ import annotations
 
 import itertools
 import re
-from typing import Any, Iterable
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable
 
 from repro.engine.catalog import SystemCatalog, default_catalog
 from repro.engine.executor import execute_plan
 from repro.engine.planner import NN_OPERATOR, Plan, Predicate, plan_query
 from repro.engine.table import Column, Table
 from repro.engine.txn import Snapshot, Transaction, TransactionManager
-from repro.errors import SQLError, TxnError
+from repro.errors import SQLError, TxnAbortedError, TxnError
 from repro.geometry.box import Box
 from repro.geometry.point import Point
 from repro.geometry.segment import LineSegment
+from repro.settings import SETTINGS
 from repro.storage.buffer import BufferPool
 from repro.storage.disk import DiskManager
+
+
+class WouldBlock(Exception):
+    """Internal control-flow signal from a session's row-lock hook.
+
+    Raised by :attr:`SessionState.row_locker` when a TID lock cannot be
+    granted immediately. Not an error: the SQL layer unwinds the statement
+    *without* aborting an explicit transaction block, the server layer
+    waits on the lock (with deadlock detection and timeouts) outside the
+    engine mutex, and the statement is retried. Never surfaces to clients.
+    """
+
+    def __init__(self, key: tuple) -> None:
+        super().__init__(f"lock {key!r} would block")
+        self.key = key
+
+
+@dataclass
+class SessionState:
+    """One session's transaction state over a shared :class:`Database`.
+
+    The database embeds a default instance so single-session callers keep
+    the historical ``db.execute(sql)`` API; the server layer creates one
+    per connected session and passes it to every ``execute`` call, which
+    is what lets many sessions interleave transactions over one cluster.
+    """
+
+    #: The open BEGIN block, if any (None = autocommit mode).
+    current: Transaction | None = None
+    #: Tables written by the open block, for eager pruning at COMMIT.
+    block_tables: set[str] = field(default_factory=set)
+    #: True once a statement inside the block failed: the transaction is
+    #: aborted and only COMMIT/ROLLBACK (both ending it as a rollback)
+    #: are accepted, PostgreSQL's "current transaction is aborted".
+    failed: bool = False
+    #: :attr:`Database.epoch` at BEGIN; a mismatch means the underlying
+    #: cluster was rebound (failover) and the block must abort.
+    epoch: int = 0
+    #: Server hook: called as ``row_locker(table_name, tid)`` for every
+    #: row a DML statement is about to claim. May raise
+    #: :class:`WouldBlock` (statement retried after waiting) or a
+    #: transaction-aborting lock error.
+    row_locker: Callable[[str, Any], None] | None = None
+    #: Server hook: called periodically during long scans/statements;
+    #: raises StatementTimeoutError past the statement deadline.
+    deadline_check: Callable[[], None] | None = None
 
 _TYPE_ALIASES = {
     "varchar": "varchar",
@@ -141,15 +189,59 @@ class Database:
         self.tables: dict[str, Table] = {}
         #: One transaction manager per cluster; every table shares it.
         self.txn = TransactionManager()
-        #: The open BEGIN block, if any (None = autocommit mode).
-        self._current: Transaction | None = None
-        #: Tables written by the open block, for eager pruning at COMMIT.
-        self._block_tables: set[str] = set()
+        #: Bumped whenever the underlying cluster is rebound (the
+        #: replicated façade bumps it at failover); open blocks started
+        #: under an older epoch are fenced off and aborted.
+        self.epoch = 0
+        #: The embedded default session for single-session callers.
+        self._session = SessionState()
 
     # -- public API -----------------------------------------------------------------
 
-    def execute(self, sql: str) -> Any:
-        """Run one SQL statement; see the module docstring for the dialect."""
+    def execute(self, sql: str, session: SessionState | None = None) -> Any:
+        """Run one SQL statement; see the module docstring for the dialect.
+
+        ``session`` carries per-session transaction state; omitted, the
+        database's embedded default session is used (the single-session
+        API every pre-server caller keeps).
+        """
+        if session is None:
+            session = self._session
+        if session.current is not None and session.epoch != self.epoch:
+            # The cluster was rebound under an open block (failover): the
+            # block's transaction manager is gone, so the block is dead.
+            session.current = None
+            session.failed = True
+            session.block_tables = set()
+        if session.failed:
+            if _COMMIT.match(sql) or _ROLLBACK.match(sql):
+                session.failed = False
+                session.current = None
+                session.block_tables = set()
+                return "ROLLBACK"
+            raise TxnAbortedError(
+                "current transaction is aborted, commands ignored until "
+                "end of transaction block"
+            )
+        try:
+            return self._dispatch(sql, session)
+        except WouldBlock:
+            raise  # control flow, not a failure: the statement is retried
+        except Exception:
+            if session.current is not None:
+                # Any error inside an explicit block aborts the whole
+                # block (PostgreSQL's rule); the DML paths already did
+                # this via _abort_write, this catches the rest (failed
+                # SELECT/EXPLAIN/parse/bind errors).
+                txn = session.current
+                session.current = None
+                session.failed = True
+                session.block_tables = set()
+                if txn.is_open:
+                    self.txn.abort(txn)
+            raise
+
+    def _dispatch(self, sql: str, session: SessionState) -> Any:
         match = _EXPLAIN_ANALYZE.match(sql)
         if match:
             return self._explain(match.group(1), execute=True)
@@ -164,19 +256,19 @@ class Database:
             return self._create_index(*match.groups())
         match = _INSERT.match(sql)
         if match:
-            return self._insert(match.group(1), match.group(2))
+            return self._insert(match.group(1), match.group(2), session)
         match = _BEGIN.match(sql)
         if match:
-            return self._begin()
+            return self._begin(session)
         match = _COMMIT.match(sql)
         if match:
-            return self._commit()
+            return self._commit(session)
         match = _ROLLBACK.match(sql)
         if match:
-            return self._rollback()
+            return self._rollback(session)
         match = _VACUUM.match(sql)
         if match:
-            return self._vacuum(match.group(1))
+            return self._vacuum(match.group(1), session)
         match = _CHECK_INDEX.match(sql)
         if match:
             return self._check_index(match.group(1))
@@ -188,13 +280,13 @@ class Database:
             return self.table(match.group(1)).heap_stats()
         match = _SELECT.match(sql)
         if match:
-            return list(self._select(*match.groups()))
+            return list(self._select(*match.groups(), session=session))
         match = _DELETE.match(sql)
         if match:
-            return self._delete(*match.groups())
+            return self._delete(*match.groups(), session=session)
         match = _UPDATE.match(sql)
         if match:
-            return self._update(*match.groups())
+            return self._update(*match.groups(), session=session)
         match = _DROP_INDEX.match(sql)
         if match:
             return self._drop_index(match.group(1), match.group(2))
@@ -299,36 +391,48 @@ class Database:
 
     # -- transaction control ---------------------------------------------------------
 
-    def _begin(self) -> str:
-        if self._current is not None:
+    def _begin(self, session: SessionState) -> str:
+        if session.current is not None:
             raise SQLError("a transaction is already in progress")
-        self._current = self.txn.begin()
-        self._block_tables = set()
+        session.current = self.txn.begin()
+        session.epoch = self.epoch
+        session.block_tables = set()
         return "BEGIN"
 
-    def _commit(self) -> str:
-        if self._current is None:
+    def _commit(self, session: SessionState) -> str:
+        if session.current is None:
             raise SQLError("no transaction in progress")
-        txn = self._current
-        self._current = None
+        txn = session.current
+        session.current = None
         self.txn.commit(txn)
-        self._prune_after_commit(txn, self._block_tables)
-        self._block_tables = set()
+        self._on_txn_commit(txn)
+        self._prune_after_commit(txn, session.block_tables)
+        session.block_tables = set()
         return "COMMIT"
 
-    def _rollback(self) -> str:
-        if self._current is None:
+    def _rollback(self, session: SessionState) -> str:
+        if session.current is None:
             raise SQLError("no transaction in progress")
-        txn = self._current
-        self._current = None
-        self._block_tables = set()
+        txn = session.current
+        session.current = None
+        session.block_tables = set()
         self.txn.abort(txn)
         return "ROLLBACK"
 
-    def _vacuum(self, table_name: str) -> str:
-        if self._current is not None:
+    def _on_txn_commit(self, txn: Transaction | None) -> None:
+        """Post-commit hook: a plain database has nothing more to do.
+
+        The replicated façade (:class:`repro.server.ReplicatedDatabase`)
+        overrides this to make the commit durable and quorum-acknowledged
+        on its replica set. ``txn`` is None for maintenance commits
+        (VACUUM) that mutate pages without a user transaction.
+        """
+
+    def _vacuum(self, table_name: str, session: SessionState) -> str:
+        if session.current is not None:
             raise SQLError("VACUUM cannot run inside a transaction block")
         stats = self.table(table_name).vacuum()
+        self._on_txn_commit(None)
         return (
             f"VACUUM {table_name}: removed {stats.versions_pruned} versions, "
             f"{stats.index_entries_pruned} index entries; truncated "
@@ -336,14 +440,18 @@ class Database:
             f"{stats.pages_needed} needed)"
         )
 
-    def _write_txn(self) -> tuple[Transaction, bool]:
+    def _write_txn(self, session: SessionState) -> tuple[Transaction, bool]:
         """The open block's transaction, or a fresh autocommit one."""
-        if self._current is not None:
-            return self._current, False
+        if session.current is not None:
+            return session.current, False
         return self.txn.begin(), True
 
     def _finish_write(
-        self, txn: Transaction, autocommit: bool, table: Table
+        self,
+        txn: Transaction,
+        autocommit: bool,
+        table: Table,
+        session: SessionState,
     ) -> None:
         """Commit an autocommit statement's transaction and eager-prune.
 
@@ -353,23 +461,46 @@ class Database:
         transactions suppress it; VACUUM catches up later.
         """
         if not autocommit:
-            self._block_tables.add(table.name.lower())
+            session.block_tables.add(table.name.lower())
             return
         self.txn.commit(txn)
+        self._on_txn_commit(txn)
         self._prune_after_commit(txn, {table.name.lower()})
 
-    def _abort_write(self, txn: Transaction, autocommit: bool) -> None:
+    def _abort_write(
+        self, txn: Transaction, autocommit: bool, session: SessionState
+    ) -> None:
         """A statement failed mid-write: roll its transaction back.
 
         For an autocommit statement that aborts just the statement; for an
-        explicit block the whole block dies (PostgreSQL aborts the
-        transaction on a serialization failure too).
+        explicit block the whole block enters the **aborted** state
+        (PostgreSQL's behaviour on any in-block error): the transaction is
+        rolled back at once, and every later statement is rejected with
+        :class:`~repro.errors.TxnAbortedError` until COMMIT/ROLLBACK ends
+        the block (both as a rollback).
         """
         if not autocommit:
-            self._current = None
-            self._block_tables = set()
+            session.current = None
+            session.failed = True
+            session.block_tables = set()
         if txn.is_open:
             self.txn.abort(txn)
+
+    def _lock_victims(
+        self, session: SessionState, table: Table, victims: list[tuple]
+    ) -> None:
+        """Run the session's row-lock hook over a DML statement's victims.
+
+        Called *before* any mutation so a :class:`WouldBlock` unwind
+        leaves nothing half-done; the server waits for the contested lock
+        and retries the whole statement.
+        """
+        locker = session.row_locker
+        if locker is None:
+            return
+        name = table.name.lower()
+        for tid, _row in victims:
+            locker(name, tid)
 
     def _prune_after_commit(
         self, txn: Transaction, table_names: set[str]
@@ -384,7 +515,9 @@ class Database:
 
     # -- DML -------------------------------------------------------------------------
 
-    def _insert(self, table_name: str, values_spec: str) -> str:
+    def _insert(
+        self, table_name: str, values_spec: str, session: SessionState
+    ) -> str:
         """INSERT one row — or many: ``VALUES (...), (...), ...``.
 
         Multi-row statements take the batched write path
@@ -408,46 +541,70 @@ class Database:
             )
         if not rows:
             raise SQLError("INSERT requires at least one VALUES row")
-        txn, autocommit = self._write_txn()
+        txn, autocommit = self._write_txn(session)
         try:
             if len(rows) == 1:
                 table.insert(rows[0], txn=txn)
             else:
                 table.insert_many(rows, txn=txn)
         except Exception:
-            self._abort_write(txn, autocommit)
+            self._abort_write(txn, autocommit, session)
             raise
-        self._finish_write(txn, autocommit, table)
+        self._finish_write(txn, autocommit, table, session)
         return f"INSERT 0 {len(rows)}"
 
     def _find_victims(
-        self, table: Table, predicate: Predicate, snapshot: Snapshot
+        self,
+        table: Table,
+        predicate: Predicate,
+        snapshot: Snapshot,
+        session: SessionState,
     ) -> list[tuple]:
         """(tid, row) pairs the predicate selects under ``snapshot``."""
         position = table.column_index(predicate.column)
         operator = table.catalog.operators_named(
             predicate.op, table.columns[position].type_name
         )[0]
-        return [
-            (tid, row)
-            for tid, row in table.scan(snapshot)
-            if operator.apply(row[position], predicate.operand)
-        ]
+        check = session.deadline_check
+        interval = SETTINGS.deadline_check_interval
+        victims = []
+        for i, (tid, row) in enumerate(table.scan(snapshot)):
+            if check is not None and i % interval == 0:
+                check()
+            if operator.apply(row[position], predicate.operand):
+                victims.append((tid, row))
+        return victims
 
     def _delete(
-        self, table_name: str, column: str, op: str, literal: str
+        self,
+        table_name: str,
+        column: str,
+        op: str,
+        literal: str,
+        session: SessionState,
     ) -> str:
         table = self.table(table_name)
         predicate = self._bind_predicate(table, column, op, literal)
-        txn, autocommit = self._write_txn()
+        txn, autocommit = self._write_txn(session)
         try:
-            victims = self._find_victims(table, predicate, txn.snapshot)
+            victims = self._find_victims(table, predicate, txn.snapshot, session)
+            self._lock_victims(session, table, victims)
+        except WouldBlock:
+            # Not a failure: drop the provisional autocommit txn (nothing
+            # was written) so the retried statement restarts cleanly.
+            if autocommit:
+                self._abort_write(txn, True, session)
+            raise
+        except Exception:
+            self._abort_write(txn, autocommit, session)
+            raise
+        try:
             for tid, _row in victims:
                 table.mvcc_delete(tid, txn)
         except Exception:
-            self._abort_write(txn, autocommit)
+            self._abort_write(txn, autocommit, session)
             raise
-        self._finish_write(txn, autocommit, table)
+        self._finish_write(txn, autocommit, table, session)
         return f"DELETE {len(victims)}"
 
     def _update(
@@ -458,6 +615,7 @@ class Database:
         column: str,
         op: str,
         literal: str,
+        session: SessionState,
     ) -> str:
         """UPDATE: new versions for every matching row, one transaction.
 
@@ -471,18 +629,27 @@ class Database:
         new_value = self._bind_literal(
             set_literal.strip(), table.columns[set_position].type_name
         )
-        txn, autocommit = self._write_txn()
+        txn, autocommit = self._write_txn(session)
         try:
-            victims = self._find_victims(table, predicate, txn.snapshot)
+            victims = self._find_victims(table, predicate, txn.snapshot, session)
+            self._lock_victims(session, table, victims)
+        except WouldBlock:
+            if autocommit:
+                self._abort_write(txn, True, session)
+            raise
+        except Exception:
+            self._abort_write(txn, autocommit, session)
+            raise
+        try:
             for tid, row in victims:
                 new_row = (
                     row[:set_position] + (new_value,) + row[set_position + 1:]
                 )
                 table.mvcc_update(tid, new_row, txn)
         except Exception:
-            self._abort_write(txn, autocommit)
+            self._abort_write(txn, autocommit, session)
             raise
-        self._finish_write(txn, autocommit, table)
+        self._finish_write(txn, autocommit, table, session)
         return f"UPDATE {len(victims)}"
 
     # -- queries -----------------------------------------------------------------------
@@ -495,9 +662,14 @@ class Database:
         op: str | None,
         literal: str | None,
         limit: str | None,
+        session: SessionState | None = None,
     ) -> Iterable[tuple]:
-        plan = self._plan_select(table_name, column, op, literal)
+        if session is None:
+            session = self._session
+        plan = self._plan_select(table_name, column, op, literal, session)
         rows = execute_plan(plan)
+        if session.deadline_check is not None:
+            rows = self._checked_rows(rows, session.deadline_check)
         if limit is not None:
             rows = itertools.islice(rows, int(limit))
         select_list = select_list.strip()
@@ -519,13 +691,26 @@ class Database:
             return explain_analyze(self, inner_sql).render()
         return explain(self, inner_sql).render()
 
-    def _parse_select(self, inner_sql: str) -> tuple[Plan, int | None]:
+    @staticmethod
+    def _checked_rows(rows: Iterable[tuple], check: Callable[[], None]):
+        """Wrap a row stream with periodic statement-deadline checks."""
+        interval = SETTINGS.deadline_check_interval
+        for i, row in enumerate(rows):
+            if i % interval == 0:
+                check()
+            yield row
+
+    def _parse_select(
+        self, inner_sql: str, session: SessionState | None = None
+    ) -> tuple[Plan, int | None]:
         """Plan a bare SELECT, returning the access path and LIMIT (if any)."""
         match = _SELECT.match(inner_sql)
         if not match:
             raise SQLError(f"EXPLAIN supports only SELECT, got: {inner_sql!r}")
         _select_list, table_name, column, op, literal, limit = match.groups()
-        plan = self._plan_select(table_name, column, op, literal)
+        plan = self._plan_select(
+            table_name, column, op, literal, session or self._session
+        )
         return plan, (int(limit) if limit is not None else None)
 
     def _plan_select(
@@ -534,6 +719,7 @@ class Database:
         column: str | None,
         op: str | None,
         literal: str | None,
+        session: SessionState,
     ) -> Plan:
         table = self.table(table_name)
         predicate = None
@@ -541,10 +727,10 @@ class Database:
             assert op is not None and literal is not None
             predicate = self._bind_predicate(table, column, op, literal)
         plan = plan_query(table, predicate)
-        if self._current is not None:
+        if session.current is not None:
             # Inside BEGIN ... COMMIT every statement reads through the
             # snapshot taken at BEGIN (plus the block's own writes).
-            plan.snapshot = self._current.snapshot
+            plan.snapshot = session.current.snapshot
         return plan
 
     # -- literal binding -------------------------------------------------------------------
@@ -592,16 +778,24 @@ class Database:
             if not quoted:
                 raise SQLError(f"varchar literals must be quoted: {literal!r}")
             return text
-        if type_name == "int":
-            return int(text)
-        if type_name == "float":
-            return float(text)
-        if type_name == "point":
-            return Point.parse(text)
-        if type_name == "box":
-            return Box.parse(text)
-        if type_name == "lseg":
-            return LineSegment.parse(text)
+        # Scalar/geometry parsers raise bare ValueError/TypeError on
+        # malformed input; those are internal exceptions, so the front end
+        # wraps them as typed SQLError binding failures.
+        try:
+            if type_name == "int":
+                return int(text)
+            if type_name == "float":
+                return float(text)
+            if type_name == "point":
+                return Point.parse(text)
+            if type_name == "box":
+                return Box.parse(text)
+            if type_name == "lseg":
+                return LineSegment.parse(text)
+        except (ValueError, TypeError, IndexError) as exc:
+            raise SQLError(
+                f"cannot bind literal {literal!r} as {type_name}: {exc}"
+            ) from None
         raise SQLError(f"cannot bind literal for type {type_name!r}")
 
     @staticmethod

@@ -106,6 +106,52 @@ class TxnError(ReproError):
     write-write conflict (first-updater-wins serialization failure)."""
 
 
+class TxnAbortedError(TxnError):
+    """A statement was issued inside a transaction block that already
+    failed — PostgreSQL's "current transaction is aborted, commands
+    ignored until end of transaction block". Only COMMIT/ROLLBACK end it."""
+
+
+class DeadlockError(TxnError):
+    """This transaction was chosen as the victim of a lock-wait cycle.
+
+    Retryable: the victim's transaction is rolled back and its locks
+    released, so re-running the whole transaction is expected to succeed
+    (PostgreSQL's ``deadlock_detected``, SQLSTATE 40P01).
+    """
+
+
+class LockTimeoutError(TxnError):
+    """A lock acquisition exceeded the configured ``lock_timeout``.
+
+    The waiting transaction is aborted cleanly (its statement fails and
+    the block enters the aborted state), mirroring PostgreSQL's
+    ``lock_not_available`` (55P03).
+    """
+
+
+class StatementTimeoutError(TxnError):
+    """A statement ran past the configured ``statement_timeout``.
+
+    PostgreSQL's ``query_canceled`` (57014) raised by the statement
+    deadline: the statement is cancelled and its transaction aborted.
+    """
+
+
+class ServerError(ReproError):
+    """Base class for session-server failures (admission, protocol)."""
+
+
+class ServerOverloadedError(ServerError):
+    """The server refused work to protect itself: the admission queue or
+    session table is full. Typed so clients can back off and retry rather
+    than being queued unboundedly."""
+
+
+class SessionClosedError(ServerError):
+    """A statement was submitted on a closed (or never-opened) session."""
+
+
 class ReplicationError(ReproError):
     """Base class for replication-layer failures (shipping, failover)."""
 

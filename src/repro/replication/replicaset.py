@@ -44,6 +44,7 @@ from repro.obs import METRICS, span
 from repro.replication.node import StorageNode
 from repro.replication.segments import WALSegment
 from repro.resilience.faults import ChannelFaultPolicy, FaultyChannel
+from repro.settings import SETTINGS
 
 _LAG = METRICS.gauge(
     "replication_lag_segments",
@@ -113,8 +114,8 @@ class ReplicaSet:
         kind: str = "trie",
         replicas: int = 2,
         quorum: int = 1,
-        heartbeat_timeout: int = 3,
-        max_lag: int = 2,
+        heartbeat_timeout: int | None = None,
+        max_lag: int | None = None,
         fsync: bool = True,
         pool_pages: int = 64,
         channel_policies: Iterable[ChannelFaultPolicy] | None = None,
@@ -128,8 +129,13 @@ class ReplicaSet:
         self.directory = directory
         self.kind = kind
         self.quorum = quorum
-        self.heartbeat_timeout = heartbeat_timeout
-        self.max_lag = max_lag
+        # None -> the consolidated defaults in repro.settings.
+        self.heartbeat_timeout = (
+            SETTINGS.replication_heartbeat_timeout
+            if heartbeat_timeout is None
+            else heartbeat_timeout
+        )
+        self.max_lag = SETTINGS.replication_max_lag if max_lag is None else max_lag
         self.fsync = fsync
         self.pool_pages = pool_pages
         self.clock = 0

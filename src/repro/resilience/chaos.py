@@ -390,6 +390,17 @@ def run_campaign(
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; exit 1 (with transcripts written) on any failure."""
     import argparse
+    import sys
+
+    # ``--threaded`` switches to the multi-threaded session-server
+    # harness (concurrent writers/readers/VACUUM with deadlock and
+    # timeout injection); remaining arguments are forwarded to it.
+    forwarded = list(sys.argv[1:] if argv is None else argv)
+    if "--threaded" in forwarded:
+        from repro.resilience import chaos_mt
+
+        forwarded.remove("--threaded")
+        return chaos_mt.main(forwarded)
 
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(

@@ -1,0 +1,37 @@
+"""The concurrent session server: sessions, locks, admission control.
+
+PostgreSQL exercises SP-GiST from many concurrent backends; this package
+supplies that serving layer for the reproduction:
+
+- :class:`~repro.server.locks.LockManager` — table- and TID-level
+  shared/row/exclusive locks, FIFO-fair queues, wait-for-graph deadlock
+  detection with youngest-victim abort, lock-wait and statement deadlines;
+- :class:`~repro.server.session.Session` — one connection owning at most
+  one open transaction, two-phase-locked DML, typed timeout/deadlock
+  errors with clean transaction abort;
+- :class:`~repro.server.manager.SessionManager` — a thread-pool of
+  workers multiplexed over sessions, a bounded admission queue with
+  backpressure (:class:`~repro.errors.ServerOverloadedError`), and
+  read-only shedding to lag-bounded standby reads under overload;
+- :class:`~repro.server.bridge.ReplicatedDatabase` — the SQL façade over
+  a :class:`~repro.replication.ReplicaSet` primary: commits are made
+  durable, shipped, and quorum-acknowledged; failover rebinds the façade
+  and fences off transactions begun on the old primary;
+- :mod:`~repro.server.net` — a line-based text protocol (execute SQL
+  string -> rows/error) over TCP, with a tiny blocking client.
+"""
+
+from repro.server.bridge import ReplicatedDatabase
+from repro.server.locks import LockManager, LockMode, LockOwner
+from repro.server.manager import PendingStatement, SessionManager
+from repro.server.session import Session
+
+__all__ = [
+    "LockManager",
+    "LockMode",
+    "LockOwner",
+    "PendingStatement",
+    "ReplicatedDatabase",
+    "Session",
+    "SessionManager",
+]

@@ -1,0 +1,298 @@
+"""The session multiplexer: worker pool, admission control, shedding.
+
+A :class:`SessionManager` owns the shared pieces every session needs —
+the database, the :class:`~repro.server.locks.LockManager`, and the
+engine mutex that serializes physical engine access — and multiplexes a
+fixed pool of worker threads over the connected sessions' statements.
+
+Overload protection is layered, in order of engagement:
+
+1. **Bounded sessions.** ``connect`` beyond ``max_sessions`` is refused
+   with :class:`~repro.errors.ServerOverloadedError` — no unbounded
+   session table.
+2. **Shedding.** Once the statement queue is ``shed_threshold`` deep,
+   read-only statements are answered from a lag-bounded standby via the
+   pluggable ``shed_reader`` (the replication bridge wires this to
+   ``ReplicaSet.client_read``) in the submitting thread, bypassing the
+   queue entirely. Reads degrade gracefully before writes are touched.
+3. **Backpressure.** A submission to a full queue (``max_queue``) is
+   rejected immediately with ``ServerOverloadedError`` — clients back
+   off and retry; the server never queues unboundedly.
+
+Per session, statements run one at a time in submission order (a session
+owns at most one open transaction, so out-of-order execution would be
+nonsense); across sessions the workers interleave freely, which is what
+drives the lock manager and MVCC paths concurrently.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any, Callable
+
+from repro.engine.sql import Database
+from repro.errors import ServerOverloadedError, SessionClosedError
+from repro.obs import METRICS
+from repro.server.locks import LockManager
+from repro.server.session import Session, is_read_only
+from repro.settings import SETTINGS, Settings
+
+QUEUE_DEPTH = METRICS.gauge(
+    "server_queue_depth", "Statements waiting in the admission queue."
+)
+ACTIVE_SESSIONS = METRICS.gauge(
+    "server_sessions", "Currently connected sessions."
+)
+STATEMENTS = METRICS.counter(
+    "server_statements_total", "Statements accepted for execution."
+)
+REJECTIONS = METRICS.counter(
+    "server_overload_rejections_total",
+    "Submissions refused with ServerOverloadedError.",
+)
+SHED_READS = METRICS.counter(
+    "server_shed_reads_total",
+    "Read-only statements shed to standby reads under overload.",
+)
+
+
+class PendingStatement:
+    """A submitted statement's future: wait() for rows or a raised error."""
+
+    __slots__ = ("session", "sql", "_event", "result", "error", "shed")
+
+    def __init__(self, session: Session, sql: str) -> None:
+        self.session = session
+        self.sql = sql
+        self._event = threading.Event()
+        self.result: Any = None
+        self.error: BaseException | None = None
+        self.shed = False
+
+    def _finish(self, result: Any = None, error: BaseException | None = None) -> None:
+        self.result = result
+        self.error = error
+        self._event.set()
+
+    def done(self) -> bool:
+        """True once the statement has a result or an error."""
+        return self._event.is_set()
+
+    def wait(self, timeout: float | None = None) -> Any:
+        """Block until executed; return the rows or re-raise the error."""
+        if not self._event.wait(timeout):
+            raise TimeoutError(f"statement still pending: {self.sql!r}")
+        if self.error is not None:
+            raise self.error
+        return self.result
+
+
+class SessionManager:
+    """Multiplex a worker pool over sessions with bounded admission."""
+
+    def __init__(
+        self,
+        db: Database,
+        *,
+        settings: Settings | None = None,
+        locks: LockManager | None = None,
+        shed_reader: Callable[[str], list | None] | None = None,
+    ) -> None:
+        self.db = db
+        self.settings = settings if settings is not None else SETTINGS
+        self.locks = locks if locks is not None else LockManager()
+        self.engine_mutex = threading.RLock()
+        self.shed_reader = shed_reader
+        self._mu = threading.Lock()
+        self._work = threading.Condition(self._mu)
+        self._queue: deque[PendingStatement] = deque()
+        self._busy: set[Session] = set()
+        self._sessions: dict[str, Session] = {}
+        self._next_id = 0
+        self._stopping = False
+        self.stats = {"submitted": 0, "rejected": 0, "shed": 0, "executed": 0}
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop, name=f"repro-worker-{i}", daemon=True
+            )
+            for i in range(max(1, self.settings.worker_threads))
+        ]
+        for thread in self._workers:
+            thread.start()
+
+    # -- connections -----------------------------------------------------------
+
+    def connect(self, name: str | None = None) -> Session:
+        """Admit a new session, or refuse with ServerOverloadedError."""
+        with self._mu:
+            if self._stopping:
+                raise SessionClosedError("server is shutting down")
+            if len(self._sessions) >= self.settings.max_sessions:
+                REJECTIONS.inc()
+                self.stats["rejected"] += 1
+                raise ServerOverloadedError(
+                    f"session table full ({self.settings.max_sessions})"
+                )
+            if name is None:
+                self._next_id += 1
+                name = f"session-{self._next_id}"
+            if name in self._sessions:
+                raise ServerOverloadedError(f"session name in use: {name}")
+            session = Session(
+                name,
+                self.db,
+                self.locks,
+                engine_mutex=self.engine_mutex,
+                settings=self.settings,
+            )
+            self._sessions[name] = session
+            ACTIVE_SESSIONS.set(len(self._sessions))
+            return session
+
+    def disconnect(self, session: Session) -> None:
+        """Close a session: abort its transaction, drop its locks."""
+        with self._mu:
+            self._sessions.pop(session.name, None)
+            ACTIVE_SESSIONS.set(len(self._sessions))
+        session.close()
+
+    # -- statement admission ---------------------------------------------------
+
+    def submit(self, session: Session, sql: str) -> PendingStatement:
+        """Queue one statement; returns a future. Never blocks.
+
+        Overload behaviour: read-only statements shed to the standby
+        reader once the queue passes ``shed_threshold``; anything that
+        cannot be shed is rejected with ServerOverloadedError when the
+        queue is full.
+        """
+        if session.closed:
+            raise SessionClosedError(f"session {session.name} is closed")
+        pending = PendingStatement(session, sql)
+        with self._mu:
+            if self._stopping:
+                raise SessionClosedError("server is shutting down")
+            depth = len(self._queue)
+            shed = (
+                self.shed_reader is not None
+                and depth >= self.settings.shed_threshold
+                and is_read_only(sql)
+                and not session.in_transaction
+            )
+            if not shed:
+                if depth >= self.settings.max_queue:
+                    REJECTIONS.inc()
+                    self.stats["rejected"] += 1
+                    raise ServerOverloadedError(
+                        f"statement queue full ({self.settings.max_queue})"
+                    )
+                self._queue.append(pending)
+                self.stats["submitted"] += 1
+                STATEMENTS.inc()
+                QUEUE_DEPTH.set(len(self._queue))
+                self._work.notify()
+        if shed:
+            self._shed(pending)
+        return pending
+
+    def execute(self, session: Session, sql: str, timeout: float | None = None) -> Any:
+        """Submit and wait: the synchronous convenience path."""
+        return self.submit(session, sql).wait(timeout)
+
+    def _shed(self, pending: PendingStatement) -> None:
+        """Answer a read from a standby in the submitting thread.
+
+        Falls back to normal admission when the reader declines the
+        statement (unparseable / not the replicated table).
+        """
+        assert self.shed_reader is not None
+        try:
+            rows = self.shed_reader(pending.sql)
+        except Exception as exc:
+            pending._finish(error=exc)
+            return
+        if rows is None:
+            # Not sheddable after all: one more chance through the queue.
+            with self._mu:
+                if len(self._queue) >= self.settings.max_queue:
+                    REJECTIONS.inc()
+                    self.stats["rejected"] += 1
+                    pending._finish(
+                        error=ServerOverloadedError(
+                            f"statement queue full ({self.settings.max_queue})"
+                        )
+                    )
+                    return
+                self._queue.append(pending)
+                self.stats["submitted"] += 1
+                STATEMENTS.inc()
+                QUEUE_DEPTH.set(len(self._queue))
+                self._work.notify()
+            return
+        pending.shed = True
+        with self._mu:
+            self.stats["shed"] += 1
+        SHED_READS.inc()
+        STATEMENTS.inc()
+        pending._finish(result=rows)
+
+    # -- workers ---------------------------------------------------------------
+
+    def _take(self) -> PendingStatement | None:
+        """Pop the first queued statement whose session is idle."""
+        with self._work:
+            while True:
+                if self._stopping:
+                    return None
+                for idx, pending in enumerate(self._queue):
+                    if pending.session not in self._busy:
+                        del self._queue[idx]
+                        self._busy.add(pending.session)
+                        QUEUE_DEPTH.set(len(self._queue))
+                        return pending
+                self._work.wait()
+
+    def _worker_loop(self) -> None:
+        while True:
+            pending = self._take()
+            if pending is None:
+                return
+            try:
+                result = pending.session.execute(pending.sql)
+            except BaseException as exc:  # noqa: BLE001 - future carries it
+                pending._finish(error=exc)
+            else:
+                pending._finish(result=result)
+            finally:
+                with self._work:
+                    self._busy.discard(pending.session)
+                    self.stats["executed"] += 1
+                    self._work.notify_all()
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def stop(self) -> None:
+        """Drain nothing: fail queued statements, close sessions, join."""
+        with self._work:
+            self._stopping = True
+            queued = list(self._queue)
+            self._queue.clear()
+            QUEUE_DEPTH.set(0)
+            self._work.notify_all()
+        for pending in queued:
+            pending._finish(error=SessionClosedError("server stopped"))
+        for thread in self._workers:
+            thread.join(timeout=5.0)
+        with self._mu:
+            sessions = list(self._sessions.values())
+            self._sessions.clear()
+            ACTIVE_SESSIONS.set(0)
+        for session in sessions:
+            session.close()
+
+    def __enter__(self) -> "SessionManager":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()

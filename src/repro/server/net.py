@@ -1,0 +1,152 @@
+"""A line-based text protocol over TCP: one SQL statement in, one JSON line out.
+
+The wire format is deliberately tiny — the point of this PR is the
+concurrency machinery behind it, not the protocol:
+
+- Client sends one UTF-8 SQL statement per line.
+- Server replies with exactly one JSON line:
+  ``{"ok": true, "rows": [...]}"`` for row sets,
+  ``{"ok": true, "status": "..."}`` for DDL/DML status strings, or
+  ``{"ok": false, "error": "<ExceptionClass>", "message": "..."}``.
+- Each TCP connection is one session (at most one open transaction);
+  closing the connection rolls the transaction back and drops its locks.
+
+Errors carry their exception class name so :class:`SQLClient` can
+re-raise the typed error (``DeadlockError`` stays retryable across the
+wire). Non-JSON-native values (points, boxes) are serialized via ``str``.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import socketserver
+import threading
+from typing import Any
+
+from repro import errors as _errors
+from repro.errors import ReproError, ServerError
+from repro.server.manager import SessionManager
+
+
+def _encode(result: Any) -> str:
+    if isinstance(result, str):
+        payload = {"ok": True, "status": result}
+    elif isinstance(result, list):
+        payload = {"ok": True, "rows": [list(row) for row in result]}
+    else:
+        payload = {"ok": True, "status": str(result)}
+    return json.dumps(payload, default=str)
+
+
+def _encode_error(exc: BaseException) -> str:
+    return json.dumps(
+        {"ok": False, "error": type(exc).__name__, "message": str(exc)}
+    )
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    def handle(self) -> None:
+        manager: SessionManager = self.server.manager  # type: ignore[attr-defined]
+        try:
+            session = manager.connect()
+        except ReproError as exc:
+            self.wfile.write((_encode_error(exc) + "\n").encode())
+            return
+        try:
+            for raw in self.rfile:
+                line = raw.decode("utf-8", "replace").strip()
+                if not line:
+                    continue
+                if line in (r"\q", "quit", "exit"):
+                    break
+                try:
+                    result = manager.execute(session, line)
+                except Exception as exc:  # noqa: BLE001 - ships to client
+                    response = _encode_error(exc)
+                else:
+                    response = _encode(result)
+                try:
+                    self.wfile.write((response + "\n").encode())
+                except (BrokenPipeError, ConnectionResetError):
+                    break
+        finally:
+            manager.disconnect(session)
+
+
+class SQLServer(socketserver.ThreadingTCPServer):
+    """Serve the manager's sessions over TCP; one thread per connection."""
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, manager: SessionManager, host: str = "127.0.0.1", port: int = 0):
+        super().__init__((host, port), _Handler)
+        self.manager = manager
+        self._thread: threading.Thread | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self.server_address[:2]
+
+    def start(self) -> "SQLServer":
+        """Serve in a daemon thread; returns self for chaining."""
+        self._thread = threading.Thread(
+            target=self.serve_forever, name="repro-sql-server", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop serving and join the accept thread."""
+        self.shutdown()
+        self.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+
+    def __enter__(self) -> "SQLServer":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()
+
+
+class SQLClient:
+    """A blocking client for the line protocol; re-raises typed errors."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+
+    def execute(self, sql: str) -> Any:
+        """Run one statement; returns rows (list) or a status string."""
+        self._file.write((sql.strip() + "\n").encode())
+        self._file.flush()
+        raw = self._file.readline()
+        if not raw:
+            raise ServerError("connection closed by server")
+        payload = json.loads(raw.decode())
+        if payload["ok"]:
+            if "rows" in payload:
+                return [tuple(row) for row in payload["rows"]]
+            return payload["status"]
+        exc_class = getattr(_errors, payload["error"], ServerError)
+        if not (isinstance(exc_class, type) and issubclass(exc_class, BaseException)):
+            exc_class = ServerError
+        raise exc_class(payload["message"])
+
+    def close(self) -> None:
+        """Send the quit line and close the socket (rolls back the session)."""
+        try:
+            self._file.write(b"\\q\n")
+            self._file.flush()
+        except OSError:
+            pass
+        self._file.close()
+        self._sock.close()
+
+    def __enter__(self) -> "SQLClient":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

@@ -1,0 +1,270 @@
+"""One client connection: a session owning at most one open transaction.
+
+A :class:`Session` wraps the engine's per-session
+:class:`~repro.engine.sql.SessionState` with the server-side concerns the
+engine deliberately knows nothing about:
+
+- **Two-phase locking.** Before a statement enters the engine the session
+  classifies it and takes the table lock it implies (SHARED for reads,
+  ROW for DML, EXCLUSIVE for VACUUM/DDL). During DML the engine calls
+  back (``row_locker``) for every tuple it is about to claim; the hook
+  try-acquires the TID lock and, when it would block, unwinds the
+  statement with :class:`~repro.engine.sql.WouldBlock` so the session can
+  wait *outside* the engine mutex and retry. All locks are held to
+  transaction end (strict 2PL).
+- **Deadlines.** Each statement gets an absolute deadline
+  (``statement_timeout``) enforced at every lock wait and — via the
+  ``deadline_check`` hook — cooperatively inside long scans. Lock waits
+  are additionally bounded by ``lock_timeout``. Both surface as typed,
+  transaction-aborting errors.
+- **Clean abort.** Deadlock/timeout errors abort the open transaction
+  exactly like an engine error would: an explicit block enters the
+  aborted state ("current transaction is aborted ...") until
+  COMMIT/ROLLBACK, and every lock the transaction held is released so
+  the rest of the system makes progress.
+
+Sessions are single-threaded by contract: one statement at a time (the
+:class:`~repro.server.manager.SessionManager` enforces this). The engine
+mutex serializes *physical* engine access across sessions; the lock
+manager provides the *logical* interleaving on top.
+"""
+
+from __future__ import annotations
+
+import itertools
+import re
+import threading
+import time
+from typing import Any
+
+from repro.engine.sql import Database, SessionState, WouldBlock
+from repro.engine import sql as _sql
+from repro.errors import (
+    DeadlockError,
+    LockTimeoutError,
+    SessionClosedError,
+    StatementTimeoutError,
+)
+from repro.server.locks import LockManager, LockMode, LockOwner, row_key, table_key
+from repro.settings import SETTINGS, Settings
+
+#: Transaction birth stamps for deadlock victim selection (younger = higher).
+_BIRTHS = itertools.count(1)
+
+_READ_ONLY = re.compile(r"^\s*(?:select|explain)\b", re.I)
+
+
+def is_read_only(sql_text: str) -> bool:
+    """True for statements safe to shed to a standby (SELECT/EXPLAIN)."""
+    return bool(_READ_ONLY.match(sql_text))
+
+
+def _classify(sql_text: str) -> list[tuple[tuple, LockMode]]:
+    """The table locks a statement implies, before the engine sees it.
+
+    Mirrors the engine's dispatch order (virtual tables before the
+    general SELECT rule). Unrecognized statements lock nothing — the
+    engine will reject them with ``SQLError`` anyway.
+    """
+    if _sql._SELECT_INCIDENTS.match(sql_text) or _sql._SELECT_HEAP_STATS.match(
+        sql_text
+    ):
+        return []
+    match = _sql._EXPLAIN_ANALYZE.match(sql_text) or _sql._EXPLAIN.match(sql_text)
+    if match:
+        return _classify(match.group(1))
+    match = _sql._SELECT.match(sql_text)
+    if match:
+        return [(table_key(match.group(2)), LockMode.SHARED)]
+    match = _sql._INSERT.match(sql_text)
+    if match:
+        return [(table_key(match.group(1)), LockMode.ROW)]
+    match = _sql._DELETE.match(sql_text) or _sql._UPDATE.match(sql_text)
+    if match:
+        return [(table_key(match.group(1)), LockMode.ROW)]
+    match = _sql._VACUUM.match(sql_text) or _sql._DROP_TABLE.match(sql_text)
+    if match:
+        return [(table_key(match.group(1)), LockMode.EXCLUSIVE)]
+    match = _sql._CREATE_TABLE.match(sql_text)
+    if match:
+        return [(table_key(match.group(1)), LockMode.EXCLUSIVE)]
+    match = _sql._CREATE_INDEX.match(sql_text) or _sql._DROP_INDEX.match(sql_text)
+    if match:
+        return [(table_key(match.group(2)), LockMode.EXCLUSIVE)]
+    match = _sql._ANALYZE.match(sql_text) or _sql._CHECK_INDEX.match(sql_text)
+    if match:
+        return [(table_key(match.group(1)), LockMode.SHARED)]
+    return []
+
+
+class Session:
+    """One connection's execution context over a shared database."""
+
+    def __init__(
+        self,
+        name: str,
+        db: Database,
+        locks: LockManager,
+        engine_mutex: threading.RLock | None = None,
+        settings: Settings | None = None,
+    ) -> None:
+        self.name = name
+        self.db = db
+        self.locks = locks
+        self.engine_mutex = engine_mutex if engine_mutex is not None else threading.RLock()
+        self.settings = settings
+        self.state = SessionState()
+        self.closed = False
+        self.statements = 0
+        self.retries = 0
+        self._owner: LockOwner | None = None
+
+    # -- settings resolution (None -> SETTINGS at call time) ------------------
+
+    def _setting(self, name: str, override: float | None) -> float | None:
+        if override is not None:
+            value = override
+        else:
+            source = self.settings if self.settings is not None else SETTINGS
+            value = getattr(source, name)
+        return None if value is None or value <= 0 else value
+
+    # -- transaction-scope lock ownership -------------------------------------
+
+    @property
+    def in_transaction(self) -> bool:
+        return self.state.current is not None
+
+    @property
+    def owner(self) -> LockOwner:
+        """The lock identity of the current transaction scope (lazy)."""
+        if self._owner is None:
+            self._owner = LockOwner(self.name, next(_BIRTHS))
+        return self._owner
+
+    def _end_scope_if_over(self) -> None:
+        """Release all locks once no engine transaction remains open.
+
+        True both after an autocommit statement and after a block ends
+        (COMMIT/ROLLBACK/abort): strict 2PL releases at transaction end.
+        """
+        if self.state.current is None and self._owner is not None:
+            self.locks.release_all(self._owner)
+            self._owner = None
+
+    def _abort_open_txn(self) -> None:
+        """Abort the open transaction after a lock-layer error.
+
+        Mirrors the engine's own error path: the block enters the aborted
+        state until COMMIT/ROLLBACK; the engine transaction is rolled
+        back immediately so its locks and snapshot stop blocking others.
+        """
+        with self.engine_mutex:
+            txn = self.state.current
+            if txn is not None:
+                self.state.current = None
+                self.state.failed = True
+                self.state.block_tables = set()
+                if txn.is_open:
+                    self.db.txn.abort(txn)
+
+    # -- statement execution ---------------------------------------------------
+
+    def execute(
+        self,
+        sql_text: str,
+        *,
+        statement_timeout: float | None = None,
+        lock_timeout: float | None = None,
+    ) -> Any:
+        """Run one statement with 2PL, deadlines, and clean abort.
+
+        Raises the engine's own errors unchanged, plus
+        :class:`DeadlockError` / :class:`LockTimeoutError` /
+        :class:`StatementTimeoutError` from the locking layer — all of
+        which leave the session in the same state an engine error would
+        (autocommit: transaction gone; block: aborted until rollback).
+        """
+        if self.closed:
+            raise SessionClosedError(f"session {self.name} is closed")
+        self.statements += 1
+
+        st_timeout = self._setting("statement_timeout", statement_timeout)
+        lk_timeout = self._setting("lock_timeout", lock_timeout)
+        deadline = None if st_timeout is None else time.monotonic() + st_timeout
+
+        # A statement in a failed block takes no locks: the engine
+        # rejects it (TxnAbortedError) or ends the block (COMMIT/ROLLBACK).
+        table_locks = [] if self.state.failed else _classify(sql_text)
+
+        try:
+            for key, mode in table_locks:
+                self.locks.acquire(
+                    self.owner,
+                    key,
+                    mode,
+                    lock_timeout=lk_timeout,
+                    deadline=deadline,
+                )
+            return self._run_with_row_locks(sql_text, lk_timeout, deadline)
+        except (DeadlockError, LockTimeoutError, StatementTimeoutError):
+            self._abort_open_txn()
+            raise
+        finally:
+            self._end_scope_if_over()
+
+    def _run_with_row_locks(
+        self, sql_text: str, lk_timeout: float | None, deadline: float | None
+    ) -> Any:
+        """The engine-side retry loop: execute, wait on TID locks, retry."""
+        owner = self.owner
+
+        def row_locker(table: str, tid: Any) -> None:
+            key = row_key(table, tid)
+            if not self.locks.try_acquire(owner, key, LockMode.EXCLUSIVE):
+                raise WouldBlock(key)
+
+        def deadline_check() -> None:
+            if deadline is not None and time.monotonic() >= deadline:
+                raise StatementTimeoutError(
+                    "canceling statement due to statement timeout"
+                )
+
+        while True:
+            try:
+                with self.engine_mutex:
+                    self.state.row_locker = row_locker
+                    self.state.deadline_check = deadline_check
+                    try:
+                        return self.db.execute(sql_text, session=self.state)
+                    finally:
+                        self.state.row_locker = None
+                        self.state.deadline_check = None
+            except WouldBlock as blocked:
+                # The engine unwound the statement without mutating
+                # anything (autocommit: its txn was aborted; block: txn
+                # still open, same snapshot). Wait for the contended TID
+                # outside the engine mutex, then retry the statement —
+                # first-updater-wins then decides if the retry is legal.
+                self.retries += 1
+                self.locks.acquire(
+                    owner,
+                    blocked.key,
+                    LockMode.EXCLUSIVE,
+                    lock_timeout=lk_timeout,
+                    deadline=deadline,
+                )
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        """Abort any open transaction, release locks, refuse further work."""
+        if self.closed:
+            return
+        self.closed = True
+        self._abort_open_txn()
+        self.state.failed = False
+        self._end_scope_if_over()
+        if self._owner is not None:  # pragma: no cover - defensive
+            self.locks.release_all(self._owner)
+            self._owner = None

@@ -1,0 +1,92 @@
+"""One place for every timing/limit knob the subsystems used to scatter.
+
+Before this module, each layer hard-coded its own constants: the buffer
+pool's transient-fault retry budget, the WAL's group-commit flush
+threshold, the replica set's heartbeat/lag bounds. The server layer (PR 6)
+adds a second family — lock-wait and statement timeouts, worker counts,
+admission-queue bounds — and tests/chaos schedules need to tighten all of
+them deterministically. So: one :class:`Settings` dataclass, one process
+default (:data:`SETTINGS`), and ``REPRO_*`` environment overrides.
+
+Layers resolve their defaults *at call time* (``None`` parameter ->
+``SETTINGS.<field>``), so a test that assigns ``SETTINGS.lock_timeout``
+(or exports ``REPRO_LOCK_TIMEOUT`` before the process starts) tightens
+every component built afterwards without plumbing arguments through.
+
+Override naming: field ``lock_timeout`` <- env ``REPRO_LOCK_TIMEOUT``,
+parsed by the field's type (int/float/bool). Unknown variables are
+ignored; malformed values raise at import, loudly, rather than silently
+running with defaults.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from dataclasses import dataclass
+
+
+@dataclass
+class Settings:
+    """Every consolidated timing/limit constant, with its prior home noted."""
+
+    # -- server: locks and statements (new in PR 6) ---------------------------
+    #: Seconds a lock acquisition may block before LockTimeoutError.
+    lock_timeout: float = 5.0
+    #: Seconds one statement may run (including lock waits) before
+    #: StatementTimeoutError.
+    statement_timeout: float = 10.0
+    #: Rows between cooperative deadline checks inside long scans.
+    deadline_check_interval: int = 64
+
+    # -- server: sessions and admission control (new in PR 6) -----------------
+    #: Concurrent sessions a SessionManager accepts.
+    max_sessions: int = 1024
+    #: Worker threads executing statements.
+    worker_threads: int = 8
+    #: Bounded statement queue; submissions beyond it are rejected with
+    #: ServerOverloadedError (backpressure, never unbounded queueing).
+    max_queue: int = 64
+    #: Queue depth at which read-only statements shed to standby reads.
+    shed_threshold: int = 32
+
+    # -- buffer pool (was storage/buffer.py DEFAULT_MAX_RETRIES/_BACKOFF) -----
+    #: Bounded retries for transient disk faults.
+    disk_max_retries: int = 3
+    #: Seconds of backoff before the first retry; doubles per attempt.
+    disk_retry_backoff: float = 0.001
+
+    # -- WAL (was storage/wal.py DEFAULT_FLUSH_THRESHOLD) ---------------------
+    #: Group-commit flush threshold in buffered bytes.
+    wal_flush_threshold: int = 256 * 1024
+
+    # -- replication (was replicaset.py keyword defaults) ---------------------
+    #: Consecutive missed heartbeats before failover is declared.
+    replication_heartbeat_timeout: int = 3
+    #: Max commits a standby may trail and still serve routed reads.
+    replication_max_lag: int = 2
+
+    @classmethod
+    def from_env(cls, env: dict[str, str] | None = None) -> "Settings":
+        """Defaults overlaid with ``REPRO_<FIELD>`` environment variables."""
+        env = os.environ if env is None else env
+        overrides: dict[str, object] = {}
+        for field in dataclasses.fields(cls):
+            raw = env.get(f"REPRO_{field.name.upper()}")
+            if raw is None:
+                continue
+            if field.type in ("int", int):
+                overrides[field.name] = int(raw)
+            elif field.type in ("float", float):
+                overrides[field.name] = float(raw)
+            else:  # pragma: no cover - no such fields today
+                overrides[field.name] = raw
+        return cls(**overrides)
+
+    def replace(self, **overrides: object) -> "Settings":
+        """A copy with ``overrides`` applied (tests tighten bounds with it)."""
+        return dataclasses.replace(self, **overrides)
+
+
+#: The process-wide settings every layer resolves ``None`` defaults from.
+SETTINGS = Settings.from_env()

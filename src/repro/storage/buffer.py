@@ -15,6 +15,7 @@ from typing import Any, Callable, Iterator
 
 from repro.errors import BufferPoolError, TransientIOError
 from repro.obs import METRICS
+from repro.settings import SETTINGS
 from repro.storage.disk import DiskManager
 from repro.storage.page import Page
 
@@ -45,9 +46,9 @@ _OBS_RETRIES = METRICS.counter(
 _OBS_READ_RETRIES = _OBS_RETRIES.labels("read")
 _OBS_WRITE_RETRIES = _OBS_RETRIES.labels("write")
 
-#: Default bounded-retry policy for transient disk faults.
-DEFAULT_MAX_RETRIES = 3
-DEFAULT_RETRY_BACKOFF = 0.001  # seconds; doubles per attempt
+#: The bounded-retry policy for transient disk faults lives in
+#: :mod:`repro.settings` (``disk_max_retries`` / ``disk_retry_backoff``);
+#: constructor ``None`` defaults resolve from there at build time.
 
 
 @dataclass
@@ -124,15 +125,19 @@ class BufferPool:
         self,
         disk: DiskManager,
         capacity: int = DEFAULT_POOL_SIZE,
-        max_retries: int = DEFAULT_MAX_RETRIES,
-        retry_backoff: float = DEFAULT_RETRY_BACKOFF,
+        max_retries: int | None = None,
+        retry_backoff: float | None = None,
     ) -> None:
         if capacity < 1:
             raise ValueError("buffer pool capacity must be >= 1")
         self.disk = disk
         self.capacity = capacity
-        self.max_retries = max_retries
-        self.retry_backoff = retry_backoff
+        self.max_retries = (
+            SETTINGS.disk_max_retries if max_retries is None else max_retries
+        )
+        self.retry_backoff = (
+            SETTINGS.disk_retry_backoff if retry_backoff is None else retry_backoff
+        )
         self.stats = BufferStats()
         self._frames: OrderedDict[int, Page] = OrderedDict()
         self._last_missed_page: int | None = None

@@ -56,6 +56,7 @@ from dataclasses import dataclass
 from typing import Callable, Iterator
 
 from repro.obs import METRICS
+from repro.settings import SETTINGS
 
 _WAL_RECORDS = METRICS.counter(
     "wal_records_total", "Records appended to any write-ahead log"
@@ -230,11 +231,6 @@ class WriteAheadLog:
     holds the records since the last durable snapshot.
     """
 
-    #: Default group-commit flush threshold: buffered records are written
-    #: to the file once they pass this many bytes, bounding memory while
-    #: keeping the common commit interval to a single batched write.
-    DEFAULT_FLUSH_THRESHOLD = 256 * 1024
-
     def __init__(
         self,
         path: str,
@@ -245,8 +241,12 @@ class WriteAheadLog:
         self.path = path
         self.stats = WALStats()
         self.group_commit = group_commit
+        # Group-commit flush threshold: buffered records are written to
+        # the file once they pass this many bytes, bounding memory while
+        # keeping the common commit interval to a single batched write.
+        # The default lives in repro.settings (wal_flush_threshold).
         self.flush_threshold = (
-            self.DEFAULT_FLUSH_THRESHOLD
+            SETTINGS.wal_flush_threshold
             if flush_threshold is None
             else flush_threshold
         )

@@ -1,0 +1,68 @@
+"""Concurrency benchmark gate against the committed BENCH_6.json.
+
+Structure and sanity checks on the committed report (all three session
+points present, percentiles ordered, zero errors), plus one in-process
+16-session re-run against a deliberately loose throughput floor so a
+wedged lock manager or serialized worker pool fails CI without wall-clock
+noise flaking it.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench.concurrency import SCHEMA, SESSION_POINTS, _run_point
+
+#: The committed benchmark baseline at the repo root.
+BENCH_PATH = Path(__file__).resolve().parents[2] / "BENCH_6.json"
+
+#: CI floor for the in-process 16-session quick point, in statements/s.
+#: The recorded machine does ~700+; anything under 20 means the server is
+#: effectively serialized or deadlocked, not merely on a slow runner.
+REQUIRED_QUICK_THROUGHPUT = 20.0
+
+
+@pytest.fixture(scope="module")
+def committed() -> dict:
+    assert BENCH_PATH.exists(), (
+        f"{BENCH_PATH} is missing; regenerate with "
+        "`PYTHONPATH=src python -m repro.bench.concurrency --out BENCH_6.json`"
+    )
+    report = json.loads(BENCH_PATH.read_text())
+    assert report["schema"] == SCHEMA
+    return report
+
+
+class TestCommittedReport:
+    def test_all_session_points_present(self, committed):
+        assert [p["sessions"] for p in committed["points"]] == list(SESSION_POINTS)
+
+    def test_every_point_completed_without_errors(self, committed):
+        for point in committed["points"]:
+            assert point["statements"] > 0
+            assert point["errors"] == 0
+
+    def test_percentiles_are_ordered(self, committed):
+        for point in committed["points"]:
+            assert 0 < point["p50_ms"] <= point["p95_ms"] <= point["p99_ms"]
+
+    def test_throughput_is_positive_everywhere(self, committed):
+        for point in committed["points"]:
+            assert point["throughput_stmts_per_sec"] > 0
+
+
+class TestQuickRerun:
+    @pytest.fixture(scope="class")
+    def quick(self) -> dict:
+        return _run_point(sessions=16, statements_per_session=12, seed=0)
+
+    def test_quick_point_clears_the_floor(self, quick):
+        assert quick["errors"] == 0
+        assert quick["statements"] == 16 * 12
+        assert quick["throughput_stmts_per_sec"] >= REQUIRED_QUICK_THROUGHPUT
+
+    def test_quick_point_latencies_sane(self, quick):
+        assert 0 < quick["p50_ms"] <= quick["p99_ms"]

@@ -210,9 +210,8 @@ class TestStringLiterals:
 
 class TestWriteConflictAbortsBlock:
     def test_txn_error_surfaces_and_aborts(self, word_db):
-        """A serialization failure kills the whole block, like PostgreSQL."""
-        from repro.engine.txn import TransactionManager
-        from repro.errors import TxnError
+        """A serialization failure aborts the block, like PostgreSQL."""
+        from repro.errors import TxnAbortedError, TxnError
 
         table = word_db.table("words")
         # Claim a row from a side transaction on the same manager.
@@ -227,9 +226,15 @@ class TestWriteConflictAbortsBlock:
         word_db.execute("INSERT INTO words VALUES ('delta', 9);")
         with pytest.raises(TxnError):
             word_db.execute("DELETE FROM words WHERE name = 'alpha';")
-        # The block is gone: its insert rolled back, no dangling txn.
-        with pytest.raises(SQLError, match="no transaction"):
-            word_db.execute("COMMIT;")
+        # The block is in the aborted state: statements are refused with
+        # the typed error until COMMIT/ROLLBACK, both of which end it as
+        # a rollback (PostgreSQL's "current transaction is aborted").
+        with pytest.raises(TxnAbortedError, match="current transaction is aborted"):
+            word_db.execute("SELECT * FROM words;")
+        assert word_db.execute("COMMIT;") == "ROLLBACK"
         word_db.txn.commit(side)
         assert "delta" not in names(word_db)
         assert "alpha" not in names(word_db)
+        # The session is usable again after the block ends.
+        word_db.execute("INSERT INTO words VALUES ('echo', 10);")
+        assert "echo" in names(word_db)
