@@ -63,6 +63,16 @@ class NodeStore:
         self.page_ids: list[int] = []
         self.num_nodes = 0
         self._open_page_id: int | None = None
+        #: Per-page read counters: how often :meth:`read` resolved a node
+        #: on each page (cache hits included). The online repack uses
+        #: these as its hot-subtree signal. Transient by design — not
+        #: persisted in the meta page; after a restart the counters warm
+        #: up again, which only changes repack *ordering*, never results.
+        self.page_reads: dict[int, int] = {}
+        #: The partially-filled tail page of the last online repack step,
+        #: continued by the next step so stepwise repacking packs as
+        #: densely as a one-shot repack. Also transient.
+        self._repack_open_page_id: int | None = None
         # Deserialized-node cache. Coherence: the pool's eviction listener
         # drops a page's cached nodes the moment the page leaves the pool,
         # so the cache is always a subset of resident pages (see
@@ -144,6 +154,8 @@ class NodeStore:
         order it would without the cache — buffer miss counts, the
         paper's cost metric, are identical either way.
         """
+        reads = self.page_reads
+        reads[ref.page_id] = reads.get(ref.page_id, 0) + 1
         cache = self.cache
         if cache is not None:
             node = cache.get(ref.page_id, ref.slot)
@@ -206,6 +218,31 @@ class NodeStore:
         self.buffer.mark_dirty(ref.page_id)
         if self.cache is not None:
             self.cache.drop_slot(ref.page_id, ref.slot)
+
+    def drop_empty_pages(self) -> int:
+        """Release every node page with no live slots; returns the count.
+
+        Freed pages leave the buffer pool via :meth:`BufferPool.free_page`,
+        which notifies the node-cache eviction listeners — so no stale
+        cached node can outlive its page. The incremental open page and
+        the repack continuation page are forgotten if they are dropped.
+        """
+        keep: list[int] = []
+        freed = 0
+        for page_id in self.page_ids:
+            payload: _NodePagePayload = self.buffer.fetch(page_id)
+            if payload.live_nodes():
+                keep.append(page_id)
+                continue
+            if self._open_page_id == page_id:
+                self._open_page_id = None
+            if self._repack_open_page_id == page_id:
+                self._repack_open_page_id = None
+            self.page_reads.pop(page_id, None)
+            self.buffer.free_page(page_id)
+            freed += 1
+        self.page_ids = keep
+        return freed
 
     # -- statistics ------------------------------------------------------------------
 
@@ -409,3 +446,156 @@ def repack(store: NodeStore, root: NodeRef) -> tuple[NodeStore, NodeRef]:
         new_store.buffer.update(page_of_group[group], payload)
 
     return new_store, _new_ref(root)
+
+
+@dataclass(frozen=True)
+class SubtreeRepackStats:
+    """What one online repack step moved and reclaimed."""
+
+    nodes_moved: int
+    pages_allocated: int
+    pages_freed: int
+
+
+def repack_subtree(
+    store: NodeStore, root: NodeRef
+) -> tuple[NodeRef, SubtreeRepackStats]:
+    """BFS-cap repack ONE subtree in place, inside the same store.
+
+    The online counterpart of :func:`repack`: the subtree under ``root``
+    is re-planned with the same BFS-cap packing, materialized into dense
+    pages appended to the *same* store, and only then are the old slots
+    freed — so a crash at any point leaves either the old layout or (after
+    the caller commits) the new one, never a half-moved tree. Pages left
+    with no live slots are released immediately.
+
+    Density across steps: the first new page continues the previous
+    step's partially-filled tail page (``_repack_open_page_id``), so
+    repacking a tree one subtree at a time converges to the same fill as
+    a one-shot repack instead of paying a tail-fragment per subtree.
+
+    Returns ``(new_root_ref, stats)``; the caller owns repairing the
+    parent's downlink to ``new_root_ref`` before committing.
+    """
+    from collections import deque
+
+    page_capacity = store.page_capacity
+
+    # Phase 1 — plan (group, slot) positions, BFS-cap. Group 0 may be a
+    # continuation of the previous step's tail page: its slot numbering
+    # starts past the live slots already there.
+    cont_page: int | None = store._repack_open_page_id
+    cont_base = 0
+    cont_free = 0
+    if cont_page is not None and cont_page in store.page_ids:
+        payload: _NodePagePayload = store.buffer.fetch(cont_page)
+        cont_base = len(payload.slots)
+        cont_free = page_capacity - payload.used_bytes
+        if cont_free <= 0:
+            cont_page = None
+    else:
+        cont_page = None
+
+    group_members: list[list[NodeRef]] = []
+    group_is_cont: list[bool] = []
+    position: dict[NodeRef, tuple[int, int]] = {}
+    node_sizes: dict[NodeRef, int] = {}
+    pending: deque[NodeRef] = deque([root])
+    use_cont = cont_page is not None  # consumed by the first group only
+    while pending:
+        group = len(group_members)
+        members: list[NodeRef] = []
+        group_members.append(members)
+        continuation, use_cont = use_cont, False
+        free = cont_free if continuation else page_capacity
+        overflow: deque[NodeRef] = deque()
+        while pending:
+            seed = pending.popleft()
+            seed_size = store.read(seed).approx_bytes()
+            if (members or continuation) and seed_size > free:
+                overflow.appendleft(seed)
+                break
+            cap: deque[NodeRef] = deque([seed])
+            while cap:
+                ref = cap.popleft()
+                node = store.read(ref)
+                size = node.approx_bytes()
+                node_sizes[ref] = size
+                if (members or continuation) and size > free:
+                    overflow.append(ref)
+                    continue
+                position[ref] = (group, len(members))
+                members.append(ref)
+                free -= size
+                if isinstance(node, InnerNode):
+                    for entry in node.entries:
+                        if entry.child is not None:
+                            cap.append(entry.child)
+        pending.extendleft(reversed(overflow))
+        if not members:
+            # Only a zero-room continuation page produces an empty group
+            # (a fresh page always admits its first seed). Drop it; no
+            # position ever pointed at it.
+            group_members.pop()
+        else:
+            group_is_cont.append(continuation)
+
+    # Phase 2 — materialize. New pages are reserved up front so children's
+    # final addresses are known before any payload is written.
+    page_of_group: list[int] = []
+    slot_base: list[int] = []
+    new_pages: list[int] = []
+    for group in range(len(group_members)):
+        if group_is_cont[group]:
+            page_of_group.append(cont_page)
+            slot_base.append(cont_base)
+        else:
+            page_id = store.buffer.new_page(_NodePagePayload())
+            store.page_ids.append(page_id)
+            page_of_group.append(page_id)
+            slot_base.append(0)
+            new_pages.append(page_id)
+
+    def _new_ref(old: NodeRef) -> NodeRef:
+        group, slot = position[old]
+        return NodeRef(page_of_group[group], slot_base[group] + slot)
+
+    for group, members in enumerate(group_members):
+        page_id = page_of_group[group]
+        payload = store.buffer.fetch(page_id)
+        for ref in members:
+            node = store.read(ref)
+            if isinstance(node, InnerNode):
+                node = InnerNode(
+                    predicate=node.predicate,
+                    entries=[
+                        Entry(
+                            e.predicate,
+                            _new_ref(e.child) if e.child is not None else None,
+                        )
+                        for e in node.entries
+                    ],
+                )
+            else:
+                node = LeafNode(items=list(node.items))
+            payload.slots.append(node)
+            payload.slot_bytes.append(node_sizes[ref])
+            payload.used_bytes += node_sizes[ref]
+        store.buffer.mark_dirty(page_id)
+
+    # Phase 3 — retire the old copies; node count is unchanged (every
+    # free() decrement is matched by one appended slot above).
+    store.num_nodes += len(position)
+    for ref in position:
+        store.free(ref)
+    pages_freed = store.drop_empty_pages()
+
+    # The densest continuation candidate for the next step is the last
+    # page this step wrote (BFS-cap leaves its tail partially filled).
+    store._repack_open_page_id = page_of_group[-1] if page_of_group else None
+
+    return _new_ref(root), SubtreeRepackStats(
+        nodes_moved=len(position),
+        pages_allocated=len(new_pages),
+        pages_freed=pages_freed,
+    )

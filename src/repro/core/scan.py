@@ -18,6 +18,7 @@ from typing import TYPE_CHECKING, Any, Iterator
 
 from repro.core.external import Query
 from repro.errors import IndexError_
+from repro.settings import SETTINGS
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.tree import SPGiSTIndex
@@ -70,8 +71,15 @@ class IndexScanCursor:
         self._position += 1
         return item
 
-    def fetch(self, count: int) -> list[Any]:
-        """Up to ``count`` tuples (the paper's cursor-controlled NN usage)."""
+    def fetch(self, count: int | None = None) -> list[Any]:
+        """Up to ``count`` tuples (the paper's cursor-controlled NN usage).
+
+        ``None`` resolves to ``SETTINGS.batch_size`` — the cursor's
+        batch-fetch granularity matches the executor's row batches, so
+        server-side FETCH pagination pulls whole batches by default.
+        """
+        if count is None:
+            count = SETTINGS.batch_size
         out = []
         for _ in range(count):
             item = self.get_next()
@@ -79,6 +87,16 @@ class IndexScanCursor:
                 break
             out.append(item)
         return out
+
+    def batches(self, batch_size: int | None = None) -> Iterator[list[Any]]:
+        """Drain the remaining scan as non-empty fixed-size batches."""
+        if batch_size is None:
+            batch_size = SETTINGS.batch_size
+        while True:
+            batch = self.fetch(batch_size)
+            if not batch:
+                return
+            yield batch
 
     def __iter__(self) -> Iterator[Any]:
         while True:

@@ -13,12 +13,18 @@ single key, and ``statistics`` feeds ``spgistcostestimate``.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Any, Iterator
 
 from repro.costmodel import CPU_OPS
 from repro.errors import IndexCorruptionError, KeyNotFoundError
 from repro.obs import METRICS, span
-from repro.core.clustering import NodeStore, pack_nodes, repack
+from repro.core.clustering import (
+    NodeStore,
+    pack_nodes,
+    repack,
+    repack_subtree,
+)
 from repro.core.config import SPGiSTConfig
 from repro.core.external import (
     AddEntry,
@@ -61,6 +67,23 @@ _OBS_DESCENT_LEVELS = METRICS.histogram(
     "Level at which an inserted item reached its leaf",
     buckets=(1, 2, 4, 8, 16, 32, 64, 128),
 )
+_OBS_REPACK_STEPS = METRICS.counter(
+    "spgist_repack_steps_total", "Online repack subtree steps completed"
+)
+_OBS_REPACK_NODES = METRICS.counter(
+    "spgist_repack_nodes_moved_total", "Nodes relocated by online repack"
+)
+
+
+@dataclass(frozen=True)
+class OnlineRepackStats:
+    """What one ``repack_online`` call re-clustered."""
+
+    subtrees_repacked: int
+    nodes_moved: int
+    pages_freed: int
+    fill_before: float
+    fill_after: float
 
 
 class SPGiSTIndex:
@@ -695,6 +718,82 @@ class SPGiSTIndex:
         for page_id in old_store.page_ids:
             self.buffer.free_page(page_id)
         old_store.detach()
+
+    def repack_online(
+        self, max_subtrees: int | None = None
+    ) -> OnlineRepackStats:
+        """Re-cluster hot subtrees in place, in bounded per-subtree steps.
+
+        The online counterpart of :meth:`repack`: instead of rewriting the
+        whole tree into a fresh store (which needs an exclusive rebuild),
+        each *step* BFS-cap repacks one child subtree of the root inside
+        the live store (:func:`repro.core.clustering.repack_subtree`) and
+        repairs the root's downlink. Between steps the tree is always
+        search-consistent, so a caller can interleave commits — the WAL
+        then carries each repacked extent as ordinary page images, and a
+        crash in any step recovers to the last committed step's layout.
+
+        Subtrees are taken hottest-first by the store's per-page read
+        counters (the nodecache/obs access signal): ``max_subtrees=1`` is
+        the autovacuum-style background step; ``None`` repacks every
+        subtree plus the root itself — the full ``REPACK INDEX``
+        statement — and resets the heat counters.
+        """
+        store = self.store
+        fill_before = store.fill_factor()
+        subtrees = nodes_moved = pages_freed = 0
+        root_node = store.read(self.root) if self.root is not None else None
+        if isinstance(root_node, InnerNode):
+            reads = store.page_reads
+            order = sorted(
+                (
+                    i
+                    for i, entry in enumerate(root_node.entries)
+                    if entry.child is not None
+                ),
+                key=lambda i: -reads.get(
+                    root_node.entries[i].child.page_id, 0
+                ),
+            )
+            if max_subtrees is not None:
+                order = order[:max_subtrees]
+            for i in order:
+                entry = root_node.entries[i]
+                entry.child, step = repack_subtree(store, entry.child)
+                # Persist the repaired downlink; the root may relocate if
+                # its page ran out of space.
+                self.root = store.write(self.root, root_node)
+                subtrees += 1
+                nodes_moved += step.nodes_moved
+                pages_freed += step.pages_freed
+                _OBS_REPACK_STEPS.inc()
+                _OBS_REPACK_NODES.inc(step.nodes_moved)
+        elif root_node is not None and max_subtrees is None:
+            # Leaf-rooted (tiny) tree: the whole tree is one subtree.
+            self.root, step = repack_subtree(store, self.root)
+            subtrees += 1
+            nodes_moved += step.nodes_moved
+            pages_freed += step.pages_freed
+            _OBS_REPACK_STEPS.inc()
+            _OBS_REPACK_NODES.inc(step.nodes_moved)
+        if isinstance(root_node, InnerNode) and max_subtrees is None:
+            # Full pass: pull the root node itself into the packed extent
+            # so its old page can be released too.
+            cont = store._repack_open_page_id
+            old_root = self.root
+            near = NodeRef(cont, 0) if cont is not None else None
+            self.root = store.create(root_node, near=near)
+            store.free(old_root)
+            nodes_moved += 1
+            pages_freed += store.drop_empty_pages()
+            store.page_reads.clear()
+        return OnlineRepackStats(
+            subtrees_repacked=subtrees,
+            nodes_moved=nodes_moved,
+            pages_freed=pages_freed,
+            fill_before=fill_before,
+            fill_after=store.fill_factor(),
+        )
 
     # ------------------------------------------------------------------ cache
 

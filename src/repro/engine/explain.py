@@ -18,7 +18,6 @@ paths must agree, and the obs test suite asserts they do.
 
 from __future__ import annotations
 
-import itertools
 import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Iterator
@@ -29,6 +28,7 @@ from repro.engine.planner import (
     Plan,
 )
 from repro.obs import METRICS
+from repro.settings import SETTINGS
 from repro.storage.buffer import BufferStats
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -58,6 +58,31 @@ class _InstrumentedIter:
         return row
 
 
+class _InstrumentedBatches:
+    """Counts batches, rows, and inclusive wall time of a batch stream."""
+
+    __slots__ = ("inner", "rows", "batches", "seconds")
+
+    def __init__(self, inner: Iterator[list[tuple]]) -> None:
+        self.inner = inner
+        self.rows = 0
+        self.batches = 0
+        self.seconds = 0.0
+
+    def __iter__(self) -> "_InstrumentedBatches":
+        return self
+
+    def __next__(self) -> list[tuple]:
+        started = time.perf_counter()
+        try:
+            batch = next(self.inner)
+        finally:
+            self.seconds += time.perf_counter() - started
+        self.batches += 1
+        self.rows += len(batch)
+        return batch
+
+
 @dataclass
 class NodeReport:
     """One plan node's estimated and (optionally) actual figures."""
@@ -68,6 +93,7 @@ class NodeReport:
     total_cost: float | None = None
     selectivity: float | None = None
     actual_rows: int | None = None
+    actual_batches: int | None = None
     wall_ms: float | None = None
     children: list["NodeReport"] = field(default_factory=list)
 
@@ -81,8 +107,12 @@ class NodeReport:
                 f" sel={self.selectivity:.4f} est rows={self.est_rows})"
             )
         if self.actual_rows is not None:
+            batches = ""
+            if self.actual_batches is not None:
+                batches = f" batches={self.actual_batches}"
             text += (
-                f" (actual rows={self.actual_rows} time={self.wall_ms:.3f}ms)"
+                f" (actual rows={self.actual_rows}{batches}"
+                f" time={self.wall_ms:.3f}ms)"
             )
         lines = [text]
         for child in self.children:
@@ -164,6 +194,22 @@ class ExplainReport:
         return self.render()
 
 
+def _limit_batches(
+    batches: Iterator[list[tuple]], limit: int
+) -> Iterator[list[tuple]]:
+    """LIMIT over a batch stream: truncate the batch that crosses it."""
+    if limit <= 0:
+        return
+    taken = 0
+    for batch in batches:
+        remaining = limit - taken
+        if len(batch) >= remaining:
+            yield batch[:remaining]
+            return
+        taken += len(batch)
+        yield batch
+
+
 def _strip_explain_prefix(sql: str) -> str:
     text = sql.strip()
     lowered = text.lower()
@@ -216,7 +262,7 @@ def explain_analyze(db: "Database", sql: str) -> ExplainReport:
     appends, checksum verifications, degradation incidents — lands in the
     report's per-layer section.
     """
-    from repro.engine.executor import execute_plan
+    from repro.engine.executor import execute_plan_batches
 
     inner = _strip_explain_prefix(sql)
     started = time.perf_counter()
@@ -227,22 +273,32 @@ def explain_analyze(db: "Database", sql: str) -> ExplainReport:
     buffers_before = db.buffer.stats.snapshot()
     metrics_before = METRICS.snapshot()
 
-    scan_iter = _InstrumentedIter(execute_plan(plan))
-    top_iter: _InstrumentedIter | Any = scan_iter
+    # The scan node is instrumented at batch granularity — the executor's
+    # actual unit of work — so the report shows how many batches each node
+    # produced alongside the row count. A LIMIT caps the batch size, so a
+    # lazy scan (NN especially) never produces more rows than the limit
+    # needs plus a partial batch.
+    batch_size = None if limit is None else max(1, min(SETTINGS.batch_size, limit))
+    scan_iter = _InstrumentedBatches(
+        execute_plan_batches(plan, batch_size=batch_size)
+    )
+    top_iter: _InstrumentedBatches | Any = scan_iter
     root = node
     if limit is not None:
-        top_iter = _InstrumentedIter(itertools.islice(scan_iter, limit))
+        top_iter = _InstrumentedBatches(_limit_batches(scan_iter, limit))
         root = NodeReport(label=f"Limit (rows={limit})", children=[node])
 
     run_started = time.perf_counter()
-    for _row in top_iter:
+    for _batch in top_iter:
         pass
     execution_ms = (time.perf_counter() - run_started) * 1000.0
 
     node.actual_rows = scan_iter.rows
+    node.actual_batches = scan_iter.batches
     node.wall_ms = scan_iter.seconds * 1000.0
     if limit is not None:
         root.actual_rows = top_iter.rows
+        root.actual_batches = top_iter.batches
         root.wall_ms = top_iter.seconds * 1000.0
 
     return ExplainReport(

@@ -19,6 +19,9 @@ Supported statements (case-insensitive keywords, one statement per call)::
     DROP INDEX sp_trie_index ON word_data;
     DROP TABLE word_data;
     CHECK INDEX sp_trie_index;                 -- amcheck-style verification
+    REPACK INDEX sp_trie_index;                -- online clustering repack
+    DECLARE c CURSOR FOR SELECT * FROM word_data WHERE name #= 'ran';
+    FETCH 10 FROM c; FETCH ALL FROM c; CLOSE c;   -- batch pagination
     SELECT * FROM repro_incidents();           -- the resilience incident log
     SELECT * FROM repro_heap_stats('word_data');  -- heap version accounting
 
@@ -38,13 +41,13 @@ aborts the whole block, PostgreSQL's "could not serialize" behaviour.
 
 from __future__ import annotations
 
-import itertools
 import re
 from dataclasses import dataclass, field
+from operator import itemgetter
 from typing import Any, Callable, Iterable
 
 from repro.engine.catalog import SystemCatalog, default_catalog
-from repro.engine.executor import execute_plan
+from repro.engine.executor import execute_plan_batches
 from repro.engine.planner import NN_OPERATOR, Plan, Predicate, plan_query
 from repro.engine.table import Column, Table
 from repro.engine.txn import Snapshot, Transaction, TransactionManager
@@ -70,6 +73,52 @@ class WouldBlock(Exception):
     def __init__(self, key: tuple) -> None:
         super().__init__(f"lock {key!r} would block")
         self.key = key
+
+
+class Cursor:
+    """One open server-side cursor: batch-wise pagination over a SELECT.
+
+    The cursor owns a stream of already-projected row *batches* — the same
+    batches the executor produced — plus a small carry buffer so FETCH
+    counts need not align with batch boundaries. Cursors declared inside a
+    transaction block stream lazily (2PL table locks protect the scan);
+    cursors declared in autocommit mode are materialized at DECLARE (the
+    ``WITH HOLD`` behaviour), so they stay valid across later statements.
+    """
+
+    def __init__(
+        self, name: str, batches: Iterable[list[tuple]], held: bool
+    ) -> None:
+        self.name = name
+        self.held = held
+        self._batches = iter(batches)
+        self._pending: list[tuple] = []
+        self._exhausted = False
+
+    def fetch(self, count: int | None) -> list[tuple]:
+        """Up to ``count`` rows; ``None`` = one executor batch, ``-1`` = all."""
+        if count is None:
+            count = SETTINGS.batch_size
+        out: list[tuple] = []
+        while count < 0 or len(self._pending) < count:
+            if self._exhausted:
+                break
+            try:
+                self._pending.extend(next(self._batches))
+            except StopIteration:
+                self._exhausted = True
+        if count < 0:
+            out, self._pending = self._pending, []
+            return out
+        out = self._pending[:count]
+        del self._pending[:count]
+        return out
+
+    def close(self) -> None:
+        """Release the underlying batch iterator and drop buffered rows."""
+        self._batches = iter(())
+        self._pending = []
+        self._exhausted = True
 
 
 @dataclass
@@ -101,6 +150,16 @@ class SessionState:
     #: Server hook: called periodically during long scans/statements;
     #: raises StatementTimeoutError past the statement deadline.
     deadline_check: Callable[[], None] | None = None
+    #: Open cursors by (lower-cased) name. Cursors declared inside a
+    #: transaction block die with it; held (autocommit) cursors survive
+    #: until CLOSE.
+    cursors: dict[str, "Cursor"] = field(default_factory=dict)
+
+    def drop_block_cursors(self) -> None:
+        """Close every non-held cursor (transaction block ended)."""
+        for name in [n for n, c in self.cursors.items() if not c.held]:
+            self.cursors[name].close()
+            del self.cursors[name]
 
 _TYPE_ALIASES = {
     "varchar": "varchar",
@@ -160,6 +219,14 @@ _DROP_INDEX = re.compile(
 _DROP_TABLE = re.compile(r"^\s*drop\s+table\s+(\w+)\s*;?\s*$", re.I)
 _ANALYZE = re.compile(r"^\s*analyze\s+(\w+)\s*;?\s*$", re.I)
 _CHECK_INDEX = re.compile(r"^\s*check\s+index\s+(\w+)\s*;?\s*$", re.I)
+_REPACK_INDEX = re.compile(r"^\s*repack\s+index\s+(\w+)\s*;?\s*$", re.I)
+_DECLARE_CURSOR = re.compile(
+    r"^\s*declare\s+(\w+)\s+cursor\s+for\s+(select\s.*)$", re.I | re.S
+)
+_FETCH = re.compile(
+    r"^\s*fetch\s+(?:(\d+|all)\s+)?(?:from\s+)?(\w+)\s*;?\s*$", re.I
+)
+_CLOSE = re.compile(r"^\s*close\s+(\w+)\s*;?\s*$", re.I)
 _SELECT_INCIDENTS = re.compile(
     r"^\s*select\s+\*\s+from\s+repro_incidents\s*\(\s*\)\s*;?\s*$", re.I
 )
@@ -213,6 +280,7 @@ class Database:
             session.current = None
             session.failed = True
             session.block_tables = set()
+            session.drop_block_cursors()
         if session.failed:
             if _COMMIT.match(sql) or _ROLLBACK.match(sql):
                 session.failed = False
@@ -237,6 +305,7 @@ class Database:
                 session.current = None
                 session.failed = True
                 session.block_tables = set()
+                session.drop_block_cursors()
                 if txn.is_open:
                     self.txn.abort(txn)
             raise
@@ -272,6 +341,18 @@ class Database:
         match = _CHECK_INDEX.match(sql)
         if match:
             return self._check_index(match.group(1))
+        match = _REPACK_INDEX.match(sql)
+        if match:
+            return self._repack_index(match.group(1), session)
+        match = _DECLARE_CURSOR.match(sql)
+        if match:
+            return self._declare_cursor(match.group(1), match.group(2), session)
+        match = _FETCH.match(sql)
+        if match:
+            return self._fetch_cursor(match.group(1), match.group(2), session)
+        match = _CLOSE.match(sql)
+        if match:
+            return self._close_cursor(match.group(1), session)
         match = _SELECT_INCIDENTS.match(sql)
         if match:
             return self._select_incidents()
@@ -353,17 +434,107 @@ class Database:
         """
         from repro.resilience.check import spgist_check
 
+        _table, index = self.find_index(index_name)
+        if index.access_method != "sp_gist":
+            raise SQLError(
+                f"CHECK INDEX supports SP-GiST indexes; {index_name!r} "
+                f"uses {index.access_method!r}"
+            )
+        return spgist_check(index.structure).describe()
+
+    def find_index(self, index_name: str) -> tuple[Table, Any]:
+        """Locate an index by name across all tables: ``(table, index)``.
+
+        Public because the server's lock classifier needs the owning
+        table of a ``REPACK INDEX`` statement to take the right table
+        lock.
+        """
         for table in self.tables.values():
             index = table.indexes.get(index_name)
-            if index is None:
-                continue
-            if index.access_method != "sp_gist":
-                raise SQLError(
-                    f"CHECK INDEX supports SP-GiST indexes; {index_name!r} "
-                    f"uses {index.access_method!r}"
-                )
-            return spgist_check(index.structure).describe()
+            if index is not None:
+                return table, index
         raise SQLError(f"unknown index {index_name!r}")
+
+    def _repack_index(self, index_name: str, session: SessionState) -> str:
+        """``REPACK INDEX <name>``: online re-cluster of degraded subtrees.
+
+        A maintenance statement in the VACUUM mould: refused inside a
+        transaction block, commits through the maintenance hook so the
+        replicated façade ships the moved pages to standbys. The repack
+        itself runs in bounded subtree steps (see
+        :meth:`repro.core.tree.SPGiSTIndex.repack_online`); between steps
+        the structure is always consistent, which is what makes the
+        server's short-lock-step scheduling and kill-anywhere recovery
+        safe.
+        """
+        if session.current is not None:
+            raise SQLError("REPACK INDEX cannot run inside a transaction block")
+        _table, index = self.find_index(index_name)
+        if index.access_method != "sp_gist":
+            raise SQLError(
+                f"REPACK INDEX supports SP-GiST indexes; {index_name!r} "
+                f"uses {index.access_method!r}"
+            )
+        stats = index.structure.repack_online()
+        self._on_txn_commit(None)
+        return (
+            f"REPACK INDEX {index_name}: {stats.subtrees_repacked} subtrees, "
+            f"{stats.nodes_moved} nodes moved, {stats.pages_freed} pages "
+            f"freed; fill {stats.fill_before:.2f} -> {stats.fill_after:.2f}"
+        )
+
+    # -- cursors ---------------------------------------------------------------------
+
+    def _declare_cursor(
+        self, name: str, inner_sql: str, session: SessionState
+    ) -> str:
+        """``DECLARE <name> CURSOR FOR SELECT ...``: open a cursor.
+
+        Inside a transaction block the cursor streams lazily through the
+        block's snapshot; in autocommit mode it is materialized now (the
+        ``WITH HOLD`` behaviour), so later statements — even index
+        maintenance — cannot invalidate it.
+        """
+        key = name.lower()
+        if key in session.cursors:
+            raise SQLError(f"cursor {name!r} already exists")
+        match = _SELECT.match(inner_sql)
+        if not match:
+            raise SQLError(
+                f"DECLARE CURSOR supports only SELECT, got: {inner_sql!r}"
+            )
+        batches = self._select_batches(*match.groups(), session=session)
+        held = session.current is None
+        if held:
+            batches = list(batches)
+        session.cursors[key] = Cursor(key, batches, held)
+        return f"DECLARE {name}"
+
+    def _fetch_cursor(
+        self, count: str | None, name: str, session: SessionState
+    ) -> list[tuple]:
+        """``FETCH [n|ALL] [FROM] <name>``: the next page of rows.
+
+        Without a count, one executor batch (``SETTINGS.batch_size`` rows)
+        is returned — the cheap-pagination contract: the server hands out
+        exactly the batches the executor produced.
+        """
+        cursor = session.cursors.get(name.lower())
+        if cursor is None:
+            raise SQLError(f"unknown cursor {name!r}")
+        if count is None:
+            return cursor.fetch(None)
+        if count.lower() == "all":
+            return cursor.fetch(-1)
+        return cursor.fetch(int(count))
+
+    def _close_cursor(self, name: str, session: SessionState) -> str:
+        """``CLOSE <name>``: drop a cursor."""
+        cursor = session.cursors.pop(name.lower(), None)
+        if cursor is None:
+            raise SQLError(f"unknown cursor {name!r}")
+        cursor.close()
+        return f"CLOSE {name}"
 
     def _select_incidents(self) -> list[tuple]:
         """``SELECT * FROM repro_incidents()``: the incident log as rows.
@@ -404,6 +575,7 @@ class Database:
             raise SQLError("no transaction in progress")
         txn = session.current
         session.current = None
+        session.drop_block_cursors()
         self.txn.commit(txn)
         self._on_txn_commit(txn)
         self._prune_after_commit(txn, session.block_tables)
@@ -416,6 +588,7 @@ class Database:
         txn = session.current
         session.current = None
         session.block_tables = set()
+        session.drop_block_cursors()
         self.txn.abort(txn)
         return "ROLLBACK"
 
@@ -483,6 +656,7 @@ class Database:
             session.current = None
             session.failed = True
             session.block_tables = set()
+            session.drop_block_cursors()
         if txn.is_open:
             self.txn.abort(txn)
 
@@ -666,23 +840,58 @@ class Database:
     ) -> Iterable[tuple]:
         if session is None:
             session = self._session
+        return (
+            row
+            for batch in self._select_batches(
+                select_list, table_name, column, op, literal, limit, session
+            )
+            for row in batch
+        )
+
+    def _select_batches(
+        self,
+        select_list: str,
+        table_name: str,
+        column: str | None,
+        op: str | None,
+        literal: str | None,
+        limit: str | None,
+        session: SessionState,
+    ) -> Iterable[list[tuple]]:
+        """The batched SELECT pipeline every consumer shares.
+
+        Deadline checks, LIMIT, projection, and COUNT(*) all operate on
+        whole executor batches; :meth:`_select` flattens the stream for
+        the statement API, while DECLARE CURSOR paginates it as-is.
+        """
         plan = self._plan_select(table_name, column, op, literal, session)
-        rows = execute_plan(plan)
-        if session.deadline_check is not None:
-            rows = self._checked_rows(rows, session.deadline_check)
+        # A LIMIT caps the batch size so lazy scans (NN especially) never
+        # produce more rows than the limit needs plus a partial batch.
+        batch_size = None
         if limit is not None:
-            rows = itertools.islice(rows, int(limit))
+            batch_size = max(1, min(SETTINGS.batch_size, int(limit)))
+        batches = execute_plan_batches(plan, batch_size=batch_size)
+        if session.deadline_check is not None:
+            batches = self._checked_batches(batches, session.deadline_check)
+        if limit is not None:
+            batches = self._limited_batches(batches, int(limit))
         select_list = select_list.strip()
         if select_list == "*":
-            return rows
+            return batches
         if select_list.lower() == "count(*)":
-            return [(sum(1 for _ in rows),)]
+            return iter([[(sum(len(batch) for batch in batches),)]])
         table = self.table(table_name)
         positions = [
             table.column_index(name.strip())
             for name in select_list.split(",")
         ]
-        return (tuple(row[i] for i in positions) for row in rows)
+        # itemgetter projects a whole batch with no per-row bytecode; the
+        # single-column case needs the 1-tuple wrapped by hand.
+        if len(positions) == 1:
+            project = itemgetter(positions[0])
+            return ([(project(row),) for row in batch] for batch in batches)
+        project = itemgetter(*positions)
+        return ([project(row) for row in batch] for batch in batches)
 
     def _explain(self, inner_sql: str, execute: bool = False) -> str:
         from repro.engine.explain import explain, explain_analyze
@@ -692,13 +901,33 @@ class Database:
         return explain(self, inner_sql).render()
 
     @staticmethod
-    def _checked_rows(rows: Iterable[tuple], check: Callable[[], None]):
-        """Wrap a row stream with periodic statement-deadline checks."""
-        interval = SETTINGS.deadline_check_interval
-        for i, row in enumerate(rows):
-            if i % interval == 0:
-                check()
-            yield row
+    def _checked_batches(
+        batches: Iterable[list[tuple]], check: Callable[[], None]
+    ):
+        """Statement-deadline checks at batch granularity.
+
+        One check per batch replaces the old every-64-rows row counter:
+        with the default batch size the cadence is comparable, and the
+        check always runs before the first batch is surfaced.
+        """
+        check()
+        for batch in batches:
+            yield batch
+            check()
+
+    @staticmethod
+    def _limited_batches(batches: Iterable[list[tuple]], limit: int):
+        """LIMIT applied batch-wise: truncate the batch that crosses it."""
+        if limit <= 0:
+            return
+        taken = 0
+        for batch in batches:
+            remaining = limit - taken
+            if len(batch) >= remaining:
+                yield batch[:remaining]
+                return
+            taken += len(batch)
+            yield batch
 
     def _parse_select(
         self, inner_sql: str, session: SessionState | None = None

@@ -162,6 +162,22 @@ class Snapshot:
             return True
         return not self.sees(tup.xmax)
 
+    def stamp_visible(self, xmin: int, xmax: int) -> bool:
+        """:meth:`tuple_visible` on the bare MVCC header stamps.
+
+        The batch read path memoizes verdicts per distinct ``(xmin,
+        xmax)`` pair: within one snapshot's lifetime a stamp's verdict
+        never changes (in-progress xids are decided by ``xip``, and clog
+        entries for already-ended xids are immutable), so a scan over
+        rows written by a handful of transactions pays a handful of clog
+        consultations instead of one per row.
+        """
+        if not self.sees(xmin):
+            return False
+        if xmax == XID_INVALID:
+            return True
+        return not self.sees(xmax)
+
 
 @dataclass
 class Transaction:

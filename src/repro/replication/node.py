@@ -373,6 +373,21 @@ class StorageNode:
         assert self.table is not None
         return self.table.vacuum()
 
+    def repack_index(self, max_subtrees: int | None = None) -> Any:
+        """Online-repack this primary's SP-GiST index (caller commits).
+
+        Returns :class:`repro.core.tree.OnlineRepackStats`. The repack
+        mutates index pages through the buffer pool, so the following
+        :meth:`commit` ships the rewritten extent to standbys as ordinary
+        full page images — the same WAL protocol as any write.
+        """
+        self._require_alive()
+        if self.role != "primary":
+            raise ReplicationError(f"node {self.name} is a standby; no repack")
+        assert self.table is not None
+        index = self.table.indexes[_INDEX_NAME]
+        return index.structure.repack_online(max_subtrees=max_subtrees)
+
     def segments_since(self, seq: int) -> list[WALSegment]:
         """Archived segments with sequence numbers above ``seq``.
 

@@ -290,6 +290,18 @@ class ReplicaSet:
         self.primary.vacuum()
         return self._commit_and_ack()
 
+    def client_repack(self, max_subtrees: int | None = None) -> int:
+        """Online-repack the primary's index; replicate the new layout.
+
+        One bounded maintenance operation in the ``client_vacuum`` mould:
+        the repacked extent travels as ordinary page images, so a standby
+        that acknowledges the commit holds the re-clustered index
+        byte-for-byte.
+        """
+        self._require_primary()
+        self.primary.repack_index(max_subtrees)
+        return self._commit_and_ack()
+
     def _commit_and_ack(self) -> int:
         seq = self.primary.commit()
         self._ship_outbox()

@@ -2,9 +2,10 @@
 
 Runs randomized, fully seeded schedules against a live
 :class:`~repro.replication.ReplicaSet`: client writes (committed AND
-rolled back), routed reads, VACUUM passes, node crashes (primary and
-standby), restarts, and shipping channels that drop, corrupt, reorder, and
-duplicate frames — then heals the cluster and checks the invariants that
+rolled back), routed reads, VACUUM passes, online REPACK steps (bounded
+subtree re-clustering replicated as ordinary page images), node crashes
+(primary and standby), restarts, and shipping channels that drop, corrupt,
+reorder, and duplicate frames — then heals the cluster and checks the invariants that
 define correct replication:
 
 1. **Zero acknowledged-commit loss** — every row whose commit was
@@ -265,6 +266,16 @@ def run_schedule(
                     {"event": "restart", "step": step, "node": down.name}
                 )
                 down = None
+        elif roll < 0.95:  # online REPACK: one bounded re-clustering step
+            try:
+                seq = rs.client_repack(max_subtrees=1)
+            except Exception as exc:
+                events.append(
+                    {"event": "repack-failed", "step": step,
+                     "error": type(exc).__name__}
+                )
+            else:
+                events.append({"event": "repack", "step": step, "seq": seq})
         else:
             events.append({"event": "tick", "step": step})
         rs.tick()

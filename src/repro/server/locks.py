@@ -66,6 +66,9 @@ LOCK_DEADLOCKS = METRICS.counter(
 LOCK_TIMEOUTS = METRICS.counter(
     "lock_timeouts_total", "Lock waits aborted by lock/statement deadlines."
 )
+LOCK_WAKEUPS = METRICS.counter(
+    "lock_wakeups_total", "Times a blocked waiter's wait() returned."
+)
 
 
 class LockMode(Enum):
@@ -106,27 +109,44 @@ class LockOwner:
 
 
 class _Waiter:
-    __slots__ = ("owner", "mode", "upgrade", "granted", "doomed")
+    __slots__ = ("owner", "mode", "upgrade", "granted", "doomed", "cv")
 
-    def __init__(self, owner: LockOwner, mode: LockMode, upgrade: bool) -> None:
+    def __init__(
+        self,
+        owner: LockOwner,
+        mode: LockMode,
+        upgrade: bool,
+        cv: threading.Condition,
+    ) -> None:
         self.owner = owner
         self.mode = mode
         self.upgrade = upgrade
         self.granted = False
         self.doomed = False
+        #: condition this waiter blocks on; per-waiter by default so a
+        #: grant/doom wakes exactly one thread, shared in broadcast mode.
+        self.cv = cv
 
 
 class LockManager:
     """FIFO-fair shared/row/exclusive locks with deadlock detection.
 
     Keys are arbitrary hashables; the session layer uses
-    ``("table", name)`` and ``("row", name, tid)``. One condition variable
-    guards all state — grant/doom events are rare relative to statement
-    work, so a single wakeup domain keeps the invariants easy to audit.
+    ``("table", name)`` and ``("row", name, tid)``. One mutex guards all
+    state, but each blocked waiter sleeps on its *own* condition variable
+    (sharing that mutex), so a release wakes only the waiters whose
+    verdict actually changed — with N sessions parked, a grant is one
+    targeted ``notify()``, not an N-thread thundering herd that mostly
+    re-checks state and goes back to sleep. Pass ``broadcast=True`` to
+    restore the legacy single-condition ``notify_all`` behaviour (kept
+    for the wait-path micro-benchmark; see ``bench/bench_8.py``).
     """
 
-    def __init__(self) -> None:
-        self._cv = threading.Condition()
+    def __init__(self, *, broadcast: bool = False) -> None:
+        self._mutex = threading.Lock()
+        #: shared condition — broadcast mode only (all waiters park here)
+        self._cv = threading.Condition(self._mutex)
+        self._broadcast = broadcast
         #: key -> {owner: granted mode}
         self._holders: dict[Hashable, dict[LockOwner, LockMode]] = {}
         #: key -> FIFO list of waiters (upgrades at the head)
@@ -137,6 +157,7 @@ class LockManager:
         self._timeouts = 0
         self._waits = 0
         self._grants = 0
+        self._wakeups = 0
 
     # -- public API -----------------------------------------------------------
 
@@ -146,7 +167,7 @@ class LockManager:
         Fair: a request that would barge past queued waiters is refused
         even when compatible with the current holders.
         """
-        with self._cv:
+        with self._mutex:
             held = self._holders.get(key, {}).get(owner)
             if held is not None and _STRENGTH[held] >= _STRENGTH[mode]:
                 return True
@@ -175,7 +196,7 @@ class LockManager:
         request is cleanly dequeued; previously held locks are untouched
         (the caller aborts the transaction and calls :meth:`release_all`).
         """
-        with self._cv:
+        with self._mutex:
             held = self._holders.get(key, {}).get(owner)
             if held is not None and _STRENGTH[held] >= _STRENGTH[mode]:
                 return
@@ -185,7 +206,8 @@ class LockManager:
                 self._refresh_gauges()
                 return
 
-            waiter = _Waiter(owner, mode, upgrade)
+            cv = self._cv if self._broadcast else threading.Condition(self._mutex)
+            waiter = _Waiter(owner, mode, upgrade, cv)
             queue = self._queues.setdefault(key, [])
             # Upgrades go to the head: the upgrader already holds the key,
             # so anything queued ahead of it could never be granted anyway.
@@ -240,9 +262,13 @@ class LockManager:
                             f"canceling statement due to lock timeout:"
                             f" {owner.name} could not acquire {key!r}"
                         )
-                    self._cv.wait(cutoff - now)
+                    waiter.cv.wait(cutoff - now)
+                    self._wakeups += 1
+                    LOCK_WAKEUPS.inc()
                 else:
-                    self._cv.wait()
+                    waiter.cv.wait()
+                    self._wakeups += 1
+                    LOCK_WAKEUPS.inc()
 
     def release_all(self, owner: LockOwner) -> None:
         """Drop every lock ``owner`` holds and wake newly-grantable waiters.
@@ -250,7 +276,7 @@ class LockManager:
         Called exactly once per transaction end (commit, rollback, or
         abort) — strict two-phase locking has no mid-transaction release.
         """
-        with self._cv:
+        with self._mutex:
             keys = self._owned.pop(owner, set())
             for key in keys:
                 holders = self._holders.get(key)
@@ -259,13 +285,11 @@ class LockManager:
                     if not holders:
                         del self._holders[key]
                 self._promote(key)
-            if keys:
-                self._cv.notify_all()
             self._refresh_gauges()
 
     def held_by(self, owner: LockOwner) -> dict[Hashable, LockMode]:
         """A snapshot of ``owner``'s granted locks (tests/introspection)."""
-        with self._cv:
+        with self._mutex:
             return {
                 key: self._holders[key][owner]
                 for key in self._owned.get(owner, set())
@@ -274,7 +298,7 @@ class LockManager:
 
     def stats(self) -> dict[str, Any]:
         """First-principles accounting, reconciled against METRICS in tests."""
-        with self._cv:
+        with self._mutex:
             edges = self._wait_edges()
             return {
                 "held": sum(len(h) for h in self._holders.values()),
@@ -289,9 +313,18 @@ class LockManager:
                 "timeouts": self._timeouts,
                 "waits": self._waits,
                 "grants": self._grants,
+                "wakeups": self._wakeups,
             }
 
-    # -- internals (call with self._cv held) ----------------------------------
+    # -- internals (call with self._mutex held) --------------------------------
+
+    def _notify(self, waiter: _Waiter) -> None:
+        """Wake exactly the thread parked on ``waiter`` (all, in broadcast
+        mode — every waiter then shares ``self._cv``)."""
+        if self._broadcast:
+            self._cv.notify_all()
+        else:
+            waiter.cv.notify()
 
     def _grantable(
         self, key: Hashable, owner: LockOwner, mode: LockMode, *, upgrade: bool
@@ -337,6 +370,7 @@ class LockManager:
             if ok:
                 self._grant(key, waiter.owner, waiter.mode)
                 waiter.granted = True
+                self._notify(waiter)
                 remaining.append(waiter)
             else:
                 blocked = True
@@ -354,8 +388,7 @@ class LockManager:
             queue.remove(waiter)
             if not queue:
                 del self._queues[key]
-        self._promote(key)
-        self._cv.notify_all()
+        self._promote(key)  # notifies any waiter it grants
         self._refresh_gauges()
 
     def _wait_edges(self) -> dict[LockOwner, set[LockOwner]]:
@@ -419,7 +452,7 @@ class LockManager:
             for waiter in queue:
                 if waiter.owner == victim and not waiter.granted:
                     waiter.doomed = True
-        self._cv.notify_all()
+                    self._notify(waiter)
 
     def _refresh_gauges(self) -> None:
         LOCKS_HELD.set(sum(len(h) for h in self._holders.values()))

@@ -59,12 +59,16 @@ def is_read_only(sql_text: str) -> bool:
     return bool(_READ_ONLY.match(sql_text))
 
 
-def _classify(sql_text: str) -> list[tuple[tuple, LockMode]]:
+def _classify(
+    sql_text: str, db: Database | None = None
+) -> list[tuple[tuple, LockMode]]:
     """The table locks a statement implies, before the engine sees it.
 
     Mirrors the engine's dispatch order (virtual tables before the
     general SELECT rule). Unrecognized statements lock nothing — the
-    engine will reject them with ``SQLError`` anyway.
+    engine will reject them with ``SQLError`` anyway. ``db`` resolves
+    index names to their owning table (REPACK INDEX); without it such
+    statements lock nothing and rely on the engine's own checks.
     """
     if _sql._SELECT_INCIDENTS.match(sql_text) or _sql._SELECT_HEAP_STATS.match(
         sql_text
@@ -72,10 +76,29 @@ def _classify(sql_text: str) -> list[tuple[tuple, LockMode]]:
         return []
     match = _sql._EXPLAIN_ANALYZE.match(sql_text) or _sql._EXPLAIN.match(sql_text)
     if match:
-        return _classify(match.group(1))
+        return _classify(match.group(1), db)
     match = _sql._SELECT.match(sql_text)
     if match:
         return [(table_key(match.group(2)), LockMode.SHARED)]
+    match = _sql._DECLARE_CURSOR.match(sql_text)
+    if match:
+        # The cursor reads through its inner SELECT; the SHARED lock taken
+        # here is held to transaction end (strict 2PL), so in-block FETCHes
+        # stream safely while maintenance (VACUUM/REPACK) is kept out.
+        return _classify(match.group(2), db)
+    if _sql._FETCH.match(sql_text) or _sql._CLOSE.match(sql_text):
+        # In a block the DECLARE's lock still protects the scan; held
+        # (autocommit) cursors were materialized at DECLARE time.
+        return []
+    match = _sql._REPACK_INDEX.match(sql_text)
+    if match:
+        if db is None:
+            return []
+        try:
+            table, _ = db.find_index(match.group(1))
+        except Exception:
+            return []  # engine will report the unknown index
+        return [(table_key(table.name), LockMode.EXCLUSIVE)]
     match = _sql._INSERT.match(sql_text)
     if match:
         return [(table_key(match.group(1)), LockMode.ROW)]
@@ -195,7 +218,7 @@ class Session:
 
         # A statement in a failed block takes no locks: the engine
         # rejects it (TxnAbortedError) or ends the block (COMMIT/ROLLBACK).
-        table_locks = [] if self.state.failed else _classify(sql_text)
+        table_locks = [] if self.state.failed else _classify(sql_text, self.db)
 
         try:
             for key, mode in table_locks:

@@ -50,6 +50,14 @@ class Settings:
     #: Queue depth at which read-only statements shed to standby reads.
     shed_threshold: int = 32
 
+    # -- executor: batch-at-a-time row processing (new in PR 8) ---------------
+    #: Rows per executor batch. One knob shared by the batched read path
+    #: (scan nodes yield row batches of this size) and the batched write
+    #: path (``insert_many`` chunking in benches/loaders), replacing the
+    #: scattered per-call-site literals. ``1`` degenerates to
+    #: tuple-at-a-time semantics (the differential oracle sweeps this).
+    batch_size: int = 256
+
     # -- buffer pool (was storage/buffer.py DEFAULT_MAX_RETRIES/_BACKOFF) -----
     #: Bounded retries for transient disk faults.
     disk_max_retries: int = 3

@@ -87,6 +87,10 @@ class HeapFile:
         #: mirrors the list for O(1) duplicate suppression.
         self._free_slots: list[TupleId] = []
         self._free_slot_set: set[TupleId] = set()
+        #: Grow-only per-page interning of TupleId objects. Addresses are
+        #: immutable and repeat on every scan, so pages share one list —
+        #: scans index it instead of constructing a TupleId per slot.
+        self._tid_lists: dict[int, list[TupleId]] = {}
 
     # -- mutation ---------------------------------------------------------------
 
@@ -198,6 +202,7 @@ class HeapFile:
                 break
             self._page_ids.pop()
             self._page_id_set.discard(page_id)
+            self._tid_lists.pop(page_id, None)
             self.buffer.free_page(page_id)
             released += 1
         if released:
@@ -259,12 +264,38 @@ class HeapFile:
 
     def scan_versions(self) -> Iterator[tuple[TupleId, HeapTuple]]:
         """Yield every occupied slot with its MVCC header, physical order."""
+        for page in self.scan_version_pages():
+            yield from page
+
+    def scan_version_pages(self) -> Iterator[list[tuple[TupleId, HeapTuple]]]:
+        """Yield occupied slots one *page* at a time, physical order.
+
+        The batch-executor primitive: each yielded list is every live
+        version of one heap page, built with a single buffer fetch and one
+        list pass — callers apply visibility and predicates over the whole
+        array instead of resuming a generator per tuple.
+        """
         for page_id in self._page_ids:
             payload: _HeapPagePayload = self.buffer.fetch(page_id)
-            CPU_OPS.add(payload.live_count())
-            for slot, tup in enumerate(payload.slots):
-                if tup is not None:
-                    yield TupleId(page_id, slot), tup
+            page = [
+                (tid, tup)
+                for tid, tup in zip(
+                    self._interned_tids(page_id, len(payload.slots)),
+                    payload.slots,
+                )
+                if tup is not None
+            ]
+            CPU_OPS.add(len(page))
+            yield page
+
+    def _interned_tids(self, page_id: int, count: int) -> list[TupleId]:
+        """The shared, grow-only ``[TupleId(page_id, 0..count)]`` list."""
+        tids = self._tid_lists.get(page_id)
+        if tids is None:
+            tids = self._tid_lists[page_id] = []
+        while len(tids) < count:
+            tids.append(TupleId(page_id, len(tids)))
+        return tids
 
     # -- statistics -------------------------------------------------------------
 
