@@ -1,0 +1,304 @@
+"""Client resilience benchmark: tail latency through a failover (BENCH_9.json).
+
+The question this answers: *what does a server failover cost the
+client's p99, with and without the fault-tolerant driver?* Mid-run, the
+serving process is gracefully drained and a replacement (sharing the
+dedup cache — the exactly-once memory) comes up on a fresh port. Two
+client stacks run the identical seeded workload through the event:
+
+- **pooled** — :class:`repro.client.ResilientClient`: bounded pool,
+  breaker-gated endpoint re-discovery, idempotency-keyed writes,
+  jittered backoff, deadline propagation. The expectation to verify:
+  every operation completes (zero ultimate failures) and the restart
+  window shows up as a *bounded* latency bump — backoff-until-the-new-
+  endpoint-answers — not an unbounded hang.
+- **bare** — :class:`repro.server.net.SQLClient` with the naive loop a
+  driverless application ends up writing: on any error, reconnect to
+  whatever discovery currently returns and resend, a fixed number of
+  times, with no backoff, no keys, no breakers. Its failures and tail
+  are the cost of not having the driver. (Its resends can also
+  double-apply writes — measured separately by the chaos harness's
+  oracle; here we only report latency and failures.)
+
+Workload per thread (seeded): 60% keyed INSERT, 40% indexed SELECT,
+closed loop. Reported per mode: completed/failed operations, wall
+seconds, throughput, and p50/p95/p99/max latency in milliseconds. The
+regression gate (``tests/bench/test_client_resilience_gate.py``) checks
+structure and re-runs a small pooled point in-process, asserting zero
+failures and a finite tail through the restart.
+
+CLI::
+
+    PYTHONPATH=src python -m repro.bench.client_resilience --out BENCH_9.json
+    PYTHONPATH=src python -m repro.bench.client_resilience --quick
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import threading
+import time
+from typing import Any, Callable
+
+from repro.client import ResilientClient, RetryPolicy
+from repro.engine.sql import Database
+from repro.server.manager import DedupCache, SessionManager
+from repro.server.net import SQLClient, SQLServer
+from repro.settings import SETTINGS
+
+#: Benchmark schema version stamped into the JSON.
+SCHEMA = "bench9-v1"
+
+#: Client threads per mode.
+THREADS = 4
+
+#: Operations per thread.
+OPS_PER_THREAD = 80
+
+#: Reconnect attempts the bare client's naive loop makes per operation.
+BARE_RETRIES = 3
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, int(q * (len(sorted_values) - 1)))
+    return sorted_values[index]
+
+
+class _Cluster:
+    """One server process-equivalent plus the machinery to fail it over."""
+
+    def __init__(self, seed: int) -> None:
+        self.settings = SETTINGS.replace(
+            worker_threads=4, max_queue=128, shed_threshold=128,
+            drain_timeout=0.5,
+        )
+        self.db = Database(buffer_capacity=512)
+        self.dedup = DedupCache(self.settings.dedup_cache_size)
+        self.manager = SessionManager(
+            self.db, settings=self.settings, dedup=self.dedup
+        )
+        boot = self.manager.connect("bench-boot")
+        self.manager.execute(
+            boot, "CREATE TABLE bench (key VARCHAR(24), id INT);"
+        )
+        self.manager.execute(
+            boot,
+            "CREATE INDEX bench_idx ON bench USING SP_GiST "
+            "(key SP_GiST_trie);",
+        )
+        rows = ", ".join(f"('seed{i:05d}', {i})" for i in range(100))
+        self.manager.execute(boot, f"INSERT INTO bench VALUES {rows};")
+        self.manager.disconnect(boot)
+        self.server = SQLServer(self.manager).start()
+
+    def endpoint(self) -> tuple[str, int]:
+        return self.server.address
+
+    def failover(self) -> dict[str, int]:
+        """Drain the serving side; bring up a successor sharing the dedup."""
+        stats = self.server.drain(timeout=0.5)
+        self.manager = SessionManager(
+            self.db, settings=self.settings, dedup=self.dedup
+        )
+        self.server = SQLServer(self.manager).start()
+        return stats
+
+    def stop(self) -> None:
+        self.server.stop()
+        self.manager.stop()
+
+
+class _BareLoop:
+    """The naive reconnect-and-resend loop an undriven application writes."""
+
+    def __init__(self, discover: Callable[[], tuple[str, int]]) -> None:
+        self._discover = discover
+        self._conn: SQLClient | None = None
+
+    def execute(self, sql: str) -> Any:
+        last: Exception | None = None
+        for _ in range(1 + BARE_RETRIES):
+            try:
+                if self._conn is None:
+                    host, port = self._discover()
+                    self._conn = SQLClient(host, port, timeout=2.0)
+                return self._conn.execute(sql)
+            except Exception as exc:  # noqa: BLE001 - naive by design
+                last = exc
+                if self._conn is not None:
+                    try:
+                        self._conn.close()
+                    except Exception:  # noqa: BLE001
+                        pass
+                    self._conn = None
+        assert last is not None
+        raise last
+
+    def close(self) -> None:
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            except Exception:  # noqa: BLE001
+                pass
+
+
+def _workload(
+    execute: Callable[[str], Any],
+    cid: int,
+    ops: int,
+    seed: int,
+    latencies: list[float],
+    lock: threading.Lock,
+    failures: list[int],
+) -> None:
+    rng = random.Random(seed * 7919 + cid)
+    for j in range(ops):
+        if rng.random() < 0.6:
+            sql = f"INSERT INTO bench VALUES ('b{cid}x{j}', {cid * 100000 + j});"
+        else:
+            probe = rng.randrange(100)
+            sql = f"SELECT * FROM bench WHERE key = 'seed{probe:05d}';"
+        started = time.perf_counter()
+        try:
+            execute(sql)
+        except Exception:  # noqa: BLE001 - counted, not raised
+            with lock:
+                failures[0] += 1
+        finally:
+            elapsed = time.perf_counter() - started
+            with lock:
+                latencies.append(elapsed)
+
+
+def _run_mode(
+    mode: str, threads: int, ops: int, seed: int
+) -> dict[str, Any]:
+    """One measured run of ``mode`` ('pooled'|'bare') through a failover."""
+    cluster = _Cluster(seed)
+    endpoint_holder = {"ep": cluster.endpoint()}
+    discover = lambda: [endpoint_holder["ep"]]  # noqa: E731
+
+    closers: list[Callable[[], None]] = []
+    if mode == "pooled":
+        client = ResilientClient(
+            discover=discover,
+            policy=RetryPolicy(
+                max_retries=40, backoff_base=0.005, backoff_cap=0.1,
+                rng=random.Random(seed),
+            ),
+            op_timeout=30.0,
+            pool_size=threads,
+            connect_timeout=1.0,
+            breaker_failure_threshold=4,
+            breaker_reset_timeout=0.05,
+        )
+        closers.append(client.close)
+        executors = [client.execute] * threads
+    else:
+        loops = [
+            _BareLoop(lambda: endpoint_holder["ep"]) for _ in range(threads)
+        ]
+        closers.extend(loop.close for loop in loops)
+        executors = [loop.execute for loop in loops]
+
+    latencies: list[float] = []
+    failures = [0]
+    lock = threading.Lock()
+    workers = [
+        threading.Thread(
+            target=_workload,
+            args=(executors[i], i, ops, seed, latencies, lock, failures),
+            daemon=True,
+        )
+        for i in range(threads)
+    ]
+    started = time.perf_counter()
+    for worker in workers:
+        worker.start()
+    # Inject the failover once the run is warmed up.
+    time.sleep(max(0.2, ops * threads * 0.0015))
+    drain_stats = cluster.failover()
+    endpoint_holder["ep"] = cluster.endpoint()
+    for worker in workers:
+        worker.join(timeout=120)
+    wall = time.perf_counter() - started
+
+    for close in closers:
+        close()
+    cluster.stop()
+
+    latencies.sort()
+    completed = len(latencies) - failures[0]
+    return {
+        "mode": mode,
+        "threads": threads,
+        "operations": len(latencies),
+        "completed": completed,
+        "failed": failures[0],
+        "drain": drain_stats,
+        "wall_seconds": round(wall, 4),
+        "throughput_ops_per_sec": (
+            round(len(latencies) / wall, 2) if wall else 0.0
+        ),
+        "p50_ms": round(_percentile(latencies, 0.50) * 1000, 3),
+        "p95_ms": round(_percentile(latencies, 0.95) * 1000, 3),
+        "p99_ms": round(_percentile(latencies, 0.99) * 1000, 3),
+        "max_ms": round((latencies[-1] if latencies else 0.0) * 1000, 3),
+    }
+
+
+def run(
+    threads: int = THREADS,
+    ops_per_thread: int = OPS_PER_THREAD,
+    seed: int = 0,
+) -> dict[str, Any]:
+    """Both modes through the same injected failover; pooled runs last so
+    a bare-mode meltdown cannot skew its measurement."""
+    bare = _run_mode("bare", threads, ops_per_thread, seed)
+    pooled = _run_mode("pooled", threads, ops_per_thread, seed)
+    return {
+        "schema": SCHEMA,
+        "seed": seed,
+        "threads": threads,
+        "ops_per_thread": ops_per_thread,
+        "modes": [pooled, bare],
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point: run the benchmark and optionally write the JSON."""
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default=None, help="write the JSON here")
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small scale (3 threads, 25 ops) for CI smoke",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        report = run(threads=3, ops_per_thread=25, seed=args.seed)
+    else:
+        report = run(seed=args.seed)
+    for point in report["modes"]:
+        print(
+            f"{point['mode']:>7}: {point['completed']}/{point['operations']} ok, "
+            f"{point['failed']} failed, p50 {point['p50_ms']}ms, "
+            f"p99 {point['p99_ms']}ms, max {point['max_ms']}ms "
+            f"({point['throughput_ops_per_sec']} ops/s)"
+        )
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=2)
+            fh.write("\n")
+        print(f"report written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,35 @@
+"""The fault-tolerant client driver (PR 9).
+
+:class:`~repro.server.net.SQLClient` is one socket and no opinions: any
+failure — a deadlock, an overloaded queue, a primary crash mid-commit —
+surfaces raw and the caller starts over. This package layers the
+machinery a production driver carries:
+
+- :mod:`repro.client.retry` — the retry policy: which typed errors are
+  safe to retry, exponential backoff with full jitter, and the deadline
+  arithmetic that makes every retry loop bounded;
+- :mod:`repro.client.breaker` — per-endpoint circuit breakers
+  (closed/open/half-open) that fail fast against a host known to be down
+  instead of burning a connection timeout per call;
+- :mod:`repro.client.pool` — a bounded, health-checked connection pool
+  with an acquire timeout (backpressure, never unbounded growth);
+- :mod:`repro.client.driver` — :class:`ResilientClient`, composing the
+  three: idempotency-keyed autocommit writes (exactly-once across
+  retries via the server dedup cache), deadline propagation into the
+  server statement deadline, whole-transaction replay via
+  :meth:`~repro.client.driver.ResilientClient.run_transaction`, and
+  failover-aware endpoint re-resolution.
+"""
+
+from repro.client.breaker import CircuitBreaker
+from repro.client.driver import ResilientClient
+from repro.client.pool import ConnectionPool, PooledConnection
+from repro.client.retry import RetryPolicy
+
+__all__ = [
+    "CircuitBreaker",
+    "ConnectionPool",
+    "PooledConnection",
+    "ResilientClient",
+    "RetryPolicy",
+]

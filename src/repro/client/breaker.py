@@ -1,0 +1,141 @@
+"""Per-endpoint circuit breakers: fail fast against a known-down host.
+
+The classic three-state machine (Nygard, *Release It!*):
+
+- **closed** — normal operation. Consecutive failures are counted;
+  crossing ``breaker_failure_threshold`` trips the breaker **open**.
+  Any success resets the count.
+- **open** — calls fail immediately with
+  :class:`~repro.errors.CircuitOpenError` (no connection attempt, no
+  timeout burned). After ``breaker_reset_timeout`` seconds the next
+  caller is admitted as a probe, moving the breaker to **half-open**.
+- **half-open** — exactly one probe in flight. Success closes the
+  breaker; failure re-opens it and restarts the cool-down.
+
+Why it matters here: during failover the old primary endpoint keeps
+refusing connections for hundreds of milliseconds. Without a breaker
+every pooled call would pay a full ``client_connect_timeout`` against
+the dead endpoint before failing over; with one, the first few failures
+trip it and subsequent calls skip straight to the freshly discovered
+endpoint, which is exactly the p99 difference the resilience bench
+measures.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.errors import CircuitOpenError
+from repro.obs import METRICS
+from repro.settings import SETTINGS
+
+BREAKER_STATE = METRICS.gauge(
+    "client_breaker_state",
+    "Circuit state per endpoint: 0=closed, 1=open, 2=half-open.",
+    labels=("endpoint",),
+)
+BREAKER_TRIPS = METRICS.counter(
+    "client_breaker_trips_total",
+    "Times a breaker moved from closed/half-open to open.",
+    labels=("endpoint",),
+)
+BREAKER_FAST_FAILS = METRICS.counter(
+    "client_breaker_fast_fails_total",
+    "Calls refused immediately because the breaker was open.",
+    labels=("endpoint",),
+)
+
+CLOSED, OPEN, HALF_OPEN = "closed", "open", "half_open"
+_STATE_CODE = {CLOSED: 0, OPEN: 1, HALF_OPEN: 2}
+
+
+class CircuitBreaker:
+    """One endpoint's breaker; thread-safe."""
+
+    def __init__(
+        self,
+        endpoint: str,
+        failure_threshold: int | None = None,
+        reset_timeout: float | None = None,
+    ) -> None:
+        self.endpoint = endpoint
+        self.failure_threshold = (
+            failure_threshold
+            if failure_threshold is not None
+            else SETTINGS.breaker_failure_threshold
+        )
+        self.reset_timeout = (
+            reset_timeout
+            if reset_timeout is not None
+            else SETTINGS.breaker_reset_timeout
+        )
+        self._mu = threading.Lock()
+        self._state = CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        self._probing = False
+        self._set_state(CLOSED)
+
+    # -- state machine ---------------------------------------------------------
+
+    def _set_state(self, state: str) -> None:
+        self._state = state
+        BREAKER_STATE.labels(self.endpoint).set(_STATE_CODE[state])
+
+    @property
+    def state(self) -> str:
+        with self._mu:
+            self._maybe_half_open()
+            return self._state
+
+    def _maybe_half_open(self) -> None:
+        if (
+            self._state == OPEN
+            and time.monotonic() - self._opened_at >= self.reset_timeout
+        ):
+            self._set_state(HALF_OPEN)
+            self._probing = False
+
+    def acquire(self) -> None:
+        """Admit a call or raise :class:`CircuitOpenError`.
+
+        In half-open, exactly one caller wins the probe slot; the rest
+        fail fast until the probe reports back.
+        """
+        with self._mu:
+            self._maybe_half_open()
+            if self._state == CLOSED:
+                return
+            if self._state == HALF_OPEN and not self._probing:
+                self._probing = True
+                return
+            BREAKER_FAST_FAILS.labels(self.endpoint).inc()
+            raise CircuitOpenError(
+                f"circuit open for endpoint {self.endpoint}"
+            )
+
+    def record_success(self) -> None:
+        """Report a successful call: reset the count, close the breaker."""
+        with self._mu:
+            self._failures = 0
+            self._probing = False
+            if self._state != CLOSED:
+                self._set_state(CLOSED)
+
+    def record_failure(self) -> None:
+        """Report a failed call: count toward the threshold, or re-trip."""
+        with self._mu:
+            self._probing = False
+            if self._state == HALF_OPEN:
+                self._trip()
+                return
+            self._failures += 1
+            if self._state == CLOSED and self._failures >= self.failure_threshold:
+                self._trip()
+
+    def _trip(self) -> None:
+        self._set_state(OPEN)
+        self._opened_at = time.monotonic()
+        self._failures = 0
+        BREAKER_TRIPS.labels(self.endpoint).inc()

@@ -1,0 +1,216 @@
+"""A bounded, health-checked connection pool for one endpoint.
+
+Connections are expensive relative to statements (TCP handshake plus a
+server session slot), so the driver reuses them — but a reused socket
+may be silently dead: the server restarted, drained, or a chaos proxy
+cut it while it sat idle. Three defenses keep stale sockets from turning
+into statement failures:
+
+- a connection idle longer than ``client_health_check_interval`` is
+  **pinged** before reuse; no pong → discard and dial a fresh one;
+- a connection whose server announced close (a ``"close": true`` drain
+  frame) or that raised a connection-level error is **discarded** on
+  release, never re-queued;
+- the pool is **bounded**: at most ``client_pool_size`` live
+  connections, and ``acquire`` waits at most ``client_acquire_timeout``
+  before raising :class:`~repro.errors.PoolTimeoutError` — backpressure
+  surfaces at the client instead of unbounded connection growth at an
+  already-struggling server.
+
+The pool is per-endpoint; :class:`~repro.client.driver.ResilientClient`
+keeps one pool per discovered endpoint and retires pools whose endpoint
+disappears from discovery.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.errors import PoolTimeoutError, ReproError
+from repro.obs import METRICS
+from repro.server.net import SQLClient
+from repro.settings import SETTINGS
+
+POOL_DIALS = METRICS.counter(
+    "client_pool_dials_total", "Fresh TCP connections established.")
+POOL_REUSES = METRICS.counter(
+    "client_pool_reuses_total", "Acquires satisfied by an idle pooled connection.")
+POOL_DISCARDS = METRICS.counter(
+    "client_pool_discards_total", "Connections dropped as broken or stale.")
+POOL_TIMEOUTS = METRICS.counter(
+    "client_pool_acquire_timeouts_total", "Acquires that hit the bounded wait.")
+POOL_HEALTH_FAILS = METRICS.counter(
+    "client_pool_health_check_fails_total", "Pre-reuse pings that found a dead socket.")
+
+
+class PooledConnection:
+    """An :class:`SQLClient` plus the pool bookkeeping around it."""
+
+    __slots__ = ("client", "endpoint", "last_used", "broken")
+
+    def __init__(self, client: SQLClient, endpoint: tuple[str, int]) -> None:
+        self.client = client
+        self.endpoint = endpoint
+        self.last_used = time.monotonic()
+        self.broken = False
+
+    def execute(self, sql: str, *, key: str | None = None,
+                timeout: float | None = None):
+        """Run a statement; connection-level failures mark us broken."""
+        if timeout is not None:
+            # Bound the socket read slightly past the server deadline so
+            # the server's own timeout error wins the race when it can.
+            self.client.settimeout(timeout + 1.0)
+        try:
+            return self.client.execute(sql, key=key, timeout=timeout)
+        except ReproError:
+            if self.client.server_closed:
+                self.broken = True
+            raise
+
+    def ping(self) -> bool:
+        """Health probe: True iff the server still answers on this socket."""
+        return self.client.ping()
+
+    def close(self) -> None:
+        """Close the underlying socket."""
+        self.client.close()
+
+
+class ConnectionPool:
+    """Bounded pool of connections to a single ``(host, port)`` endpoint."""
+
+    def __init__(
+        self,
+        endpoint: tuple[str, int],
+        size: int | None = None,
+        acquire_timeout: float | None = None,
+        connect_timeout: float | None = None,
+        health_check_interval: float | None = None,
+    ) -> None:
+        self.endpoint = endpoint
+        self.size = size if size is not None else SETTINGS.client_pool_size
+        self.acquire_timeout = (
+            acquire_timeout if acquire_timeout is not None
+            else SETTINGS.client_acquire_timeout)
+        self.connect_timeout = (
+            connect_timeout if connect_timeout is not None
+            else SETTINGS.client_connect_timeout)
+        self.health_check_interval = (
+            health_check_interval if health_check_interval is not None
+            else SETTINGS.client_health_check_interval)
+        self._mu = threading.Condition()
+        self._idle: list[PooledConnection] = []
+        self._live = 0
+        self._closed = False
+
+    # -- acquire / release -----------------------------------------------------
+
+    def acquire(self, timeout: float | None = None) -> PooledConnection:
+        """An idle connection, or a fresh dial, within the bounded wait.
+
+        Raises :class:`PoolTimeoutError` when all ``size`` connections
+        stay busy past the acquire timeout; connection errors from the
+        dial itself propagate (the breaker/retry layers above classify
+        them).
+        """
+        budget = self.acquire_timeout if timeout is None else timeout
+        deadline = time.monotonic() + budget
+        while True:
+            dial = False
+            with self._mu:
+                if self._closed:
+                    raise PoolTimeoutError("pool is closed")
+                while True:
+                    conn = self._take_healthy_idle()
+                    if conn is not None:
+                        POOL_REUSES.inc()
+                        return conn
+                    if self._live < self.size:
+                        self._live += 1  # reserve the slot before dialing
+                        dial = True
+                        break
+                    left = deadline - time.monotonic()
+                    if left <= 0 or not self._mu.wait(timeout=left):
+                        POOL_TIMEOUTS.inc()
+                        raise PoolTimeoutError(
+                            f"no connection to {self.endpoint} within "
+                            f"{budget:.1f}s (pool size {self.size})"
+                        )
+            if dial:
+                try:
+                    return self._dial()
+                except BaseException:
+                    with self._mu:
+                        self._live -= 1
+                        self._mu.notify()
+                    raise
+
+    def _take_healthy_idle(self) -> PooledConnection | None:
+        """Pop idle connections until one passes its health check.
+
+        Called with the lock held; pings happen on sockets no other
+        thread can hold, so releasing the lock is unnecessary (pings are
+        sub-millisecond against a live server, and a dead one answers
+        by EOF immediately).
+        """
+        while self._idle:
+            conn = self._idle.pop()
+            idle_for = time.monotonic() - conn.last_used
+            if idle_for < self.health_check_interval or conn.ping():
+                return conn
+            POOL_HEALTH_FAILS.inc()
+            self._discard_locked(conn)
+        return None
+
+    def _dial(self) -> PooledConnection:
+        host, port = self.endpoint
+        client = SQLClient(host, port, timeout=self.connect_timeout)
+        POOL_DIALS.inc()
+        return PooledConnection(client, self.endpoint)
+
+    def release(self, conn: PooledConnection, *, discard: bool = False) -> None:
+        """Return a connection; broken or drain-closed ones are dropped."""
+        if discard or conn.broken or conn.client.server_closed:
+            with self._mu:
+                self._discard_locked(conn)
+                self._mu.notify()
+            return
+        conn.last_used = time.monotonic()
+        with self._mu:
+            if self._closed:
+                self._discard_locked(conn)
+                return
+            self._idle.append(conn)
+            self._mu.notify()
+
+    def _discard_locked(self, conn: PooledConnection) -> None:
+        self._live -= 1
+        POOL_DISCARDS.inc()
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        """Close every idle connection and refuse future acquires."""
+        with self._mu:
+            self._closed = True
+            idle, self._idle = self._idle, []
+            for conn in idle:
+                self._discard_locked(conn)
+            self._mu.notify_all()
+
+    def stats(self) -> dict[str, int]:
+        """Current ``{"live", "idle"}`` connection counts."""
+        with self._mu:
+            return {"live": self._live, "idle": len(self._idle)}
+
+    def __enter__(self) -> "ConnectionPool":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

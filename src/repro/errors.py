@@ -138,8 +138,37 @@ class StatementTimeoutError(TxnError):
     """
 
 
+class ConfigError(ReproError):
+    """A configuration value (e.g. a ``REPRO_*`` environment override) is
+    malformed or out of range. The message names the offending variable so
+    the operator can fix it without reading a traceback."""
+
+
 class ServerError(ReproError):
     """Base class for session-server failures (admission, protocol)."""
+
+
+class ProtocolError(ServerError):
+    """A wire frame violated the line protocol: oversized message,
+    mid-frame EOF, or a malformed request/response object. Typed so both
+    sides fail the *frame*, not the process, and never hang on a
+    half-received line."""
+
+
+class ConnectionLostError(ServerError):
+    """The peer vanished mid-exchange (reset, broken pipe, empty read).
+
+    Raised client-side when a response never arrives. Retry safety is the
+    *caller's* judgment: an idempotency-keyed autocommit statement may be
+    re-sent (the server dedup cache absorbs the duplicate), a statement
+    inside an open transaction may not (the block must be replayed)."""
+
+
+class ServerDrainingError(ServerError):
+    """The server is draining: it finished (or refused) this statement and
+    is closing the connection. Retryable against another endpoint — the
+    pool treats the accompanying close frame as an orderly goodbye, not a
+    failure of the statement's semantics."""
 
 
 class ServerOverloadedError(ServerError):
@@ -150,6 +179,32 @@ class ServerOverloadedError(ServerError):
 
 class SessionClosedError(ServerError):
     """A statement was submitted on a closed (or never-opened) session."""
+
+
+class ClientError(ReproError):
+    """Base class for client-driver failures (pool, breaker, retry)."""
+
+
+class PoolTimeoutError(ClientError):
+    """No pooled connection became available within the acquire timeout.
+
+    The pool is bounded by design; this is backpressure surfacing at the
+    client instead of unbounded connection growth at the server."""
+
+
+class CircuitOpenError(ClientError):
+    """The endpoint's circuit breaker is open: recent failures crossed the
+    threshold and the cool-down has not elapsed, so the call fails fast
+    instead of burning a connection on a host that is known to be down."""
+
+
+class RetriesExceededError(ClientError):
+    """The retry policy gave up: attempts or the operation deadline ran
+    out. ``last_error`` carries the final underlying failure."""
+
+    def __init__(self, message: str, last_error: BaseException | None = None):
+        super().__init__(message)
+        self.last_error = last_error
 
 
 class ReplicationError(ReproError):

@@ -412,6 +412,14 @@ def main(argv: list[str] | None = None) -> int:
 
         forwarded.remove("--threaded")
         return chaos_mt.main(forwarded)
+    # ``--net`` switches to the network-edge harness (fault-tolerant
+    # client driver vs. a killing proxy, commit-window primary crashes,
+    # and graceful drain/restart under load).
+    if "--net" in forwarded:
+        from repro.resilience import chaos_net
+
+        forwarded.remove("--net")
+        return chaos_net.main(forwarded)
 
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(

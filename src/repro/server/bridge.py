@@ -46,6 +46,11 @@ class ReplicatedDatabase(Database):
         self.rs = replica_set
         self._bound_node = None
         self._bound_table = None
+        #: Chaos hook, called after the engine applied a commit but before
+        #: it is shipped/acknowledged — the exactly-once window. The
+        #: network-edge harness uses it to crash the primary "between
+        #: apply and ack"; production leaves it None.
+        self.commit_fault: "Any | None" = None
         self._rebind()
 
     # -- primary binding -------------------------------------------------------
@@ -81,6 +86,8 @@ class ReplicatedDatabase(Database):
         be reached: the commit is locally durable but NOT acknowledged
         (in-doubt) — callers must not treat the statement as succeeded.
         """
+        if self.commit_fault is not None:
+            self.commit_fault()
         self.rs._commit_and_ack()
 
     # -- overload shedding -----------------------------------------------------

@@ -15,8 +15,10 @@ every component built afterwards without plumbing arguments through.
 
 Override naming: field ``lock_timeout`` <- env ``REPRO_LOCK_TIMEOUT``,
 parsed by the field's type (int/float/bool). Unknown variables are
-ignored; malformed values raise at import, loudly, rather than silently
-running with defaults.
+ignored; malformed values raise :class:`~repro.errors.ConfigError` at
+import — naming the offending variable — loudly, rather than silently
+running with defaults or surfacing a bare ``ValueError`` deep inside
+whichever constructor first reads the field.
 """
 
 from __future__ import annotations
@@ -24,6 +26,8 @@ from __future__ import annotations
 import dataclasses
 import os
 from dataclasses import dataclass
+
+from repro.errors import ConfigError
 
 
 @dataclass
@@ -74,21 +78,87 @@ class Settings:
     #: Max commits a standby may trail and still serve routed reads.
     replication_max_lag: int = 2
 
+    # -- wire protocol and graceful drain (new in PR 9) -----------------------
+    #: Largest request/response line either side will read; longer frames
+    #: fail with a typed ProtocolError instead of unbounded buffering.
+    max_message_bytes: int = 1 << 20
+    #: Entries the server's idempotency-key dedup cache retains (LRU).
+    dedup_cache_size: int = 4096
+    #: Seconds SQLServer.drain() waits for in-flight statements before
+    #: cleanly aborting the stragglers.
+    drain_timeout: float = 5.0
+
+    # -- client driver: pool, retries, breakers (new in PR 9) -----------------
+    #: Pooled connections per endpoint.
+    client_pool_size: int = 4
+    #: Seconds an acquire() may wait for a pooled connection.
+    client_acquire_timeout: float = 5.0
+    #: Seconds to establish one TCP connection.
+    client_connect_timeout: float = 2.0
+    #: Overall per-operation deadline (connect + queue + execute + retries).
+    client_op_timeout: float = 15.0
+    #: Retry attempts before RetriesExceededError.
+    client_max_retries: int = 8
+    #: First backoff sleep in seconds; doubles per attempt (full jitter).
+    client_backoff_base: float = 0.01
+    #: Backoff ceiling in seconds.
+    client_backoff_cap: float = 0.5
+    #: Seconds a pooled connection may sit idle before a ping precedes reuse.
+    client_health_check_interval: float = 30.0
+    #: Consecutive endpoint failures that trip its breaker open.
+    breaker_failure_threshold: int = 5
+    #: Seconds an open breaker waits before letting one probe through.
+    breaker_reset_timeout: float = 0.25
+
+    #: Fields that must parse > 0 from the environment; the rest of the
+    #: numeric fields must be >= 0 (0 commonly means "disabled").
+    _POSITIVE = frozenset({
+        "max_sessions", "worker_threads", "max_queue", "batch_size",
+        "deadline_check_interval", "wal_flush_threshold",
+        "replication_heartbeat_timeout", "max_message_bytes",
+        "dedup_cache_size", "client_pool_size",
+        "breaker_failure_threshold",
+    })
+
     @classmethod
     def from_env(cls, env: dict[str, str] | None = None) -> "Settings":
-        """Defaults overlaid with ``REPRO_<FIELD>`` environment variables."""
+        """Defaults overlaid with ``REPRO_<FIELD>`` environment variables.
+
+        Malformed or out-of-range values raise
+        :class:`~repro.errors.ConfigError` naming the variable: a typo'd
+        override should stop the process at import, not resurface as a
+        ``ValueError`` inside whichever constructor reads the field first.
+        """
         env = os.environ if env is None else env
         overrides: dict[str, object] = {}
         for field in dataclasses.fields(cls):
-            raw = env.get(f"REPRO_{field.name.upper()}")
+            var = f"REPRO_{field.name.upper()}"
+            raw = env.get(var)
             if raw is None:
                 continue
             if field.type in ("int", int):
-                overrides[field.name] = int(raw)
+                kind, parse = "integer", int
             elif field.type in ("float", float):
-                overrides[field.name] = float(raw)
+                kind, parse = "number", float
             else:  # pragma: no cover - no such fields today
                 overrides[field.name] = raw
+                continue
+            try:
+                value = parse(raw)
+            except ValueError:
+                raise ConfigError(
+                    f"{var}: expected {kind!s}, got {raw!r}"
+                ) from None
+            if field.name in cls._POSITIVE:
+                if value <= 0:
+                    raise ConfigError(
+                        f"{var}: must be a positive {kind}, got {raw!r}"
+                    )
+            elif value < 0:
+                raise ConfigError(
+                    f"{var}: must be a non-negative {kind}, got {raw!r}"
+                )
+            overrides[field.name] = value
         return cls(**overrides)
 
     def replace(self, **overrides: object) -> "Settings":

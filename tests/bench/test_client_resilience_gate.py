@@ -1,0 +1,85 @@
+"""Regression gate for the client-resilience benchmark (BENCH_9.json).
+
+Mirrors the other bench gates: the committed report must exist with the
+expected schema and sane numbers, and a small in-process re-run must
+show the pooled driver completing every operation with a bounded tail
+through an injected drain-and-restart — the acceptance criterion for
+the fault-tolerant driver is "no unbounded hang, no failed operations",
+not a raw latency number (CI boxes vary too much for that).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench.client_resilience import SCHEMA, run
+
+BENCH_PATH = Path(__file__).resolve().parents[2] / "BENCH_9.json"
+
+#: In-process quick point: every pooled operation must land under this
+#: many milliseconds even through the restart window. Deliberately loose
+#: (the committed report shows ~50ms p99); it exists to catch hangs and
+#: retry storms, not small regressions.
+MAX_POOLED_MS = 20_000.0
+
+
+@pytest.fixture(scope="module")
+def report() -> dict:
+    assert BENCH_PATH.exists(), (
+        "BENCH_9.json missing - run: PYTHONPATH=src python -m "
+        "repro.bench.client_resilience --out BENCH_9.json"
+    )
+    data = json.loads(BENCH_PATH.read_text())
+    assert data["schema"] == SCHEMA
+    return data
+
+
+def _mode(report: dict, name: str) -> dict:
+    matches = [m for m in report["modes"] if m["mode"] == name]
+    assert len(matches) == 1, f"expected exactly one {name!r} mode entry"
+    return matches[0]
+
+
+class TestCommittedReport:
+    def test_both_modes_present(self, report: dict) -> None:
+        assert {m["mode"] for m in report["modes"]} == {"pooled", "bare"}
+
+    def test_pooled_lost_nothing(self, report: dict) -> None:
+        pooled = _mode(report, "pooled")
+        assert pooled["operations"] > 0
+        assert pooled["failed"] == 0
+        assert pooled["completed"] == pooled["operations"]
+
+    def test_pooled_tail_is_bounded(self, report: dict) -> None:
+        pooled = _mode(report, "pooled")
+        assert 0 < pooled["p99_ms"] <= pooled["max_ms"]
+        # The whole run, failover included, finished: max latency is a
+        # real number far below the operation deadline (30s).
+        assert pooled["max_ms"] < 30_000.0
+
+    def test_percentiles_ordered(self, report: dict) -> None:
+        for mode in report["modes"]:
+            assert mode["p50_ms"] <= mode["p95_ms"] <= mode["p99_ms"]
+
+    def test_failover_actually_happened(self, report: dict) -> None:
+        for mode in report["modes"]:
+            assert "drain" in mode  # drain stats recorded per mode
+
+
+class TestQuickPoint:
+    """One small live point: pooled driver through a real restart."""
+
+    def test_pooled_survives_restart(self) -> None:
+        result = run(threads=2, ops_per_thread=20, seed=7)
+        pooled = _mode(result, "pooled")
+        assert pooled["operations"] == 40
+        assert pooled["failed"] == 0, (
+            "pooled driver lost operations through the restart"
+        )
+        assert pooled["max_ms"] < MAX_POOLED_MS, (
+            f"tail latency {pooled['max_ms']}ms suggests a hang or "
+            f"retry storm through the failover"
+        )

@@ -1,0 +1,79 @@
+"""CircuitBreaker: closed → open → half-open state machine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.client.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from repro.errors import CircuitOpenError
+
+
+def make(threshold: int = 3, reset: float = 60.0) -> CircuitBreaker:
+    return CircuitBreaker(
+        "test:0", failure_threshold=threshold, reset_timeout=reset)
+
+
+class TestClosed:
+    def test_starts_closed_and_admits(self) -> None:
+        breaker = make()
+        assert breaker.state == CLOSED
+        breaker.acquire()  # does not raise
+
+    def test_trips_at_threshold(self) -> None:
+        breaker = make(threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+        breaker.record_failure()
+        assert breaker.state == OPEN
+
+    def test_success_resets_the_count(self) -> None:
+        breaker = make(threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+
+
+class TestOpen:
+    def test_fails_fast_while_open(self) -> None:
+        breaker = make(threshold=1)
+        breaker.record_failure()
+        with pytest.raises(CircuitOpenError):
+            breaker.acquire()
+
+    def test_half_opens_after_reset_timeout(self) -> None:
+        breaker = make(threshold=1, reset=0.0)
+        breaker.record_failure()
+        assert breaker.state == HALF_OPEN
+
+
+class TestHalfOpen:
+    def _half_open(self) -> CircuitBreaker:
+        breaker = make(threshold=1, reset=0.0)
+        breaker.record_failure()
+        assert breaker.state == HALF_OPEN
+        return breaker
+
+    def test_exactly_one_probe_admitted(self) -> None:
+        breaker = self._half_open()
+        breaker.acquire()  # the probe
+        with pytest.raises(CircuitOpenError):
+            breaker.acquire()  # everyone else fails fast
+
+    def test_probe_success_closes(self) -> None:
+        breaker = self._half_open()
+        breaker.acquire()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        breaker.acquire()
+
+    def test_probe_failure_reopens(self) -> None:
+        breaker = make(threshold=1, reset=3600.0)
+        breaker.record_failure()
+        breaker._opened_at -= 3600.0  # fast-forward the cool-down
+        breaker.acquire()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        with pytest.raises(CircuitOpenError):
+            breaker.acquire()

@@ -1,0 +1,105 @@
+"""RetryPolicy: classification matrix, full-jitter backoff, deadlines."""
+
+from __future__ import annotations
+
+import random
+import time
+
+import pytest
+
+from repro.client.retry import RetryPolicy, remaining
+from repro.errors import (
+    CircuitOpenError,
+    ConnectionLostError,
+    DeadlockError,
+    PoolTimeoutError,
+    ProtocolError,
+    ReplicationError,
+    RetriesExceededError,
+    ServerDrainingError,
+    ServerOverloadedError,
+    SQLError,
+)
+
+
+class TestClassification:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            DeadlockError("victim"),
+            ServerOverloadedError("shed"),
+            ServerDrainingError("bye"),
+            PoolTimeoutError("full"),
+            CircuitOpenError("open"),
+        ],
+    )
+    def test_safe_errors_retry_with_or_without_key(self, exc) -> None:
+        policy = RetryPolicy()
+        assert policy.classify(exc, keyed=False)
+        assert policy.classify(exc, keyed=True)
+
+    def test_connection_loss_is_ambiguous(self) -> None:
+        policy = RetryPolicy()
+        exc = ConnectionLostError("ack lost")
+        assert not policy.classify(exc, keyed=False)
+        assert policy.classify(exc, keyed=True)
+
+    @pytest.mark.parametrize(
+        "exc",
+        [ReplicationError("in doubt"), ProtocolError("bad frame")],
+    )
+    def test_never_retry_even_keyed(self, exc) -> None:
+        policy = RetryPolicy()
+        assert not policy.classify(exc, keyed=True)
+
+    def test_plain_sql_errors_never_retry(self) -> None:
+        policy = RetryPolicy()
+        assert not policy.classify(SQLError("syntax error"), keyed=True)
+
+
+class TestBackoff:
+    def test_full_jitter_bounded_by_exponential_cap(self) -> None:
+        policy = RetryPolicy(
+            backoff_base=0.1, backoff_cap=1.0, rng=random.Random(42))
+        for attempt in range(12):
+            ceiling = min(1.0, 0.1 * (2 ** attempt))
+            for _ in range(20):
+                delay = policy.backoff(attempt)
+                assert 0.0 <= delay <= ceiling
+
+    def test_jitter_varies(self) -> None:
+        policy = RetryPolicy(
+            backoff_base=0.5, backoff_cap=10.0, rng=random.Random(1))
+        draws = {policy.backoff(4) for _ in range(10)}
+        assert len(draws) > 1
+
+    def test_sleep_clipped_to_deadline(self) -> None:
+        policy = RetryPolicy(
+            backoff_base=10.0, backoff_cap=10.0, rng=random.Random(0))
+        deadline = time.monotonic() + 0.05
+        started = time.monotonic()
+        policy.sleep(5, deadline)
+        assert time.monotonic() - started < 1.0
+
+
+class TestGiveUpAndRemaining:
+    def test_gives_up_after_max_retries(self) -> None:
+        policy = RetryPolicy(max_retries=3)
+        assert not policy.give_up(2, None)
+        assert policy.give_up(3, None)
+
+    def test_gives_up_past_deadline(self) -> None:
+        policy = RetryPolicy(max_retries=1000)
+        assert policy.give_up(0, time.monotonic() - 0.01)
+        assert not policy.give_up(0, time.monotonic() + 60)
+
+    def test_remaining_none_means_unbounded(self) -> None:
+        assert remaining(None) is None
+
+    def test_remaining_positive_budget(self) -> None:
+        left = remaining(time.monotonic() + 5.0)
+        assert left is not None and 0 < left <= 5.0
+
+    def test_remaining_raises_when_expired(self) -> None:
+        with pytest.raises(RetriesExceededError):
+            remaining(time.monotonic() - 0.01)
