@@ -1,0 +1,25 @@
+"""Sharded scale-out: shard map, distributed router, 2PC, split/rebalance."""
+
+from repro.cluster.cluster import Cluster, Shard
+from repro.cluster.router import Router
+from repro.cluster.shardmap import ShardMap, ShardMapError
+from repro.cluster.twopc import (
+    CoordinatorCrash,
+    CoordinatorLog,
+    PrepareJournal,
+    TwoPhaseCoordinator,
+    TwoPhaseError,
+)
+
+__all__ = [
+    "Cluster",
+    "Shard",
+    "Router",
+    "ShardMap",
+    "ShardMapError",
+    "CoordinatorCrash",
+    "CoordinatorLog",
+    "PrepareJournal",
+    "TwoPhaseCoordinator",
+    "TwoPhaseError",
+]

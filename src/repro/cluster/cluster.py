@@ -1,0 +1,466 @@
+"""The sharded cluster: N replica sets behind one shard map and one router.
+
+A :class:`Cluster` scales the single ReplicaSet deployment *out*: each
+shard is a complete :class:`~repro.replication.replicaset.ReplicaSet`
+(primary + standbys + failover + quorum acks) owning one region of key
+space per the :class:`~repro.cluster.shardmap.ShardMap`. On top ride:
+
+- a :class:`~repro.cluster.router.Router` for reads (single-shard point
+  lookups, scatter-gather ranges, k-merged NN);
+- a :class:`~repro.cluster.twopc.TwoPhaseCoordinator` for writes that
+  straddle shards (single-shard writes bypass it — the common case pays
+  nothing for the rare one);
+- **shard split**: when a shard's row count crosses
+  ``split_threshold``, half of its key space moves to a fresh shard —
+  rows are re-routed under the post-split map, bulk-copied to the target
+  as acknowledged replica-set writes, MVCC-deleted at the source, and
+  the source is VACUUMed and online-REPACKed so its index physically
+  shrinks to its remaining region. The map persists only after the data
+  has moved, so a crash mid-split leaves the old routing intact (the
+  copied rows at the target are unreachable orphans, re-moved by the
+  retried split). Splits are synchronous maintenance operations, run
+  between client batches like VACUUM.
+
+Durability boundaries match the single-shard story: an acknowledged
+single-shard write survived quorum; an acknowledged multi-shard write
+has its COMMIT record fsync'd in the coordinator log and will complete
+on every shard across any combination of coordinator and shard crashes
+(:meth:`recover` / :meth:`resolve_in_doubt`).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Iterator
+
+from repro.errors import ReplicationError
+from repro.obs import METRICS, span
+from repro.replication.node import NODE_SCHEMAS
+from repro.replication.replicaset import ReplicaSet
+from repro.resilience.check import CheckReport, spgist_check
+from repro.settings import SETTINGS
+
+from repro.cluster.router import Router
+from repro.cluster.shardmap import ShardMap
+from repro.cluster.twopc import (
+    CoordinatorLog,
+    PrepareJournal,
+    TwoPhaseCoordinator,
+)
+
+_SPLITS = METRICS.counter(
+    "cluster_shard_splits_total",
+    "Shard splits completed",
+)
+_MOVED_ROWS = METRICS.counter(
+    "cluster_rows_moved_total",
+    "Rows migrated between shards by splits",
+)
+_2PC_COMMITS = METRICS.counter(
+    "cluster_2pc_commits_total",
+    "Multi-shard transactions acknowledged",
+)
+_2PC_ABORTS = METRICS.counter(
+    "cluster_2pc_aborts_total",
+    "Multi-shard transactions aborted at prepare",
+)
+
+#: kind -> the equality-ish operator used to probe whether a prepared
+#: row already landed (commit_prepared idempotence).
+_EQ_OP = {
+    "trie": "=",
+    "kdtree": "@",
+    "pquad": "@",
+    "pmr": "=",
+}
+
+
+class Shard:
+    """One shard: a ReplicaSet plus its durable prepare journal.
+
+    Implements the participant API
+    :class:`~repro.cluster.twopc.TwoPhaseCoordinator` drives:
+    ``prepare`` / ``commit_prepared`` / ``abort_prepared``.
+    """
+
+    def __init__(self, shard_id: int, rs: ReplicaSet, journal: PrepareJournal) -> None:
+        self.id = shard_id
+        self.rs = rs
+        self.journal = journal
+
+    # -- 2PC participant API ---------------------------------------------------
+
+    def prepare(self, gid: str, rows: list[tuple]) -> None:
+        """Durably park ``rows``; raising is a NO vote.
+
+        A shard with no live primary cannot promise to commit, so the
+        vote requires one — the journal append is the durable YES.
+        """
+        self.rs._require_primary()
+        self.journal.prepare(gid, rows)
+
+    def commit_prepared(self, gid: str) -> None:
+        """Apply the parked rows as an acknowledged write. Idempotent.
+
+        Recovery may re-drive this after a partial fan-out, possibly on a
+        shard that already applied: the journal tombstone is the fast
+        'already done' check, and a presence probe catches the crash
+        window between apply and tombstone. In that window the rows are
+        applied but unforgotten — re-applying would double-insert, so the
+        probe finds them and only re-runs the quorum barrier.
+        """
+        rows = self.journal.pending().get(gid)
+        if rows is None:
+            return  # tombstoned: applied and acknowledged previously
+        if rows and self._all_present(rows):
+            # Applied, crashed before the tombstone. Re-ack: an empty
+            # commit is a quorum barrier proving the rows replicated.
+            self.rs._require_primary()
+            self.rs._commit_and_ack()
+        elif rows:
+            self.rs.client_write(rows)
+        self.journal.forget(gid)
+
+    def abort_prepared(self, gid: str) -> None:
+        """Tombstone a parked transaction (presumed abort)."""
+        self.journal.forget(gid)
+
+    def _all_present(self, rows: list[tuple]) -> bool:
+        """Did every prepared row already land on the primary?
+
+        Sound because prepared rows apply as ONE engine transaction:
+        either all versions exist or none do. (The probe requires txn
+        rows to be distinguishable from pre-existing ones — the chaos
+        harness tags each gid's rows uniquely, as real systems tag by
+        primary key.)
+        """
+        op = _EQ_OP[self.rs.kind]
+        for row in rows:
+            matches = list(self.rs.primary.search(op, row[0]))
+            if row not in matches:
+                return False
+        return True
+
+    # -- convenience -----------------------------------------------------------
+
+    @property
+    def primary(self):
+        return self.rs.primary
+
+    @property
+    def table(self):
+        return self.rs.primary.table
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Shard {self.id} primary={self.rs.primary.name}>"
+
+
+class Cluster:
+    """A space- or hash-partitioned cluster of replica-set shards."""
+
+    def __init__(
+        self,
+        directory: str,
+        kind: str = "kdtree",
+        shards: int = 2,
+        replicas: int = 1,
+        quorum: int = 1,
+        heartbeat_timeout: int | None = None,
+        max_lag: int | None = None,
+        fsync: bool = False,
+        pool_pages: int = 64,
+        split_threshold: int | None = None,
+        channel_policies: Any = None,
+    ) -> None:
+        if kind not in NODE_SCHEMAS:
+            raise ReplicationError(
+                f"unknown shard schema kind {kind!r}; "
+                f"choose from {sorted(NODE_SCHEMAS)}"
+            )
+        self.directory = directory
+        self.kind = kind
+        self.replicas = replicas
+        self.quorum = quorum
+        self.heartbeat_timeout = heartbeat_timeout
+        self.max_lag = max_lag
+        self.fsync = fsync
+        self.pool_pages = pool_pages
+        self.split_threshold = (
+            SETTINGS.cluster_split_threshold
+            if split_threshold is None
+            else split_threshold
+        )
+        self._channel_policies = channel_policies
+
+        os.makedirs(directory, exist_ok=True)
+        map_path = self.map_path
+        if os.path.exists(map_path):
+            self.shard_map = ShardMap.load(map_path)
+        elif kind == "trie":
+            self.shard_map = ShardMap.hashed(
+                shards, SETTINGS.cluster_hash_buckets
+            )
+        else:
+            from repro.geometry.box import Box
+
+            self.shard_map = ShardMap.space(
+                shards, Box(0.0, 0.0, 100.0, 100.0)
+            )
+        self.shard_map.save(map_path)
+
+        self.shards: dict[int, Shard] = {}
+        for sid in range(self.shard_map.num_shards):
+            self.shards[sid] = self._open_shard(sid)
+
+        self.router = Router(self.shard_map, self._table_of)
+        self.coordinator = TwoPhaseCoordinator(
+            CoordinatorLog(
+                os.path.join(directory, "coordinator.log"), fsync=fsync
+            ),
+            self.shards,
+        )
+        self.recover()
+
+    # -- shard lifecycle -------------------------------------------------------
+
+    @property
+    def map_path(self) -> str:
+        return os.path.join(self.directory, "shardmap.json")
+
+    def _shard_dir(self, sid: int) -> str:
+        return os.path.join(self.directory, f"shard-{sid}")
+
+    def _open_shard(self, sid: int) -> Shard:
+        path = self._shard_dir(sid)
+        os.makedirs(path, exist_ok=True)
+        rs = ReplicaSet(
+            path,
+            kind=self.kind,
+            replicas=self.replicas,
+            quorum=self.quorum,
+            heartbeat_timeout=self.heartbeat_timeout,
+            max_lag=self.max_lag,
+            fsync=self.fsync,
+            pool_pages=self.pool_pages,
+            channel_policies=self._channel_policies,
+        )
+        journal = PrepareJournal(
+            os.path.join(path, "prepared.log"), fsync=self.fsync
+        )
+        return Shard(sid, rs, journal)
+
+    def _table_of(self, sid: int):
+        shard = self.shards[sid]
+        shard.rs._require_primary()
+        return shard.table
+
+    # -- writes ----------------------------------------------------------------
+
+    def insert(self, rows: list[tuple]) -> str | int:
+        """Insert ``rows`` wherever they belong; atomic across shards.
+
+        Returns the single shard's commit seq when one shard is touched,
+        or the 2PC gid when several are. Either way, returning means the
+        write is *acknowledged*: it survives any single failure the
+        underlying quorum survives.
+        """
+        groups: dict[int, list[tuple]] = {}
+        map_changed = False
+        for row in rows:
+            key = row[0]
+            map_changed |= self.shard_map.note_key(key)
+            groups.setdefault(self.shard_map.shard_of_key(key), []).append(row)
+        if map_changed:
+            self.shard_map.save(self.map_path)
+        if len(groups) == 1:
+            ((sid, shard_rows),) = groups.items()
+            return self.shards[sid].rs.client_write(shard_rows)
+        try:
+            gid = self.coordinator.write(groups)
+        except Exception:
+            _2PC_ABORTS.inc()
+            raise
+        _2PC_COMMITS.inc()
+        return gid
+
+    # -- reads -----------------------------------------------------------------
+
+    def search(self, op: str, operand: Any) -> list[tuple]:
+        """Routed query, materialized (see :meth:`Router.execute`)."""
+        return self.router.execute(op, operand)
+
+    def search_batches(
+        self, op: str, operand: Any, batch_size: int | None = None
+    ) -> Iterator[list[tuple]]:
+        """Routed query as an incremental batch stream."""
+        return self.router.execute_batches(op, operand, batch_size=batch_size)
+
+    def nn_search(self, operand: Any, limit: int | None = None) -> list[tuple]:
+        """Cross-shard nearest-neighbor search (k-merged, see Router)."""
+        return self.router.nn_search(operand, limit=limit)
+
+    def all_rows(self) -> list[tuple]:
+        """Every live row across every shard (the chaos oracle's probe)."""
+        out: list[tuple] = []
+        for sid in sorted(self.shards):
+            out.extend(self.shards[sid].primary.rows())
+        return out
+
+    # -- split / rebalance -----------------------------------------------------
+
+    def maybe_split(self) -> list[int]:
+        """Split every shard whose row count crossed the threshold.
+
+        Returns the source shard ids that split. One pass; a shard that
+        is still oversized after halving splits again on the next call.
+        """
+        split = []
+        for sid in sorted(self.shards):
+            table = self.shards[sid].table
+            if table is not None and len(table) > self.split_threshold:
+                self.split_shard(sid)
+                split.append(sid)
+        return split
+
+    def split_shard(self, source: int) -> int:
+        """Move half of ``source``'s key space to a brand-new shard.
+
+        Online in the repack mould: the moved quadrants' rows travel as
+        ordinary acknowledged writes, the source's dead versions are
+        VACUUMed, and its SP-GiST index is online-REPACKed down to the
+        remaining region. Returns the new shard id.
+        """
+        target = self.shard_map.num_shards
+        with span("cluster.split", source=source, target=target):
+            self.shards[target] = self._open_shard(target)
+            self.coordinator.participants = self.shards
+            self.shard_map.split(source, target)
+
+            src = self.shards[source]
+            src.rs._require_primary()
+            table = src.table
+            assert table is not None
+
+            # Re-route every source row under the post-split map; rows now
+            # owned by the target move. (Generic over space and hash
+            # schemes — the map answers, the scan just walks the heap.)
+            movers: list[tuple[Any, tuple]] = [
+                (tid, row)
+                for tid, row in table.scan()
+                if self.shard_map.shard_of_key(row[0]) == target
+            ]
+
+            # 1. Copy: acknowledged quorum writes at the target, batched.
+            batch = SETTINGS.batch_size
+            moved_rows = [row for _tid, row in movers]
+            for start in range(0, len(moved_rows), batch):
+                self.shards[target].rs.client_write(
+                    moved_rows[start:start + batch]
+                )
+
+            # 2. Flip: persist the new map — the point of no return. A
+            # crash before this line leaves the old map routing to the
+            # source (target copies are unreachable orphans); after it,
+            # both copies exist but only the target's is reachable.
+            self.shard_map.save(self.map_path)
+
+            # 3. Shrink: MVCC-delete the moved rows at the source in one
+            # replicated transaction, then reclaim + re-cluster.
+            if movers:
+                node = src.primary
+                txn = node.txn.begin()
+                for tid, _row in movers:
+                    table.mvcc_delete(tid, txn)
+                node.txn.commit(txn)
+                src.rs._commit_and_ack()
+                src.rs.client_vacuum()
+                src.rs.client_repack()
+        _SPLITS.inc()
+        _MOVED_ROWS.inc(len(movers))
+        return target
+
+    # -- recovery --------------------------------------------------------------
+
+    def recover(self) -> dict[str, str]:
+        """Coordinator-side recovery: finish or abort unfinished 2PC txns."""
+        return self.coordinator.recover()
+
+    def resolve_in_doubt(self, sid: int) -> dict[str, str]:
+        """Shard-side recovery: resolve a restarted shard's journal.
+
+        Every journaled gid is checked against the coordinator log:
+        present in its commit set → commit_prepared; absent → presumed
+        abort. (A shard cannot decide alone; the log is the authority.)
+        """
+        shard = self.shards[sid]
+        committed = self.coordinator.log.committed_gids()
+        outcomes: dict[str, str] = {}
+        for gid in sorted(shard.journal.pending()):
+            if gid in committed:
+                try:
+                    shard.commit_prepared(gid)
+                except ReplicationError:
+                    # Applied-but-unacked (quorum unreachable right now):
+                    # the journal entry survives, so a later resolve —
+                    # e.g. after standbys rejoin — retries idempotently.
+                    outcomes[gid] = "retry"
+                    continue
+                outcomes[gid] = "committed"
+            else:
+                shard.abort_prepared(gid)
+                outcomes[gid] = "aborted"
+        return outcomes
+
+    # -- faults (chaos harness entry points) -----------------------------------
+
+    def kill_shard(self, sid: int, seed: int | None = None) -> None:
+        """Whole-shard kill: every node of the shard crashes at once."""
+        for node in self.shards[sid].rs.nodes:
+            if not node.crashed:
+                node.crash(seed=seed)
+
+    def restart_shard(self, sid: int) -> None:
+        """Bring a fully-killed shard back and resolve its in-doubt txns."""
+        rs = self.shards[sid].rs
+        if rs.primary.crashed:
+            rs.rejoin(rs.primary)
+        for entry in list(rs.standbys):
+            if entry.node.crashed:
+                rs.rejoin(entry.node)
+        self.resolve_in_doubt(sid)
+
+    # -- verification ----------------------------------------------------------
+
+    def check(self) -> dict[str, CheckReport]:
+        """``spgist_check`` every live node's index, cluster-wide."""
+        reports: dict[str, CheckReport] = {}
+        for sid in sorted(self.shards):
+            for node in self.shards[sid].rs.nodes:
+                if node.crashed:
+                    continue
+                reports[f"shard-{sid}/{node.name}"] = spgist_check(node.index)
+        return reports
+
+    # -- control loop ----------------------------------------------------------
+
+    def tick(self) -> None:
+        """One control-loop beat: per-shard ticks + the 2PC resolver."""
+        for sid in sorted(self.shards):
+            self.shards[sid].rs.tick()
+        # The background resolver every real 2PC coordinator runs: any
+        # transaction still committed-but-not-done (a fan-out leg failed
+        # against a then-dead shard) is re-driven; commit_prepared is
+        # idempotent, so retrying against a recovered shard is safe.
+        if self.coordinator.log.in_flight():
+            self.coordinator.recover()
+
+    def catch_up(self, max_ticks: int = 200) -> bool:
+        """Pump replication until every shard's standbys are current."""
+        return all(
+            self.shards[sid].rs.catch_up(max_ticks) for sid in sorted(self.shards)
+        )
+
+    def close(self) -> None:
+        """Close every shard's replica set (flush + release files)."""
+        for shard in self.shards.values():
+            shard.rs.close()

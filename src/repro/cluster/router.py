@@ -1,0 +1,175 @@
+"""Distributed query routing: single-shard fast path, scatter-gather, NN merge.
+
+The router turns ``key <op> operand`` into per-shard plans against each
+shard's *primary* table and streams the results back:
+
+- **point lookups** (``=``/``@`` on a routable key) touch exactly one
+  shard — the :class:`~repro.cluster.shardmap.ShardMap` names it and a
+  single :func:`~repro.engine.executor.execute_plan_batches` pipeline
+  runs there;
+- **range/window/regex/containment** queries scatter to every shard the
+  map cannot prune away and gather the per-shard batch streams in
+  deterministic shard-id order;
+- **nearest-neighbour** queries k-merge the shards' *incremental* NN
+  cursors: each shard contributes a lazily-advanced stream in
+  ``(distance, TID)`` order (the PR 10 tie-break makes that order total
+  and stable), and a single ``heapq.merge`` interleaves them, pulling
+  from a shard only while it can still beat the global frontier — the
+  distributed form of the paper's Hjaltason–Samet ranked traversal.
+
+Reads run on primaries for linearizability (routed standby reads remain
+available per-shard through each ReplicaSet); the router is about
+*which shards*, not *which replica*.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Iterator
+
+from repro.engine.executor import (
+    _nn_distance_function,
+    execute_plan_batches,
+)
+from repro.engine.planner import Predicate, plan_query
+from repro.obs import METRICS
+from repro.replication.node import _INDEX_NAME
+
+from repro.cluster.shardmap import ShardMap
+
+_SINGLE_SHARD = METRICS.counter(
+    "cluster_single_shard_queries_total",
+    "Queries the shard map routed to exactly one shard",
+)
+_SCATTER = METRICS.counter(
+    "cluster_scatter_queries_total",
+    "Queries fanned out to multiple shards",
+)
+_SHARDS_VISITED = METRICS.counter(
+    "cluster_shards_visited_total",
+    "Per-shard plan executions the router dispatched",
+)
+
+
+class Router:
+    """Plans and executes queries across the cluster's shards.
+
+    ``tables`` is a callable ``shard_id -> Table`` resolving the shard's
+    current primary table at execution time (primaries move on failover,
+    so the router must never cache them).
+    """
+
+    def __init__(self, shard_map: ShardMap, tables: Callable[[int], Any]) -> None:
+        self.shard_map = shard_map
+        self._table = tables
+
+    # -- routing ---------------------------------------------------------------
+
+    def shards_for(self, op: str, operand: Any) -> list[int]:
+        """The shard ids this query must visit (delegates to the map)."""
+        return self.shard_map.shards_for(op, operand)
+
+    # -- scatter-gather --------------------------------------------------------
+
+    def execute_batches(
+        self, op: str, operand: Any, batch_size: int | None = None
+    ) -> Iterator[list[tuple]]:
+        """Stream result batches for ``key <op> operand``.
+
+        Single-shard routes run one pipeline; scatter routes concatenate
+        the shards' batch streams in shard-id order, so the result is
+        deterministic for a fixed cluster state. NN queries go through
+        :meth:`nn_merged` instead (a concatenation of per-shard NN
+        streams would not be globally distance-ordered).
+        """
+        if op == "@@":
+            yield from _chunk(
+                (row for _d, _t, _s, row in self.nn_merged(operand)),
+                batch_size,
+            )
+            return
+        shards = self.shards_for(op, operand)
+        (_SINGLE_SHARD if len(shards) == 1 else _SCATTER).inc()
+        for sid in shards:
+            _SHARDS_VISITED.inc()
+            table = self._table(sid)
+            plan = plan_query(table, Predicate("key", op, operand))
+            plan.served_by = f"shard-{sid}"
+            yield from execute_plan_batches(plan, batch_size=batch_size)
+
+    def execute(self, op: str, operand: Any) -> list[tuple]:
+        """Materialized convenience wrapper over :meth:`execute_batches`."""
+        return [
+            row for batch in self.execute_batches(op, operand) for row in batch
+        ]
+
+    # -- cross-shard nearest neighbour -----------------------------------------
+
+    def _shard_nn_stream(
+        self, sid: int, operand: Any
+    ) -> Iterator[tuple[float, tuple[int, int], int, tuple]]:
+        """One shard's incremental NN cursor as a mergeable stream.
+
+        Yields ``(distance, (page_id, slot), shard_id, row)`` in strictly
+        increasing ``(distance, TID)`` order — the per-shard total order
+        the core NN queue now guarantees — advancing the underlying
+        Hjaltason–Samet cursor only when the merge pulls.
+        """
+        table = self._table(sid)
+        index = table.indexes[_INDEX_NAME]
+        position = table.column_index("key")
+        distance = _nn_distance_function(table.columns[position].type_name)
+        snapshot = table.current_snapshot()
+        for tid in index.nn_scan(operand):
+            row = table.fetch(tid, snapshot)
+            if row is None:
+                continue  # not visible under this shard's snapshot
+            yield (
+                distance(row[position], operand),
+                (tid.page_id, tid.slot),
+                sid,
+                row,
+            )
+
+    def nn_merged(
+        self, operand: Any
+    ) -> Iterator[tuple[float, tuple[int, int], int, tuple]]:
+        """All shards' NN streams, k-merged into one global ranking.
+
+        ``heapq.merge`` holds one head per shard and always emits the
+        globally nearest, so a ``LIMIT k`` consumer advances each shard's
+        cursor only as far as that shard stays competitive. Ties are
+        total: equal distances order by TID, then shard id — never by
+        row payload, so heterogeneous rows never get compared.
+        """
+        _SCATTER.inc()
+        streams = []
+        for sid in range(self.shard_map.num_shards):
+            _SHARDS_VISITED.inc()
+            streams.append(self._shard_nn_stream(sid, operand))
+        return heapq.merge(
+            *streams, key=lambda item: (item[0], item[1], item[2])
+        )
+
+    def nn_search(self, operand: Any, limit: int | None = None) -> list[tuple]:
+        """The nearest ``limit`` rows cluster-wide (all rows when None)."""
+        out: list[tuple] = []
+        for _d, _tid, _sid, row in self.nn_merged(operand):
+            out.append(row)
+            if limit is not None and len(out) >= limit:
+                break
+        return out
+
+
+def _chunk(rows: Iterator[tuple], batch_size: int | None) -> Iterator[list[tuple]]:
+    from repro.settings import SETTINGS
+
+    size = SETTINGS.batch_size if batch_size is None else batch_size
+    batch: list[tuple] = []
+    for row in rows:
+        batch.append(row)
+        if len(batch) >= size:
+            yield batch
+            batch = []
+    if batch:
+        yield batch

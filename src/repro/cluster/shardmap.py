@@ -1,0 +1,315 @@
+"""The shard map: which shard owns which region of key space.
+
+Two partitioning schemes, chosen by the indexed type:
+
+- **space partitioning** (points, segments) — the SP-GiST quadrant
+  decomposition itself defines the shard boundaries (GP-Tree's adaptive
+  grid cells, PAPERS.md): the world box is recursively quartered and
+  every shard owns a set of *quadrant prefixes* — strings over the
+  digits ``0..3`` (SW, SE, NW, NE) naming a path from the root quadrant.
+  The prefixes of all shards are the leaves of one quadtree covering the
+  world, so every point routes to exactly one shard and a window query
+  routes to exactly the shards whose quadrants it intersects. Segments
+  route by midpoint; window queries over segments expand the search box
+  by the largest half-extent ever inserted (tracked in the map) so a
+  segment whose midpoint lies just outside the window is still found.
+
+- **hash partitioning** (strings) — CRC32 of the key modulo a fixed
+  number of virtual buckets, each bucket assigned to a shard. Equality
+  routes to one shard; prefix/regex/substring queries scatter.
+
+The map is an ordinary catalog object: :meth:`save` persists it as JSON
+in the cluster directory and :meth:`load` revives it on restart, so a
+recovering coordinator routes exactly as the crashed one did.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.errors import ReproError
+from repro.geometry.box import Box
+from repro.geometry.point import Point
+from repro.geometry.segment import LineSegment
+
+#: Quadrant digit layout: index = (1 if east) + (2 if north).
+_QUADS = "0123"
+
+
+class ShardMapError(ReproError):
+    """A routing request the shard map cannot serve."""
+
+
+def _child_region(region: Box, digit: str) -> Box:
+    """The sub-quadrant of ``region`` named by one prefix digit."""
+    cx = (region.xmin + region.xmax) / 2.0
+    cy = (region.ymin + region.ymax) / 2.0
+    if digit == "0":
+        return Box(region.xmin, region.ymin, cx, cy)
+    if digit == "1":
+        return Box(cx, region.ymin, region.xmax, cy)
+    if digit == "2":
+        return Box(region.xmin, cy, cx, region.ymax)
+    if digit == "3":
+        return Box(cx, cy, region.xmax, region.ymax)
+    raise ShardMapError(f"invalid quadrant digit {digit!r}")
+
+
+def prefix_region(prefix: str, world: Box) -> Box:
+    """The world sub-box a quadrant prefix names ('' = the whole world)."""
+    region = world
+    for digit in prefix:
+        region = _child_region(region, digit)
+    return region
+
+
+def point_digit(point: Point, region: Box) -> str:
+    """Which quadrant of ``region`` contains ``point``.
+
+    Points on a split line go east/north — the same half-open convention
+    at every level, so routing is a function of the point alone.
+    """
+    cx = (region.xmin + region.xmax) / 2.0
+    cy = (region.ymin + region.ymax) / 2.0
+    return _QUADS[(1 if point.x >= cx else 0) + (2 if point.y >= cy else 0)]
+
+
+def hash_bucket(key: str, buckets: int) -> int:
+    """Stable bucket of a string key (CRC32, like hash-partitioned tables)."""
+    return zlib.crc32(str(key).encode("utf-8")) % buckets
+
+
+@dataclass
+class ShardMap:
+    """Key space → shard id, under either partitioning scheme."""
+
+    scheme: str  # "space" | "hash"
+    num_shards: int
+    world: Box = field(default_factory=lambda: Box(0.0, 0.0, 100.0, 100.0))
+    #: space: quadrant prefix -> shard id; the prefixes are the leaves of
+    #: one quadtree partition of the world (complete, non-overlapping).
+    prefixes: dict[str, int] = field(default_factory=dict)
+    #: hash: virtual bucket -> shard id.
+    buckets: list[int] = field(default_factory=list)
+    #: Largest half-extent (half bbox diagonal reach per axis) of any
+    #: segment ever inserted — the window-query expansion radius.
+    max_half_extent: float = 0.0
+    #: Bumped by every split; persisted so restarts observe the newest map.
+    version: int = 0
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def space(cls, num_shards: int, world: Box) -> "ShardMap":
+        """Quarter the world until there are >= num_shards leaf quadrants,
+        then deal the leaves round-robin."""
+        if num_shards < 1:
+            raise ShardMapError("a cluster needs at least one shard")
+        leaves = [""]
+        while len(leaves) < num_shards:
+            leaves.sort(key=lambda p: (len(p), p))
+            parent = leaves.pop(0)
+            leaves.extend(parent + d for d in _QUADS)
+        leaves.sort()
+        prefixes = {leaf: i % num_shards for i, leaf in enumerate(leaves)}
+        return cls(
+            scheme="space", num_shards=num_shards, world=world,
+            prefixes=prefixes,
+        )
+
+    @classmethod
+    def hashed(cls, num_shards: int, buckets: int) -> "ShardMap":
+        if num_shards < 1:
+            raise ShardMapError("a cluster needs at least one shard")
+        if buckets < num_shards:
+            raise ShardMapError(
+                f"{buckets} buckets cannot cover {num_shards} shards"
+            )
+        return cls(
+            scheme="hash",
+            num_shards=num_shards,
+            buckets=[b % num_shards for b in range(buckets)],
+        )
+
+    # -- routing --------------------------------------------------------------
+
+    def _max_depth(self) -> int:
+        return max((len(p) for p in self.prefixes), default=0)
+
+    def shard_of_point(self, point: Point) -> int:
+        """Walk the point's quadrant digits to its owning shard."""
+        region = self.world
+        prefix = ""
+        for _ in range(self._max_depth() + 1):
+            if prefix in self.prefixes:
+                return self.prefixes[prefix]
+            digit = point_digit(point, region)
+            region = _child_region(region, digit)
+            prefix += digit
+        raise ShardMapError(
+            f"point {point} matched no quadrant prefix (map corrupt?)"
+        )
+
+    def shard_of_key(self, key: Any) -> int:
+        """The single shard that stores rows keyed by ``key``."""
+        if self.scheme == "hash":
+            return self.buckets[hash_bucket(key, len(self.buckets))]
+        if isinstance(key, LineSegment):
+            return self.shard_of_point(key.midpoint())
+        if isinstance(key, Point):
+            return self.shard_of_point(key)
+        raise ShardMapError(
+            f"space-partitioned map cannot route key {key!r}"
+        )
+
+    def note_key(self, key: Any) -> bool:
+        """Track per-key routing metadata; True when the map changed.
+
+        Only segments carry metadata today: the window-expansion radius
+        must dominate every stored segment's reach from its midpoint.
+        """
+        if self.scheme == "space" and isinstance(key, LineSegment):
+            reach = max(
+                abs(key.a.x - key.b.x), abs(key.a.y - key.b.y)
+            ) / 2.0
+            if reach > self.max_half_extent:
+                self.max_half_extent = reach
+                return True
+        return False
+
+    def shards_for_box(self, box: Box, expand: bool = False) -> list[int]:
+        """Every shard whose region intersects ``box`` (sorted, unique)."""
+        if self.scheme != "space":
+            return list(range(self.num_shards))
+        if expand and self.max_half_extent > 0.0:
+            box = Box(
+                box.xmin - self.max_half_extent,
+                box.ymin - self.max_half_extent,
+                box.xmax + self.max_half_extent,
+                box.ymax + self.max_half_extent,
+            )
+        hit = {
+            shard
+            for prefix, shard in self.prefixes.items()
+            if prefix_region(prefix, self.world).intersects(box)
+        }
+        return sorted(hit)
+
+    def shards_for(self, op: str, operand: Any) -> list[int]:
+        """The shards a ``key <op> operand`` query must visit (sorted)."""
+        everywhere = list(range(self.num_shards))
+        if op == "@@":
+            return everywhere  # cross-shard NN is a k-merge over all
+        if self.scheme == "hash":
+            if op == "=" and isinstance(operand, str):
+                return [self.shard_of_key(operand)]
+            return everywhere  # prefix/regex/glob/substring scatter
+        if op in ("=", "@") and isinstance(operand, (Point, LineSegment)):
+            return [self.shard_of_key(operand)]
+        if op == "^" and isinstance(operand, Box):
+            return self.shards_for_box(operand)
+        if op == "&&" and isinstance(operand, Box):
+            return self.shards_for_box(operand, expand=True)
+        return everywhere
+
+    # -- splitting ------------------------------------------------------------
+
+    def shard_prefixes(self, shard_id: int) -> list[str]:
+        """The quadrant prefixes ``shard_id`` owns, sorted."""
+        return sorted(p for p, s in self.prefixes.items() if s == shard_id)
+
+    def split(self, source: int, target: int) -> None:
+        """Reassign roughly half of ``source``'s key space to ``target``.
+
+        Space scheme: the source's shortest prefix is quartered and two
+        of its four child quadrants move (the quadtree deepens exactly
+        where the data pressure is — GP-Tree's adaptive cell refinement);
+        with several prefixes already, whole prefixes move instead. Hash
+        scheme: half of the source's buckets move. The caller migrates
+        the rows and persists the map.
+        """
+        if target == source:
+            raise ShardMapError("cannot split a shard into itself")
+        if self.scheme == "hash":
+            owned = [b for b, s in enumerate(self.buckets) if s == source]
+            if len(owned) < 2:
+                raise ShardMapError(
+                    f"shard {source} owns {len(owned)} bucket(s); cannot split"
+                )
+            for b in owned[: len(owned) // 2]:
+                self.buckets[b] = target
+        else:
+            owned = self.shard_prefixes(source)
+            if not owned:
+                raise ShardMapError(f"shard {source} owns no quadrants")
+            if len(owned) == 1:
+                parent = owned[0]
+                del self.prefixes[parent]
+                children = [parent + d for d in _QUADS]
+                self.prefixes[children[0]] = source
+                self.prefixes[children[3]] = source
+                self.prefixes[children[1]] = target
+                self.prefixes[children[2]] = target
+            else:
+                movers = sorted(owned, key=lambda p: (len(p), p))
+                for prefix in movers[: len(owned) // 2]:
+                    self.prefixes[prefix] = target
+        self.num_shards = max(self.num_shards, target + 1)
+        self.version += 1
+
+    # -- catalog persistence --------------------------------------------------
+
+    def to_json(self) -> dict[str, Any]:
+        """The catalog representation :meth:`save` persists."""
+        return {
+            "scheme": self.scheme,
+            "num_shards": self.num_shards,
+            "world": [
+                self.world.xmin, self.world.ymin,
+                self.world.xmax, self.world.ymax,
+            ],
+            "prefixes": dict(self.prefixes),
+            "buckets": list(self.buckets),
+            "max_half_extent": self.max_half_extent,
+            "version": self.version,
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict[str, Any]) -> "ShardMap":
+        return cls(
+            scheme=payload["scheme"],
+            num_shards=int(payload["num_shards"]),
+            world=Box(*payload["world"]),
+            prefixes={str(k): int(v) for k, v in payload["prefixes"].items()},
+            buckets=[int(b) for b in payload["buckets"]],
+            max_half_extent=float(payload.get("max_half_extent", 0.0)),
+            version=int(payload.get("version", 0)),
+        )
+
+    def save(self, path: str) -> None:
+        """Durable catalog write: temp file, fsync, atomic rename."""
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(self.to_json(), handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+
+    @classmethod
+    def load(cls, path: str) -> "ShardMap":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_json(json.load(handle))
+
+    # -- invariants (used by tests and spgist_check-style verification) --------
+
+    def covers_world(self, samples: Iterable[Point]) -> bool:
+        """Every sample point routes to exactly one in-range shard."""
+        if self.scheme == "hash":
+            return all(0 <= s < self.num_shards for s in self.buckets)
+        return all(
+            0 <= self.shard_of_point(p) < self.num_shards for p in samples
+        )

@@ -1,0 +1,346 @@
+"""Two-phase commit over replica-set shards, with presumed abort.
+
+A multi-shard write must be all-or-nothing even though each shard is an
+independent :class:`~repro.replication.replicaset.ReplicaSet` with its
+own WAL. The classic protocol, layered on the existing transaction and
+replication subsystems:
+
+**Phase 1 — prepare.** For every participant shard the coordinator
+appends a *prepare record* (the transaction's rows for that shard) to
+the shard's durable :class:`PrepareJournal` and fsyncs it. A shard whose
+primary is unreachable cannot vote yes; the journal append itself is the
+vote. Prepared rows are NOT yet applied to the shard's table — exactly
+like PostgreSQL's ``PREPARE TRANSACTION``, the state is parked durably
+until the verdict arrives.
+
+**Phase 2 — decide and fan out.** With every vote in, the coordinator
+force-writes ``COMMIT`` to its own :class:`CoordinatorLog` — *that fsync
+is the commit point and the acknowledgement point*. It then fans
+``commit_prepared`` out to the participants (apply the journaled rows as
+an ordinary quorum-acknowledged replica-set write, then tombstone the
+journal entry) and finally logs ``DONE`` so recovery can forget the
+transaction. Any prepare failure before the commit point aborts: the
+coordinator tombstones whatever prepares landed and raises — **presumed
+abort**, so a participant that finds a journaled transaction with no
+``COMMIT`` record anywhere rolls it back without asking.
+
+**Coordinator recovery.** :meth:`TwoPhaseCoordinator.recover` replays the
+log: ``COMMIT`` without ``DONE`` → the fan-out is retried (participants
+make ``commit_prepared`` idempotent by probing for the rows before
+re-applying); ``begin`` without ``COMMIT`` → presumed abort, the
+journals are tombstoned. Crashing at any instant therefore loses nothing
+acknowledged and leaks nothing unacknowledged.
+
+The ``crash_*`` attributes are chaos hooks: the harness assigns callables
+that raise :class:`CoordinatorCrash` at the three interesting instants
+(before any prepare, after all prepares, mid-commit-fan-out) and then
+drives recovery on a fresh coordinator over the same log.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Callable
+
+from repro.errors import ReproError
+from repro.geometry.point import Point
+from repro.geometry.segment import LineSegment
+
+
+class TwoPhaseError(ReproError):
+    """A distributed transaction could not reach a clean verdict."""
+
+
+class CoordinatorCrash(ReproError):
+    """Raised by chaos hooks to kill the coordinator at a chosen instant."""
+
+
+# -- row (de)serialization ------------------------------------------------------
+#
+# Journal and log entries must survive a process restart, so geometry keys
+# are encoded structurally; strings/ints pass through as JSON scalars.
+
+def encode_value(value: Any) -> Any:
+    """Encode one column value as a JSON-serializable scalar or marker."""
+    if isinstance(value, Point):
+        return {"pt": [value.x, value.y]}
+    if isinstance(value, LineSegment):
+        return {"seg": [value.a.x, value.a.y, value.b.x, value.b.y]}
+    return value
+
+
+def decode_value(value: Any) -> Any:
+    """Inverse of :func:`encode_value`."""
+    if isinstance(value, dict):
+        if "pt" in value:
+            return Point(*value["pt"])
+        if "seg" in value:
+            ax, ay, bx, by = value["seg"]
+            return LineSegment(Point(ax, ay), Point(bx, by))
+    return value
+
+
+def encode_rows(rows: list[tuple]) -> list[list]:
+    """Encode rows for the journal/log (see :func:`encode_value`)."""
+    return [[encode_value(v) for v in row] for row in rows]
+
+
+def decode_rows(rows: list[list]) -> list[tuple]:
+    """Inverse of :func:`encode_rows`."""
+    return [tuple(decode_value(v) for v in row) for row in rows]
+
+
+class _JsonLineLog:
+    """Append-only JSON-line file with fsync'd appends (shared base)."""
+
+    def __init__(self, path: str, fsync: bool = True) -> None:
+        self.path = path
+        self.fsync = fsync
+
+    def append(self, record: dict) -> None:
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record) + "\n")
+            handle.flush()
+            if self.fsync:
+                os.fsync(handle.fileno())
+
+    def records(self) -> list[dict]:
+        if not os.path.exists(self.path):
+            return []
+        out: list[dict] = []
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    out.append(json.loads(line))
+                except json.JSONDecodeError:
+                    # A torn final line from a crash mid-append: the record
+                    # never became durable, so it never happened (a torn
+                    # prepare is a NO vote; a torn COMMIT means presumed
+                    # abort). Nothing after it can exist.
+                    break
+        return out
+
+
+class PrepareJournal(_JsonLineLog):
+    """One shard's durable parking lot for prepared transactions.
+
+    ``prepare`` appends ``{"gid", "rows"}``; ``forget`` appends a
+    tombstone. :meth:`pending` folds the log: every gid with a prepare
+    but no tombstone is in doubt and must be resolved against the
+    coordinator log (presumed abort when absent there).
+    """
+
+    def prepare(self, gid: str, rows: list[tuple]) -> None:
+        """Durably park ``rows`` for ``gid`` — the shard's YES vote."""
+        self.append({"op": "prepare", "gid": gid, "rows": encode_rows(rows)})
+
+    def forget(self, gid: str) -> None:
+        """Tombstone ``gid`` (applied or aborted — resolved either way)."""
+        self.append({"op": "forget", "gid": gid})
+
+    def pending(self) -> dict[str, list[tuple]]:
+        """gid -> parked rows for every unresolved (in-doubt) txn."""
+        live: dict[str, list[tuple]] = {}
+        for record in self.records():
+            if record["op"] == "prepare":
+                live[record["gid"]] = decode_rows(record["rows"])
+            elif record["op"] == "forget":
+                live.pop(record["gid"], None)
+        return live
+
+    def compact(self) -> None:
+        """Rewrite the journal with only the still-pending entries."""
+        pending = self.pending()
+        tmp = self.path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            for gid, rows in pending.items():
+                handle.write(json.dumps(
+                    {"op": "prepare", "gid": gid, "rows": encode_rows(rows)}
+                ) + "\n")
+            handle.flush()
+            if self.fsync:
+                os.fsync(handle.fileno())
+        os.replace(tmp, self.path)
+
+
+class CoordinatorLog(_JsonLineLog):
+    """The coordinator's force-written decision log.
+
+    Records: ``begin`` (gid + participant shard ids), ``commit`` (the
+    commit point), ``done`` (fan-out finished, forgettable). Absence of
+    ``commit`` IS the abort verdict — aborts are never logged (presumed
+    abort), which is what makes a crash between begin and commit safe.
+    """
+
+    def begin(self, gid: str, shards: list[int]) -> None:
+        """Record the participant set before any prepare is sent."""
+        self.append({"op": "begin", "gid": gid, "shards": shards})
+
+    def commit(self, gid: str) -> None:
+        """Force-write the commit verdict — THE commit/ack point."""
+        self.append({"op": "commit", "gid": gid})
+
+    def done(self, gid: str) -> None:
+        """Record that every fan-out leg landed; recovery may forget."""
+        self.append({"op": "done", "gid": gid})
+
+    def in_flight(self) -> dict[str, dict]:
+        """gid -> {"shards": [...], "committed": bool} for unfinished txns."""
+        state: dict[str, dict] = {}
+        for record in self.records():
+            gid = record["gid"]
+            if record["op"] == "begin":
+                state[gid] = {"shards": record["shards"], "committed": False}
+            elif record["op"] == "commit" and gid in state:
+                state[gid]["committed"] = True
+            elif record["op"] == "done":
+                state.pop(gid, None)
+        return state
+
+    def committed_gids(self) -> set[str]:
+        """Every gid that ever reached the commit point (incl. done ones)."""
+        return {
+            r["gid"] for r in self.records() if r["op"] == "commit"
+        }
+
+
+class TwoPhaseCoordinator:
+    """Runs 2PC across participants that expose the prepared-write API.
+
+    ``participants`` maps shard id → an object with three methods (the
+    cluster's :class:`~repro.cluster.cluster.Shard` provides them):
+
+    - ``prepare(gid, rows)`` — durably park the rows; raising = NO vote;
+    - ``commit_prepared(gid)`` — apply the parked rows as an acknowledged
+      write (idempotent: re-invocation after a partial fan-out must not
+      double-apply);
+    - ``abort_prepared(gid)`` — tombstone the parked rows.
+    """
+
+    def __init__(self, log: CoordinatorLog, participants: dict[int, Any]) -> None:
+        self.log = log
+        self.participants = participants
+        # Continue gid numbering past anything already in the log: a
+        # recovered coordinator must never mint a gid a journal or the
+        # log already knows under a different transaction.
+        self._gid_counter = 0
+        for record in log.records():
+            gid = record.get("gid", "")
+            if gid.startswith("txn-"):
+                try:
+                    self._gid_counter = max(self._gid_counter, int(gid[4:]))
+                except ValueError:
+                    pass
+        #: Chaos hooks (callables that raise CoordinatorCrash), or None.
+        self.crash_before_prepare: Callable[[], None] | None = None
+        self.crash_after_prepares: Callable[[], None] | None = None
+        self.crash_mid_commit_fanout: Callable[[], None] | None = None
+
+    def next_gid(self) -> str:
+        """Mint the next globally-unique transaction id."""
+        self._gid_counter += 1
+        return f"txn-{self._gid_counter:06d}"
+
+    # -- the protocol ----------------------------------------------------------
+
+    def write(self, rows_by_shard: dict[int, list[tuple]], gid: str | None = None) -> str:
+        """Commit ``rows_by_shard`` atomically across its shards.
+
+        Returns the gid once the transaction is *acknowledged* (COMMIT
+        force-written); per-shard fan-out failures after that point are
+        recovery's problem, not the caller's. Raises
+        :class:`TwoPhaseError` when any prepare fails — the transaction
+        aborted and no shard will ever show its rows.
+        """
+        gid = gid or self.next_gid()
+        shards = sorted(s for s, rows in rows_by_shard.items() if rows)
+        if not shards:
+            return gid
+        self.log.begin(gid, shards)
+
+        if self.crash_before_prepare is not None:
+            self.crash_before_prepare()
+
+        # Phase 1: collect durable YES votes, in shard order (deterministic).
+        prepared: list[int] = []
+        for sid in shards:
+            try:
+                self.participants[sid].prepare(gid, rows_by_shard[sid])
+            except CoordinatorCrash:
+                raise
+            except Exception as exc:
+                # Presumed abort: no COMMIT record will ever exist, so the
+                # already-prepared shards roll back; the tombstones below
+                # are an optimization, not a correctness requirement.
+                for done_sid in prepared:
+                    try:
+                        self.participants[done_sid].abort_prepared(gid)
+                    except Exception:
+                        pass  # recovery will presume abort from the log
+                raise TwoPhaseError(
+                    f"{gid}: shard {sid} voted no ({exc})"
+                ) from exc
+            prepared.append(sid)
+
+        if self.crash_after_prepares is not None:
+            self.crash_after_prepares()
+
+        # The commit point: one fsync'd record. Everything before it
+        # aborts on a crash; everything after it completes on recovery.
+        self.log.commit(gid)
+
+        # Phase 2: fan out. A failed leg leaves the gid committed-but-
+        # not-done; the remaining legs still run (one slow shard must not
+        # delay the others), and recover() retries the failures
+        # idempotently until every leg lands.
+        incomplete = False
+        for i, sid in enumerate(shards):
+            if i > 0 and self.crash_mid_commit_fanout is not None:
+                self.crash_mid_commit_fanout()
+            try:
+                self.participants[sid].commit_prepared(gid)
+            except CoordinatorCrash:
+                raise
+            except Exception:
+                incomplete = True  # acknowledged; completion owed by recovery
+        if not incomplete:
+            self.log.done(gid)
+        return gid
+
+    # -- recovery --------------------------------------------------------------
+
+    def recover(self) -> dict[str, str]:
+        """Resolve every unfinished transaction in the log.
+
+        Returns gid -> "committed" | "aborted" for everything resolved.
+        Called on a fresh coordinator over a crashed one's log, and
+        harmlessly on a clean log.
+        """
+        outcomes: dict[str, str] = {}
+        for gid, state in sorted(self.log.in_flight().items()):
+            if state["committed"]:
+                # COMMIT, no DONE: finish the fan-out. commit_prepared is
+                # idempotent, so shards that already applied are no-ops.
+                complete = True
+                for sid in state["shards"]:
+                    try:
+                        self.participants[sid].commit_prepared(gid)
+                    except Exception:
+                        complete = False  # shard down: retry next recover()
+                if complete:
+                    self.log.done(gid)
+                outcomes[gid] = "committed"
+            else:
+                # begin, no COMMIT: presumed abort.
+                for sid in state["shards"]:
+                    try:
+                        self.participants[sid].abort_prepared(gid)
+                    except Exception:
+                        pass  # the shard will presume abort when it asks
+                self.log.done(gid)
+                outcomes[gid] = "aborted"
+        return outcomes

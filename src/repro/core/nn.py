@@ -38,10 +38,46 @@ _OBS_NN_NODES = METRICS.counter(
 ).labels("nn")
 
 
+class _ObjectTie:
+    """Heap tie-break for equal-distance data objects: TID order.
+
+    Orders by the entry's stored value (the heap TupleId in a table
+    index), falling back to discovery order when two values are equal
+    (spanning trees enqueue the same TID under several keys) or not
+    mutually comparable (bare indexes carrying arbitrary payloads). The
+    fallback never leaks nondeterminism into table scans: equal-TID
+    entries are duplicates of one object, and the stream is deduped.
+    """
+
+    __slots__ = ("value", "seq")
+
+    def __init__(self, value: Any, seq: int) -> None:
+        self.value = value
+        self.seq = seq
+
+    def __lt__(self, other: "_ObjectTie") -> bool:
+        try:
+            if self.value < other.value:
+                return True
+            if other.value < self.value:
+                return False
+        except TypeError:
+            pass
+        return self.seq < other.seq
+
+
 def nn_search(
     index: "SPGiSTIndex", query: Any
 ) -> Iterator[tuple[float, Any, Any]]:
-    """Yield ``(distance, key, value)`` in non-decreasing distance order."""
+    """Yield ``(distance, key, value)`` in non-decreasing distance order.
+
+    The order is a *stable total order*: entries at equal distance come
+    out in TID (stored-value) order, because inner nodes expand before
+    any equal-distance object is reported and equal-distance objects
+    tie-break on their value (:class:`_ObjectTie`). Every consumer —
+    tuple-at-a-time, batched, and the cluster's cross-shard k-merge —
+    therefore observes the same sequence for the same tree contents.
+    """
     methods = index.methods
     if not methods.supports_nn:
         raise NotImplementedError(
@@ -59,18 +95,24 @@ def _nn_ranked(
 ) -> Iterator[tuple[float, Any, Any]]:
     methods = index.methods
     tiebreak = itertools.count()
-    # Queue entries: (distance, tiebreak, is_object, payload, level, state)
-    # where payload is a NodeRef for nodes and a (key, value) pair for
-    # objects. The tiebreak keeps heap comparisons away from payloads.
-    queue: list[tuple[float, int, bool, Any, int, Any]] = [
-        (0.0, next(tiebreak), False, index.root, 0,
+    # Queue entries: (distance, kind, tie, payload, level, state) where
+    # payload is a NodeRef for inner nodes (kind 0, tie = discovery
+    # counter) and a (key, value) pair for data objects (kind 1, tie =
+    # value/TID order). Popping all equal-distance nodes before any
+    # equal-distance object means every object at distance d is enqueued
+    # before the first one is reported, so objects stream out in a stable
+    # (distance, TID) total order regardless of tree shape — the
+    # determinism the cross-shard k-merge and the batch/tuple
+    # differential oracle rely on.
+    queue: list[tuple[float, int, Any, Any, int, Any]] = [
+        (0.0, 0, next(tiebreak), index.root, 0,
          methods.nn_initial_state(query))
     ]
     seen: set[tuple[Any, Any]] | None = set() if methods.spanning else None
 
     while queue:
-        distance, _, is_object, payload, level, state = heapq.heappop(queue)
-        if is_object:
+        distance, kind, _, payload, level, state = heapq.heappop(queue)
+        if kind == 1:
             key, value = payload
             if seen is not None:
                 token = (key, value)
@@ -90,8 +132,8 @@ def _nn_ranked(
                 # the presence of slightly loose bounds.
                 heapq.heappush(
                     queue,
-                    (max(d, distance), next(tiebreak), True, (key, value),
-                     level, None),
+                    (max(d, distance), 1, _ObjectTie(value, next(tiebreak)),
+                     (key, value), level, None),
                 )
             continue
 
@@ -105,7 +147,7 @@ def _nn_ranked(
             )
             heapq.heappush(
                 queue,
-                (max(bound, distance), next(tiebreak), False, entry.child,
+                (max(bound, distance), 0, next(tiebreak), entry.child,
                  level + delta, child_state),
             )
 

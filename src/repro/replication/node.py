@@ -61,6 +61,7 @@ NODE_SCHEMAS: dict[str, tuple[str, str, dict]] = {
     "trie": ("varchar", "SP_GiST_trie", {"bucket_size": 4}),
     "kdtree": ("point", "SP_GiST_kdtree", {}),
     "pquad": ("point", "SP_GiST_pquadtree", {"bucket_size": 4}),
+    "pmr": ("lseg", "SP_GiST_pmr", {}),
 }
 
 _SEGMENTS_SHIPPED = METRICS.counter(
@@ -161,6 +162,33 @@ class StorageNode:
         node.archive = []
         node.archive_floor = 1
         node.outbox = []
+        return node
+
+    @classmethod
+    def reopen_primary(
+        cls,
+        name: str,
+        path: str,
+        kind: str,
+        fsync: bool = True,
+        pool_pages: int = 64,
+    ) -> "StorageNode":
+        """Cold-start a primary from an existing data directory.
+
+        The same recovery path :meth:`restart` runs after a crash —
+        opening the WAL replays committed records and discards the
+        uncommitted tail, and the meta page names the commit the files
+        represent — but reachable without a prior in-process crash, so a
+        cluster can shut down cleanly and reopen its shards later.
+        """
+        if not os.path.exists(path):
+            raise ReplicationError(f"data file {path!r} does not exist")
+        node = cls(name, path, kind, "primary", fsync=fsync, pool_pages=pool_pages)
+        node.commit_seq = node.meta_commit_seq
+        node.archive = []
+        node.archive_floor = node.commit_seq
+        node.outbox = []
+        node._attach_listener()
         return node
 
     @classmethod

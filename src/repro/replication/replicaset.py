@@ -145,10 +145,21 @@ class ReplicaSet:
         self._node_counter = 0
         self.last_served_by = ""
 
-        self.primary = StorageNode.create_primary(
-            self._next_name(), self._path(0), kind,
-            fsync=fsync, pool_pages=pool_pages,
-        )
+        primary_path = self._path(0)
+        if os.path.exists(primary_path):
+            # Cold restart of an existing replica set: the primary reopens
+            # through WAL recovery; standbys below re-seed by basebackup
+            # (their previous files are overwritten — a standby's state is
+            # always derivable from the primary's).
+            self.primary = StorageNode.reopen_primary(
+                self._next_name(), primary_path, kind,
+                fsync=fsync, pool_pages=pool_pages,
+            )
+        else:
+            self.primary = StorageNode.create_primary(
+                self._next_name(), primary_path, kind,
+                fsync=fsync, pool_pages=pool_pages,
+            )
         self.standbys: list[_Standby] = []
         policies = list(channel_policies or [])
         for i in range(replicas):
@@ -353,7 +364,23 @@ class ReplicaSet:
         return list(execute_plan(plan, on_degrade=on_degrade))
 
     def _route_read(self) -> StorageNode:
-        head = self.primary.commit_seq if not self.primary.crashed else None
+        if not self.primary.crashed:
+            head = self.primary.commit_seq
+        else:
+            # Failover window: the crashed primary's head is unreadable,
+            # but the lag bound must hold against the *next* epoch. The
+            # most-caught-up live standby is exactly the node `_failover`
+            # will elect, so its applied position is the head — a standby
+            # trailing it by more than max_lag would serve rows the new
+            # primary's epoch forbids, the staleness hole PR 10 closes.
+            head = max(
+                (
+                    entry.node.applied_seq
+                    for entry in self.standbys
+                    if not entry.node.crashed and not entry.node.needs_resync
+                ),
+                default=None,
+            )
         eligible = [
             entry.node
             for entry in self.standbys

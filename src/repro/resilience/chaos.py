@@ -420,6 +420,13 @@ def main(argv: list[str] | None = None) -> int:
 
         forwarded.remove("--net")
         return chaos_net.main(forwarded)
+    # ``--cluster`` switches to the sharded-cluster harness (whole-shard
+    # kills, 2PC coordinator crashes, splits, routed-read oracles).
+    if "--cluster" in forwarded:
+        from repro.resilience import chaos_cluster
+
+        forwarded.remove("--cluster")
+        return chaos_cluster.main(forwarded)
 
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(

@@ -112,12 +112,28 @@ class ReplicatedDatabase(Database):
         ):
             return None
         self._rebind()
+        entry_epoch = self.epoch
         table = self.tables[self.TABLE]
         try:
             predicate = self._bind_predicate(table, column, op, literal)
         except Exception:
             return None
         rows = self.rs.client_read(predicate.op, predicate.operand)
+        served = self.rs.last_served_by
+        # Epoch fence: a failover that completed while the read was in
+        # flight may have promoted a primary the serving node trails by
+        # more than max_lag — rows from the old epoch's routing decision
+        # must not be returned as a bounded-staleness answer. Declining
+        # (None) sends the statement through normal admission against the
+        # new primary instead.
+        self._rebind()
+        if self.epoch != entry_epoch:
+            try:
+                node = self.rs.node(served)
+            except Exception:
+                return None
+            if node.crashed or self.rs.lag_of(node) > self.rs.max_lag:
+                return None
         if limit is not None:
             rows = rows[: int(limit)]
         return rows

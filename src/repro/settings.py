@@ -110,6 +110,13 @@ class Settings:
     #: Seconds an open breaker waits before letting one probe through.
     breaker_reset_timeout: float = 0.25
 
+    # -- cluster: sharding and distributed commit (new in PR 10) --------------
+    #: Rows a shard may hold before ``Cluster.maybe_split`` splits it.
+    cluster_split_threshold: int = 4096
+    #: Virtual hash buckets for hash-partitioned (string) shard maps; more
+    #: buckets mean finer-grained splits at the cost of map size.
+    cluster_hash_buckets: int = 64
+
     #: Fields that must parse > 0 from the environment; the rest of the
     #: numeric fields must be >= 0 (0 commonly means "disabled").
     _POSITIVE = frozenset({
@@ -118,6 +125,7 @@ class Settings:
         "replication_heartbeat_timeout", "max_message_bytes",
         "dedup_cache_size", "client_pool_size",
         "breaker_failure_threshold",
+        "cluster_split_threshold", "cluster_hash_buckets",
     })
 
     @classmethod

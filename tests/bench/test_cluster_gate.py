@@ -1,0 +1,89 @@
+"""Scale-out regression gate against the committed BENCH_10.json.
+
+Fast tier pins the committed artifact to the ISSUE 10 acceptance bar:
+≥2x read throughput at 4 shards over unsharded, and single-shard point
+lookups through the router within 20% of a direct plan. The slow-tier
+test re-runs the quick scale in-process (CI's cluster smoke job runs the
+same configuration via the CLI) so a regressed routing or caching path
+cannot hide behind a stale artifact.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench.cluster_scale import SCALES, SCHEMA, SHARD_COUNTS, run_scale
+
+#: The committed benchmark baseline at the repo root.
+BENCH_PATH = Path(__file__).resolve().parents[2] / "BENCH_10.json"
+
+#: ISSUE 10 acceptance: ≥2x aggregate read throughput at 4 shards.
+REQUIRED_SPEEDUP = 2.0
+
+#: ISSUE 10 acceptance: router point lookups within 20% of direct.
+MAX_POINT_OVERHEAD = 1.2
+
+#: Loose floor for the in-process re-run; the committed cliff is >40x,
+#: so 2x cannot flake on scheduler noise while still catching a dead
+#: cache or a router that stopped pruning.
+RERUN_SPEEDUP_FLOOR = 2.0
+RERUN_OVERHEAD_CEILING = 1.5
+
+
+@pytest.fixture(scope="module")
+def committed() -> dict:
+    assert BENCH_PATH.exists(), (
+        f"{BENCH_PATH} is missing; regenerate with "
+        "`PYTHONPATH=src python -m repro.bench.cluster_scale --out BENCH_10.json`"
+    )
+    report = json.loads(BENCH_PATH.read_text())
+    assert report["schema"] == SCHEMA
+    return report
+
+
+class TestCommittedReport:
+    @pytest.mark.parametrize("scale", sorted(SCALES))
+    def test_scale_present_with_every_shard_count(self, committed, scale):
+        counts = committed[scale]["shard_counts"]
+        assert set(counts) == {str(s) for s in SHARD_COUNTS}
+        # identical logical work at every shard count
+        matches = {counts[str(s)]["matches"] for s in SHARD_COUNTS}
+        assert len(matches) == 1
+
+    @pytest.mark.parametrize("scale", sorted(SCALES))
+    def test_speedup_meets_acceptance_floor(self, committed, scale):
+        speedup = committed[scale]["speedup_4_vs_1"]
+        assert speedup >= REQUIRED_SPEEDUP, (
+            f"committed {scale} 4-shard speedup {speedup}x is below the "
+            f"{REQUIRED_SPEEDUP}x acceptance floor"
+        )
+
+    @pytest.mark.parametrize("scale", sorted(SCALES))
+    def test_point_overhead_within_bound(self, committed, scale):
+        ratio = committed[scale]["point_overhead"]["ratio"]
+        assert ratio <= MAX_POINT_OVERHEAD, (
+            f"committed {scale} router point-lookup overhead {ratio}x "
+            f"exceeds the {MAX_POINT_OVERHEAD}x bound"
+        )
+
+    def test_sharding_eliminates_thrash(self, committed):
+        """The mechanism, not just the headline: the unsharded baseline
+        pays page misses the sharded deployments do not."""
+        for scale in SCALES:
+            counts = committed[scale]["shard_counts"]
+            assert counts["1"]["pages_read"] > 0
+            assert counts["4"]["pages_read"] < counts["1"]["pages_read"]
+
+
+@pytest.mark.slow
+class TestRerun:
+    def test_quick_scale_still_scales(self, tmp_path):
+        report = run_scale("quick", str(tmp_path))
+        assert report["speedup_4_vs_1"] >= RERUN_SPEEDUP_FLOOR, (
+            f"scale-out regressed: quick 4-shard speedup is now "
+            f"{report['speedup_4_vs_1']}x (< {RERUN_SPEEDUP_FLOOR}x)"
+        )
+        assert report["point_overhead"]["ratio"] <= RERUN_OVERHEAD_CEILING

@@ -1,0 +1,206 @@
+"""Cluster behaviour: routing, scatter-gather, NN merge, split, reopen."""
+
+from __future__ import annotations
+
+import tempfile
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.geometry import Box, euclidean
+from repro.geometry.point import Point
+from repro.workloads import random_points, random_segments, random_words
+
+
+@pytest.fixture()
+def point_cluster():
+    with tempfile.TemporaryDirectory() as tmp:
+        cluster = Cluster(
+            tmp, kind="kdtree", shards=4, replicas=1, quorum=1, fsync=False
+        )
+        pts = random_points(200, seed=21)
+        rows = [(p, i) for i, p in enumerate(pts)]
+        cluster.insert(rows)
+        yield cluster, rows
+        cluster.close()
+
+
+class TestRouting:
+    def test_point_lookup_touches_one_shard(self, point_cluster):
+        cluster, rows = point_cluster
+        row = rows[7]
+        assert cluster.router.shards_for("@", row[0]) == [
+            cluster.shard_map.shard_of_key(row[0])
+        ]
+        assert row in cluster.search("@", row[0])
+
+    def test_every_row_lands_on_its_mapped_shard(self, point_cluster):
+        cluster, rows = point_cluster
+        for sid, shard in cluster.shards.items():
+            for key, _id in shard.primary.rows():
+                assert cluster.shard_map.shard_of_key(key) == sid
+
+    def test_window_scatter_matches_model(self, point_cluster):
+        cluster, rows = point_cluster
+        box = Box(10, 10, 60, 60)
+        got = cluster.search("^", box)
+        want = [r for r in rows if box.contains_point(r[0])]
+        assert sorted(got) == sorted(want)
+
+    def test_scatter_batches_equal_materialized(self, point_cluster):
+        cluster, rows = point_cluster
+        box = Box(0, 0, 80, 40)
+        flat = [
+            row
+            for batch in cluster.search_batches("^", box, batch_size=7)
+            for row in batch
+        ]
+        assert flat == cluster.search("^", box)
+
+
+class TestClusterNN:
+    def test_nn_merge_equals_global_brute_force(self, point_cluster):
+        cluster, rows = point_cluster
+        query = Point(33.3, 44.4)
+        got = cluster.nn_search(query, limit=25)
+        want = sorted(euclidean(r[0], query) for r in rows)[:25]
+        assert [euclidean(r[0], query) for r in got] == want
+
+    def test_nn_stream_is_globally_distance_ordered(self, point_cluster):
+        cluster, rows = point_cluster
+        merged = list(cluster.router.nn_merged(Point(50, 50)))
+        assert len(merged) == len(rows)
+        distances = [d for d, _t, _s, _r in merged]
+        assert distances == sorted(distances)
+
+    def test_nn_limit_pulls_lazily(self, point_cluster):
+        """A LIMIT k pull must not drain whole shards."""
+        cluster, rows = point_cluster
+        pulled = {"n": 0}
+        original = cluster.router._shard_nn_stream
+
+        def counting(sid, operand):
+            for item in original(sid, operand):
+                pulled["n"] += 1
+                yield item
+
+        cluster.router._shard_nn_stream = counting  # type: ignore[method-assign]
+        cluster.nn_search(Point(10, 10), limit=5)
+        # 5 results + at most one extra head per shard held by the merge
+        assert pulled["n"] <= 5 + cluster.shard_map.num_shards
+
+    def test_tie_break_is_deterministic_across_runs(self, point_cluster):
+        cluster, rows = point_cluster
+        # Duplicate a handful of keys into OTHER shards' id space: exact
+        # distance ties that straddle shards.
+        dupes = [(rows[i][0], 10_000 + i) for i in range(10)]
+        cluster.insert(dupes)
+        query = rows[3][0]
+        first = cluster.nn_search(query, limit=30)
+        for _ in range(3):
+            assert cluster.nn_search(query, limit=30) == first
+
+
+class TestSegmentsAndStrings:
+    def test_segment_cluster_window_overlap(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            cluster = Cluster(
+                tmp, kind="pmr", shards=2, replicas=1, quorum=1, fsync=False
+            )
+            segs = random_segments(60, seed=22)
+            rows = [(s, i) for i, s in enumerate(segs)]
+            cluster.insert(rows)
+            box = Box(0, 0, 40, 40)
+            got = cluster.search("&&", box)
+            want = [
+                r for r in rows if r[0].bounding_box().intersects(box)
+            ]
+            assert sorted(got) == sorted(want)
+            cluster.close()
+
+    def test_hash_cluster_equality_and_prefix(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            cluster = Cluster(
+                tmp, kind="trie", shards=3, replicas=1, quorum=1, fsync=False
+            )
+            words = random_words(120, seed=23)
+            rows = [(w, i) for i, w in enumerate(words)]
+            cluster.insert(rows)
+            assert rows[9] in cluster.search("=", words[9])
+            prefix = words[0][:2]
+            got = cluster.search("#=", prefix)
+            want = [r for r in rows if r[0].startswith(prefix)]
+            assert sorted(got) == sorted(want)
+            cluster.close()
+
+
+class TestSplit:
+    def test_split_preserves_rows_and_rebalances(self, point_cluster):
+        cluster, rows = point_cluster
+        source = cluster.shard_map.shard_of_key(rows[0][0])
+        before_rows = sorted(cluster.all_rows())
+        before_count = len(cluster.shards[source].primary.rows())
+        target = cluster.split_shard(source)
+        assert sorted(cluster.all_rows()) == before_rows
+        moved = len(cluster.shards[target].primary.rows())
+        assert moved > 0
+        assert len(cluster.shards[source].primary.rows()) == before_count - moved
+        # routing agrees with physical placement after the split
+        for sid in (source, target):
+            for key, _id in cluster.shards[sid].primary.rows():
+                assert cluster.shard_map.shard_of_key(key) == sid
+
+    def test_split_leaves_clean_indexes(self, point_cluster):
+        cluster, rows = point_cluster
+        cluster.split_shard(0)
+        assert all(report.ok for report in cluster.check().values())
+
+    def test_queries_correct_after_split(self, point_cluster):
+        cluster, rows = point_cluster
+        cluster.split_shard(1)
+        box = Box(5, 5, 70, 70)
+        want = [r for r in rows if box.contains_point(r[0])]
+        assert sorted(cluster.search("^", box)) == sorted(want)
+        query = Point(40, 40)
+        got = cluster.nn_search(query, limit=10)
+        assert [euclidean(r[0], query) for r in got] == sorted(
+            euclidean(r[0], query) for r in rows
+        )[:10]
+
+    def test_maybe_split_triggers_on_threshold(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            cluster = Cluster(
+                tmp, kind="kdtree", shards=2, replicas=1, quorum=1,
+                fsync=False, split_threshold=40,
+            )
+            pts = random_points(150, seed=24)
+            cluster.insert([(p, i) for i, p in enumerate(pts)])
+            split = cluster.maybe_split()
+            assert split  # at least one shard was over 40 rows
+            assert cluster.shard_map.num_shards > 2
+            assert len(cluster.all_rows()) == 150
+            cluster.close()
+
+
+class TestReopen:
+    def test_cluster_reopens_with_map_and_data(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            cluster = Cluster(
+                tmp, kind="kdtree", shards=3, replicas=1, quorum=1, fsync=False
+            )
+            pts = random_points(90, seed=25)
+            rows = [(p, i) for i, p in enumerate(pts)]
+            cluster.insert(rows)
+            cluster.split_shard(0)
+            want = sorted(cluster.all_rows())
+            version = cluster.shard_map.version
+            cluster.close()
+
+            reopened = Cluster(
+                tmp, kind="kdtree", shards=3, replicas=1, quorum=1, fsync=False
+            )
+            assert reopened.shard_map.version == version
+            assert reopened.shard_map.num_shards == 4
+            assert sorted(reopened.all_rows()) == want
+            assert rows[5] in reopened.search("@", rows[5][0])
+            reopened.close()

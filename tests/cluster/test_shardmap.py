@@ -1,0 +1,174 @@
+"""Unit tests for the shard map: routing, pruning, splits, persistence."""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+import pytest
+
+from repro.cluster.shardmap import (
+    ShardMap,
+    ShardMapError,
+    hash_bucket,
+    prefix_region,
+)
+from repro.geometry import Box
+from repro.geometry.point import Point
+from repro.geometry.segment import LineSegment
+from repro.workloads import random_points, random_segments, random_words
+
+WORLD = Box(0.0, 0.0, 100.0, 100.0)
+
+
+class TestSpacePartition:
+    def test_leaves_partition_the_world(self):
+        """Every point routes to exactly one in-range shard, any N."""
+        for n in (1, 2, 3, 4, 5, 7, 16):
+            smap = ShardMap.space(n, WORLD)
+            assert smap.covers_world(random_points(300, seed=n))
+            # all shard ids are actually used
+            assert set(smap.prefixes.values()) == set(range(n))
+
+    def test_point_routing_is_stable(self):
+        smap = ShardMap.space(4, WORLD)
+        for p in random_points(100, seed=2):
+            assert smap.shard_of_key(p) == smap.shard_of_key(p)
+
+    def test_segment_routes_by_midpoint(self):
+        smap = ShardMap.space(4, WORLD)
+        for seg in random_segments(50, seed=3):
+            assert smap.shard_of_key(seg) == smap.shard_of_point(seg.midpoint())
+
+    def test_window_pruning_is_sound(self):
+        """shards_for('^', box) covers every shard holding a matching point."""
+        smap = ShardMap.space(5, WORLD)
+        points = random_points(400, seed=4)
+        box = Box(20, 20, 55, 70)
+        visited = set(smap.shards_for("^", box))
+        for p in points:
+            if box.contains_point(p):
+                assert smap.shard_of_key(p) in visited
+
+    def test_window_pruning_actually_prunes(self):
+        smap = ShardMap.space(8, WORLD)
+        tiny = Box(1, 1, 2, 2)
+        assert len(smap.shards_for("^", tiny)) < smap.num_shards
+
+    def test_segment_overlap_expands_by_half_extent(self):
+        """A segment whose midpoint is outside the window is still found."""
+        smap = ShardMap.space(4, WORLD)
+        # A long segment: midpoint at (75, 75) (shard of the NE region),
+        # but it reaches into the SW.
+        seg = LineSegment(Point(30.0, 30.0), Point(120.0, 120.0))
+        smap.note_key(seg)
+        assert smap.max_half_extent == pytest.approx(45.0)
+        home = smap.shard_of_key(seg)
+        # a window far from the midpoint but touched by the segment
+        window = Box(25, 25, 35, 35)
+        assert home in smap.shards_for("&&", window)
+
+    def test_nn_and_unknown_ops_scatter(self):
+        smap = ShardMap.space(4, WORLD)
+        assert smap.shards_for("@@", Point(1, 1)) == [0, 1, 2, 3]
+
+    def test_point_lookup_routes_to_one_shard(self):
+        smap = ShardMap.space(4, WORLD)
+        assert len(smap.shards_for("@", Point(10, 10))) == 1
+
+
+class TestHashPartition:
+    def test_buckets_cover_all_shards(self):
+        smap = ShardMap.hashed(3, 64)
+        assert set(smap.buckets) == {0, 1, 2}
+
+    def test_equality_routes_to_one_shard(self):
+        smap = ShardMap.hashed(3, 64)
+        for word in random_words(50, seed=5):
+            route = smap.shards_for("=", word)
+            assert route == [smap.shard_of_key(word)]
+
+    def test_prefix_scatter(self):
+        smap = ShardMap.hashed(3, 64)
+        assert smap.shards_for("#=", "ab") == [0, 1, 2]
+
+    def test_hash_is_stable(self):
+        assert hash_bucket("alpha", 64) == hash_bucket("alpha", 64)
+
+    def test_too_few_buckets_rejected(self):
+        with pytest.raises(ShardMapError):
+            ShardMap.hashed(5, 4)
+
+
+class TestSplit:
+    def test_space_split_moves_half_the_region(self):
+        smap = ShardMap.space(1, WORLD)
+        smap.split(0, 1)
+        assert smap.num_shards == 2
+        assert set(smap.prefixes.values()) == {0, 1}
+        # still a complete partition
+        assert smap.covers_world(random_points(300, seed=6))
+
+    def test_space_split_with_many_prefixes_moves_whole_prefixes(self):
+        smap = ShardMap.space(2, WORLD)  # each shard owns 2 quadrants
+        owned_before = smap.shard_prefixes(0)
+        assert len(owned_before) == 2
+        smap.split(0, 2)
+        assert len(smap.shard_prefixes(0)) == 1
+        assert len(smap.shard_prefixes(2)) == 1
+        assert smap.covers_world(random_points(300, seed=7))
+
+    def test_hash_split_moves_half_the_buckets(self):
+        smap = ShardMap.hashed(2, 64)
+        before = sum(1 for b in smap.buckets if b == 0)
+        smap.split(0, 2)
+        after = sum(1 for b in smap.buckets if b == 0)
+        assert after == before - before // 2
+        assert sum(1 for b in smap.buckets if b == 2) == before // 2
+
+    def test_split_into_self_rejected(self):
+        smap = ShardMap.space(2, WORLD)
+        with pytest.raises(ShardMapError):
+            smap.split(0, 0)
+
+    def test_split_bumps_version(self):
+        smap = ShardMap.space(2, WORLD)
+        assert smap.version == 0
+        smap.split(0, 2)
+        assert smap.version == 1
+
+
+class TestPersistence:
+    def test_round_trip(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "shardmap.json")
+            smap = ShardMap.space(3, WORLD)
+            smap.note_key(LineSegment(Point(0, 0), Point(10, 0)))
+            smap.split(0, 3)
+            smap.save(path)
+            loaded = ShardMap.load(path)
+            assert loaded == smap
+            # identical routing after the round trip
+            for p in random_points(100, seed=8):
+                assert loaded.shard_of_key(p) == smap.shard_of_key(p)
+
+    def test_hash_round_trip(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "shardmap.json")
+            smap = ShardMap.hashed(4, 64)
+            smap.save(path)
+            assert ShardMap.load(path) == smap
+
+
+class TestPrefixGeometry:
+    def test_prefix_region_recursion(self):
+        region = prefix_region("0", WORLD)
+        assert (region.xmin, region.ymin, region.xmax, region.ymax) == (
+            0.0, 0.0, 50.0, 50.0,
+        )
+        ne = prefix_region("33", WORLD)
+        assert (ne.xmin, ne.ymin) == (75.0, 75.0)
+
+    def test_invalid_digit_rejected(self):
+        with pytest.raises(ShardMapError):
+            prefix_region("4", WORLD)

@@ -1,0 +1,250 @@
+"""2PC: journals, coordinator log, and the coordinator crash matrix."""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+import pytest
+
+from repro.cluster import Cluster, CoordinatorCrash, TwoPhaseCoordinator
+from repro.cluster.twopc import (
+    CoordinatorLog,
+    PrepareJournal,
+    decode_rows,
+    encode_rows,
+)
+from repro.geometry.point import Point
+from repro.geometry.segment import LineSegment
+
+
+def _crash_once():
+    state = {"armed": True}
+
+    def hook():
+        if state["armed"]:
+            state["armed"] = False
+            raise CoordinatorCrash("chaos")
+
+    return hook
+
+
+def _multi_shard_rows(cluster, tag_base, per_shard=2):
+    """Rows that straddle every shard, uniquely tagged."""
+    groups = {}
+    probe = [Point(10.0 + i * 0.37, 10.0 + i * 0.53) for i in range(500)]
+    for i, p in enumerate(probe):
+        sid = cluster.shard_map.shard_of_key(p)
+        rows = groups.setdefault(sid, [])
+        if len(rows) < per_shard:
+            rows.append((p, tag_base + i))
+        if all(len(v) >= per_shard for v in groups.values()) and len(
+            groups
+        ) == cluster.shard_map.num_shards:
+            break
+    assert len(groups) > 1
+    return groups
+
+
+@pytest.fixture()
+def cluster():
+    with tempfile.TemporaryDirectory() as tmp:
+        c = Cluster(tmp, kind="kdtree", shards=3, replicas=1, quorum=1, fsync=False)
+        yield c
+        c.close()
+
+
+class TestEncoding:
+    def test_geometry_round_trip(self):
+        rows = [
+            (Point(1.5, 2.5), 7),
+            (LineSegment(Point(0, 0), Point(3, 4)), "tag"),
+            ("plain", 1),
+        ]
+        assert decode_rows(encode_rows(rows)) == rows
+
+
+class TestJournal:
+    def test_pending_folds_prepares_and_tombstones(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            journal = PrepareJournal(os.path.join(tmp, "prepared.log"), fsync=False)
+            journal.prepare("txn-1", [(Point(1, 1), 1)])
+            journal.prepare("txn-2", [(Point(2, 2), 2)])
+            journal.forget("txn-1")
+            assert set(journal.pending()) == {"txn-2"}
+
+    def test_torn_final_line_never_happened(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "prepared.log")
+            journal = PrepareJournal(path, fsync=False)
+            journal.prepare("txn-1", [(Point(1, 1), 1)])
+            with open(path, "a", encoding="utf-8") as handle:
+                handle.write('{"op": "prepare", "gid": "txn-2", "ro')
+            assert set(journal.pending()) == {"txn-1"}
+
+    def test_compact_drops_resolved_entries(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            journal = PrepareJournal(os.path.join(tmp, "prepared.log"), fsync=False)
+            for i in range(10):
+                journal.prepare(f"txn-{i}", [(Point(i, i), i)])
+                if i % 2 == 0:
+                    journal.forget(f"txn-{i}")
+            size_before = os.path.getsize(journal.path)
+            journal.compact()
+            assert os.path.getsize(journal.path) < size_before
+            assert set(journal.pending()) == {f"txn-{i}" for i in (1, 3, 5, 7, 9)}
+
+
+class TestCoordinatorLog:
+    def test_in_flight_lifecycle(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            log = CoordinatorLog(os.path.join(tmp, "coord.log"), fsync=False)
+            log.begin("txn-1", [0, 1])
+            assert log.in_flight() == {
+                "txn-1": {"shards": [0, 1], "committed": False}
+            }
+            log.commit("txn-1")
+            assert log.in_flight()["txn-1"]["committed"] is True
+            log.done("txn-1")
+            assert log.in_flight() == {}
+            assert log.committed_gids() == {"txn-1"}
+
+    def test_gid_counter_continues_from_log(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            log = CoordinatorLog(os.path.join(tmp, "coord.log"), fsync=False)
+            log.begin("txn-000041", [0])
+            log.commit("txn-000041")
+            log.done("txn-000041")
+            coordinator = TwoPhaseCoordinator(log, {})
+            assert coordinator.next_gid() == "txn-000042"
+
+
+class TestCrashMatrix:
+    """The coordinator dies at each interesting instant; recovery resolves."""
+
+    def _tags(self, groups):
+        return {row for rows in groups.values() for row in rows}
+
+    def test_crash_before_prepare_aborts_cleanly(self, cluster):
+        groups = _multi_shard_rows(cluster, 1000)
+        cluster.coordinator.crash_before_prepare = _crash_once()
+        with pytest.raises(CoordinatorCrash):
+            cluster.coordinator.write(groups)
+        # reboot: fresh coordinator over the same log
+        cluster.coordinator = TwoPhaseCoordinator(
+            cluster.coordinator.log, cluster.shards
+        )
+        outcomes = cluster.recover()
+        assert set(outcomes.values()) == {"aborted"}
+        assert not set(cluster.all_rows()) & self._tags(groups)
+        for shard in cluster.shards.values():
+            assert shard.journal.pending() == {}
+
+    def test_crash_after_all_prepares_presumes_abort(self, cluster):
+        groups = _multi_shard_rows(cluster, 2000)
+        cluster.coordinator.crash_after_prepares = _crash_once()
+        with pytest.raises(CoordinatorCrash):
+            cluster.coordinator.write(groups)
+        # every prepare landed durably...
+        journaled = {
+            sid for sid, shard in cluster.shards.items() if shard.journal.pending()
+        }
+        assert journaled == set(groups)
+        # ...but no COMMIT record exists, so recovery presumes abort.
+        cluster.coordinator = TwoPhaseCoordinator(
+            cluster.coordinator.log, cluster.shards
+        )
+        outcomes = cluster.recover()
+        assert set(outcomes.values()) == {"aborted"}
+        assert not set(cluster.all_rows()) & self._tags(groups)
+        for shard in cluster.shards.values():
+            assert shard.journal.pending() == {}
+
+    def test_crash_mid_fanout_completes_on_recovery(self, cluster):
+        groups = _multi_shard_rows(cluster, 3000)
+        cluster.coordinator.crash_mid_commit_fanout = _crash_once()
+        with pytest.raises(CoordinatorCrash):
+            cluster.coordinator.write(groups)
+        # COMMIT was force-written: the txn is acknowledged. At least one
+        # leg applied, at least one did not.
+        visible = set(cluster.all_rows()) & self._tags(groups)
+        assert visible
+        assert visible != self._tags(groups)
+        cluster.coordinator = TwoPhaseCoordinator(
+            cluster.coordinator.log, cluster.shards
+        )
+        outcomes = cluster.recover()
+        assert set(outcomes.values()) == {"committed"}
+        assert self._tags(groups) <= set(cluster.all_rows())
+        # idempotent: a second recovery changes nothing
+        before = sorted(cluster.all_rows())
+        cluster.recover()
+        assert sorted(cluster.all_rows()) == before
+        for shard in cluster.shards.values():
+            assert shard.journal.pending() == {}
+
+    def test_recovery_survives_full_cluster_restart(self, cluster):
+        """Kill mid-fanout, reopen the whole cluster from disk: the
+        committed txn completes from the durable journals + log alone."""
+        directory = cluster.directory
+        groups = _multi_shard_rows(cluster, 4000)
+        cluster.coordinator.crash_mid_commit_fanout = _crash_once()
+        with pytest.raises(CoordinatorCrash):
+            cluster.coordinator.write(groups)
+        cluster.close()
+
+        reopened = Cluster(
+            directory, kind="kdtree", shards=3, replicas=1, quorum=1, fsync=False
+        )
+        try:
+            # Cluster.__init__ ran recover(); in-doubt journals drained.
+            assert self._tags(groups) <= set(reopened.all_rows())
+            for shard in reopened.shards.values():
+                assert shard.journal.pending() == {}
+            assert not reopened.coordinator.log.in_flight()
+        finally:
+            reopened.close()
+
+
+class TestShardSideResolution:
+    def test_restarted_shard_resolves_from_coordinator_log(self, cluster):
+        groups = _multi_shard_rows(cluster, 5000)
+        gid = cluster.coordinator.write(groups)
+        sid = sorted(groups)[0]
+        # Fabricate the in-doubt state a crash-before-tombstone leaves:
+        # journal entry present, rows already applied.
+        cluster.shards[sid].journal.prepare(gid, groups[sid])
+        assert gid in cluster.shards[sid].journal.pending()
+        outcomes = cluster.resolve_in_doubt(sid)
+        assert outcomes == {gid: "committed"}
+        # rows were NOT double-applied
+        rows = cluster.shards[sid].primary.rows()
+        for row in groups[sid]:
+            assert rows.count(row) == 1
+
+    def test_unknown_gid_presumed_abort(self, cluster):
+        sid = 0
+        cluster.shards[sid].journal.prepare("txn-999999", [(Point(1, 1), 99999)])
+        outcomes = cluster.resolve_in_doubt(sid)
+        assert outcomes == {"txn-999999": "aborted"}
+        assert (Point(1, 1), 99999) not in cluster.shards[sid].primary.rows()
+
+
+class TestAbortOnNoVote:
+    def test_dead_shard_vetoes_and_nothing_leaks(self, cluster):
+        from repro.cluster.twopc import TwoPhaseError
+
+        groups = _multi_shard_rows(cluster, 6000)
+        dead = sorted(groups)[-1]
+        cluster.kill_shard(dead)
+        with pytest.raises(TwoPhaseError):
+            cluster.insert([row for rows in groups.values() for row in rows])
+        live_rows = [
+            row
+            for sid, shard in cluster.shards.items()
+            if sid != dead
+            for row in shard.primary.rows()
+        ]
+        assert not set(live_rows) & {
+            row for rows in groups.values() for row in rows
+        }

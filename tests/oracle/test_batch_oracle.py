@@ -20,7 +20,7 @@ import pytest
 
 from repro.engine.cost import seqscan_cost
 from repro.engine.executor import execute_plan_batches, execute_plan_rows
-from repro.engine.planner import Predicate, SeqScanPlan
+from repro.engine.planner import NNSortScanPlan, Predicate, SeqScanPlan
 from repro.engine.txn import TransactionManager
 from repro.geometry import Box
 from repro.resilience import INCIDENTS, corrupt_page
@@ -132,6 +132,48 @@ class TestEveryQueryShape:
             )
         )
         assert got == want
+
+
+class TestNNTotalOrder:
+    """NN streams are a stable total order: (distance, then TID).
+
+    Before the PR 10 tie-break, equal-distance results came out in tree
+    discovery order, which differed between the index pipeline and the
+    sort-scan reference (and would differ shard-to-shard in the cluster
+    k-merge). Duplicate keys force exact distance ties, so these checks
+    are sequence-sensitive where the old behaviour was only set-stable.
+    """
+
+    def _tables_with_ties(self):
+        points = random_points(40, seed=904)
+        data = list(points) + list(points[:15])  # duplicated keys: exact ties
+        return data, build_table("point", data, "SP_GiST_kdtree")
+
+    def test_index_nn_matches_sort_scan_sequence(self):
+        data, table = self._tables_with_ties()
+        query = data[3]
+        predicate = Predicate("key", "@@", query)
+        nn_plan, _seq = _forced_plans(table, predicate)
+        sort_plan = NNSortScanPlan(
+            table, predicate, seqscan_cost(table.heap_pages, len(table))
+        )
+        got = list(execute_plan_rows(nn_plan))
+        want = list(execute_plan_rows(sort_plan))
+        assert got == want, "index NN order diverged from (distance, TID) order"
+
+    @pytest.mark.parametrize("batch_size", BATCH_SIZES)
+    def test_batches_preserve_the_total_order(self, batch_size):
+        data, table = self._tables_with_ties()
+        _assert_equivalent(
+            _index_factory(table, "@@", data[7]), batch_size
+        )
+
+    def test_repeated_scans_are_identical(self):
+        data, table = self._tables_with_ties()
+        factory = _index_factory(table, "@@", data[11])
+        first = list(execute_plan_rows(factory()))
+        for _ in range(3):
+            assert list(execute_plan_rows(factory())) == first
 
 
 @pytest.mark.parametrize("batch_size", BATCH_SIZES)
