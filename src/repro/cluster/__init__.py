@@ -1,6 +1,6 @@
 """Sharded scale-out: shard map, distributed router, 2PC, split/rebalance."""
 
-from repro.cluster.cluster import Cluster, Shard
+from repro.cluster.cluster import Cluster, Shard, SplitLog
 from repro.cluster.router import Router
 from repro.cluster.shardmap import ShardMap, ShardMapError
 from repro.cluster.twopc import (
@@ -14,6 +14,7 @@ from repro.cluster.twopc import (
 __all__ = [
     "Cluster",
     "Shard",
+    "SplitLog",
     "Router",
     "ShardMap",
     "ShardMapError",

@@ -15,22 +15,32 @@ space per the :class:`~repro.cluster.shardmap.ShardMap`. On top ride:
   rows are re-routed under the post-split map, bulk-copied to the target
   as acknowledged replica-set writes, MVCC-deleted at the source, and
   the source is VACUUMed and online-REPACKed so its index physically
-  shrinks to its remaining region. The map persists only after the data
-  has moved, so a crash mid-split leaves the old routing intact (the
-  copied rows at the target are unreachable orphans, re-moved by the
-  retried split). Splits are synchronous maintenance operations, run
+  shrinks to its remaining region. Every failure mode is accounted for:
+  a failure *before* the new map persists rolls the in-memory map,
+  shard set, and target directory back exactly (routing never points
+  at a partial shard); the flip itself is fenced by a force-written
+  *split intent* in ``splits.log``, so a crash *between* the flip and
+  the source-side delete — the window in which scatter and NN reads
+  would otherwise see the moved rows twice — is healed by
+  :meth:`recover` / :meth:`tick`, which re-drive the delete (removing
+  only rows whose copy is verifiably present at the target) until the
+  source is clean. Splits are synchronous maintenance operations, run
   between client batches like VACUUM.
 
 Durability boundaries match the single-shard story: an acknowledged
 single-shard write survived quorum; an acknowledged multi-shard write
 has its COMMIT record fsync'd in the coordinator log and will complete
 on every shard across any combination of coordinator and shard crashes
-(:meth:`recover` / :meth:`resolve_in_doubt`).
+(:meth:`recover` / :meth:`resolve_in_doubt`). The 2PC correctness logs
+(coordinator log, prepare journals, split intents) are always fsync'd
+regardless of the data-path ``fsync`` flag — the documented commit/ack
+point must not silently weaken under the default configuration.
 """
 
 from __future__ import annotations
 
 import os
+import shutil
 from typing import Any, Iterator
 
 from repro.errors import ReplicationError
@@ -46,6 +56,7 @@ from repro.cluster.twopc import (
     CoordinatorLog,
     PrepareJournal,
     TwoPhaseCoordinator,
+    _JsonLineLog,
 )
 
 _SPLITS = METRICS.counter(
@@ -65,14 +76,51 @@ _2PC_ABORTS = METRICS.counter(
     "Multi-shard transactions aborted at prepare",
 )
 
-#: kind -> the equality-ish operator used to probe whether a prepared
-#: row already landed (commit_prepared idempotence).
+#: kind -> the equality-ish operator used to probe whether a moved row's
+#: copy already landed at a split's target shard (see Shard.has_row).
 _EQ_OP = {
     "trie": "=",
     "kdtree": "@",
     "pquad": "@",
     "pmr": "=",
 }
+
+
+class SplitLog(_JsonLineLog):
+    """Durable intent log for shard splits (``splits.log``).
+
+    An ``intent`` is force-written after the copy phase but before the
+    shard map flips, so a death between the flip and the source-side
+    delete is recoverable: the pending intent tells :meth:`Cluster.tick`
+    and :meth:`Cluster.recover` a shrink is still owed. Without it,
+    scatter and NN reads — which visit the source — would return the
+    moved rows twice, permanently. ``done`` closes the intent once the
+    source is clean. An intent whose map version never persisted marks
+    a pre-flip death: the target directory holds only unreachable
+    orphan copies and is discarded wholesale.
+    """
+
+    def intent(self, source: int, target: int, version: int) -> None:
+        """Force-write a split intent: the shrink fence for recovery."""
+        self.append({
+            "op": "intent", "source": source, "target": target,
+            "version": version,
+        })
+
+    def done(self, source: int, target: int) -> None:
+        """Close an intent: the source holds no moved rows any more."""
+        self.append({"op": "done", "source": source, "target": target})
+
+    def pending(self) -> list[dict]:
+        """Every intent without a matching ``done``, oldest first."""
+        live: dict[tuple[int, int], dict] = {}
+        for record in self.records():
+            key = (record["source"], record["target"])
+            if record["op"] == "intent":
+                live[key] = record
+            elif record["op"] == "done":
+                live.pop(key, None)
+        return [live[key] for key in sorted(live)]
 
 
 class Shard:
@@ -102,22 +150,33 @@ class Shard:
     def commit_prepared(self, gid: str) -> None:
         """Apply the parked rows as an acknowledged write. Idempotent.
 
-        Recovery may re-drive this after a partial fan-out, possibly on a
-        shard that already applied: the journal tombstone is the fast
-        'already done' check, and a presence probe catches the crash
-        window between apply and tombstone. In that window the rows are
-        applied but unforgotten — re-applying would double-insert, so the
-        probe finds them and only re-runs the quorum barrier.
+        Recovery may re-drive this after a partial fan-out, possibly on
+        a shard that already applied. Idempotence rests on the journal's
+        *apply marker*, not on probing row values (a prepared row that
+        happens to equal a pre-existing row must never fool recovery
+        into dropping the transaction): immediately before the engine
+        apply, the journal force-writes the commit sequence the write
+        will occupy. On re-entry, the primary's durable ``commit_seq``
+        having reached that marker proves the apply committed — the
+        crash fell between commit and tombstone — so only the quorum
+        re-ack barrier runs. A marker whose seq was never reached means
+        the apply never committed; a fresh marker supersedes it and the
+        rows apply. Sound because commits form one in-order per-timeline
+        sequence (a promoted standby's ``commit_seq`` reaches the marker
+        only by applying that very segment) and recovery resolves
+        journals before new writes advance the sequence.
         """
         rows = self.journal.pending().get(gid)
         if rows is None:
             return  # tombstoned: applied and acknowledged previously
-        if rows and self._all_present(rows):
+        self.rs._require_primary()
+        applied_at = self.journal.pending_applies().get(gid)
+        if applied_at is not None and self.rs.primary.commit_seq >= applied_at:
             # Applied, crashed before the tombstone. Re-ack: an empty
             # commit is a quorum barrier proving the rows replicated.
-            self.rs._require_primary()
             self.rs._commit_and_ack()
         elif rows:
+            self.journal.applying(gid, self.rs.primary.commit_seq + 1)
             self.rs.client_write(rows)
         self.journal.forget(gid)
 
@@ -125,21 +184,14 @@ class Shard:
         """Tombstone a parked transaction (presumed abort)."""
         self.journal.forget(gid)
 
-    def _all_present(self, rows: list[tuple]) -> bool:
-        """Did every prepared row already land on the primary?
+    def has_row(self, row: tuple) -> bool:
+        """Is an identical row visible on this shard's primary?
 
-        Sound because prepared rows apply as ONE engine transaction:
-        either all versions exist or none do. (The probe requires txn
-        rows to be distinguishable from pre-existing ones — the chaos
-        harness tags each gid's rows uniquely, as real systems tag by
-        primary key.)
+        The split resolver's conservative probe: a source-side copy is
+        deleted only once the target verifiably holds it.
         """
         op = _EQ_OP[self.rs.kind]
-        for row in rows:
-            matches = list(self.rs.primary.search(op, row[0]))
-            if row not in matches:
-                return False
-        return True
+        return row in self.rs.primary.search(op, row[0])
 
     # -- convenience -----------------------------------------------------------
 
@@ -213,11 +265,19 @@ class Cluster:
             self.shards[sid] = self._open_shard(sid)
 
         self.router = Router(self.shard_map, self._table_of)
+        # The 2PC and split correctness logs are always force-written:
+        # the COMMIT record is the documented commit/ack point, a
+        # prepare append is a durable YES vote, and a split intent
+        # fences the shrink — the data-path ``fsync`` knob must not
+        # weaken any of them.
         self.coordinator = TwoPhaseCoordinator(
             CoordinatorLog(
-                os.path.join(directory, "coordinator.log"), fsync=fsync
+                os.path.join(directory, "coordinator.log"), fsync=True
             ),
             self.shards,
+        )
+        self.split_log = SplitLog(
+            os.path.join(directory, "splits.log"), fsync=True
         )
         self.recover()
 
@@ -245,7 +305,7 @@ class Cluster:
             channel_policies=self._channel_policies,
         )
         journal = PrepareJournal(
-            os.path.join(path, "prepared.log"), fsync=self.fsync
+            os.path.join(path, "prepared.log"), fsync=True
         )
         return Shard(sid, rs, journal)
 
@@ -329,60 +389,183 @@ class Cluster:
         ordinary acknowledged writes, the source's dead versions are
         VACUUMed, and its SP-GiST index is online-REPACKed down to the
         remaining region. Returns the new shard id.
+
+        Failure handling, phase by phase: any failure before the new
+        map persists (dead source primary, target copy error) rolls the
+        in-memory map, shard set, and target directory back exactly —
+        the router never sees a partial shard. The flip is fenced by a
+        force-written split intent; once the map persists, the split is
+        committed and only the source-side shrink can still be owed — a
+        failure there leaves the intent pending and :meth:`tick` /
+        :meth:`recover` re-drive the shrink until the source is clean.
         """
         target = self.shard_map.num_shards
         with span("cluster.split", source=source, target=target):
-            self.shards[target] = self._open_shard(target)
-            self.coordinator.participants = self.shards
-            self.shard_map.split(source, target)
-
             src = self.shards[source]
+            # Liveness before any mutation: a dead source primary must
+            # leave the routing state untouched.
             src.rs._require_primary()
             table = src.table
             assert table is not None
 
-            # Re-route every source row under the post-split map; rows now
-            # owned by the target move. (Generic over space and hash
-            # schemes — the map answers, the scan just walks the heap.)
-            movers: list[tuple[Any, tuple]] = [
-                (tid, row)
-                for tid, row in table.scan()
-                if self.shard_map.shard_of_key(row[0]) == target
-            ]
+            # A crashed earlier split may have left orphan copies in
+            # the target directory (pre-flip, hence never reachable):
+            # start from a clean slate so the copy is exactly-once.
+            tdir = self._shard_dir(target)
+            if os.path.isdir(tdir):
+                shutil.rmtree(tdir)
 
-            # 1. Copy: acknowledged quorum writes at the target, batched.
-            batch = SETTINGS.batch_size
-            moved_rows = [row for _tid, row in movers]
-            for start in range(0, len(moved_rows), batch):
-                self.shards[target].rs.client_write(
-                    moved_rows[start:start + batch]
+            saved = (
+                dict(self.shard_map.prefixes),
+                list(self.shard_map.buckets),
+                self.shard_map.num_shards,
+                self.shard_map.version,
+            )
+            target_shard: Shard | None = None
+            try:
+                target_shard = self._open_shard(target)
+                self.shards[target] = target_shard
+                self.coordinator.participants = self.shards
+                self.shard_map.split(source, target)
+
+                # Re-route every source row under the post-split map;
+                # rows now owned by the target move. (Generic over space
+                # and hash schemes — the map answers, the scan just
+                # walks the heap.)
+                movers: list[tuple[Any, tuple]] = [
+                    (tid, row)
+                    for tid, row in table.scan()
+                    if self.shard_map.shard_of_key(row[0]) == target
+                ]
+
+                # 1. Copy: acknowledged quorum writes at the target,
+                # batched.
+                batch = SETTINGS.batch_size
+                moved_rows = [row for _tid, row in movers]
+                for start in range(0, len(moved_rows), batch):
+                    target_shard.rs.client_write(
+                        moved_rows[start:start + batch]
+                    )
+
+                # 2. Flip: force-write the split intent (the shrink
+                # fence recovery needs if we die before step 3), then
+                # persist the new map — the point of no return.
+                self.split_log.intent(
+                    source, target, self.shard_map.version
                 )
-
-            # 2. Flip: persist the new map — the point of no return. A
-            # crash before this line leaves the old map routing to the
-            # source (target copies are unreachable orphans); after it,
-            # both copies exist but only the target's is reachable.
-            self.shard_map.save(self.map_path)
+                self.shard_map.save(self.map_path)
+            except Exception:
+                # Pre-flip failure: restore the live routing state
+                # exactly and drop the half-written target, so reads
+                # and writes keep resolving against the old map.
+                (
+                    self.shard_map.prefixes,
+                    self.shard_map.buckets,
+                    self.shard_map.num_shards,
+                    self.shard_map.version,
+                ) = saved
+                self.shards.pop(target, None)
+                self.coordinator.participants = self.shards
+                if target_shard is not None:
+                    target_shard.rs.close()
+                shutil.rmtree(tdir, ignore_errors=True)
+                raise
 
             # 3. Shrink: MVCC-delete the moved rows at the source in one
-            # replicated transaction, then reclaim + re-cluster.
-            if movers:
-                node = src.primary
-                txn = node.txn.begin()
-                for tid, _row in movers:
-                    table.mvcc_delete(tid, txn)
-                node.txn.commit(txn)
-                src.rs._commit_and_ack()
-                src.rs.client_vacuum()
-                src.rs.client_repack()
+            # replicated transaction, then reclaim + re-cluster. Quorum
+            # loss here leaves the intent pending — the split is already
+            # routed and the copies acked, so only the shrink is owed
+            # and the resolver finishes it.
+            try:
+                if movers:
+                    node = src.primary
+                    txn = node.txn.begin()
+                    for tid, _row in movers:
+                        table.mvcc_delete(tid, txn)
+                    node.txn.commit(txn)
+                    src.rs._commit_and_ack()
+                    src.rs.client_vacuum()
+                    src.rs.client_repack()
+                self.split_log.done(source, target)
+            except ReplicationError:
+                pass  # pending intent: tick()/recover() own the shrink
         _SPLITS.inc()
         _MOVED_ROWS.inc(len(movers))
         return target
 
+    def _finish_split(self, source: int, target: int) -> int:
+        """Complete an interrupted split's source-side shrink (step 3).
+
+        Deletes every row still physically on ``source`` that the
+        current map routes to ``target`` — but only rows whose copy is
+        verifiably present at the target, so a row that never finished
+        copying is never destroyed. Ends with a quorum barrier proving
+        the shrink (this one, or an earlier locally-committed but
+        unacked one) replicated. Returns the number of rows removed.
+        """
+        src = self.shards[source]
+        tgt = self.shards[target]
+        src.rs._require_primary()
+        tgt.rs._require_primary()
+        table = src.table
+        assert table is not None
+        stale = [
+            tid
+            for tid, row in list(table.scan())
+            if self.shard_map.shard_of_key(row[0]) == target
+            and tgt.has_row(row)
+        ]
+        if stale:
+            node = src.primary
+            txn = node.txn.begin()
+            for tid in stale:
+                table.mvcc_delete(tid, txn)
+            node.txn.commit(txn)
+        src.rs._commit_and_ack()
+        if stale:
+            src.rs.client_vacuum()
+            src.rs.client_repack()
+        return len(stale)
+
+    def _recover_splits(self) -> dict[str, str]:
+        """Resolve every pending split intent (the split resolver).
+
+        An intent whose map version persisted means the split is
+        committed and only the source shrink is owed — re-drive it
+        (idempotently) and close the intent; a quorum failure leaves it
+        pending for the next :meth:`tick`. An intent whose map version
+        never persisted marks a pre-flip death: the target directory
+        holds only unreachable orphan copies, so it is discarded and
+        the intent closed — the retried split starts clean.
+        """
+        outcomes: dict[str, str] = {}
+        for intent in self.split_log.pending():
+            source, target = intent["source"], intent["target"]
+            key = f"split-{source}->{target}"
+            if (
+                self.shard_map.version >= intent["version"]
+                and target in self.shards
+            ):
+                try:
+                    self._finish_split(source, target)
+                except ReplicationError:
+                    outcomes[key] = "retry"
+                    continue
+                outcomes[key] = "finished"
+            else:
+                tdir = self._shard_dir(target)
+                if target not in self.shards and os.path.isdir(tdir):
+                    shutil.rmtree(tdir)
+                outcomes[key] = "discarded"
+            self.split_log.done(source, target)
+        return outcomes
+
     # -- recovery --------------------------------------------------------------
 
     def recover(self) -> dict[str, str]:
-        """Coordinator-side recovery: finish or abort unfinished 2PC txns."""
+        """Cluster recovery: finish interrupted splits, then finish or
+        abort unfinished 2PC transactions."""
+        self._recover_splits()
         return self.coordinator.recover()
 
     def resolve_in_doubt(self, sid: int) -> dict[str, str]:
@@ -453,6 +636,11 @@ class Cluster:
         # idempotent, so retrying against a recovered shard is safe.
         if self.coordinator.log.in_flight():
             self.coordinator.recover()
+        # Same for splits: a pending intent means a flipped split whose
+        # source shrink is still owed (quorum was lost mid-split);
+        # re-drive it until the moved rows' source copies are gone.
+        if self.split_log.pending():
+            self._recover_splits()
 
     def catch_up(self, max_ticks: int = 200) -> bool:
         """Pump replication until every shard's standbys are current."""

@@ -26,9 +26,12 @@ abort**, so a participant that finds a journaled transaction with no
 
 **Coordinator recovery.** :meth:`TwoPhaseCoordinator.recover` replays the
 log: ``COMMIT`` without ``DONE`` → the fan-out is retried (participants
-make ``commit_prepared`` idempotent by probing for the rows before
-re-applying); ``begin`` without ``COMMIT`` → presumed abort, the
-journals are tombstoned. Crashing at any instant therefore loses nothing
+make ``commit_prepared`` idempotent via the journal's *apply marker* —
+the commit sequence the apply will occupy, force-written immediately
+before the engine apply, so recovery can tell "applied, crashed before
+the tombstone" from "never applied" without probing row values);
+``begin`` without ``COMMIT`` → presumed abort, the journals are
+tombstoned. Crashing at any instant therefore loses nothing
 acknowledged and leaks nothing unacknowledged.
 
 The ``crash_*`` attributes are chaos hooks: the harness assigns callables
@@ -132,11 +135,27 @@ class PrepareJournal(_JsonLineLog):
     tombstone. :meth:`pending` folds the log: every gid with a prepare
     but no tombstone is in doubt and must be resolved against the
     coordinator log (presumed abort when absent there).
+
+    ``apply`` records are the idempotence markers: written immediately
+    before the engine apply, they name the commit sequence the apply
+    will occupy, so recovery re-driving ``commit_prepared`` can decide
+    "already committed" by comparing the primary's durable commit
+    sequence against the marker instead of probing row values (which
+    silently drops a transaction whose rows happen to equal
+    pre-existing ones).
     """
 
     def prepare(self, gid: str, rows: list[tuple]) -> None:
         """Durably park ``rows`` for ``gid`` — the shard's YES vote."""
         self.append({"op": "prepare", "gid": gid, "rows": encode_rows(rows)})
+
+    def applying(self, gid: str, seq: int) -> None:
+        """Force-write the commit sequence ``gid``'s apply will occupy.
+
+        Appended immediately before the engine apply; see
+        ``Shard.commit_prepared`` for the idempotence argument.
+        """
+        self.append({"op": "apply", "gid": gid, "seq": seq})
 
     def forget(self, gid: str) -> None:
         """Tombstone ``gid`` (applied or aborted — resolved either way)."""
@@ -152,15 +171,30 @@ class PrepareJournal(_JsonLineLog):
                 live.pop(record["gid"], None)
         return live
 
+    def pending_applies(self) -> dict[str, int]:
+        """gid -> latest apply-marker seq, for unresolved txns only."""
+        live: dict[str, int] = {}
+        for record in self.records():
+            if record["op"] == "apply":
+                live[record["gid"]] = int(record["seq"])
+            elif record["op"] == "forget":
+                live.pop(record["gid"], None)
+        return live
+
     def compact(self) -> None:
         """Rewrite the journal with only the still-pending entries."""
         pending = self.pending()
+        applies = self.pending_applies()
         tmp = self.path + ".tmp"
         with open(tmp, "w", encoding="utf-8") as handle:
             for gid, rows in pending.items():
                 handle.write(json.dumps(
                     {"op": "prepare", "gid": gid, "rows": encode_rows(rows)}
                 ) + "\n")
+                if gid in applies:
+                    handle.write(json.dumps(
+                        {"op": "apply", "gid": gid, "seq": applies[gid]}
+                    ) + "\n")
             handle.flush()
             if self.fsync:
                 os.fsync(handle.fileno())

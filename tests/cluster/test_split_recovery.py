@@ -1,0 +1,211 @@
+"""Split failure atomicity: rollback, intent-log recovery, orphan cleanup.
+
+The REVIEW findings this pins down: a pre-flip failure must leave the
+live routing state untouched (no routing to an empty/partial shard),
+and a death between the map flip and the source-side delete must not
+leave the moved rows permanently visible twice to scatter/NN reads.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from collections import Counter
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.errors import ReplicationError
+from repro.geometry import Box
+from repro.workloads import random_points
+
+
+def _mk(tmp, **overrides):
+    kwargs = dict(kind="kdtree", shards=3, replicas=1, quorum=1, fsync=False)
+    kwargs.update(overrides)
+    return Cluster(tmp, **kwargs)
+
+
+def _seed_rows(cluster, n=120, seed=31):
+    pts = random_points(n, seed=seed)
+    rows = [(p, i) for i, p in enumerate(pts)]
+    cluster.insert(rows)
+    return rows
+
+
+def _arm_step3_failure(cluster, source):
+    """Make the source's shrink transaction fail once before it begins,
+    modelling a quorum loss in the crash window between the map flip
+    and the source-side delete (the rows stay visible on BOTH sides)."""
+    node = cluster.shards[source].primary
+    real_begin = node.txn.begin
+    state = {"armed": True}
+
+    def flaky_begin():
+        if state["armed"]:
+            state["armed"] = False
+            raise ReplicationError("injected: source quorum lost pre-delete")
+        return real_begin()
+
+    node.txn.begin = flaky_begin
+    return lambda: setattr(node.txn, "begin", real_begin)
+
+
+@pytest.fixture()
+def seeded():
+    with tempfile.TemporaryDirectory() as tmp:
+        cluster = _mk(tmp)
+        rows = _seed_rows(cluster)
+        yield tmp, cluster, rows
+        cluster.close()
+
+
+class TestPreFlipRollback:
+    def test_dead_source_leaves_routing_intact(self, seeded):
+        tmp, cluster, rows = seeded
+        source = cluster.shard_map.shard_of_key(rows[0][0])
+        target = cluster.shard_map.num_shards
+        before = cluster.shard_map.to_json()
+        cluster.kill_shard(source)
+        with pytest.raises(ReplicationError):
+            cluster.split_shard(source)
+        # nothing moved: same map, no target shard, no target directory
+        assert cluster.shard_map.to_json() == before
+        assert target not in cluster.shards
+        assert target not in cluster.coordinator.participants
+        assert not os.path.exists(os.path.join(tmp, f"shard-{target}"))
+        assert not cluster.split_log.pending()
+        cluster.restart_shard(source)
+        assert rows[0] in cluster.search("@", rows[0][0])
+
+    def test_copy_failure_rolls_back_and_retry_succeeds(
+        self, seeded, monkeypatch
+    ):
+        tmp, cluster, rows = seeded
+        source = cluster.shard_map.shard_of_key(rows[0][0])
+        target = cluster.shard_map.num_shards
+        before = cluster.shard_map.to_json()
+        original = Cluster._open_shard
+
+        def sabotaged(self, sid):
+            shard = original(self, sid)
+            if sid == target:
+                def boom(rows_):
+                    raise ReplicationError("injected: target quorum lost")
+
+                shard.rs.client_write = boom  # type: ignore[method-assign]
+            return shard
+
+        monkeypatch.setattr(Cluster, "_open_shard", sabotaged)
+        with pytest.raises(ReplicationError):
+            cluster.split_shard(source)
+        # the live map still routes everything to the old shards
+        assert cluster.shard_map.to_json() == before
+        assert target not in cluster.shards
+        assert sorted(cluster.search("^", Box(0, 0, 100, 100))) == sorted(rows)
+        assert rows[0] in cluster.search("@", rows[0][0])
+        monkeypatch.undo()
+        # a clean retry moves the rows exactly once
+        tgt = cluster.split_shard(source)
+        assert len(cluster.shards[tgt].primary.rows()) > 0
+        assert sorted(cluster.all_rows()) == sorted(rows)
+
+
+class TestShrinkWindowRecovery:
+    def test_interrupted_shrink_heals_on_tick(self, seeded):
+        tmp, cluster, rows = seeded
+        source = cluster.shard_map.shard_of_key(rows[0][0])
+        disarm = _arm_step3_failure(cluster, source)
+        target = cluster.split_shard(source)
+        disarm()
+        # the dup window is open: moved rows visible on source AND target
+        counts = Counter(cluster.all_rows())
+        assert any(n == 2 for n in counts.values())
+        assert cluster.split_log.pending()
+        # ...and one control-loop beat heals it
+        cluster.tick()
+        assert not cluster.split_log.pending()
+        assert sorted(cluster.all_rows()) == sorted(rows)
+        assert all(report.ok for report in cluster.check().values())
+        for sid in (source, target):
+            for key, _id in cluster.shards[sid].primary.rows():
+                assert cluster.shard_map.shard_of_key(key) == sid
+
+    def test_interrupted_shrink_heals_on_cold_reopen(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            cluster = _mk(tmp)
+            rows = _seed_rows(cluster, seed=32)
+            source = cluster.shard_map.shard_of_key(rows[0][0])
+            _arm_step3_failure(cluster, source)
+            cluster.split_shard(source)
+            assert cluster.split_log.pending()
+            cluster.close()
+
+            reopened = _mk(tmp)
+            try:
+                # __init__ ran recover(): the owed shrink completed
+                assert not reopened.split_log.pending()
+                counts = Counter(reopened.all_rows())
+                assert set(counts.values()) == {1}
+                assert sorted(reopened.all_rows()) == sorted(rows)
+                assert rows[0] in reopened.search("@", rows[0][0])
+                box = Box(0, 0, 100, 100)
+                assert sorted(reopened.search("^", box)) == sorted(rows)
+                assert all(r.ok for r in reopened.check().values())
+            finally:
+                reopened.close()
+
+    def test_ack_failure_after_local_delete_converges(self, seeded):
+        """The shrink committed locally but the quorum ack failed: the
+        resolver must converge (barrier only) without re-deleting."""
+        tmp, cluster, rows = seeded
+        source = cluster.shard_map.shard_of_key(rows[0][0])
+        src_rs = cluster.shards[source].rs
+        real_ack = src_rs._commit_and_ack
+        state = {"armed": True}
+
+        def flaky_ack():
+            if state["armed"]:
+                state["armed"] = False
+                raise ReplicationError("injected: ack lost after delete")
+            return real_ack()
+
+        src_rs._commit_and_ack = flaky_ack  # type: ignore[method-assign]
+        cluster.split_shard(source)
+        src_rs._commit_and_ack = real_ack  # type: ignore[method-assign]
+        assert cluster.split_log.pending()
+        cluster.tick()
+        assert not cluster.split_log.pending()
+        assert sorted(cluster.all_rows()) == sorted(rows)
+
+
+class TestPreFlipOrphanCleanup:
+    def test_orphan_target_discarded_on_reopen(self):
+        """Death after copy+intent but before the flip: the old map
+        still routes to the source, and the orphan target copies must
+        be discarded so the retried split stays exactly-once."""
+        with tempfile.TemporaryDirectory() as tmp:
+            cluster = _mk(tmp)
+            rows = _seed_rows(cluster, n=100, seed=33)
+            target = cluster.shard_map.num_shards
+            orphan = cluster._open_shard(target)
+            orphan.rs.client_write(rows[:10])
+            orphan.rs.close()
+            cluster.split_log.intent(0, target, cluster.shard_map.version + 1)
+            cluster.close()
+
+            reopened = _mk(tmp)
+            try:
+                assert not reopened.split_log.pending()
+                assert target not in reopened.shards
+                assert not os.path.exists(
+                    os.path.join(tmp, f"shard-{target}")
+                )
+                assert sorted(reopened.all_rows()) == sorted(rows)
+                # the retried split moves each row exactly once
+                reopened.split_shard(0)
+                counts = Counter(reopened.all_rows())
+                assert set(counts.values()) == {1}
+                assert sorted(reopened.all_rows()) == sorted(rows)
+            finally:
+                reopened.close()

@@ -82,6 +82,18 @@ class TestJournal:
                 handle.write('{"op": "prepare", "gid": "txn-2", "ro')
             assert set(journal.pending()) == {"txn-1"}
 
+    def test_compact_preserves_apply_markers(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            journal = PrepareJournal(os.path.join(tmp, "prepared.log"), fsync=False)
+            journal.prepare("txn-1", [(Point(1, 1), 1)])
+            journal.applying("txn-1", 5)
+            journal.prepare("txn-2", [(Point(2, 2), 2)])
+            journal.applying("txn-2", 6)
+            journal.forget("txn-2")
+            journal.compact()
+            assert set(journal.pending()) == {"txn-1"}
+            assert journal.pending_applies() == {"txn-1": 5}
+
     def test_compact_drops_resolved_entries(self):
         with tempfile.TemporaryDirectory() as tmp:
             journal = PrepareJournal(os.path.join(tmp, "prepared.log"), fsync=False)
@@ -212,8 +224,11 @@ class TestShardSideResolution:
         gid = cluster.coordinator.write(groups)
         sid = sorted(groups)[0]
         # Fabricate the in-doubt state a crash-before-tombstone leaves:
-        # journal entry present, rows already applied.
+        # journal entry + apply marker present, rows already applied.
         cluster.shards[sid].journal.prepare(gid, groups[sid])
+        cluster.shards[sid].journal.applying(
+            gid, cluster.shards[sid].primary.commit_seq
+        )
         assert gid in cluster.shards[sid].journal.pending()
         outcomes = cluster.resolve_in_doubt(sid)
         assert outcomes == {gid: "committed"}
@@ -228,6 +243,74 @@ class TestShardSideResolution:
         outcomes = cluster.resolve_in_doubt(sid)
         assert outcomes == {"txn-999999": "aborted"}
         assert (Point(1, 1), 99999) not in cluster.shards[sid].primary.rows()
+
+
+class TestApplyIdempotence:
+    """The apply marker, not row-value probing, carries idempotence."""
+
+    def test_identical_preexisting_row_is_not_dropped(self, cluster):
+        """A prepared row value-identical to a pre-existing row must
+        still apply on recovery — the old row-presence probe would
+        conclude 'already applied' and silently drop the txn's copy."""
+        groups = _multi_shard_rows(cluster, 7000)
+        sids = sorted(groups)
+        # The fan-out visits shards in id order and the chaos hook
+        # fires before the second leg: pre-seed the SECOND shard with
+        # a row identical to the one the txn will prepare there.
+        dup_row = groups[sids[1]][0]
+        cluster.insert([dup_row])
+        cluster.coordinator.crash_mid_commit_fanout = _crash_once()
+        with pytest.raises(CoordinatorCrash):
+            cluster.coordinator.write(groups)
+        cluster.coordinator = TwoPhaseCoordinator(
+            cluster.coordinator.log, cluster.shards
+        )
+        outcomes = cluster.recover()
+        assert set(outcomes.values()) == {"committed"}
+        rows = cluster.shards[sids[1]].primary.rows()
+        assert rows.count(dup_row) == 2  # pre-existing + the txn's copy
+        for shard in cluster.shards.values():
+            assert shard.journal.pending() == {}
+
+    def test_marker_reached_skips_reapply(self, cluster):
+        """Marker seq <= durable commit_seq: the apply committed before
+        the crash, so resolution only re-acks — no double insert."""
+        sid = 0
+        shard = cluster.shards[sid]
+        row = (Point(3.25, 4.5), 424242)
+        seq = shard.rs.client_write([row])  # the apply that committed
+        shard.journal.prepare("txn-777777", [row])
+        shard.journal.applying("txn-777777", seq)
+        cluster.coordinator.log.begin("txn-777777", [sid])
+        cluster.coordinator.log.commit("txn-777777")
+        outcomes = cluster.resolve_in_doubt(sid)
+        assert outcomes == {"txn-777777": "committed"}
+        assert shard.primary.rows().count(row) == 1
+        assert shard.journal.pending() == {}
+
+    def test_marker_unreached_reapplies(self, cluster):
+        """Marker seq ahead of commit_seq: the crash fell between the
+        marker and the commit, so the rows must (re)apply."""
+        sid = 0
+        shard = cluster.shards[sid]
+        row = (Point(6.5, 7.75), 434343)
+        shard.journal.prepare("txn-888888", [row])
+        shard.journal.applying("txn-888888", shard.primary.commit_seq + 1)
+        cluster.coordinator.log.begin("txn-888888", [sid])
+        cluster.coordinator.log.commit("txn-888888")
+        outcomes = cluster.resolve_in_doubt(sid)
+        assert outcomes == {"txn-888888": "committed"}
+        assert shard.primary.rows().count(row) == 1
+        assert shard.journal.pending() == {}
+
+
+class TestDurabilityDefaults:
+    def test_correctness_logs_always_fsync(self, cluster):
+        """The cluster fixture passes fsync=False, yet the 2PC and
+        split logs must stay force-written (the documented ack point)."""
+        assert cluster.coordinator.log.fsync is True
+        assert all(s.journal.fsync for s in cluster.shards.values())
+        assert cluster.split_log.fsync is True
 
 
 class TestAbortOnNoVote:
